@@ -1,0 +1,155 @@
+package ssdkeeper_test
+
+// External-package test: proves the public façade alone is sufficient for
+// the library's main flows (simulate, learn, allocate), exactly as a
+// downstream importer would use it.
+
+import (
+	"bytes"
+	"testing"
+
+	"ssdkeeper"
+)
+
+func TestPublicAPISimulateFlow(t *testing.T) {
+	cfg := ssdkeeper.EvalConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	spec := ssdkeeper.MixSpec{
+		Tenants: []ssdkeeper.TenantSpec{
+			{WriteRatio: 0.9, Share: 0.5},
+			{WriteRatio: 0.1, Share: 0.5},
+		},
+		Requests: 800,
+		IOPS:     8000,
+		Seed:     1,
+	}
+	mix, err := spec.Build(cfg.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ssdkeeper.ParseStrategy("6:2", cfg.Channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ssdkeeper.Run(ssdkeeper.RunConfig{
+		Device:   cfg,
+		Options:  ssdkeeper.DefaultOptions(),
+		Strategy: s,
+		Traits:   spec.Traits(),
+		Season:   ssdkeeper.DefaultSeasoning(),
+	}, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != len(mix) || res.Device.Total() <= 0 {
+		t.Errorf("implausible result: %d requests, total %v", res.Requests, res.Device.Total())
+	}
+}
+
+func TestPublicAPITraceRoundTrip(t *testing.T) {
+	profiles := ssdkeeper.TableII(0.0001, ssdkeeper.EvalConfig().PageSize, 3)
+	tr, err := ssdkeeper.GenerateTrace(profiles["web_2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ssdkeeper.WriteMSR(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ssdkeeper.ReadMSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tr) {
+		t.Errorf("round trip %d vs %d records", len(back), len(tr))
+	}
+}
+
+func TestPublicAPILearningFlow(t *testing.T) {
+	env := ssdkeeper.NewEnv()
+	scale := ssdkeeper.QuickScale()
+	scale.DatasetWorkloads = 6
+	scale.DatasetRequests = 400
+
+	samples, err := ssdkeeper.BuildDataset(env, scale, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trained, err := ssdkeeper.TrainBest(env, scale, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Model persistence through the façade.
+	var buf bytes.Buffer
+	if err := trained.Model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	model, err := ssdkeeper.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k, err := ssdkeeper.NewKeeper(ssdkeeper.KeeperConfig{
+		Device:         env.Device,
+		Options:        env.Options,
+		Strategies:     env.Strategies,
+		SaturationIOPS: env.SaturationIOPS,
+		Window:         50 * ssdkeeper.Millisecond,
+		Season:         env.Season,
+	}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ssdkeeper.MixSpec{
+		Tenants: []ssdkeeper.TenantSpec{
+			{WriteRatio: 0.95, Share: 0.4},
+			{WriteRatio: 0.05, Share: 0.3},
+			{WriteRatio: 0.9, Share: 0.2},
+			{WriteRatio: 0.1, Share: 0.1},
+		},
+		Requests: 2000,
+		IOPS:     9000,
+		Seed:     5,
+	}
+	mix, err := spec.Build(env.Device.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := k.Run(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Switches) == 0 {
+		t.Error("keeper never adapted")
+	}
+}
+
+func TestPublicAPIOpenChannelFlow(t *testing.T) {
+	dev, err := ssdkeeper.NewOpenChannel(ssdkeeper.EvalConfig(), ssdkeeper.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ssdkeeper.Strategy{Kind: ssdkeeper.FourWay, Parts: []int{5, 1, 1, 1}}
+	binding, err := s.Bind(8, make([]ssdkeeper.TenantTraits, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Apply(binding); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dev.Leased(0)); got != 5 {
+		t.Errorf("tenant 0 leased %d channels, want 5", got)
+	}
+}
+
+func TestPublicAPIStrategySpaces(t *testing.T) {
+	if got := len(ssdkeeper.TwoTenantSpace(8)); got != 8 {
+		t.Errorf("two-tenant space %d", got)
+	}
+	if got := len(ssdkeeper.FourTenantSpace(8)); got != 42 {
+		t.Errorf("four-tenant space %d", got)
+	}
+}

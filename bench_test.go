@@ -1,0 +1,629 @@
+// Package ssdkeeper's root benchmark harness regenerates every table and
+// figure of the paper (one benchmark per artifact) and measures the ablations
+// called out in DESIGN.md. Custom metrics carry the experiment results:
+// latencies in us, accuracies in percent, improvements in percent — so
+// `go test -bench=. -benchmem` both exercises and reports the reproduction.
+//
+// The figure/table benchmarks run at QuickScale inside the timing loop; the
+// printed metrics are therefore smoke-sized. cmd/experiments regenerates the
+// full-sized artifacts.
+package ssdkeeper
+
+import (
+	"testing"
+
+	"ssdkeeper/internal/alloc"
+	"ssdkeeper/internal/dataset"
+	"ssdkeeper/internal/experiments"
+	"ssdkeeper/internal/features"
+	"ssdkeeper/internal/ftl"
+	"ssdkeeper/internal/hostif"
+	"ssdkeeper/internal/keeper"
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/ssd"
+	"ssdkeeper/internal/trace"
+	"ssdkeeper/internal/workload"
+)
+
+// quickEnvScale returns the shared environment and smoke scale.
+func quickEnvScale() (experiments.Env, experiments.Scale) {
+	return experiments.NewEnv(), experiments.QuickScale()
+}
+
+// quickSamplesModel memoizes a QuickScale dataset and trained model across
+// benchmarks (building them is itself benchmarked separately).
+var benchState struct {
+	samples []dataset.Sample
+	model   *nn.Network
+	test    []dataset.Sample
+}
+
+func benchSamplesModel(b *testing.B) ([]dataset.Sample, *nn.Network, []dataset.Sample) {
+	b.Helper()
+	if benchState.model != nil {
+		return benchState.samples, benchState.model, benchState.test
+	}
+	env, scale := quickEnvScale()
+	samples, err := experiments.BuildDataset(env, scale, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := experiments.TrainBest(env, scale, samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchState.samples = samples
+	benchState.model = res.Model
+	benchState.test = res.TestSamples
+	return samples, res.Model, res.TestSamples
+}
+
+// BenchmarkFig2 regenerates the Figure 2 motivation sweep (9 write
+// proportions x 8 strategies) and reports the best strategy's gain over
+// Shared at 50% writes.
+func BenchmarkFig2(b *testing.B) {
+	env, scale := quickEnvScale()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(env, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := res.Points[4] // 50%
+		best := 1.0
+		for _, r := range p.Rows {
+			if !r.Infeasible && r.NormTotal < best {
+				best = r.NormTotal
+			}
+		}
+		gain = 100 * (1 - best)
+	}
+	b.ReportMetric(gain, "%gain-at-50%")
+}
+
+// BenchmarkFig4Table3 regenerates the optimizer comparison: four training
+// runs on a shared dataset. Reports Adam-logistic's final accuracy (Table
+// III's winning row).
+func BenchmarkFig4Table3(b *testing.B) {
+	env, scale := quickEnvScale()
+	samples, _, _ := benchSamplesModel(b)
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.Fig4Table3(env, scale, samples)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = runs[len(runs)-1].History.FinalAcc
+	}
+	b.ReportMetric(100*acc, "%adam-logistic-acc")
+}
+
+// BenchmarkTable3TrainingTime measures one full training run of the deployed
+// configuration — the Table III "Training Time" column.
+func BenchmarkTable3TrainingTime(b *testing.B) {
+	env, scale := quickEnvScale()
+	samples, _, _ := benchSamplesModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TrainBest(env, scale, samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Table5 regenerates the end-to-end mix comparison and reports
+// the paper's headline metric: SSDKeeper's average total-latency improvement
+// over Shared.
+func BenchmarkFig5Table5(b *testing.B) {
+	env, scale := quickEnvScale()
+	_, model, _ := benchSamplesModel(b)
+	var improvement float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports, err := experiments.Fig5Table5(env, scale, model, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		improvement = 0
+		for _, r := range reports {
+			improvement += r.ImprovementPct
+		}
+		improvement /= float64(len(reports))
+	}
+	b.ReportMetric(improvement, "%avg-improvement")
+}
+
+// BenchmarkFig6 regenerates the strategy map.
+func BenchmarkFig6(b *testing.B) {
+	env, scale := quickEnvScale()
+	_, model, _ := benchSamplesModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(env, scale, model); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDatasetGeneration measures the label-generation pipeline
+// (Algorithm 1 lines 1-8): one workload replayed under all 42 strategies.
+func BenchmarkDatasetGeneration(b *testing.B) {
+	env, scale := quickEnvScale()
+	cfg := dataset.Config{
+		Device: env.Device, Options: env.Options, Strategies: env.Strategies,
+		Workloads: 1, Requests: scale.DatasetRequests,
+		MaxIOPS: env.SaturationIOPS, Season: env.Season, Seed: 1,
+	}
+	spec := workload.MixSpec{
+		Tenants: []workload.TenantSpec{
+			{WriteRatio: 0.9, Share: 0.4}, {WriteRatio: 0.1, Share: 0.3},
+			{WriteRatio: 0.95, Share: 0.2}, {WriteRatio: 0.05, Share: 0.1},
+		},
+		Requests: scale.DatasetRequests, IOPS: 8000, Seed: 2,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.Label(cfg, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// requests processed per wall-clock second under Shared.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	env, _ := quickEnvScale()
+	spec := workload.MixSpec{
+		Tenants: []workload.TenantSpec{
+			{WriteRatio: 0.9, Share: 0.5}, {WriteRatio: 0.1, Share: 0.5},
+		},
+		Requests: 5000, IOPS: 8000, Seed: 3,
+	}
+	tr, err := spec.Build(env.Device.PageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Run(workload.RunConfig{
+			Device: env.Device, Options: env.Options,
+			Strategy: alloc.Strategy{Kind: alloc.Shared},
+			Traits:   spec.Traits(), Season: env.Season,
+		}, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr)*b.N)/b.Elapsed().Seconds(), "requests/s")
+}
+
+// BenchmarkNNInference measures one forward propagation of the deployed
+// 9-64-42 network — the per-window decision cost SSDKeeper adds to the FTL,
+// which the paper argues is negligible (Section IV.D).
+func BenchmarkNNInference(b *testing.B) {
+	net, err := nn.NewMLP([]int{features.Dim, 64, 42}, nn.Logistic{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := features.Vector{Intensity: 9, Prop: [4]float64{0.4, 0.3, 0.2, 0.1}}
+	in := v.Input()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Predict(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNNTrainingEpoch measures one epoch of minibatch training on the
+// paper's network shape.
+func BenchmarkNNTrainingEpoch(b *testing.B) {
+	samples, _, _ := benchSamplesModel(b)
+	ds := dataset.ToNN(samples)
+	net, err := nn.NewMLP([]int{features.Dim, 64, 42}, nn.Logistic{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := nn.NewAdam(0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nn.Train(net, ds, nn.Dataset{}, nn.TrainConfig{
+			Iterations: 1, BatchSize: 32, Optimizer: opt, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md section 6) ---
+
+// ablationMix builds the standard write-heavy two-tenant mix the ablations
+// share.
+func ablationMix(b *testing.B, cfg nand.Config) (trace.Trace, []alloc.TenantTraits) {
+	b.Helper()
+	spec := workload.MixSpec{
+		Tenants: []workload.TenantSpec{
+			{WriteRatio: 0.95, Share: 0.6},
+			{WriteRatio: 0.05, Share: 0.4},
+		},
+		Requests: 6000, IOPS: 8000, Seed: 5,
+	}
+	tr, err := spec.Build(cfg.PageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr, spec.Traits()
+}
+
+// BenchmarkAblationReadPriority compares FIFO (the paper's substrate) with
+// strict read-priority arbitration under Shared. Read priority collapses
+// read latency but the report shows what it does to writes.
+func BenchmarkAblationReadPriority(b *testing.B) {
+	env, _ := quickEnvScale()
+	tr, traits := ablationMix(b, env.Device)
+	for _, prio := range []bool{false, true} {
+		name := "fifo"
+		if prio {
+			name = "readpriority"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				res, err := workload.Run(workload.RunConfig{
+					Device: env.Device, Options: ssd.Options{ReadPriority: prio},
+					Strategy: alloc.Strategy{Kind: alloc.Shared},
+					Traits:   traits, Season: env.Season,
+				}, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = res.Device.Total()
+			}
+			b.ReportMetric(total, "us-total")
+		})
+	}
+}
+
+// BenchmarkAblationPageAlloc compares the page allocation modes under a 6:2
+// split on both a fresh and a seasoned device. On fresh flash dynamic
+// allocation wins by spreading write bursts; on a seasoned device it
+// scatters overwrites across planes, raising GC write amplification — the
+// regime where the paper's hybrid allocator inverts.
+func BenchmarkAblationPageAlloc(b *testing.B) {
+	env, _ := quickEnvScale()
+	tr, traits := ablationMix(b, env.Device)
+	strategy := alloc.Strategy{Kind: alloc.TwoGroup, WriteChannels: 6}
+	for _, seasoned := range []bool{false, true} {
+		for _, mode := range []string{"static", "hybrid"} {
+			name := "fresh/" + mode
+			if seasoned {
+				name = "seasoned/" + mode
+			}
+			b.Run(name, func(b *testing.B) {
+				var total float64
+				var moved uint64
+				for i := 0; i < b.N; i++ {
+					rc := workload.RunConfig{
+						Device: env.Device, Options: env.Options,
+						Strategy: strategy, Traits: traits,
+						Hybrid: mode == "hybrid",
+					}
+					if seasoned {
+						rc.Season = workload.DefaultSeasoning()
+					}
+					res, err := workload.Run(rc, tr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total = res.Device.Total()
+					moved = res.FTL.GCMovedPages
+				}
+				b.ReportMetric(total, "us-total")
+				b.ReportMetric(float64(moved), "gc-pages-moved")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationHidden varies the classifier's hidden width around the
+// paper's 64 neurons and reports held-out regret.
+func BenchmarkAblationHidden(b *testing.B) {
+	env, scale := quickEnvScale()
+	samples, _, _ := benchSamplesModel(b)
+	for _, hidden := range []int{16, 64, 256} {
+		b.Run(map[int]string{16: "h16", 64: "h64", 256: "h256"}[hidden], func(b *testing.B) {
+			var regret float64
+			for i := 0; i < b.N; i++ {
+				res, err := keeper.TrainOnSamples(keeper.TrainConfig{
+					Dataset: dataset.Config{
+						Device: env.Device, Options: env.Options,
+						Strategies: env.Strategies,
+						Workloads:  scale.DatasetWorkloads,
+						Requests:   scale.DatasetRequests,
+						MaxIOPS:    env.SaturationIOPS,
+						Season:     env.Season, Seed: scale.Seed,
+					},
+					Hidden:     hidden,
+					Iterations: scale.TrainIterations,
+					BatchSize:  scale.TrainBatch,
+					Seed:       scale.Seed,
+				}, samples)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ev, err := experiments.EvaluateModel(res.Model, res.TestSamples)
+				if err != nil {
+					b.Fatal(err)
+				}
+				regret = ev.MeanRegretPct
+			}
+			b.ReportMetric(regret, "%regret")
+		})
+	}
+}
+
+// BenchmarkAblationFeatures drops feature groups from the 9-D vector (by
+// zeroing them at train and test time) and reports held-out regret,
+// quantifying how much each of the paper's three feature groups matters.
+func BenchmarkAblationFeatures(b *testing.B) {
+	env, scale := quickEnvScale()
+	samples, _, _ := benchSamplesModel(b)
+	masks := []struct {
+		name string
+		keep func(v features.Vector) features.Vector
+	}{
+		{"full", func(v features.Vector) features.Vector { return v }},
+		{"no-intensity", func(v features.Vector) features.Vector { v.Intensity = 0; return v }},
+		{"no-proportions", func(v features.Vector) features.Vector { v.Prop = [4]float64{}; return v }},
+		{"no-characteristics", func(v features.Vector) features.Vector { v.ReadChar = [4]bool{}; return v }},
+	}
+	for _, m := range masks {
+		b.Run(m.name, func(b *testing.B) {
+			masked := make([]dataset.Sample, len(samples))
+			for i, s := range samples {
+				s.Vector = m.keep(s.Vector)
+				masked[i] = s
+			}
+			var regret float64
+			for i := 0; i < b.N; i++ {
+				res, err := keeper.TrainOnSamples(keeper.TrainConfig{
+					Dataset: dataset.Config{
+						Device: env.Device, Options: env.Options,
+						Strategies: env.Strategies,
+						Workloads:  scale.DatasetWorkloads,
+						Requests:   scale.DatasetRequests,
+						MaxIOPS:    env.SaturationIOPS,
+						Season:     env.Season, Seed: scale.Seed,
+					},
+					Iterations: scale.TrainIterations,
+					BatchSize:  scale.TrainBatch,
+					Seed:       scale.Seed,
+				}, masked)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ev, err := experiments.EvaluateModel(res.Model, res.TestSamples)
+				if err != nil {
+					b.Fatal(err)
+				}
+				regret = ev.MeanRegretPct
+			}
+			b.ReportMetric(regret, "%regret")
+		})
+	}
+}
+
+// BenchmarkGCPressure isolates garbage collection: overwrite churn on one
+// plane, reporting pages moved per erase (write-amplification proxy).
+func BenchmarkGCPressure(b *testing.B) {
+	cfg := nand.EvalConfig()
+	cfg.Channels, cfg.ChipsPerChannel, cfg.PlanesPerDie = 1, 1, 1
+	for i := 0; i < b.N; i++ {
+		f, err := ftl.New(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Season(0.5, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+		for round := 0; round < 20; round++ {
+			for lpn := int64(0); lpn < 256; lpn++ {
+				if _, _, err := f.MapWrite(ftl.Key{Tenant: 0, LPN: lpn}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		c := f.Counters()
+		if c.GCErases > 0 {
+			b.ReportMetric(float64(c.GCMovedPages)/float64(c.GCErases), "moved/erase")
+		}
+	}
+}
+
+// BenchmarkAblationQueueDepth bounds the host queue depth, showing how
+// backpressure tames the unbounded-queue latency blowups of saturated
+// partitions (the paper's setup, like SSDSim's, is unbounded).
+func BenchmarkAblationQueueDepth(b *testing.B) {
+	env, _ := quickEnvScale()
+	tr, traits := ablationMix(b, env.Device)
+	for _, depth := range []int{0, 16, 64} {
+		name := map[int]string{0: "unbounded", 16: "qd16", 64: "qd64"}[depth]
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				opts := env.Options
+				opts.MaxOutstanding = depth
+				res, err := workload.Run(workload.RunConfig{
+					Device: env.Device, Options: opts,
+					Strategy: alloc.Strategy{Kind: alloc.TwoGroup, WriteChannels: 1},
+					Traits:   traits, Season: env.Season,
+				}, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = res.Device.Total()
+			}
+			b.ReportMetric(total, "us-total")
+		})
+	}
+}
+
+// BenchmarkAblationCacheRegister removes the per-plane cache register
+// (Figure 1), serializing array time and bus transfer on each die.
+func BenchmarkAblationCacheRegister(b *testing.B) {
+	env, _ := quickEnvScale()
+	tr, traits := ablationMix(b, env.Device)
+	for _, noCache := range []bool{false, true} {
+		name := "cached"
+		if noCache {
+			name = "uncached"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				opts := env.Options
+				opts.NoCacheRegister = noCache
+				res, err := workload.Run(workload.RunConfig{
+					Device: env.Device, Options: opts,
+					Strategy: alloc.Strategy{Kind: alloc.Shared},
+					Traits:   traits, Season: env.Season,
+				}, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = res.Device.Total()
+			}
+			b.ReportMetric(total, "us-total")
+		})
+	}
+}
+
+// BenchmarkAblationWearLeveling measures static wear leveling's effect on
+// erase-count spread and on foreground latency.
+func BenchmarkAblationWearLeveling(b *testing.B) {
+	env, _ := quickEnvScale()
+	tr, traits := ablationMix(b, env.Device)
+	for _, threshold := range []int{0, 16} {
+		name := "off"
+		if threshold > 0 {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			var spread int
+			for i := 0; i < b.N; i++ {
+				cfg := env.Device
+				cfg.WearThreshold = threshold
+				dev, err := workload.NewDevice(workload.RunConfig{
+					Device: cfg, Options: env.Options,
+					Strategy: alloc.Strategy{Kind: alloc.Shared},
+					Traits:   traits, Season: env.Season,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := dev.Run(tr, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = res.Device.Total()
+				w := dev.FTL().Wear()
+				spread = w.MaxErases - w.MinErases
+			}
+			b.ReportMetric(total, "us-total")
+			b.ReportMetric(float64(spread), "erase-spread")
+		})
+	}
+}
+
+// BenchmarkAblationCMT bounds the FTL's mapping cache (DFTL-style) and
+// reports the latency cost of translation misses versus unlimited mapping
+// SRAM.
+func BenchmarkAblationCMT(b *testing.B) {
+	env, _ := quickEnvScale()
+	tr, traits := ablationMix(b, env.Device)
+	for _, entries := range []int{0, 1024, 16384} {
+		name := map[int]string{0: "unlimited", 1024: "cmt1k", 16384: "cmt16k"}[entries]
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				opts := env.Options
+				opts.CMTEntries = entries
+				res, err := workload.Run(workload.RunConfig{
+					Device: env.Device, Options: opts,
+					Strategy: alloc.Strategy{Kind: alloc.Shared},
+					Traits:   traits, Season: env.Season,
+				}, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = res.Device.Total()
+			}
+			b.ReportMetric(total, "us-total")
+		})
+	}
+}
+
+// BenchmarkAblationArbitration compares the host interface's queue
+// arbitration disciplines under a saturating two-tenant burst.
+func BenchmarkAblationArbitration(b *testing.B) {
+	env, _ := quickEnvScale()
+	tr, _ := ablationMix(b, env.Device)
+	for _, arb := range []string{"rr", "wrr4:1"} {
+		b.Run(arb, func(b *testing.B) {
+			var t0, t1 float64
+			for i := 0; i < b.N; i++ {
+				dev, err := ssd.New(env.Device, env.Options)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := dev.FTL().Season(0.5, 5, 1); err != nil {
+					b.Fatal(err)
+				}
+				cfg := hostif.Config{QueueDepth: 8, Outstanding: 8}
+				if arb != "rr" {
+					cfg.Arbitration = hostif.WeightedRoundRobin
+					cfg.Weights = map[int]int{0: 4, 1: 1}
+				}
+				h, err := hostif.New(dev, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := h.Run(tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				t0 = res.PerTenant[0].Write.Mean()
+				t1 = res.PerTenant[1].Write.Mean()
+			}
+			b.ReportMetric(t0, "us-tenant0-write")
+			b.ReportMetric(t1, "us-tenant1-write")
+		})
+	}
+}
+
+// BenchmarkAblationQuantization measures the deployed model at each storage
+// precision: held-out latency regret and parameter footprint. The paper
+// argues the model's FTL overhead is negligible (Section IV.D); quantization
+// shows how much smaller it can go.
+func BenchmarkAblationQuantization(b *testing.B) {
+	_, model, test := benchSamplesModel(b)
+	for _, p := range []nn.Precision{nn.Float64, nn.Float32, nn.Float16, nn.Int8} {
+		b.Run(p.String(), func(b *testing.B) {
+			var regret float64
+			var bytes int
+			for i := 0; i < b.N; i++ {
+				q := model.Quantized(p)
+				ev, err := experiments.EvaluateModel(q, test)
+				if err != nil {
+					b.Fatal(err)
+				}
+				regret = ev.MeanRegretPct
+				bytes = q.StorageBytes(p)
+			}
+			b.ReportMetric(regret, "%regret")
+			b.ReportMetric(float64(bytes), "model-bytes")
+		})
+	}
+}

@@ -1,0 +1,155 @@
+package ssdkeeper_test
+
+// End-to-end smoke tests for the command-line tools: each binary is built
+// once and driven through its primary flows against real files, exactly as
+// a user would. Skipped under -short.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles every cmd/ binary into a shared temp dir once.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping CLI smoke tests in -short mode")
+	}
+	dir := t.TempDir()
+	for _, tool := range []string{"ssdsim", "tracegen", "traceinfo", "keeper-train", "experiments"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
+		cmd.Dir = repoRoot(t)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, msg)
+		}
+	}
+	return dir
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+func runTool(t *testing.T, bin string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr: %s", filepath.Base(bin), args, err, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+func TestCLIPipeline(t *testing.T) {
+	bins := buildTools(t)
+	work := t.TempDir()
+	tracePath := filepath.Join(work, "mix.csv")
+
+	// tracegen: synthesize a Table IV mix.
+	out, errOut := runTool(t, filepath.Join(bins, "tracegen"),
+		"-mix", "Mix1", "-scale", "0.0004", "-head", "2500", "-seed", "3")
+	if !strings.Contains(errOut, "generated") {
+		t.Errorf("tracegen stderr missing summary: %q", errOut)
+	}
+	if err := os.WriteFile(tracePath, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// traceinfo: analyze it.
+	out, _ = runTool(t, filepath.Join(bins, "traceinfo"), "-trace", tracePath)
+	for _, want := range []string{"requests", "dominance", "feature vector", "intensity timeline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("traceinfo output missing %q:\n%s", want, out)
+		}
+	}
+
+	// ssdsim: replay under two strategies; outputs must differ.
+	shared, _ := runTool(t, filepath.Join(bins, "ssdsim"),
+		"-trace", tracePath, "-strategy", "Shared")
+	grouped, _ := runTool(t, filepath.Join(bins, "ssdsim"),
+		"-trace", tracePath, "-strategy", "6:2", "-v")
+	for _, want := range []string{"strategy Shared", "conflicts:", "ftl:", "makespan:"} {
+		if !strings.Contains(shared, want) {
+			t.Errorf("ssdsim output missing %q", want)
+		}
+	}
+	if !strings.Contains(grouped, "per-channel bus utilization") {
+		t.Error("ssdsim -v did not print channel utilization")
+	}
+	if shared == grouped {
+		t.Error("different strategies produced identical reports")
+	}
+
+	// ssdsim rejects a bad strategy.
+	cmd := exec.Command(filepath.Join(bins, "ssdsim"), "-trace", tracePath, "-strategy", "9:1")
+	if err := cmd.Run(); err == nil {
+		t.Error("ssdsim accepted a 9:1 split on an 8-channel device")
+	}
+}
+
+func TestCLITrainAndReuse(t *testing.T) {
+	bins := buildTools(t)
+	work := t.TempDir()
+	modelPath := filepath.Join(work, "model.json")
+	dataPath := filepath.Join(work, "data.jsonl")
+
+	// keeper-train at smoke size: writes dataset and model.
+	_, errOut := runTool(t, filepath.Join(bins, "keeper-train"),
+		"-workloads", "6", "-requests", "500", "-iterations", "15",
+		"-out", modelPath, "-dataset", dataPath)
+	for _, want := range []string{"trained adam/logistic", "regret", "wrote"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("keeper-train stderr missing %q:\n%s", want, errOut)
+		}
+	}
+	for _, p := range []string{modelPath, dataPath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty", p)
+		}
+	}
+
+	// Retrain from the saved dataset with another optimizer.
+	_, errOut = runTool(t, filepath.Join(bins, "keeper-train"),
+		"-reuse", "-dataset", dataPath, "-optimizer", "sgd-momentum",
+		"-iterations", "10", "-out", modelPath)
+	if !strings.Contains(errOut, "sgd-momentum") {
+		t.Errorf("retrain stderr: %q", errOut)
+	}
+
+	// experiments: reuse both artifacts for fig6 (cheap, model-driven).
+	outDir := filepath.Join(work, "results")
+	stdout, _ := runTool(t, filepath.Join(bins, "experiments"),
+		"-run", "fig6", "-scale", "quick", "-samples", dataPath,
+		"-model", modelPath, "-out", outDir, "-q")
+	if !strings.Contains(stdout, "Figure 6") {
+		t.Error("experiments fig6 output malformed")
+	}
+	for _, f := range []string{"fig6.txt", "fig6.json"} {
+		if _, err := os.Stat(filepath.Join(outDir, f)); err != nil {
+			t.Errorf("missing artifact %s", f)
+		}
+	}
+}
+
+func TestCLIExperimentsFig2Quick(t *testing.T) {
+	bins := buildTools(t)
+	stdout, _ := runTool(t, filepath.Join(bins, "experiments"),
+		"-run", "fig2", "-scale", "quick", "-q")
+	for _, want := range []string{"Figure 2(a)", "Figure 2(c)", "best strategy per write proportion"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("fig2 output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	experiments -run all                     # everything, laptop scale
+//	experiments -run fig2                    # one experiment
+//	experiments -run adaptive                # the self-adjusting two-tenant sweep
+//	experiments -run fig5 -scale quick       # smoke scale
+//	experiments -run all -out results/       # write per-experiment files
+//	experiments -run fig4 -workloads 1000    # override dataset size
+//
+// Experiments that need the trained model (table5, fig5, fig6) build the
+// dataset and train it first; -samples/-model let you reuse artifacts
+// produced by keeper-train.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ssdkeeper/internal/dataset"
+	"ssdkeeper/internal/experiments"
+	"ssdkeeper/internal/nn"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "all", "experiment: all, fig2, adaptive, fig4, table3, table5, fig5, fig6")
+		scaleName = flag.String("scale", "default", "scale preset: quick, default, paper")
+		outDir    = flag.String("out", "", "directory for result files (default: stdout only)")
+		oracle    = flag.Bool("oracle", false, "fig5: also sweep all 42 strategies per mix for the exhaustive optimum")
+		samples   = flag.String("samples", "", "reuse a dataset file written by keeper-train")
+		model     = flag.String("model", "", "reuse a model file written by keeper-train")
+		workloads = flag.Int("workloads", 0, "override dataset workload count")
+		requests  = flag.Int("requests", 0, "override per-workload request count")
+		seed      = flag.Int64("seed", 0, "override experiment seed")
+		workers   = flag.Int("workers", 0, "label-generation parallelism (0 = GOMAXPROCS)")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	scale, err := pickScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	if *workloads > 0 {
+		scale.DatasetWorkloads = *workloads
+	}
+	if *requests > 0 {
+		scale.DatasetRequests = *requests
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+	scale.Workers = *workers
+	env := experiments.NewEnv()
+
+	which := strings.ToLower(*run)
+	valid := map[string]bool{"all": true, "fig2": true, "adaptive": true, "fig4": true,
+		"table3": true, "table5": true, "fig5": true, "fig6": true}
+	if !valid[which] {
+		fatal(fmt.Errorf("unknown experiment %q", which))
+	}
+
+	emit := func(name, content string, data interface{}) {
+		fmt.Println(content)
+		if *outDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*outDir, name+".txt")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		if data == nil {
+			return
+		}
+		raw, err := json.MarshalIndent(data, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		jsonPath := filepath.Join(*outDir, name+".json")
+		if err := os.WriteFile(jsonPath, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+		}
+	}
+
+	if which == "all" || which == "fig2" {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "running fig2 (9 write proportions x 8 strategies)...")
+		}
+		res, err := experiments.Fig2(env, scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig2", res.Render(), res)
+	}
+
+	if which == "all" || which == "adaptive" {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "running the self-adjusting two-tenant sweep...")
+		}
+		res, err := experiments.Fig2Adaptive(env, scale, func(done, total int) {
+			if !*quiet && done%25 == 0 {
+				fmt.Fprintf(os.Stderr, "  labelled %d/%d two-tenant workloads\n", done, total)
+			}
+		})
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig2_adaptive", res.Render(), res)
+	}
+
+	needModel := which == "all" || which == "fig4" || which == "table3" ||
+		which == "table5" || which == "fig5" || which == "fig6"
+	if !needModel {
+		return
+	}
+
+	var ds []dataset.Sample
+	if *samples != "" {
+		f, err := os.Open(*samples)
+		if err != nil {
+			fatal(err)
+		}
+		ds, err = dataset.LoadSamples(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "loaded %d samples from %s\n", len(ds), *samples)
+		}
+	} else {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "generating dataset: %d workloads x %d strategies x %d requests...\n",
+				scale.DatasetWorkloads, len(env.Strategies), scale.DatasetRequests)
+		}
+		progress := func(done, total int) {
+			if !*quiet && done%25 == 0 {
+				fmt.Fprintf(os.Stderr, "  labelled %d/%d workloads\n", done, total)
+			}
+		}
+		ds, err = experiments.BuildDataset(env, scale, progress)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, experiments.LabelBalance(ds, env))
+	}
+
+	if which == "all" || which == "fig4" || which == "table3" {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "training 4 optimizer configurations...")
+		}
+		runs, err := experiments.Fig4Table3(env, scale, ds)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig4_table3", experiments.RenderFig4(runs), runs)
+		if which != "all" {
+			return
+		}
+	}
+
+	var net *nn.Network
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			fatal(err)
+		}
+		net, err = nn.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "training the deployed model (Adam-logistic)...")
+		}
+		best, err := experiments.TrainBest(env, scale, ds)
+		if err != nil {
+			fatal(err)
+		}
+		net = best.Model
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "model accuracy on held-out data: %.1f%% (paper: 94.5%%)\n",
+				100*best.History.FinalAcc)
+			if eval, err := experiments.EvaluateModel(best.Model, best.TestSamples); err == nil {
+				fmt.Fprintln(os.Stderr, eval.String())
+			}
+		}
+	}
+
+	if which == "all" || which == "table5" || which == "fig5" {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "replaying Mix1..Mix4 under Shared/Isolated/SSDKeeper...")
+		}
+		reports, err := experiments.Fig5Table5(env, scale, net, *oracle)
+		if err != nil {
+			fatal(err)
+		}
+		emit("table5", experiments.RenderTable5(reports), nil)
+		emit("fig5", experiments.RenderFig5(reports), reports)
+	}
+	if which == "all" || which == "fig6" {
+		cells, err := experiments.Fig6(env, scale, net)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig6", experiments.RenderFig6(cells), cells)
+	}
+}
+
+func pickScale(name string) (experiments.Scale, error) {
+	switch strings.ToLower(name) {
+	case "quick":
+		return experiments.QuickScale(), nil
+	case "default", "":
+		return experiments.DefaultScale(), nil
+	case "paper":
+		return experiments.PaperScale(), nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q (want quick, default, paper)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+// Command keeper-train runs SSDKeeper's offline pipeline (Algorithm 1):
+// synthesize mixed workloads, label each with the channel-allocation
+// strategy that minimizes total latency on the simulator, train the
+// classifier, and write the dataset and model artifacts that cmd/experiments
+// and applications can reuse.
+//
+// Usage:
+//
+//	keeper-train -workloads 250 -requests 5000 -out model.json -dataset data.jsonl
+//	keeper-train -dataset data.jsonl -reuse -out model.json   # retrain only
+//	keeper-train -optimizer sgd-momentum -iterations 300 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ssdkeeper/internal/dataset"
+	"ssdkeeper/internal/experiments"
+	"ssdkeeper/internal/keeper"
+	"ssdkeeper/internal/nn"
+)
+
+func main() {
+	var (
+		workloads  = flag.Int("workloads", 250, "mixed workloads to label")
+		requests   = flag.Int("requests", 5000, "requests per workload")
+		iterations = flag.Int("iterations", 200, "training iterations (epochs)")
+		batch      = flag.Int("batch", 32, "minibatch size")
+		hidden     = flag.Int("hidden", 64, "hidden layer width")
+		optName    = flag.String("optimizer", "adam", "adam, sgd, sgd-momentum, adagrad, rmsprop")
+		actName    = flag.String("activation", "logistic", "hidden activation: logistic, relu, tanh")
+		seed       = flag.Int64("seed", 1, "pipeline seed")
+		outModel   = flag.String("out", "model.json", "model output path")
+		outDataset = flag.String("dataset", "", "dataset path (written, or read with -reuse)")
+		reuse      = flag.Bool("reuse", false, "load the dataset instead of generating it")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	env := experiments.NewEnv()
+	scale := experiments.DefaultScale()
+	scale.DatasetWorkloads = *workloads
+	scale.DatasetRequests = *requests
+	scale.TrainIterations = *iterations
+	scale.TrainBatch = *batch
+	scale.Seed = *seed
+
+	var samples []dataset.Sample
+	var err error
+	if *reuse {
+		if *outDataset == "" {
+			fatal(fmt.Errorf("-reuse needs -dataset"))
+		}
+		f, err := os.Open(*outDataset)
+		if err != nil {
+			fatal(err)
+		}
+		samples, err = dataset.LoadSamples(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "loaded %d samples\n", len(samples))
+		}
+	} else {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "labelling %d workloads x %d strategies (%d requests each)...\n",
+				scale.DatasetWorkloads, len(env.Strategies), scale.DatasetRequests)
+		}
+		samples, err = experiments.BuildDataset(env, scale, func(done, total int) {
+			if !*quiet && done%25 == 0 {
+				fmt.Fprintf(os.Stderr, "  %d/%d\n", done, total)
+			}
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *outDataset != "" {
+			f, err := os.Create(*outDataset)
+			if err != nil {
+				fatal(err)
+			}
+			if err := dataset.Save(f, samples); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *outDataset)
+			}
+		}
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, experiments.LabelBalance(samples, env))
+	}
+
+	act, err := nn.ActivationByName(*actName)
+	if err != nil {
+		fatal(err)
+	}
+	var opt nn.Optimizer
+	switch *optName {
+	case "adam":
+		opt = nn.NewAdam(0.02)
+	case "sgd":
+		opt = nn.NewSGD(0.2)
+	case "sgd-momentum":
+		opt = nn.NewMomentum(0.2, 0.9)
+	case "adagrad":
+		opt = nn.NewAdaGrad(0)
+	case "rmsprop":
+		opt = nn.NewRMSProp(0, 0)
+	default:
+		fatal(fmt.Errorf("unknown optimizer %q", *optName))
+	}
+
+	res, err := keeper.TrainOnSamples(keeper.TrainConfig{
+		Dataset: dataset.Config{
+			Device: env.Device, Options: env.Options, Strategies: env.Strategies,
+			Workloads: scale.DatasetWorkloads, Requests: scale.DatasetRequests,
+			MaxIOPS: env.SaturationIOPS, Season: env.Season, Seed: scale.Seed,
+		},
+		Hidden:     *hidden,
+		Activation: act,
+		Optimizer:  opt,
+		Iterations: scale.TrainIterations,
+		BatchSize:  scale.TrainBatch,
+		Seed:       scale.Seed,
+	}, samples)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "trained %s/%s: loss %.3f, test accuracy %.1f%%, %dms\n",
+		*optName, *actName, res.History.FinalLoss, 100*res.History.FinalAcc,
+		res.History.TrainingTime.Milliseconds())
+	if eval, err := experiments.EvaluateModel(res.Model, res.TestSamples); err == nil {
+		fmt.Fprintln(os.Stderr, eval.String())
+	}
+
+	f, err := os.Create(*outModel)
+	if err != nil {
+		fatal(err)
+	}
+	if err := res.Model.Save(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *outModel)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "keeper-train:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command tracegen writes synthetic MSR-format traces: either one of the
+// paper's Table II workload equivalents, a named Table IV mix of four of
+// them, or a fully custom profile.
+//
+// Usage:
+//
+//	tracegen -workload src_1 -scale 0.001 > src_1.csv
+//	tracegen -mix Mix2 -head 100000 > mix2.csv
+//	tracegen -custom -writeratio 0.7 -count 50000 -iops 9000 > custom.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/trace"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "", "Table II workload: mds_0, mds_1, rsrch_0, prxy_0, src_1, web_2")
+		mixName      = flag.String("mix", "", "Table IV mix: Mix1..Mix4")
+		scale        = flag.Float64("scale", 0.002, "fraction of the paper's request counts to generate")
+		head         = flag.Int("head", 1000000, "truncate mixes to this many requests")
+		seed         = flag.Int64("seed", 1, "generator seed")
+
+		custom     = flag.Bool("custom", false, "generate a custom single-tenant workload")
+		writeRatio = flag.Float64("writeratio", 0.5, "custom: fraction of writes")
+		count      = flag.Int("count", 10000, "custom: request count")
+		iops       = flag.Float64("iops", 8000, "custom: arrival rate")
+		burst      = flag.Float64("burst", 0.8, "custom: burstiness in [0,1]")
+	)
+	flag.Parse()
+
+	pageSize := nand.DefaultConfig().PageSize
+	var tr trace.Trace
+	var err error
+	switch {
+	case *custom:
+		tr, err = trace.Generate(trace.Profile{
+			Name:       "custom",
+			WriteRatio: *writeRatio,
+			Count:      *count,
+			IOPS:       *iops,
+			Address:    64 << 20,
+			SeqProb:    0.3,
+			MinPages:   1,
+			MaxPages:   4,
+			PageSize:   pageSize,
+			Burstiness: *burst,
+			Seed:       *seed,
+		})
+	case *workloadName != "":
+		profiles := trace.TableII(*scale, pageSize, *seed)
+		p, ok := profiles[*workloadName]
+		if !ok {
+			err = fmt.Errorf("unknown workload %q (want one of %s)",
+				*workloadName, strings.Join(trace.TableIINames(), ", "))
+			break
+		}
+		tr, err = trace.Generate(p)
+	case *mixName != "":
+		idx := -1
+		for i := range trace.Mixes() {
+			if strings.EqualFold(fmt.Sprintf("Mix%d", i+1), *mixName) {
+				idx = i
+			}
+		}
+		if idx == -1 {
+			err = fmt.Errorf("unknown mix %q (want Mix1..Mix4)", *mixName)
+			break
+		}
+		profiles := trace.TableII(*scale, pageSize, *seed)
+		tr, err = trace.BuildMix(trace.Mixes()[idx], profiles, *head)
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: pass -workload, -mix or -custom")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	s := tr.Summarize()
+	fmt.Fprintf(os.Stderr, "generated %d requests, %d tenants, %.0f%% writes, span %v\n",
+		s.Requests, s.Tenants, 100*s.WriteRatio, s.Span)
+	if err := trace.WriteMSR(os.Stdout, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,161 @@
+// Command traceinfo analyzes an MSR-format trace: global and per-tenant
+// request mix, intensity over time, burstiness, and the feature vector
+// SSDKeeper's collector would extract — useful for sanity-checking traces
+// before feeding them to ssdsim or the keeper.
+//
+// Usage:
+//
+//	traceinfo -trace mix.csv
+//	traceinfo -trace mix.csv -window 100ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"ssdkeeper/internal/features"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "MSR-format trace file (required)")
+		window    = flag.Duration("window", 100*time.Millisecond, "intensity timeline bucket width")
+		satIOPS   = flag.Float64("satiops", 16000, "saturation IOPS for intensity levels")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "traceinfo: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	tr, tenants, err := trace.ReadMSR(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(tr) == 0 {
+		fatal(fmt.Errorf("trace is empty"))
+	}
+
+	s := tr.Summarize()
+	fmt.Printf("trace: %d requests over %v (%.0f req/s average)\n",
+		s.Requests, s.Span, float64(s.Requests)/(float64(s.Span)/float64(sim.Second)))
+	fmt.Printf("mix:   %.1f%% writes, %.1f%% reads, %.1f MiB transferred\n",
+		100*s.WriteRatio, 100*s.ReadRatio, float64(s.Bytes)/(1<<20))
+
+	// Per-tenant table.
+	names := make([]string, s.Tenants)
+	for host, id := range tenants {
+		if id < len(names) {
+			names[id] = host
+		}
+	}
+	per := tr.PerTenant()
+	ids := make([]int, 0, len(per))
+	for id := range per {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Printf("\n%-4s %-12s %10s %8s %8s %12s\n", "id", "host", "requests", "writes", "share", "dominance")
+	for _, id := range ids {
+		ps := per[id]
+		dom := "read"
+		if ps.WriteRatio >= 0.5 {
+			dom = "write"
+		}
+		name := ""
+		if id < len(names) {
+			name = names[id]
+		}
+		fmt.Printf("%-4d %-12s %10d %7.0f%% %7.1f%% %12s\n",
+			id, name, ps.Requests, 100*ps.WriteRatio,
+			100*float64(ps.Requests)/float64(s.Requests), dom)
+	}
+
+	// The feature vector SSDKeeper's collector would see over the whole
+	// trace.
+	col := features.NewCollector(*satIOPS, tr[0].Time)
+	for _, r := range tr {
+		col.Observe(r)
+	}
+	vec := col.Vector(tr[len(tr)-1].Time)
+	fmt.Printf("\nSSDKeeper feature vector: %v\n", vec)
+
+	// Intensity timeline + burstiness (coefficient of variation of
+	// per-window counts; 1.0 is Poisson-like, higher is burstier).
+	w := sim.Time(window.Nanoseconds())
+	if w <= 0 {
+		fatal(fmt.Errorf("window must be positive"))
+	}
+	wins := tr.Windows(w)
+	counts := make([]int, len(wins))
+	mean, sq := 0.0, 0.0
+	peak := 0
+	for i, ws := range wins {
+		counts[i] = ws.Requests
+		mean += float64(ws.Requests)
+		if ws.Requests > peak {
+			peak = ws.Requests
+		}
+	}
+	n := float64(len(wins))
+	mean /= n
+	for _, c := range counts {
+		d := float64(c) - mean
+		sq += d * d
+	}
+	cv := 0.0
+	if mean > 0 && n > 1 {
+		cv = (sq / (n - 1)) / mean // index of dispersion
+	}
+	fmt.Printf("\nintensity timeline (%v windows): mean %.0f req/window, peak %d, dispersion %.1f\n",
+		*window, mean, peak, cv)
+	fmt.Println(sparkline(counts, 60))
+}
+
+// sparkline renders per-window counts as a coarse ASCII bar chart.
+func sparkline(counts []int, width int) string {
+	if len(counts) == 0 {
+		return ""
+	}
+	step := 1
+	if len(counts) > width {
+		step = (len(counts) + width - 1) / width
+	}
+	peak := 0
+	agg := []int{}
+	for i := 0; i < len(counts); i += step {
+		sum := 0
+		for j := i; j < i+step && j < len(counts); j++ {
+			sum += counts[j]
+		}
+		agg = append(agg, sum)
+		if sum > peak {
+			peak = sum
+		}
+	}
+	levels := []rune(" .:-=+*#%@")
+	out := make([]rune, len(agg))
+	for i, v := range agg {
+		idx := 0
+		if peak > 0 {
+			idx = v * (len(levels) - 1) / peak
+		}
+		out[i] = levels[idx]
+	}
+	return "[" + string(out) + "]"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

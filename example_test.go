@@ -1,0 +1,83 @@
+package ssdkeeper_test
+
+// Runnable godoc examples for the public API. `go test` executes them and
+// checks the output, so they double as documentation and regression tests.
+
+import (
+	"fmt"
+
+	"ssdkeeper"
+)
+
+// ExampleParseStrategy shows the paper's strategy notation.
+func ExampleParseStrategy() {
+	for _, name := range []string{"Shared", "7:1", "5:1:1:1", "2:2:2:2"} {
+		s, err := ssdkeeper.ParseStrategy(name, 8)
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+		fmt.Printf("%s -> %s\n", name, s.Name(8))
+	}
+	// Output:
+	// Shared -> Shared
+	// 7:1 -> 7:1
+	// 5:1:1:1 -> 5:1:1:1
+	// 2:2:2:2 -> Isolated
+}
+
+// ExampleStrategy_Bind shows how a two-group strategy splits channels
+// between write- and read-dominated tenants.
+func ExampleStrategy_Bind() {
+	s := ssdkeeper.Strategy{Kind: ssdkeeper.TwoGroup, WriteChannels: 6}
+	binding, _ := s.Bind(8, []ssdkeeper.TenantTraits{
+		{WriteDominated: true},
+		{WriteDominated: false},
+	})
+	fmt.Println("writer:", binding.Channels(0))
+	fmt.Println("reader:", binding.Channels(1))
+	// Output:
+	// writer: [0 1 2 3 4 5]
+	// reader: [6 7]
+}
+
+// ExampleFourTenantSpace shows the paper's 42-strategy label space.
+func ExampleFourTenantSpace() {
+	space := ssdkeeper.FourTenantSpace(8)
+	fmt.Println("strategies:", len(space))
+	fmt.Println("first:", space[0].Name(8))
+	fmt.Println("last:", space[len(space)-1].Name(8))
+	// Output:
+	// strategies: 42
+	// first: Shared
+	// last: 5:1:1:1
+}
+
+// ExampleRun simulates a small two-tenant mix under a 6:2 split and prints
+// how many requests completed.
+func ExampleRun() {
+	cfg := ssdkeeper.EvalConfig()
+	spec := ssdkeeper.MixSpec{
+		Tenants: []ssdkeeper.TenantSpec{
+			{WriteRatio: 0.9, Share: 0.6},
+			{WriteRatio: 0.1, Share: 0.4},
+		},
+		Requests: 500,
+		IOPS:     6000,
+		Seed:     1,
+	}
+	mix, _ := spec.Build(cfg.PageSize)
+	res, err := ssdkeeper.Run(ssdkeeper.RunConfig{
+		Device:   cfg,
+		Options:  ssdkeeper.DefaultOptions(),
+		Strategy: ssdkeeper.Strategy{Kind: ssdkeeper.TwoGroup, WriteChannels: 6},
+		Traits:   spec.Traits(),
+	}, mix)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("completed:", res.Device.Read.Count+res.Device.Write.Count)
+	// Output:
+	// completed: 500
+}

@@ -1,0 +1,98 @@
+// Training: run SSDKeeper's offline learning pipeline end to end at a small
+// scale — synthesize mixed workloads, label each one by simulating all 42
+// channel-allocation strategies, train the 9-64-42 classifier with the
+// paper's optimizers, and compare their convergence (Figure 4 / Table III in
+// miniature).
+//
+// Run with: go run ./examples/training
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ssdkeeper"
+)
+
+func main() {
+	env := ssdkeeper.NewEnv()
+	scale := ssdkeeper.QuickScale()
+	scale.DatasetWorkloads = 40
+	scale.DatasetRequests = 2500
+	scale.TrainIterations = 120
+
+	fmt.Printf("labelling %d mixed workloads x %d strategies (%d requests each)...\n",
+		scale.DatasetWorkloads, len(env.Strategies), scale.DatasetRequests)
+	samples, err := ssdkeeper.BuildDataset(env, scale, func(done, total int) {
+		if done%10 == 0 {
+			fmt.Printf("  %d/%d\n", done, total)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ssdkeeper.LabelBalance(samples, env))
+
+	// Compare the paper's optimizers on the same dataset.
+	configs := []struct {
+		name string
+		act  ssdkeeper.Activation
+		opt  ssdkeeper.Optimizer
+	}{
+		{"SGD", ssdkeeper.Logistic{}, ssdkeeper.NewSGD(0.2)},
+		{"SGD-momentum", ssdkeeper.Logistic{}, ssdkeeper.NewMomentum(0.2, 0.9)},
+		{"Adam-ReLU", ssdkeeper.ReLU{}, ssdkeeper.NewAdam(0.02)},
+		{"Adam-logistic", ssdkeeper.Logistic{}, ssdkeeper.NewAdam(0.02)},
+	}
+	fmt.Printf("\n%-14s %8s %10s %12s\n", "optimizer", "loss", "accuracy", "time(ms)")
+	var best *ssdkeeper.TrainResult
+	for _, c := range configs {
+		res, err := ssdkeeper.TrainOnSamples(ssdkeeper.TrainConfig{
+			Dataset: ssdkeeper.DatasetConfig{
+				Device: env.Device, Options: env.Options, Strategies: env.Strategies,
+				Workloads: scale.DatasetWorkloads, Requests: scale.DatasetRequests,
+				MaxIOPS: env.SaturationIOPS, Season: env.Season, Seed: scale.Seed,
+			},
+			Hidden:     64,
+			Activation: c.act,
+			Optimizer:  c.opt,
+			Iterations: scale.TrainIterations,
+			BatchSize:  16,
+			Seed:       scale.Seed,
+		}, samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %8.3f %9.1f%% %12d\n",
+			c.name, res.History.FinalLoss, 100*res.History.FinalAcc,
+			res.History.TrainingTime.Milliseconds())
+		if c.name == "Adam-logistic" {
+			r := res
+			best = &r
+		}
+	}
+
+	// How good are the deployed model's choices, really? Top-1 accuracy
+	// understates it: with 42 near-tied strategies, what matters is how
+	// much latency the chosen strategy gives up against the optimum.
+	eval, err := ssdkeeper.EvaluateModel(best.Model, best.TestSamples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", eval)
+
+	// Persist the deployed model the way a real controller image would.
+	const path = "ssdkeeper-model.json"
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := best.Model.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved the Adam-logistic model to %s (%d parameters)\n",
+		path, best.Model.ParamCount())
+	fmt.Println("load it with ssdkeeper.LoadModel and wrap it in a Keeper to allocate channels online.")
+}

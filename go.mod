@@ -1,0 +1,3 @@
+module ssdkeeper
+
+go 1.22

@@ -1,0 +1,41 @@
+package alloc
+
+import "testing"
+
+// FuzzParse drives the strategy parser: it must never panic, and anything
+// it accepts must validate and render back to a parseable name.
+func FuzzParse(f *testing.F) {
+	f.Add("Shared", 8)
+	f.Add("7:1", 8)
+	f.Add("5:1:1:1", 8)
+	f.Add("::::", 8)
+	f.Add("-1:9", 8)
+	f.Add("1:1:1:1:1:1:1:1", 8)
+	f.Fuzz(func(t *testing.T, name string, channels int) {
+		if channels < 2 || channels > 64 {
+			return
+		}
+		s, err := Parse(name, channels)
+		if err != nil {
+			return
+		}
+		tenants := 2
+		if s.Kind == FourWay {
+			tenants = 4
+		}
+		if s.Kind == Isolated && channels%tenants != 0 {
+			tenants = channels // make the split exact for validation
+		}
+		if err := s.Validate(channels, tenants); err != nil {
+			t.Fatalf("accepted strategy fails validation: %v", err)
+		}
+		// Round trip through the canonical name.
+		back, err := Parse(s.Name(channels), channels)
+		if err != nil {
+			t.Fatalf("canonical name %q does not re-parse: %v", s.Name(channels), err)
+		}
+		if !Equal(s, back) {
+			t.Fatalf("round trip changed strategy: %+v vs %+v", s, back)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package alloc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a strategy in the paper's notation for a device with the
+// given channel count: "Shared", "Isolated" (case-insensitive), a two-group
+// split "W:R" (write-group channels first), or a four-way split like
+// "5:1:1:1". The parts of a split must sum to the channel count.
+func Parse(name string, channels int) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "shared":
+		return Strategy{Kind: Shared}, nil
+	case "isolated":
+		return Strategy{Kind: Isolated}, nil
+	case "":
+		return Strategy{}, fmt.Errorf("alloc: empty strategy name")
+	}
+	parts := strings.Split(name, ":")
+	nums := make([]int, len(parts))
+	sum := 0
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return Strategy{}, fmt.Errorf("alloc: bad strategy %q: %v", name, err)
+		}
+		if n < 1 {
+			return Strategy{}, fmt.Errorf("alloc: strategy %q has non-positive part %d", name, n)
+		}
+		nums[i] = n
+		sum += n
+	}
+	if sum != channels {
+		return Strategy{}, fmt.Errorf("alloc: strategy %q allocates %d of %d channels", name, sum, channels)
+	}
+	var s Strategy
+	switch len(nums) {
+	case 2:
+		s = Strategy{Kind: TwoGroup, WriteChannels: nums[0]}
+	case 4:
+		equal := true
+		for _, n := range nums {
+			if n != nums[0] {
+				equal = false
+			}
+		}
+		if equal {
+			// An equal four-way split IS Isolated in the canonical
+			// space; normalize so Index lookups work.
+			s = Strategy{Kind: Isolated}
+		} else {
+			s = Strategy{Kind: FourWay, Parts: nums}
+		}
+	default:
+		return Strategy{}, fmt.Errorf("alloc: strategy %q: want 2 or 4 parts, got %d", name, len(nums))
+	}
+	if err := s.Validate(channels, len(nums)); err != nil {
+		return Strategy{}, err
+	}
+	return s, nil
+}

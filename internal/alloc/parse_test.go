@@ -1,0 +1,55 @@
+package alloc
+
+import "testing"
+
+func TestParseNamedStrategies(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Strategy
+	}{
+		{"Shared", Strategy{Kind: Shared}},
+		{"shared", Strategy{Kind: Shared}},
+		{" ISOLATED ", Strategy{Kind: Isolated}},
+		{"7:1", Strategy{Kind: TwoGroup, WriteChannels: 7}},
+		{"1:7", Strategy{Kind: TwoGroup, WriteChannels: 1}},
+		{"5:1:1:1", Strategy{Kind: FourWay, Parts: []int{5, 1, 1, 1}}},
+		{"3:2:2:1", Strategy{Kind: FourWay, Parts: []int{3, 2, 2, 1}}},
+		{"2:2:2:2", Strategy{Kind: Isolated}}, // canonicalized
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in, 8)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	bad := []string{
+		"", "sharedd", "7:2", // sums to 9
+		"4:4:0", "0:8", "-1:9", "x:y", "1:1:1:1:4", "8",
+		"5:1:1:2", // sums to 9
+	}
+	for _, in := range bad {
+		if _, err := Parse(in, 8); err == nil {
+			t.Errorf("Parse(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseRoundTripsSpace(t *testing.T) {
+	for _, s := range FourTenantSpace(8) {
+		got, err := Parse(s.Name(8), 8)
+		if err != nil {
+			t.Errorf("Parse(%s): %v", s.Name(8), err)
+			continue
+		}
+		if !Equal(got, s) {
+			t.Errorf("Parse(Name(%s)) = %+v", s.Name(8), got)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package dataset implements the paper's strategy-learner data pipeline
+// (Sections IV.C and V.B): synthesize mixed workloads with random access
+// patterns, replay each one under every channel-allocation strategy on the
+// simulator, label it with the strategy that minimizes total response
+// latency, and emit a shuffled, split classification dataset.
+//
+// Label generation is embarrassingly parallel — every (workload, strategy)
+// simulation is independent — so it fans out across a worker pool.
+package dataset
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"ssdkeeper/internal/ftl"
+
+	"ssdkeeper/internal/alloc"
+	"ssdkeeper/internal/features"
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/ssd"
+	"ssdkeeper/internal/workload"
+)
+
+// Config controls dataset generation.
+type Config struct {
+	Device     nand.Config
+	Options    ssd.Options
+	Strategies []alloc.Strategy // label space; index = class
+	Workloads  int              // mixed workloads to synthesize (paper: 5000)
+	Requests   int              // requests per mixed workload (paper: 2M)
+	MaxIOPS    float64          // intensity sampling range / level-19 rate
+	Hybrid     bool             // run label simulations with hybrid page allocation
+	Season     workload.Seasoning
+	// TieTolerance denoises labels: among strategies whose total latency
+	// is within this fraction of the minimum, the earliest strategy in
+	// the space wins. Simulated latencies of near-equivalent strategies
+	// differ by sampling noise; without a tolerance the argmin flips
+	// arbitrarily between them and the classifier learns that noise.
+	// Negative disables; zero applies the 2% default.
+	TieTolerance float64
+	Seed         int64
+	Workers      int // 0 = GOMAXPROCS
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if err := c.Device.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case len(c.Strategies) == 0:
+		return fmt.Errorf("dataset: empty strategy space")
+	case c.Workloads <= 0:
+		return fmt.Errorf("dataset: non-positive workload count")
+	case c.Requests <= 0:
+		return fmt.Errorf("dataset: non-positive request count")
+	case c.MaxIOPS <= 0:
+		return fmt.Errorf("dataset: non-positive MaxIOPS")
+	}
+	return nil
+}
+
+// Sample is one labelled mixed workload: the feature vector SSDKeeper would
+// observe, the winning strategy, and the measured per-strategy latencies
+// (kept so analyses like Figure 6 can be recomputed without re-simulating).
+type Sample struct {
+	Spec      workload.MixSpec `json:"spec"`
+	Vector    features.Vector  `json:"vector"`
+	Label     int              `json:"label"`
+	Latencies []float64        `json:"latencies_us"` // total latency per strategy
+}
+
+// Generate runs the full label-generation pipeline. progress (may be nil) is
+// called after each workload completes, from multiple goroutines, with the
+// number done so far.
+func Generate(cfg Config, progress func(done, total int)) ([]Sample, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Draw every spec up front from one PRNG so results do not depend on
+	// worker interleaving.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	specs := make([]workload.MixSpec, cfg.Workloads)
+	for i := range specs {
+		specs[i] = workload.RandomMixSpec(rng, cfg.Requests, cfg.MaxIOPS)
+	}
+
+	samples := make([]Sample, cfg.Workloads)
+	errs := make([]error, cfg.Workloads)
+	var done int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				samples[i], errs[i] = Label(cfg, specs[i])
+				if progress != nil {
+					mu.Lock()
+					done++
+					d := done
+					mu.Unlock()
+					progress(d, cfg.Workloads)
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Workloads; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dataset: workload %d: %w", i, err)
+		}
+	}
+	return samples, nil
+}
+
+// Infeasible is the latency recorded for a strategy whose channel partition
+// cannot hold its tenants' live data (ftl.ErrDeviceFull). It never wins the
+// label and is JSON-safe, unlike +Inf.
+const Infeasible = math.MaxFloat64
+
+// Label runs one mixed workload under every strategy and returns the
+// labelled sample (Algorithm 1, lines 3-8). Strategies that overflow their
+// partitions score Infeasible.
+func Label(cfg Config, spec workload.MixSpec) (Sample, error) {
+	tr, err := spec.Build(cfg.Device.PageSize)
+	if err != nil {
+		return Sample{}, err
+	}
+	traits := spec.Traits()
+	lat := make([]float64, len(cfg.Strategies))
+	feasible := 0
+	for si, s := range cfg.Strategies {
+		res, err := workload.Run(workload.RunConfig{
+			Device:   cfg.Device,
+			Options:  cfg.Options,
+			Strategy: s,
+			Traits:   traits,
+			Hybrid:   cfg.Hybrid,
+			Season:   cfg.Season,
+		}, tr)
+		if errors.Is(err, ftl.ErrDeviceFull) {
+			lat[si] = Infeasible
+			continue
+		}
+		if err != nil {
+			return Sample{}, fmt.Errorf("strategy %s: %w", s.Name(cfg.Device.Channels), err)
+		}
+		lat[si] = workload.TotalLatency(res)
+		feasible++
+	}
+	if feasible == 0 {
+		return Sample{}, fmt.Errorf("dataset: no feasible strategy for spec (device too small for working sets)")
+	}
+	best := 0
+	for i, v := range lat {
+		if v < lat[best] {
+			best = i
+		}
+	}
+	tol := cfg.TieTolerance
+	if tol == 0 {
+		tol = 0.02
+	}
+	if tol > 0 {
+		cutoff := lat[best] * (1 + tol)
+		for i, v := range lat {
+			if v <= cutoff {
+				best = i
+				break
+			}
+		}
+	}
+	ratios := make([]float64, len(spec.Tenants))
+	shares := make([]float64, len(spec.Tenants))
+	for i, t := range spec.Tenants {
+		ratios[i] = t.WriteRatio
+		shares[i] = t.Share
+	}
+	vec, err := features.FromSpecShares(features.LevelOf(spec.IOPS, cfg.MaxIOPS), ratios, shares)
+	if err != nil {
+		return Sample{}, err
+	}
+	return Sample{Spec: spec, Vector: vec, Label: best, Latencies: lat}, nil
+}
+
+// ToNN converts samples into an nn.Dataset of 9-D inputs and class labels.
+func ToNN(samples []Sample) nn.Dataset {
+	d := nn.Dataset{
+		X: make([][]float64, len(samples)),
+		Y: make([]int, len(samples)),
+	}
+	for i, s := range samples {
+		d.X[i] = s.Vector.Input()
+		d.Y[i] = s.Label
+	}
+	return d
+}
+
+// Save writes samples as JSON lines.
+func Save(w io.Writer, samples []Sample) error {
+	enc := json.NewEncoder(w)
+	for i := range samples {
+		if err := enc.Encode(&samples[i]); err != nil {
+			return fmt.Errorf("dataset: save sample %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadSamples reads JSON-lines samples written by Save.
+func LoadSamples(r io.Reader) ([]Sample, error) {
+	dec := json.NewDecoder(r)
+	var out []Sample
+	for dec.More() {
+		var s Sample
+		if err := dec.Decode(&s); err != nil {
+			return nil, fmt.Errorf("dataset: load sample %d: %w", len(out), err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// LabelHistogram counts how often each strategy wins, a useful diagnostic
+// for class imbalance in generated datasets.
+func LabelHistogram(samples []Sample, classes int) []int {
+	hist := make([]int, classes)
+	for _, s := range samples {
+		if s.Label >= 0 && s.Label < classes {
+			hist[s.Label]++
+		}
+	}
+	return hist
+}

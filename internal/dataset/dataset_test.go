@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ssdkeeper/internal/alloc"
+	"ssdkeeper/internal/features"
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/ssd"
+	"ssdkeeper/internal/workload"
+)
+
+// quickConfig returns a dataset configuration small enough for unit tests:
+// the two-tenant strategy space padded to 4 tenants is not valid here, so we
+// use a hand-picked subset of the four-tenant space.
+func quickConfig() Config {
+	cfg := nand.EvalConfig()
+	return Config{
+		Device:  cfg,
+		Options: ssd.DefaultOptions(),
+		Strategies: []alloc.Strategy{
+			{Kind: alloc.Shared},
+			{Kind: alloc.Isolated},
+			{Kind: alloc.TwoGroup, WriteChannels: 6},
+			{Kind: alloc.FourWay, Parts: []int{5, 1, 1, 1}},
+		},
+		Workloads: 4,
+		Requests:  800,
+		MaxIOPS:   16000,
+		Season:    workload.DefaultSeasoning(),
+		Seed:      7,
+		Workers:   2,
+	}
+}
+
+func TestGenerateShapesAndDeterminism(t *testing.T) {
+	cfg := quickConfig()
+	var calls int
+	a, err := Generate(cfg, func(done, total int) {
+		calls++
+		if total != cfg.Workloads {
+			t.Errorf("progress total %d", total)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != cfg.Workloads {
+		t.Fatalf("got %d samples", len(a))
+	}
+	if calls != cfg.Workloads {
+		t.Errorf("progress called %d times", calls)
+	}
+	b, err := Generate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatalf("sample %d label differs between runs", i)
+		}
+		for j := range a[i].Latencies {
+			if a[i].Latencies[j] != b[i].Latencies[j] {
+				t.Fatalf("sample %d latency %d differs", i, j)
+			}
+		}
+	}
+	for i, s := range a {
+		if s.Label < 0 || s.Label >= len(cfg.Strategies) {
+			t.Errorf("sample %d label %d out of range", i, s.Label)
+		}
+		if len(s.Latencies) != len(cfg.Strategies) {
+			t.Errorf("sample %d has %d latencies", i, len(s.Latencies))
+		}
+		// The label must be within the tie tolerance of the argmin.
+		best := s.Latencies[0]
+		for _, l := range s.Latencies {
+			if l < best {
+				best = l
+			}
+		}
+		if s.Latencies[s.Label] > best*1.02+1e-9 {
+			t.Errorf("sample %d: label %d (%.1f) outside 2%% of optimum (%.1f)",
+				i, s.Label, s.Latencies[s.Label], best)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := quickConfig()
+	bad.Workloads = 0
+	if _, err := Generate(bad, nil); err == nil {
+		t.Error("zero workloads accepted")
+	}
+	bad = quickConfig()
+	bad.Strategies = nil
+	if _, err := Generate(bad, nil); err == nil {
+		t.Error("empty strategy space accepted")
+	}
+	bad = quickConfig()
+	bad.MaxIOPS = 0
+	if _, err := Generate(bad, nil); err == nil {
+		t.Error("zero MaxIOPS accepted")
+	}
+	bad = quickConfig()
+	bad.Requests = -1
+	if _, err := Generate(bad, nil); err == nil {
+		t.Error("negative requests accepted")
+	}
+}
+
+func TestLabelFeatureVectorMatchesSpec(t *testing.T) {
+	cfg := quickConfig()
+	rng := rand.New(rand.NewSource(9))
+	spec := workload.RandomMixSpec(rng, cfg.Requests, cfg.MaxIOPS)
+	s, err := Label(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLevel := features.LevelOf(spec.IOPS, cfg.MaxIOPS)
+	if s.Vector.Intensity != wantLevel {
+		t.Errorf("intensity %d, want %d", s.Vector.Intensity, wantLevel)
+	}
+	for i, tenant := range spec.Tenants {
+		if s.Vector.ReadChar[i] != (tenant.WriteRatio < 0.5) {
+			t.Errorf("tenant %d characteristic wrong", i)
+		}
+		if s.Vector.Prop[i] != tenant.Share {
+			t.Errorf("tenant %d proportion %v, want %v", i, s.Vector.Prop[i], tenant.Share)
+		}
+	}
+}
+
+func TestToNN(t *testing.T) {
+	samples := []Sample{
+		{Vector: features.Vector{Intensity: 3}, Label: 1},
+		{Vector: features.Vector{Intensity: 9}, Label: 0},
+	}
+	d := ToNN(samples)
+	if d.Len() != 2 {
+		t.Fatalf("len %d", d.Len())
+	}
+	if len(d.X[0]) != features.Dim {
+		t.Errorf("input dim %d", len(d.X[0]))
+	}
+	if d.Y[0] != 1 || d.Y[1] != 0 {
+		t.Errorf("labels %v", d.Y)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Workloads = 2
+	samples, err := Generate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(samples) {
+		t.Fatalf("round trip %d vs %d samples", len(back), len(samples))
+	}
+	for i := range samples {
+		if back[i].Label != samples[i].Label {
+			t.Errorf("sample %d label changed", i)
+		}
+		if back[i].Vector != samples[i].Vector {
+			t.Errorf("sample %d vector changed", i)
+		}
+	}
+}
+
+func TestLoadSamplesRejectsGarbage(t *testing.T) {
+	if _, err := LoadSamples(bytes.NewReader([]byte("{not json"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLabelHistogram(t *testing.T) {
+	samples := []Sample{{Label: 0}, {Label: 0}, {Label: 2}, {Label: 99}}
+	h := LabelHistogram(samples, 3)
+	if h[0] != 2 || h[1] != 0 || h[2] != 1 {
+		t.Errorf("histogram %v", h)
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"testing"
+
+	"ssdkeeper/internal/alloc"
+	"ssdkeeper/internal/features"
+	"ssdkeeper/internal/nn"
+)
+
+// strategyOfParts builds a FourWay strategy for tests.
+func strategyOfParts(parts []int) alloc.Strategy {
+	return alloc.Strategy{Kind: alloc.FourWay, Parts: parts}
+}
+
+// forcedClassModel returns a network that always predicts the given class.
+func forcedClassModel(t *testing.T, classes, class int) *nn.Network {
+	t.Helper()
+	net, err := nn.NewMLP([]int{features.Dim, 4, classes}, nn.Logistic{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := net.Layers[len(net.Layers)-1]
+	for i := range out.W {
+		out.W[i] = 0
+	}
+	for i := range out.B {
+		out.B[i] = 0
+	}
+	out.B[class] = 100
+	return net
+}

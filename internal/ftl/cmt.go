@@ -1,0 +1,108 @@
+package ftl
+
+import (
+	"container/list"
+
+	"ssdkeeper/internal/sim"
+)
+
+// The FTL's page-level mapping table is far larger than controller SRAM
+// (Table I's 512GB device needs ~256MB of map entries), so real FTLs keep
+// the full table in flash and cache hot entries in SRAM — DFTL's Cached
+// Mapping Table. A lookup that misses the cache must first read a
+// translation page from flash.
+//
+// The simulator models this as an optional LRU cache over Key->PPN entries:
+// misses report a translation-read penalty that the device charges on the
+// die holding the data (a simplification of DFTL's separate translation
+// blocks that preserves the contention effect: mapping misses add die
+// traffic).
+
+// CMT is an LRU cached mapping table.
+type CMT struct {
+	capacity int
+	order    *list.List // front = most recent; values are Key
+	index    map[Key]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+// NewCMT returns a cache holding up to capacity entries; capacity <= 0
+// disables caching (every lookup hits, as if SRAM were unlimited — the
+// default, matching SSDSim).
+func NewCMT(capacity int) *CMT {
+	if capacity <= 0 {
+		return nil
+	}
+	return &CMT{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[Key]*list.Element, capacity),
+	}
+}
+
+// touch records an access to k and reports whether it was cached. The entry
+// becomes most-recently-used either way (a miss loads it).
+func (c *CMT) touch(k Key) bool {
+	if c == nil {
+		return true
+	}
+	if el, ok := c.index[k]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	if c.order.Len() >= c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.index, last.Value.(Key))
+	}
+	c.index[k] = c.order.PushFront(k)
+	return false
+}
+
+// Stats returns hit/miss counters.
+func (c *CMT) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached entries.
+func (c *CMT) Len() int {
+	if c == nil {
+		return 0
+	}
+	return c.order.Len()
+}
+
+// EnableCMT turns on mapping-table caching with the given entry capacity.
+// Must be called before traffic. The returned penalty is what each miss
+// costs on the die (one translation-page read).
+func (f *FTL) EnableCMT(entries int) sim.Time {
+	f.cmt = NewCMT(entries)
+	return f.cfg.ReadLatency
+}
+
+// MapPenalty reports the translation penalty for accessing k's mapping and
+// updates the cache: zero on a hit (or when the CMT is disabled), one
+// translation-page read on a miss. Device request paths call it once per
+// page access.
+func (f *FTL) MapPenalty(k Key) sim.Time {
+	if f.cmt == nil {
+		return 0
+	}
+	if f.cmt.touch(k) {
+		return 0
+	}
+	f.cmtMisses++
+	return f.cfg.ReadLatency
+}
+
+// CMTStats exposes cache counters (zero when disabled).
+func (f *FTL) CMTStats() (hits, misses uint64) {
+	return f.cmt.Stats()
+}

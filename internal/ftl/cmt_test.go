@@ -1,0 +1,87 @@
+package ftl
+
+import (
+	"testing"
+
+	"ssdkeeper/internal/nand"
+)
+
+func TestCMTDisabledIsFree(t *testing.T) {
+	f := mustFTL(t, nand.TinyConfig(), nil)
+	if pen := f.MapPenalty(Key{Tenant: 0, LPN: 1}); pen != 0 {
+		t.Errorf("penalty %v with CMT disabled", pen)
+	}
+	if h, m := f.CMTStats(); h != 0 || m != 0 {
+		t.Error("disabled CMT reported stats")
+	}
+}
+
+func TestCMTMissThenHit(t *testing.T) {
+	cfg := nand.TinyConfig()
+	f := mustFTL(t, cfg, nil)
+	f.EnableCMT(4)
+	k := Key{Tenant: 0, LPN: 7}
+	if pen := f.MapPenalty(k); pen != cfg.ReadLatency {
+		t.Errorf("first access penalty %v, want %v", pen, cfg.ReadLatency)
+	}
+	if pen := f.MapPenalty(k); pen != 0 {
+		t.Errorf("second access penalty %v, want 0 (cached)", pen)
+	}
+	hits, misses := f.CMTStats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d", hits, misses)
+	}
+}
+
+func TestCMTLRUEviction(t *testing.T) {
+	cfg := nand.TinyConfig()
+	f := mustFTL(t, cfg, nil)
+	f.EnableCMT(2)
+	a := Key{Tenant: 0, LPN: 1}
+	b := Key{Tenant: 0, LPN: 2}
+	c := Key{Tenant: 0, LPN: 3}
+	f.MapPenalty(a) // miss, cache {a}
+	f.MapPenalty(b) // miss, cache {b,a}
+	f.MapPenalty(a) // hit, cache {a,b}
+	f.MapPenalty(c) // miss, evicts LRU entry b -> {c,a}
+	if pen := f.MapPenalty(a); pen != 0 {
+		t.Error("recently used entry was evicted")
+	}
+	if pen := f.MapPenalty(b); pen != cfg.ReadLatency {
+		t.Error("evicted entry should miss")
+	}
+}
+
+func TestCMTDistinguishesTenants(t *testing.T) {
+	cfg := nand.TinyConfig()
+	f := mustFTL(t, cfg, nil)
+	f.EnableCMT(8)
+	f.MapPenalty(Key{Tenant: 0, LPN: 5})
+	if pen := f.MapPenalty(Key{Tenant: 1, LPN: 5}); pen != cfg.ReadLatency {
+		t.Error("tenant 1's mapping aliased tenant 0's")
+	}
+}
+
+func TestNewCMTZeroCapacityDisabled(t *testing.T) {
+	if c := NewCMT(0); c != nil {
+		t.Error("zero-capacity CMT should be nil (disabled)")
+	}
+	var c *CMT
+	if !c.touch(Key{}) {
+		t.Error("nil CMT should always hit")
+	}
+	if c.Len() != 0 {
+		t.Error("nil CMT length")
+	}
+}
+
+func TestCMTCapacityHeld(t *testing.T) {
+	f := mustFTL(t, nand.TinyConfig(), nil)
+	f.EnableCMT(16)
+	for lpn := int64(0); lpn < 100; lpn++ {
+		f.MapPenalty(Key{Tenant: 0, LPN: lpn})
+	}
+	if got := f.cmt.Len(); got != 16 {
+		t.Errorf("cache holds %d entries, want 16", got)
+	}
+}

@@ -1,0 +1,440 @@
+// Package ftl implements a page-level flash translation layer: logical-to-
+// physical mapping, static and dynamic page allocation (the two modes the
+// paper's hybrid page allocator switches between), greedy garbage
+// collection, and wear accounting.
+//
+// The FTL is tenant-aware: each tenant has its own logical address space and
+// an assigned set of channels (set by the channel allocator), plus a page
+// allocation mode. Static allocation stripes consecutive logical pages
+// across the tenant's channels (maximizing read parallelism); dynamic
+// allocation places each write on the least-loaded channel and die of the
+// tenant's set (minimizing write queueing).
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/sim"
+)
+
+// ErrDeviceFull reports that a plane ran out of free blocks with nothing
+// left to reclaim: the live data routed to it exceeds its capacity. Channel
+// partitions that cannot hold their tenants' working sets fail with this
+// error; callers score such strategies as infeasible.
+var ErrDeviceFull = errors.New("ftl: out of free blocks (live data exceeds plane capacity)")
+
+// PageMode selects how physical pages are chosen for writes.
+type PageMode uint8
+
+// Page allocation modes (paper Section IV.E).
+const (
+	// StaticAlloc stripes logical pages over the tenant's channels, then
+	// dies, then planes, so sequential reads hit distinct resources.
+	StaticAlloc PageMode = iota
+	// DynamicAlloc sends each write to the least-loaded channel and die
+	// in the tenant's set at the moment of the write.
+	DynamicAlloc
+)
+
+// String returns "static" or "dynamic".
+func (m PageMode) String() string {
+	if m == StaticAlloc {
+		return "static"
+	}
+	return "dynamic"
+}
+
+// Load supplies live device load, used by dynamic allocation. The SSD device
+// implements it; tests use fakes.
+type Load interface {
+	// ChannelLoad estimates pending work on a channel bus.
+	ChannelLoad(ch int) sim.Time
+	// DieLoad estimates pending work on a flat die index.
+	DieLoad(die int) sim.Time
+}
+
+// zeroLoad is used when no telemetry is wired; dynamic allocation then
+// degenerates to round-robin via tie-breaking.
+type zeroLoad struct{}
+
+func (zeroLoad) ChannelLoad(int) sim.Time { return 0 }
+func (zeroLoad) DieLoad(int) sim.Time     { return 0 }
+
+// owner records which logical page occupies a physical page.
+type owner struct {
+	tenant int
+	lpn    int64
+}
+
+// block is the erase-unit state.
+type block struct {
+	writePtr   int // next page to program; == PagesPerBlock when full
+	validCount int
+	owners     []owner // per page; owner of an invalidated page is cleared
+	valid      []bool
+	erases     int
+}
+
+// plane holds per-plane block bookkeeping. Blocks are materialized lazily:
+// with Table I geometry a device has 262144 blocks, almost all of which a
+// simulation never touches.
+type plane struct {
+	blocks    []*block // lazily filled; nil = never used
+	nextFresh int      // first never-used block index
+	recycled  []int    // erased blocks available for reuse
+	active    int      // currently open block, -1 if none
+	full      []int    // closed blocks, candidates for GC
+}
+
+func (p *plane) freeBlocks(total int) int {
+	return (total - p.nextFresh) + len(p.recycled)
+}
+
+// Key identifies a logical page: a tenant and a logical page number.
+type Key struct {
+	Tenant int
+	LPN    int64
+}
+
+// FTL is the translation layer state for one device.
+type FTL struct {
+	cfg  nand.Config
+	load Load
+
+	planes  []plane
+	mapping map[Key]int64 // logical page -> PPN
+
+	channels map[int][]int    // tenant -> channel set; nil entry = all channels
+	modes    map[int]PageMode // tenant -> page allocation mode
+	rr       []int            // per-die round-robin plane cursor
+
+	gcLowWater int // free blocks per plane that triggers GC
+
+	// Counters.
+	writes        uint64
+	preloads      uint64 // implicit mappings created by reads of unwritten data
+	invalidations uint64
+	gcRuns        uint64
+	gcMoved       uint64
+	gcErases      uint64
+	wlRuns        uint64
+	wlMoved       uint64
+	cmtMisses     uint64
+
+	// cmt is the optional cached mapping table (nil = unlimited SRAM).
+	cmt *CMT
+}
+
+// New creates an FTL over the given geometry. load may be nil, in which case
+// dynamic allocation behaves as round-robin.
+func New(cfg nand.Config, load Load) (*FTL, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if load == nil {
+		load = zeroLoad{}
+	}
+	low := int(cfg.GCThreshold * float64(cfg.BlocksPerPlane))
+	if low < 1 {
+		low = 1
+	}
+	f := &FTL{
+		cfg:        cfg,
+		load:       load,
+		planes:     make([]plane, cfg.TotalPlanes()),
+		mapping:    make(map[Key]int64),
+		channels:   make(map[int][]int),
+		modes:      make(map[int]PageMode),
+		rr:         make([]int, cfg.TotalDies()),
+		gcLowWater: low,
+	}
+	for i := range f.planes {
+		f.planes[i].active = -1
+	}
+	return f, nil
+}
+
+// SetLoad replaces the load telemetry source (used when the device is
+// constructed after the FTL).
+func (f *FTL) SetLoad(load Load) {
+	if load == nil {
+		load = zeroLoad{}
+	}
+	f.load = load
+}
+
+// SetTenantChannels assigns the channel set a tenant's future writes may
+// use. Existing mappings are untouched: data already written stays where it
+// is and reads follow the mapping, exactly as a real re-allocation would
+// behave without migration.
+func (f *FTL) SetTenantChannels(tenant int, channels []int) error {
+	for _, c := range channels {
+		if c < 0 || c >= f.cfg.Channels {
+			return fmt.Errorf("ftl: channel %d outside device (%d channels)", c, f.cfg.Channels)
+		}
+	}
+	if len(channels) == 0 {
+		delete(f.channels, tenant) // back to all channels
+		return nil
+	}
+	f.channels[tenant] = append([]int(nil), channels...)
+	return nil
+}
+
+// SetTenantMode sets the page allocation mode for a tenant's writes.
+func (f *FTL) SetTenantMode(tenant int, mode PageMode) {
+	f.modes[tenant] = mode
+}
+
+// TenantChannels returns the channel set for a tenant (all channels if
+// unset).
+func (f *FTL) TenantChannels(tenant int) []int {
+	if set, ok := f.channels[tenant]; ok {
+		return set
+	}
+	all := make([]int, f.cfg.Channels)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// TenantMode returns the page allocation mode for a tenant (static if
+// unset).
+func (f *FTL) TenantMode(tenant int) PageMode { return f.modes[tenant] }
+
+// Lookup returns the physical address of a logical page, if mapped.
+func (f *FTL) Lookup(k Key) (nand.Addr, bool) {
+	ppn, ok := f.mapping[k]
+	if !ok {
+		return nand.Addr{}, false
+	}
+	return f.cfg.AddrOf(ppn), true
+}
+
+// PredictDie returns, without mutating any state, the flat die index an
+// operation on k would target: the mapped location for existing data, or
+// the tenant's placement rule for new writes and preload reads. Dynamic-
+// allocation targets cannot be known in advance (they depend on load at the
+// instant of the write), so those return ok=false. Conflict-aware host
+// schedulers use this to steer dispatch away from busy dies.
+func (f *FTL) PredictDie(k Key, isWrite bool) (die int, ok bool) {
+	if a, mapped := f.Lookup(k); mapped && !isWrite {
+		return f.cfg.DieID(a), true
+	}
+	if isWrite && f.TenantMode(k.Tenant) == DynamicAlloc {
+		return 0, false
+	}
+	// Static placement is a pure function of the LPN and channel set.
+	set := f.TenantChannels(k.Tenant)
+	l := k.LPN
+	ch := set[int(l%int64(len(set)))]
+	l /= int64(len(set))
+	dieInCh := int(l % int64(f.cfg.DiesPerChannel()))
+	chip := dieInCh / f.cfg.DiesPerChip
+	d := dieInCh % f.cfg.DiesPerChip
+	return f.cfg.DieID(nand.Addr{Channel: ch, Chip: chip, Die: d}), true
+}
+
+// MapRead returns the physical address to read for a logical page. Reads of
+// never-written pages are backed by an implicit static preload: the page is
+// placed as static allocation would have placed it, modelling a device whose
+// resident data was written with the tenant's striping. No program time is
+// charged for preloads.
+func (f *FTL) MapRead(k Key) (nand.Addr, error) {
+	if a, ok := f.Lookup(k); ok {
+		return a, nil
+	}
+	a, _, err := f.place(k, StaticAlloc)
+	if err != nil {
+		return nand.Addr{}, err
+	}
+	f.preloads++
+	return a, nil
+}
+
+// MapWrite allocates a physical page for a logical write, invalidating any
+// previous mapping, and returns the address plus an optional GC plan that
+// the caller must account for (the FTL metadata effects of the plan are
+// already applied; the caller charges its time on the die).
+func (f *FTL) MapWrite(k Key) (nand.Addr, *GCPlan, error) {
+	mode := f.TenantMode(k.Tenant)
+	if old, ok := f.mapping[k]; ok {
+		f.invalidate(old)
+	}
+	a, gc, err := f.place(k, mode)
+	if err != nil {
+		return nand.Addr{}, nil, err
+	}
+	f.writes++
+	return a, gc, nil
+}
+
+// place picks a plane according to mode, appends the page to the plane's
+// active block, updates the mapping, and runs GC if the plane is low on free
+// blocks.
+func (f *FTL) place(k Key, mode PageMode) (nand.Addr, *GCPlan, error) {
+	set := f.TenantChannels(k.Tenant)
+	var ch, dieInCh, pl int
+	switch mode {
+	case StaticAlloc:
+		// Channel-first striping within the tenant's set: consecutive
+		// LPNs land on consecutive channels, then dies, then planes.
+		l := k.LPN
+		ch = set[int(l%int64(len(set)))]
+		l /= int64(len(set))
+		dieInCh = int(l % int64(f.cfg.DiesPerChannel()))
+		l /= int64(f.cfg.DiesPerChannel())
+		pl = int(l % int64(f.cfg.PlanesPerDie))
+	case DynamicAlloc:
+		ch = set[0]
+		best := f.load.ChannelLoad(ch)
+		for _, c := range set[1:] {
+			if l := f.load.ChannelLoad(c); l < best {
+				ch, best = c, l
+			}
+		}
+		dieInCh = 0
+		firstDie := ch * f.cfg.DiesPerChannel()
+		bestDie := f.load.DieLoad(firstDie)
+		for d := 1; d < f.cfg.DiesPerChannel(); d++ {
+			if l := f.load.DieLoad(firstDie + d); l < bestDie {
+				dieInCh, bestDie = d, l
+			}
+		}
+		die := firstDie + dieInCh
+		pl = f.rr[die]
+		f.rr[die] = (pl + 1) % f.cfg.PlanesPerDie
+	default:
+		return nand.Addr{}, nil, fmt.Errorf("ftl: unknown page mode %d", mode)
+	}
+
+	chip := dieInCh / f.cfg.DiesPerChip
+	die := dieInCh % f.cfg.DiesPerChip
+	base := nand.Addr{Channel: ch, Chip: chip, Die: die, Plane: pl}
+	planeID := f.cfg.PlaneID(base)
+
+	blockID, page, err := f.appendPage(planeID, k)
+	if err != nil {
+		return nand.Addr{}, nil, err
+	}
+	base.Block = blockID
+	base.Page = page
+	f.mapping[k] = f.cfg.PPN(base)
+
+	var gc *GCPlan
+	if f.planes[planeID].freeBlocks(f.cfg.BlocksPerPlane) <= f.gcLowWater {
+		gc = f.collect(planeID)
+	}
+	return base, gc, nil
+}
+
+// appendPage writes k into the plane's active block, opening a new block if
+// needed, and returns the (block, page) location.
+func (f *FTL) appendPage(planeID int, k Key) (blockID, page int, err error) {
+	p := &f.planes[planeID]
+	if p.active == -1 || f.blockAt(p, p.active).writePtr == f.cfg.PagesPerBlock {
+		// Pop the replacement before retiring the active block: if the
+		// plane is out of free blocks the active block must stay active
+		// (and out of the GC candidate list) so state remains
+		// consistent across the error.
+		id, ok := f.popFree(p)
+		if !ok {
+			return 0, 0, fmt.Errorf("plane %d: %w", planeID, ErrDeviceFull)
+		}
+		if p.active != -1 {
+			p.full = append(p.full, p.active)
+		}
+		p.active = id
+	}
+	b := f.blockAt(p, p.active)
+	page = b.writePtr
+	b.writePtr++
+	b.owners[page] = owner{tenant: k.Tenant, lpn: k.LPN}
+	b.valid[page] = true
+	b.validCount++
+	return p.active, page, nil
+}
+
+// blockAt materializes the block lazily.
+func (f *FTL) blockAt(p *plane, id int) *block {
+	if p.blocks == nil {
+		p.blocks = make([]*block, f.cfg.BlocksPerPlane)
+	}
+	if p.blocks[id] == nil {
+		p.blocks[id] = &block{
+			owners: make([]owner, f.cfg.PagesPerBlock),
+			valid:  make([]bool, f.cfg.PagesPerBlock),
+		}
+	}
+	return p.blocks[id]
+}
+
+// popFree takes a free block. Never-used blocks go first; among recycled
+// blocks the least-erased is chosen — dynamic wear leveling, which spreads
+// erases evenly across the blocks in circulation.
+func (f *FTL) popFree(p *plane) (int, bool) {
+	if p.nextFresh < f.cfg.BlocksPerPlane {
+		id := p.nextFresh
+		p.nextFresh++
+		return id, true
+	}
+	n := len(p.recycled)
+	if n == 0 {
+		return 0, false
+	}
+	best := 0
+	bestErases := f.blockAt(p, p.recycled[0]).erases
+	for i := 1; i < n; i++ {
+		if e := f.blockAt(p, p.recycled[i]).erases; e < bestErases {
+			best, bestErases = i, e
+		}
+	}
+	id := p.recycled[best]
+	p.recycled[best] = p.recycled[n-1]
+	p.recycled = p.recycled[:n-1]
+	return id, true
+}
+
+// invalidate clears the valid bit of a physical page.
+func (f *FTL) invalidate(ppn int64) {
+	a := f.cfg.AddrOf(ppn)
+	p := &f.planes[f.cfg.PlaneID(a)]
+	b := f.blockAt(p, a.Block)
+	if b.valid[a.Page] {
+		b.valid[a.Page] = false
+		b.owners[a.Page] = owner{}
+		b.validCount--
+		f.invalidations++
+	}
+}
+
+// Counters is a snapshot of FTL activity, for tests and reports.
+type Counters struct {
+	Writes        uint64
+	Preloads      uint64
+	Invalidations uint64
+	GCRuns        uint64
+	GCMovedPages  uint64
+	GCErases      uint64
+	WLRuns        uint64
+	WLMovedPages  uint64
+	Mapped        int
+}
+
+// Counters returns current FTL activity counters.
+func (f *FTL) Counters() Counters {
+	return Counters{
+		Writes:        f.writes,
+		Preloads:      f.preloads,
+		Invalidations: f.invalidations,
+		GCRuns:        f.gcRuns,
+		GCMovedPages:  f.gcMoved,
+		GCErases:      f.gcErases,
+		WLRuns:        f.wlRuns,
+		WLMovedPages:  f.wlMoved,
+		Mapped:        len(f.mapping),
+	}
+}

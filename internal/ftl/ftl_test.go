@@ -1,0 +1,388 @@
+package ftl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/sim"
+)
+
+// fakeLoad steers dynamic allocation in tests.
+type fakeLoad struct {
+	ch  map[int]sim.Time
+	die map[int]sim.Time
+}
+
+func (f fakeLoad) ChannelLoad(c int) sim.Time { return f.ch[c] }
+func (f fakeLoad) DieLoad(d int) sim.Time     { return f.die[d] }
+
+func mustFTL(t *testing.T, cfg nand.Config, load Load) *FTL {
+	t.Helper()
+	f, err := New(cfg, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestStaticAllocStripesAcrossTenantChannels(t *testing.T) {
+	cfg := nand.TinyConfig()
+	f := mustFTL(t, cfg, nil)
+	if err := f.SetTenantChannels(0, []int{2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	f.SetTenantMode(0, StaticAlloc)
+	want := []int{2, 3, 4, 2, 3, 4}
+	for lpn, wantCh := range want {
+		a, gc, err := f.MapWrite(Key{Tenant: 0, LPN: int64(lpn)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gc != nil {
+			t.Fatal("unexpected GC on fresh device")
+		}
+		if a.Channel != wantCh {
+			t.Errorf("lpn %d on channel %d, want %d", lpn, a.Channel, wantCh)
+		}
+	}
+}
+
+func TestStaticAllocSpreadsOverDiesAndPlanes(t *testing.T) {
+	cfg := nand.TinyConfig()
+	f := mustFTL(t, cfg, nil)
+	if err := f.SetTenantChannels(0, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	// One channel, 2 dies, 4 planes: LPNs 0..7 should hit 8 distinct
+	// (die, plane) pairs before reusing any.
+	seen := map[[2]int]bool{}
+	for lpn := int64(0); lpn < 8; lpn++ {
+		a, _, err := f.MapWrite(Key{Tenant: 0, LPN: lpn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Channel != 0 {
+			t.Fatalf("write escaped the tenant's channel set: %v", a)
+		}
+		key := [2]int{cfg.DieID(a), a.Plane}
+		if seen[key] {
+			t.Errorf("lpn %d reuses die/plane %v before full coverage", lpn, key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestDynamicAllocChoosesLeastLoadedChannelAndDie(t *testing.T) {
+	cfg := nand.TinyConfig()
+	load := fakeLoad{
+		ch:  map[int]sim.Time{0: 500, 1: 100, 2: 900},
+		die: map[int]sim.Time{2: 50, 3: 10}, // dies of channel 1
+	}
+	f := mustFTL(t, cfg, load)
+	if err := f.SetTenantChannels(0, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.SetTenantMode(0, DynamicAlloc)
+	a, _, err := f.MapWrite(Key{Tenant: 0, LPN: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Channel != 1 {
+		t.Errorf("dynamic write on channel %d, want least-loaded 1", a.Channel)
+	}
+	if got := cfg.DieID(a); got != 3 {
+		t.Errorf("dynamic write on die %d, want least-loaded 3", got)
+	}
+}
+
+func TestDynamicAllocRotatesPlanes(t *testing.T) {
+	cfg := nand.TinyConfig()
+	f := mustFTL(t, cfg, nil)
+	if err := f.SetTenantChannels(0, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	f.SetTenantMode(0, DynamicAlloc)
+	planes := map[int]bool{}
+	for lpn := int64(0); lpn < int64(cfg.PlanesPerDie); lpn++ {
+		a, _, err := f.MapWrite(Key{Tenant: 0, LPN: lpn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		planes[a.Plane] = true
+	}
+	if len(planes) != cfg.PlanesPerDie {
+		t.Errorf("dynamic writes used %d planes, want %d", len(planes), cfg.PlanesPerDie)
+	}
+}
+
+func TestOverwriteInvalidatesOldPage(t *testing.T) {
+	cfg := nand.TinyConfig()
+	f := mustFTL(t, cfg, nil)
+	k := Key{Tenant: 0, LPN: 42}
+	a1, _, err := f.MapWrite(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := f.MapWrite(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Error("overwrite mapped to the same physical page")
+	}
+	got, ok := f.Lookup(k)
+	if !ok || got != a2 {
+		t.Errorf("lookup = %v,%v, want %v", got, ok, a2)
+	}
+	if c := f.Counters(); c.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", c.Invalidations)
+	}
+}
+
+func TestMapReadPreloadsUnwrittenData(t *testing.T) {
+	cfg := nand.TinyConfig()
+	f := mustFTL(t, cfg, nil)
+	k := Key{Tenant: 1, LPN: 99}
+	a, err := f.MapRead(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second read must hit the same page.
+	b, err := f.MapRead(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("repeated read moved: %v then %v", a, b)
+	}
+	c := f.Counters()
+	if c.Preloads != 1 {
+		t.Errorf("preloads = %d, want 1", c.Preloads)
+	}
+	if c.Writes != 0 {
+		t.Errorf("preload counted as write")
+	}
+}
+
+func TestMapReadFollowsMappingAfterChannelChange(t *testing.T) {
+	cfg := nand.TinyConfig()
+	f := mustFTL(t, cfg, nil)
+	if err := f.SetTenantChannels(0, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Tenant: 0, LPN: 5}
+	wrote, _, err := f.MapWrite(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-allocate the tenant elsewhere; reads must still find old data.
+	if err := f.SetTenantChannels(0, []int{6, 7}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.MapRead(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wrote {
+		t.Errorf("read went to %v, want original %v", got, wrote)
+	}
+	// New writes use the new set.
+	a, _, err := f.MapWrite(Key{Tenant: 0, LPN: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Channel != 6 && a.Channel != 7 {
+		t.Errorf("new write on channel %d, want 6 or 7", a.Channel)
+	}
+}
+
+func TestSetTenantChannelsRejectsOutOfRange(t *testing.T) {
+	f := mustFTL(t, nand.TinyConfig(), nil)
+	if err := f.SetTenantChannels(0, []int{8}); err == nil {
+		t.Error("channel 8 accepted on an 8-channel device")
+	}
+	if err := f.SetTenantChannels(0, []int{-1}); err == nil {
+		t.Error("negative channel accepted")
+	}
+}
+
+// gcConfig returns a tiny geometry that forces GC quickly: 1 channel,
+// 1 die, 1 plane, 8 blocks of 4 pages.
+func gcConfig() nand.Config {
+	c := nand.TinyConfig()
+	c.Channels = 1
+	c.ChipsPerChannel = 1
+	c.DiesPerChip = 1
+	c.PlanesPerDie = 1
+	c.BlocksPerPlane = 8
+	c.PagesPerBlock = 4
+	c.GCThreshold = 0.15 // low water = 1 free block
+	return c
+}
+
+func TestGCReclaimsInvalidatedSpace(t *testing.T) {
+	f := mustFTL(t, gcConfig(), nil)
+	// Overwrite a small working set far beyond physical capacity; GC
+	// must keep reclaiming or MapWrite would fail.
+	sawGC := false
+	for round := 0; round < 50; round++ {
+		for lpn := int64(0); lpn < 8; lpn++ {
+			_, gc, err := f.MapWrite(Key{Tenant: 0, LPN: lpn})
+			if err != nil {
+				t.Fatalf("round %d lpn %d: %v", round, lpn, err)
+			}
+			if gc != nil {
+				sawGC = true
+				if gc.DieTime <= 0 {
+					t.Error("GC plan with non-positive die time")
+				}
+				if gc.Moved < 0 || gc.Moved > 4 {
+					t.Errorf("GC moved %d pages from a 4-page block", gc.Moved)
+				}
+			}
+		}
+	}
+	if !sawGC {
+		t.Fatal("GC never triggered despite 25x overwrite pressure")
+	}
+	c := f.Counters()
+	if c.GCRuns == 0 || c.GCErases == 0 {
+		t.Errorf("counters show no GC: %+v", c)
+	}
+	// All 8 logical pages must still resolve.
+	for lpn := int64(0); lpn < 8; lpn++ {
+		if _, ok := f.Lookup(Key{Tenant: 0, LPN: lpn}); !ok {
+			t.Errorf("lpn %d lost after GC", lpn)
+		}
+	}
+}
+
+func TestGCPreservesMappingIntegrity(t *testing.T) {
+	f := mustFTL(t, gcConfig(), nil)
+	// Interleave writes of two tenants and verify mappings stay
+	// mutually distinct through heavy GC churn.
+	for round := 0; round < 40; round++ {
+		for lpn := int64(0); lpn < 4; lpn++ {
+			for tenant := 0; tenant < 2; tenant++ {
+				if _, _, err := f.MapWrite(Key{Tenant: tenant, LPN: lpn}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	seen := map[nand.Addr]Key{}
+	for tenant := 0; tenant < 2; tenant++ {
+		for lpn := int64(0); lpn < 4; lpn++ {
+			k := Key{Tenant: tenant, LPN: lpn}
+			a, ok := f.Lookup(k)
+			if !ok {
+				t.Fatalf("%v unmapped", k)
+			}
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("PPN %v owned by both %v and %v", a, prev, k)
+			}
+			seen[a] = k
+		}
+	}
+}
+
+func TestWearAccounting(t *testing.T) {
+	f := mustFTL(t, gcConfig(), nil)
+	for round := 0; round < 60; round++ {
+		for lpn := int64(0); lpn < 8; lpn++ {
+			if _, _, err := f.MapWrite(Key{Tenant: 0, LPN: lpn}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	w := f.Wear()
+	if w.TotalErases == 0 {
+		t.Fatal("no erases recorded")
+	}
+	if w.MaxErases < w.MinErases {
+		t.Errorf("max %d < min %d", w.MaxErases, w.MinErases)
+	}
+	if w.MeanErases <= 0 {
+		t.Errorf("mean erases %v", w.MeanErases)
+	}
+	if w.Blocks == 0 || w.Blocks > 8 {
+		t.Errorf("blocks = %d", w.Blocks)
+	}
+}
+
+func TestDeviceFullWithoutReclaimableSpaceErrors(t *testing.T) {
+	f := mustFTL(t, gcConfig(), nil)
+	// Unique LPNs: nothing invalidated, so GC has nothing to reclaim and
+	// the device must eventually report exhaustion rather than loop.
+	var lastErr error
+	for lpn := int64(0); lpn < 64; lpn++ {
+		_, _, err := f.MapWrite(Key{Tenant: 0, LPN: lpn})
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("32-page device absorbed 64 unique pages without error")
+	}
+}
+
+// Property: after any sequence of writes over a small LPN space, every
+// written key resolves, and no two keys share a physical page.
+func TestMappingBijectionProperty(t *testing.T) {
+	cfg := gcConfig()
+	f := func(ops []uint8) bool {
+		ftl, err := New(cfg, nil)
+		if err != nil {
+			return false
+		}
+		written := map[Key]bool{}
+		for _, op := range ops {
+			k := Key{Tenant: int(op >> 6 & 1), LPN: int64(op & 7)}
+			if _, _, err := ftl.MapWrite(k); err != nil {
+				return false // 16 distinct keys max; must always fit
+			}
+			written[k] = true
+		}
+		seen := map[nand.Addr]bool{}
+		for k := range written {
+			a, ok := ftl.Lookup(k)
+			if !ok || seen[a] {
+				return false
+			}
+			seen[a] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageModeString(t *testing.T) {
+	if StaticAlloc.String() != "static" || DynamicAlloc.String() != "dynamic" {
+		t.Error("page mode strings wrong")
+	}
+}
+
+func TestTenantDefaultsAllChannelsStatic(t *testing.T) {
+	cfg := nand.TinyConfig()
+	f := mustFTL(t, cfg, nil)
+	if got := len(f.TenantChannels(7)); got != cfg.Channels {
+		t.Errorf("default channel set size %d, want %d", got, cfg.Channels)
+	}
+	if f.TenantMode(7) != StaticAlloc {
+		t.Error("default mode should be static")
+	}
+	// Empty set resets to all channels.
+	if err := f.SetTenantChannels(7, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetTenantChannels(7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.TenantChannels(7)); got != cfg.Channels {
+		t.Errorf("reset channel set size %d, want %d", got, cfg.Channels)
+	}
+}

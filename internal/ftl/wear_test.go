@@ -1,0 +1,124 @@
+package ftl
+
+import (
+	"testing"
+
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/sim"
+)
+
+// wearConfig: single plane, 8 blocks of 4 pages, wear leveling on.
+func wearConfig(threshold int) nand.Config {
+	c := gcConfig()
+	c.WearThreshold = threshold
+	return c
+}
+
+// churn overwrites a hot LPN set while one cold LPN set stays untouched,
+// the classic workload that skews wear.
+func churn(t *testing.T, f *FTL, rounds int) {
+	t.Helper()
+	// Cold data: written once, never overwritten.
+	for lpn := int64(100); lpn < 104; lpn++ {
+		if _, _, err := f.MapWrite(Key{Tenant: 0, LPN: lpn}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hot data: overwritten every round.
+	for round := 0; round < rounds; round++ {
+		for lpn := int64(0); lpn < 6; lpn++ {
+			if _, _, err := f.MapWrite(Key{Tenant: 0, LPN: lpn}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestWearLevelingReducesEraseSpread(t *testing.T) {
+	without := mustFTL(t, wearConfig(0), nil)
+	churn(t, without, 400)
+	with := mustFTL(t, wearConfig(4), nil)
+	churn(t, with, 400)
+
+	spreadWithout := without.Wear().MaxErases - without.Wear().MinErases
+	spreadWith := with.Wear().MaxErases - with.Wear().MinErases
+	if with.Counters().WLRuns == 0 {
+		t.Fatal("wear leveling never triggered")
+	}
+	if spreadWith >= spreadWithout {
+		t.Errorf("wear leveling did not reduce spread: %d with vs %d without",
+			spreadWith, spreadWithout)
+	}
+	// Data must survive the migrations.
+	for lpn := int64(100); lpn < 104; lpn++ {
+		if _, ok := with.Lookup(Key{Tenant: 0, LPN: lpn}); !ok {
+			t.Errorf("cold lpn %d lost during wear leveling", lpn)
+		}
+	}
+	for lpn := int64(0); lpn < 6; lpn++ {
+		if _, ok := with.Lookup(Key{Tenant: 0, LPN: lpn}); !ok {
+			t.Errorf("hot lpn %d lost during wear leveling", lpn)
+		}
+	}
+}
+
+func TestWearLevelingDisabledByZeroThreshold(t *testing.T) {
+	f := mustFTL(t, wearConfig(0), nil)
+	churn(t, f, 200)
+	if got := f.Counters().WLRuns; got != 0 {
+		t.Errorf("wear leveling ran %d times with threshold 0", got)
+	}
+}
+
+func TestWearLevelingChargesDieTime(t *testing.T) {
+	f := mustFTL(t, wearConfig(3), nil)
+	// Capture a plan whose pass includes wear moves.
+	sawWear := false
+	for round := 0; round < 400 && !sawWear; round++ {
+		for lpn := int64(0); lpn < 6; lpn++ {
+			_, plan, err := f.MapWrite(Key{Tenant: 0, LPN: lpn})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan != nil && plan.WearMoves > 0 {
+				sawWear = true
+				base := f.cfg.EraseLatency +
+					sim.Time(plan.Moved)*(f.cfg.ReadLatency+f.cfg.WriteLatency)
+				if plan.DieTime <= base {
+					t.Errorf("plan die time %v does not include wear-move cost", plan.DieTime)
+				}
+			}
+		}
+		// Seed some cold data on the first round.
+		if round == 0 {
+			for lpn := int64(50); lpn < 54; lpn++ {
+				if _, _, err := f.MapWrite(Key{Tenant: 0, LPN: lpn}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if !sawWear {
+		t.Skip("workload never combined GC and wear leveling in one pass")
+	}
+}
+
+func TestPopFreePrefersLeastErased(t *testing.T) {
+	cfg := gcConfig()
+	f := mustFTL(t, cfg, nil)
+	p := &f.planes[0]
+	// Materialize three blocks with distinct erase counts and recycle
+	// them.
+	for _, id := range []int{0, 1, 2} {
+		f.blockAt(p, id)
+	}
+	p.nextFresh = cfg.BlocksPerPlane // exhaust fresh blocks
+	f.blockAt(p, 0).erases = 5
+	f.blockAt(p, 1).erases = 1
+	f.blockAt(p, 2).erases = 9
+	p.recycled = []int{0, 1, 2}
+	id, ok := f.popFree(p)
+	if !ok || id != 1 {
+		t.Errorf("popFree = %d,%v; want least-erased block 1", id, ok)
+	}
+}

@@ -1,0 +1,252 @@
+package hostif
+
+import (
+	"testing"
+
+	"ssdkeeper/internal/ftl"
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/ssd"
+	"ssdkeeper/internal/trace"
+)
+
+func device(t *testing.T) *ssd.Device {
+	t.Helper()
+	d, err := ssd.New(nand.TinyConfig(), ssd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// burst builds n simultaneous single-page writes for a tenant, with
+// distinct offsets.
+func burst(cfg nand.Config, tenant, n int, at sim.Time) trace.Trace {
+	var tr trace.Trace
+	for i := 0; i < n; i++ {
+		tr = append(tr, trace.Record{
+			Time: at, Tenant: tenant, Op: trace.Write,
+			Offset: int64(tenant*1000+i) * int64(cfg.PageSize), Size: cfg.PageSize,
+		})
+	}
+	return tr
+}
+
+func TestHostRunsEverything(t *testing.T) {
+	dev := device(t)
+	cfg := dev.Config()
+	h, err := New(dev, Config{QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Merge(burst(cfg, 0, 50, 0), burst(cfg, 1, 50, 0))
+	res, err := h.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Device.Write.Count != 100 {
+		t.Errorf("completed %d of 100", res.Device.Write.Count)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	dev := device(t)
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil device accepted")
+	}
+	if _, err := New(dev, Config{QueueDepth: -1}); err == nil {
+		t.Error("negative depth accepted")
+	}
+	if _, err := New(dev, Config{Weights: map[int]int{0: 0}}); err == nil {
+		t.Error("zero weight accepted")
+	}
+}
+
+func TestQueueDepthBoundsPerTenantInFlight(t *testing.T) {
+	dev := device(t)
+	cfg := dev.Config()
+	h, err := New(dev, Config{QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tenant bursting 10 writes with depth 1 serializes them.
+	res, err := h.Run(burst(cfg, 0, 10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := 10 * (cfg.XferLatency + cfg.WriteLatency)
+	if res.Device.Write.Max < serial {
+		t.Errorf("max latency %v; depth-1 should serialize to >= %v",
+			res.Device.Write.Max, serial)
+	}
+}
+
+func TestRoundRobinIsFairUnderSymmetricLoad(t *testing.T) {
+	dev := device(t)
+	cfg := dev.Config()
+	h, err := New(dev, Config{QueueDepth: 2, Outstanding: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Merge(burst(cfg, 0, 40, 0), burst(cfg, 1, 40, 0))
+	res, err := h.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.PerTenant[0].Write.Mean()
+	b := res.PerTenant[1].Write.Mean()
+	ratio := a / b
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("round robin unfair: tenant means %v vs %v", a, b)
+	}
+}
+
+func TestWeightedRoundRobinFavorsHeavyTenant(t *testing.T) {
+	cfg := nand.TinyConfig()
+	run := func(weights map[int]int, arb Arbitration) (heavy, light float64) {
+		d, err := ssd.New(cfg, ssd.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := New(d, Config{
+			QueueDepth:  8,
+			Outstanding: 4, // scarce: arbitration decides who goes
+			Arbitration: arb,
+			Weights:     weights,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.Merge(burst(cfg, 0, 60, 0), burst(cfg, 1, 60, 0))
+		res, err := h.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PerTenant[0].Write.Mean(), res.PerTenant[1].Write.Mean()
+	}
+	fairHeavy, fairLight := run(nil, RoundRobin)
+	wrrHeavy, wrrLight := run(map[int]int{0: 4, 1: 1}, WeightedRoundRobin)
+	// With weight 4, tenant 0's mean latency must improve relative to
+	// tenant 1 compared to fair arbitration.
+	fairRatio := fairHeavy / fairLight
+	wrrRatio := wrrHeavy / wrrLight
+	if wrrRatio >= fairRatio {
+		t.Errorf("WRR did not favor the weighted tenant: ratio %v (WRR) vs %v (RR)",
+			wrrRatio, fairRatio)
+	}
+}
+
+func TestOutstandingBoundsDeviceWideInFlight(t *testing.T) {
+	dev := device(t)
+	cfg := dev.Config()
+	h, err := New(dev, Config{QueueDepth: 32, Outstanding: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Merge(burst(cfg, 0, 5, 0), burst(cfg, 1, 5, 0))
+	res, err := h.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully serialized across the whole device.
+	serial := 10 * (cfg.XferLatency + cfg.WriteLatency)
+	if res.Makespan < serial {
+		t.Errorf("makespan %v < fully serialized %v", res.Makespan, serial)
+	}
+}
+
+func TestArrivalsSpreadOverTime(t *testing.T) {
+	dev := device(t)
+	cfg := dev.Config()
+	h, err := New(dev, Config{QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr trace.Trace
+	for i := 0; i < 20; i++ {
+		tr = append(tr, trace.Record{
+			Time: sim.Time(i) * 300 * sim.Microsecond, Tenant: 0,
+			Op: trace.Write, Offset: int64(i) * int64(cfg.PageSize), Size: cfg.PageSize,
+		})
+	}
+	res, err := h.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paced arrivals under a generous depth: close to uncontended.
+	base := (cfg.XferLatency + cfg.WriteLatency).Micros()
+	if res.Device.Write.Mean() > 2*base {
+		t.Errorf("paced arrivals too slow: %v vs base %v", res.Device.Write.Mean(), base)
+	}
+	if len(h.Stalls()) != 0 && h.Stalls()[0] > 0 {
+		t.Errorf("paced workload stalled: %v", h.Stalls())
+	}
+}
+
+func TestRejectsInvalidTrace(t *testing.T) {
+	dev := device(t)
+	h, err := New(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := trace.Trace{{Time: 10, Size: 1}, {Time: 0, Size: 1}}
+	if _, err := h.Run(bad); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestConflictAwareAvoidsHotDie(t *testing.T) {
+	cfg := nand.TinyConfig()
+	run := func(arb Arbitration) float64 {
+		d, err := ssd.New(cfg, ssd.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tenant 0 confined to channel 0 (hot); tenant 1 to channel 4
+		// (cold).
+		if err := d.FTL().SetTenantChannels(0, []int{0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.FTL().SetTenantChannels(1, []int{4}); err != nil {
+			t.Fatal(err)
+		}
+		h, err := New(d, Config{QueueDepth: 8, Outstanding: 2, Arbitration: arb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.Merge(burst(cfg, 0, 30, 0), burst(cfg, 1, 30, 0))
+		res, err := h.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Device.Total()
+	}
+	rr := run(RoundRobin)
+	ca := run(ConflictAware)
+	// Conflict-aware dispatch must not be worse than blind round-robin on
+	// this die-skewed workload, and typically improves it.
+	if ca > rr*1.05 {
+		t.Errorf("conflict-aware (%v) worse than round-robin (%v)", ca, rr)
+	}
+}
+
+func TestConflictAwareFallsBackForDynamicWrites(t *testing.T) {
+	cfg := nand.TinyConfig()
+	d, err := ssd.New(cfg, ssd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.FTL().SetTenantMode(0, ftl.DynamicAlloc)
+	h, err := New(d, Config{Arbitration: ConflictAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unpredictable targets must still dispatch (via round-robin path).
+	res, err := h.Run(burst(cfg, 0, 10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Device.Write.Count != 10 {
+		t.Errorf("completed %d of 10 dynamic writes", res.Device.Write.Count)
+	}
+}

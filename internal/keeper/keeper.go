@@ -1,0 +1,288 @@
+// Package keeper implements SSDKeeper itself (Section IV): the features
+// collector, strategy learner, channel allocator and hybrid page allocator,
+// composed into the online workflow of Algorithm 2 — run Shared while
+// collecting features for a window T, forward-propagate the features through
+// the trained network, then re-bind the channels (and page modes) to the
+// predicted strategy for the rest of the run.
+package keeper
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssdkeeper/internal/alloc"
+	"ssdkeeper/internal/dataset"
+	"ssdkeeper/internal/features"
+	"ssdkeeper/internal/ftl"
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/ssd"
+	"ssdkeeper/internal/trace"
+	"ssdkeeper/internal/workload"
+)
+
+// Config parameterizes a Keeper.
+type Config struct {
+	Device     nand.Config
+	Options    ssd.Options
+	Strategies []alloc.Strategy // label space the model was trained on
+	// SaturationIOPS calibrates the intensity-level axis; must match the
+	// value used during dataset generation.
+	SaturationIOPS float64
+	// Window is T in Algorithm 2: how long to observe the mixed workload
+	// under Shared before predicting.
+	Window sim.Time
+	// Hybrid enables the hybrid page allocator after the prediction:
+	// dynamic page allocation for write-dominated tenants, static for
+	// read-dominated ones.
+	Hybrid bool
+	// AdaptEvery, when positive, re-collects features and re-allocates
+	// every period after the first window — the self-adapting extension
+	// exercised by the online-adaptation example. Zero reproduces the
+	// paper's single adaptation.
+	AdaptEvery sim.Time
+	// Season ages the device before the run; must match the seasoning
+	// used during dataset generation.
+	Season workload.Seasoning
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if err := c.Device.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case len(c.Strategies) == 0:
+		return fmt.Errorf("keeper: empty strategy space")
+	case c.SaturationIOPS <= 0:
+		return fmt.Errorf("keeper: non-positive SaturationIOPS")
+	case c.Window <= 0:
+		return fmt.Errorf("keeper: non-positive window")
+	case c.AdaptEvery < 0:
+		return fmt.Errorf("keeper: negative AdaptEvery")
+	}
+	return nil
+}
+
+// Keeper binds a trained strategy model to a device configuration.
+type Keeper struct {
+	cfg   Config
+	model *nn.Network
+}
+
+// New validates that the model matches the feature dimensionality and
+// strategy space, and returns a Keeper.
+func New(cfg Config, model *nn.Network) (*Keeper, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("keeper: nil model")
+	}
+	if model.InputDim() != features.Dim {
+		return nil, fmt.Errorf("keeper: model input dim %d, want %d", model.InputDim(), features.Dim)
+	}
+	if model.OutputDim() != len(cfg.Strategies) {
+		return nil, fmt.Errorf("keeper: model has %d classes for %d strategies",
+			model.OutputDim(), len(cfg.Strategies))
+	}
+	return &Keeper{cfg: cfg, model: model}, nil
+}
+
+// Config returns the keeper's configuration.
+func (k *Keeper) Config() Config { return k.cfg }
+
+// Model returns the underlying network (for persistence).
+func (k *Keeper) Model() *nn.Network { return k.model }
+
+// Predict maps a feature vector to the chosen strategy.
+func (k *Keeper) Predict(v features.Vector) (alloc.Strategy, int, error) {
+	idx, err := k.model.Predict(v.Input())
+	if err != nil {
+		return alloc.Strategy{}, 0, err
+	}
+	return k.cfg.Strategies[idx], idx, nil
+}
+
+// Switch records one channel re-allocation during a run.
+type Switch struct {
+	At       sim.Time
+	Vector   features.Vector
+	Strategy alloc.Strategy
+	Index    int
+}
+
+// Report is the outcome of one SSDKeeper-managed run.
+type Report struct {
+	ssd.Result
+	Switches []Switch
+}
+
+// Chosen returns the first (paper: only) strategy switch, or Shared if the
+// trace ended before the window elapsed.
+func (r Report) Chosen() alloc.Strategy {
+	if len(r.Switches) == 0 {
+		return alloc.Strategy{Kind: alloc.Shared}
+	}
+	return r.Switches[0].Strategy
+}
+
+// Run replays a trace under SSDKeeper management (Algorithm 2). The device
+// starts in Shared with hybrid page allocation driven by live observations;
+// after Window elapses the keeper predicts and re-binds channels. With
+// AdaptEvery set it keeps re-observing and re-binding.
+func (k *Keeper) Run(t trace.Trace) (Report, error) {
+	dev, err := ssd.New(k.cfg.Device, k.cfg.Options)
+	if err != nil {
+		return Report{}, err
+	}
+	if k.cfg.Season.Enabled() {
+		if err := dev.FTL().Season(k.cfg.Season.ValidFrac, k.cfg.Season.FreeBlocks, k.cfg.Season.Seed); err != nil {
+			return Report{}, err
+		}
+	}
+	var report Report
+
+	col := features.NewCollector(k.cfg.SaturationIOPS, 0)
+	adapt := func(now sim.Time) error {
+		vec := col.Vector(now)
+		strat, idx, err := k.Predict(vec)
+		if err != nil {
+			return err
+		}
+		if err := workload.Apply(dev, strat, vec.Traits(), k.cfg.Hybrid); err != nil {
+			return err
+		}
+		report.Switches = append(report.Switches, Switch{
+			At: now, Vector: vec, Strategy: strat, Index: idx,
+		})
+		return nil
+	}
+
+	var hookErr error
+	next := k.cfg.Window
+	onArrival := func(_ int, r trace.Record) {
+		if hookErr != nil {
+			return
+		}
+		now := dev.Engine().Now()
+		for now >= next {
+			if err := adapt(next); err != nil {
+				hookErr = err
+				return
+			}
+			if k.cfg.AdaptEvery <= 0 {
+				next = sim.Time(int64(^uint64(0) >> 2)) // effectively never
+				break
+			}
+			col.Reset(next)
+			next += k.cfg.AdaptEvery
+		}
+		col.Observe(r)
+	}
+
+	res, err := dev.Run(t, onArrival)
+	if err != nil {
+		return Report{}, err
+	}
+	if hookErr != nil {
+		return Report{}, hookErr
+	}
+	report.Result = res
+	return report, nil
+}
+
+// HybridModeFor returns the page mode the hybrid page allocator gives a
+// tenant with the observed characteristic (Section IV.E): dynamic for
+// write-dominated, static for read-dominated.
+func HybridModeFor(writeDominated bool) ftl.PageMode {
+	if writeDominated {
+		return ftl.DynamicAlloc
+	}
+	return ftl.StaticAlloc
+}
+
+// TrainConfig bundles the dataset and optimization settings for Train.
+type TrainConfig struct {
+	Dataset dataset.Config
+	// Hidden is the hidden-layer width (paper: 64).
+	Hidden int
+	// Activation for the hidden layer (paper's best: logistic).
+	Activation nn.Activation
+	Optimizer  nn.Optimizer
+	Iterations int
+	BatchSize  int
+	TrainFrac  float64 // paper: 0.7
+	Seed       int64
+}
+
+// TrainResult carries the trained model and its evaluation.
+type TrainResult struct {
+	Model   *nn.Network
+	History nn.History
+	Samples []dataset.Sample
+	// TestSamples is the held-out 30% (in shuffled order), kept so
+	// callers can compute latency regret from the stored per-strategy
+	// measurements without re-simulating.
+	TestSamples []dataset.Sample
+}
+
+// Train runs the full offline pipeline of Algorithm 1: generate labelled
+// mixed workloads, split 7:3, and fit the classifier. progress is forwarded
+// to dataset generation (may be nil).
+func Train(cfg TrainConfig, progress func(done, total int)) (TrainResult, error) {
+	samples, err := dataset.Generate(cfg.Dataset, progress)
+	if err != nil {
+		return TrainResult{}, err
+	}
+	return TrainOnSamples(cfg, samples)
+}
+
+// TrainOnSamples fits the classifier on pre-generated samples (so callers
+// can reuse one dataset across optimizer comparisons, as Figure 4 does).
+func TrainOnSamples(cfg TrainConfig, samples []dataset.Sample) (TrainResult, error) {
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = 64
+	}
+	if cfg.Activation == nil {
+		cfg.Activation = nn.Logistic{}
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = nn.NewAdam(0)
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 200
+	}
+	if cfg.TrainFrac <= 0 || cfg.TrainFrac >= 1 {
+		cfg.TrainFrac = 0.7
+	}
+	// Shuffle the samples themselves (not just the tensors) so the
+	// held-out split can be returned alongside the model.
+	shuffled := append([]dataset.Sample(nil), samples...)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	ds := dataset.ToNN(shuffled)
+	train, test := ds.Split(cfg.TrainFrac)
+	cut := train.Len()
+	net, err := nn.NewMLP([]int{features.Dim, cfg.Hidden, len(cfg.Dataset.Strategies)},
+		cfg.Activation, cfg.Seed)
+	if err != nil {
+		return TrainResult{}, err
+	}
+	hist, err := nn.Train(net, train, test, nn.TrainConfig{
+		Iterations: cfg.Iterations,
+		BatchSize:  cfg.BatchSize,
+		Optimizer:  cfg.Optimizer,
+		Seed:       cfg.Seed + 1,
+	})
+	if err != nil {
+		return TrainResult{}, err
+	}
+	return TrainResult{
+		Model:       net,
+		History:     hist,
+		Samples:     samples,
+		TestSamples: shuffled[cut:],
+	}, nil
+}

@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPrecisionMetadata(t *testing.T) {
+	cases := []struct {
+		p     Precision
+		bytes int
+		name  string
+	}{
+		{Float64, 8, "float64"},
+		{Float32, 4, "float32"},
+		{Float16, 2, "float16"},
+		{Int8, 1, "int8"},
+	}
+	for _, c := range cases {
+		if c.p.Bytes() != c.bytes || c.p.String() != c.name {
+			t.Errorf("%v: bytes %d name %s", c.p, c.p.Bytes(), c.p.String())
+		}
+	}
+}
+
+func TestFloat16Round(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{0, 0},
+		{1, 1},
+		{0.5, 0.5},
+		{1e-9, 0},             // below normal range
+		{1e6, 65504},          // clamped to half max
+		{-1e6, -65504},        // clamped negative
+		{1.0009765625, 1.001}, // rounds within 10-bit mantissa
+	}
+	for _, c := range cases {
+		got := float16Round(c.in)
+		if math.Abs(got-c.want) > 5e-4*(1+math.Abs(c.want)) {
+			t.Errorf("float16Round(%v) = %v, want about %v", c.in, got, c.want)
+		}
+	}
+	// Round-trip stability: quantizing twice changes nothing.
+	for _, v := range []float64{0.123, -3.75, 42.42, 1e-3} {
+		once := float16Round(v)
+		if float16Round(once) != once {
+			t.Errorf("float16Round not idempotent at %v", v)
+		}
+	}
+}
+
+func TestQuantizedPreservesShapeAndAccuracy(t *testing.T) {
+	train := toyDataset(300, 1)
+	test := toyDataset(100, 2)
+	net, err := NewMLP([]int{4, 16, 3}, Logistic{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(net, train, test, TrainConfig{
+		Iterations: 25, BatchSize: 16, Optimizer: NewAdam(0), Seed: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	baseAcc, err := net.Accuracy(test.X, test.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseAcc < 0.9 {
+		t.Fatalf("base accuracy %v too low for the test to be meaningful", baseAcc)
+	}
+	for _, p := range []Precision{Float64, Float32, Float16, Int8} {
+		q := net.Quantized(p)
+		if q.InputDim() != net.InputDim() || q.OutputDim() != net.OutputDim() {
+			t.Fatalf("%v: shape changed", p)
+		}
+		acc, err := q.Accuracy(test.X, test.Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// This easy problem should survive aggressive quantization.
+		if acc < baseAcc-0.1 {
+			t.Errorf("%v: accuracy %v dropped more than 10pp from %v", p, acc, baseAcc)
+		}
+	}
+	// Float64 quantization is the identity.
+	q := net.Quantized(Float64)
+	for li, l := range net.Layers {
+		for i := range l.W {
+			if q.Layers[li].W[i] != l.W[i] {
+				t.Fatal("float64 quantization changed weights")
+			}
+		}
+	}
+}
+
+func TestQuantizedIsACopy(t *testing.T) {
+	net, _ := NewMLP([]int{3, 4, 2}, ReLU{}, 1)
+	q := net.Quantized(Float32)
+	q.Layers[0].W[0] = 999
+	if net.Layers[0].W[0] == 999 {
+		t.Error("quantized network shares weight storage with the original")
+	}
+}
+
+func TestInt8ScaleAndBounds(t *testing.T) {
+	if int8Scale([]float64{0, 0}) != 0 {
+		t.Error("zero tensor should have zero scale")
+	}
+	scale := int8Scale([]float64{-2, 1})
+	if math.Abs(scale-2.0/127) > 1e-12 {
+		t.Errorf("scale %v", scale)
+	}
+	// Quantized values stay within the tensor's range.
+	got := quantizeValue(3.0, Int8, scale) // beyond maxAbs: clamps to 127*scale
+	if got > 2.0+1e-9 {
+		t.Errorf("int8 quantization escaped range: %v", got)
+	}
+}
+
+func TestStorageBytes(t *testing.T) {
+	net, _ := NewMLP([]int{9, 64, 42}, Logistic{}, 1)
+	params := net.ParamCount()
+	if got := net.StorageBytes(Float64); got != params*8 {
+		t.Errorf("float64 storage %d", got)
+	}
+	if got := net.StorageBytes(Int8); got != params+2*2*4 {
+		t.Errorf("int8 storage %d, want params + scales", got)
+	}
+	// The paper's envelope: the 9-64-42 model must fit in tens of KB.
+	if net.StorageBytes(Float64) > 64*1024 {
+		t.Errorf("deployed model %dB exceeds the paper's SRAM envelope", net.StorageBytes(Float64))
+	}
+}

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelFile is the on-disk JSON schema. It stores enough to rebuild the
+// network exactly; gradients and optimizer state are not persisted (the
+// trained model is deployed for inference inside the FTL, per Section IV.D).
+type modelFile struct {
+	Version int         `json:"version"`
+	Layers  []layerFile `json:"layers"`
+}
+
+type layerFile struct {
+	In         int       `json:"in"`
+	Out        int       `json:"out"`
+	Activation string    `json:"activation"`
+	W          []float64 `json:"w"`
+	B          []float64 `json:"b"`
+}
+
+// Save writes the network as JSON.
+func (n *Network) Save(w io.Writer) error {
+	mf := modelFile{Version: 1}
+	for _, l := range n.Layers {
+		mf.Layers = append(mf.Layers, layerFile{
+			In: l.In, Out: l.Out, Activation: l.Act.Name(), W: l.W, B: l.B,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(mf)
+}
+
+// Load reads a network saved by Save.
+func Load(r io.Reader) (*Network, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("nn: decode model: %w", err)
+	}
+	if mf.Version != 1 {
+		return nil, fmt.Errorf("nn: unsupported model version %d", mf.Version)
+	}
+	if len(mf.Layers) == 0 {
+		return nil, fmt.Errorf("nn: model has no layers")
+	}
+	n := &Network{}
+	prevOut := -1
+	for i, lf := range mf.Layers {
+		if lf.In <= 0 || lf.Out <= 0 {
+			return nil, fmt.Errorf("nn: layer %d has invalid shape %dx%d", i, lf.In, lf.Out)
+		}
+		if prevOut != -1 && lf.In != prevOut {
+			return nil, fmt.Errorf("nn: layer %d input %d does not match previous output %d", i, lf.In, prevOut)
+		}
+		if len(lf.W) != lf.In*lf.Out || len(lf.B) != lf.Out {
+			return nil, fmt.Errorf("nn: layer %d weight/bias sizes inconsistent", i)
+		}
+		act, err := ActivationByName(lf.Activation)
+		if err != nil {
+			return nil, err
+		}
+		n.Layers = append(n.Layers, &Dense{
+			In: lf.In, Out: lf.Out, Act: act,
+			W:  lf.W,
+			B:  lf.B,
+			gw: make([]float64, lf.In*lf.Out),
+			gb: make([]float64, lf.Out),
+		})
+		prevOut = lf.Out
+	}
+	n.initScratch()
+	return n, nil
+}

@@ -1,0 +1,163 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Dataset is a labelled classification set.
+type Dataset struct {
+	X [][]float64
+	Y []int
+}
+
+// Len returns the number of samples.
+func (d Dataset) Len() int { return len(d.X) }
+
+// Validate checks shape consistency against a class count.
+func (d Dataset) Validate(inputDim, classes int) error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("nn: %d inputs vs %d labels", len(d.X), len(d.Y))
+	}
+	for i, x := range d.X {
+		if len(x) != inputDim {
+			return fmt.Errorf("nn: sample %d has dim %d, want %d", i, len(x), inputDim)
+		}
+		if d.Y[i] < 0 || d.Y[i] >= classes {
+			return fmt.Errorf("nn: sample %d label %d outside [0,%d)", i, d.Y[i], classes)
+		}
+	}
+	return nil
+}
+
+// Shuffle permutes the dataset in place, deterministically by seed.
+func (d Dataset) Shuffle(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(d.X), func(i, j int) {
+		d.X[i], d.X[j] = d.X[j], d.X[i]
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+	})
+}
+
+// Split divides the dataset into a training and test portion; frac is the
+// training fraction (the paper uses 0.7).
+func (d Dataset) Split(frac float64) (train, test Dataset) {
+	n := int(float64(len(d.X)) * frac)
+	if n < 0 {
+		n = 0
+	}
+	if n > len(d.X) {
+		n = len(d.X)
+	}
+	return Dataset{X: d.X[:n], Y: d.Y[:n]}, Dataset{X: d.X[n:], Y: d.Y[n:]}
+}
+
+// TrainConfig controls a training run. One iteration is one epoch (a full
+// pass over the training set in minibatches), matching the paper's
+// 200-iteration x-axis.
+type TrainConfig struct {
+	Iterations int
+	BatchSize  int
+	Optimizer  Optimizer
+	Seed       int64
+	// EvalEvery records loss/accuracy once per this many iterations
+	// (default 1).
+	EvalEvery int
+}
+
+// HistoryPoint is one recorded evaluation during training.
+type HistoryPoint struct {
+	Iteration    int
+	TrainLoss    float64
+	TestAccuracy float64
+}
+
+// History is the loss/accuracy trajectory of a training run — the series
+// plotted in Figure 4.
+type History struct {
+	Points       []HistoryPoint
+	TrainingTime time.Duration
+	FinalLoss    float64
+	FinalAcc     float64
+}
+
+// Train fits the network on train, evaluating on test. The same network can
+// be trained further by calling Train again.
+func Train(net *Network, train, test Dataset, cfg TrainConfig) (History, error) {
+	if cfg.Iterations <= 0 {
+		return History{}, fmt.Errorf("nn: non-positive iteration count %d", cfg.Iterations)
+	}
+	if cfg.Optimizer == nil {
+		return History{}, fmt.Errorf("nn: nil optimizer")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 1
+	}
+	if err := train.Validate(net.InputDim(), net.OutputDim()); err != nil {
+		return History{}, fmt.Errorf("nn: train set: %w", err)
+	}
+	if err := test.Validate(net.InputDim(), net.OutputDim()); err != nil {
+		return History{}, fmt.Errorf("nn: test set: %w", err)
+	}
+	if train.Len() == 0 {
+		return History{}, fmt.Errorf("nn: empty training set")
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, train.Len())
+	for i := range order {
+		order[i] = i
+	}
+	bx := make([][]float64, 0, cfg.BatchSize)
+	by := make([]int, 0, cfg.BatchSize)
+
+	var h History
+	start := time.Now()
+	for it := 1; it <= cfg.Iterations; it++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		epochLoss := 0.0
+		batches := 0
+		for at := 0; at < len(order); at += cfg.BatchSize {
+			end := at + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			bx, by = bx[:0], by[:0]
+			for _, idx := range order[at:end] {
+				bx = append(bx, train.X[idx])
+				by = append(by, train.Y[idx])
+			}
+			loss, err := net.TrainBatch(bx, by, cfg.Optimizer)
+			if err != nil {
+				return History{}, err
+			}
+			epochLoss += loss
+			batches++
+		}
+		if it%cfg.EvalEvery == 0 || it == cfg.Iterations {
+			acc := 0.0
+			if test.Len() > 0 {
+				var err error
+				acc, err = net.Accuracy(test.X, test.Y)
+				if err != nil {
+					return History{}, err
+				}
+			}
+			h.Points = append(h.Points, HistoryPoint{
+				Iteration:    it,
+				TrainLoss:    epochLoss / float64(batches),
+				TestAccuracy: acc,
+			})
+		}
+	}
+	h.TrainingTime = time.Since(start)
+	if n := len(h.Points); n > 0 {
+		h.FinalLoss = h.Points[n-1].TrainLoss
+		h.FinalAcc = h.Points[n-1].TestAccuracy
+	}
+	return h, nil
+}

@@ -1,0 +1,223 @@
+package ocssd
+
+import (
+	"strings"
+	"testing"
+
+	"ssdkeeper/internal/alloc"
+	"ssdkeeper/internal/ftl"
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/ssd"
+	"ssdkeeper/internal/trace"
+)
+
+func mustOC(t *testing.T) *Device {
+	t.Helper()
+	d, err := New(nand.TinyConfig(), ssd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestLeaseExclusivity(t *testing.T) {
+	d := mustOC(t)
+	if err := d.Lease(0, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Lease(1, []int{1, 2}); err == nil {
+		t.Error("overlapping lease accepted")
+	}
+	if err := d.Lease(0, []int{3}); err == nil {
+		t.Error("double lease by one tenant accepted")
+	}
+	if err := d.Lease(1, []int{2, 3}); err != nil {
+		t.Errorf("disjoint lease rejected: %v", err)
+	}
+	if got := d.Leased(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("tenant 0 lease %v", got)
+	}
+	free := d.FreeChannels()
+	if len(free) != 4 { // 8 - 2 - 2
+		t.Errorf("free channels %v", free)
+	}
+}
+
+func TestLeaseValidation(t *testing.T) {
+	d := mustOC(t)
+	cases := []struct {
+		tenants  []int
+		channels []int
+	}{
+		{nil, []int{0}},
+		{[]int{0}, nil},
+		{[]int{0}, []int{9}},
+		{[]int{0}, []int{-1}},
+		{[]int{0}, []int{1, 1}},
+		{[]int{-3}, []int{1}},
+	}
+	for i, c := range cases {
+		if err := d.LeaseGroup(c.tenants, c.channels); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGroupLeaseSharesChannels(t *testing.T) {
+	d := mustOC(t)
+	if err := d.LeaseGroup([]int{0, 2}, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Leased(2); len(got) != 3 {
+		t.Errorf("group member lease %v", got)
+	}
+	// Channels stay owned until the last member releases.
+	if err := d.Release(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Lease(5, []int{0}); err == nil {
+		t.Error("channel released while a group member still holds it")
+	}
+	if err := d.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Lease(5, []int{0}); err != nil {
+		t.Errorf("channel not freed after last release: %v", err)
+	}
+}
+
+func TestReleaseUnknownTenant(t *testing.T) {
+	d := mustOC(t)
+	if err := d.Release(7); err == nil {
+		t.Error("releasing a non-lease accepted")
+	}
+}
+
+func TestRunRequiresLeases(t *testing.T) {
+	d := mustOC(t)
+	cfg := d.Geometry()
+	tr := trace.Trace{{Time: 0, Tenant: 0, Op: trace.Write, Offset: 0, Size: cfg.PageSize}}
+	if _, err := d.Run(tr); err == nil || !strings.Contains(err.Error(), "lease") {
+		t.Errorf("run without lease: %v", err)
+	}
+	if err := d.Lease(0, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Device.Write.Count != 1 {
+		t.Error("write not recorded")
+	}
+}
+
+func TestIOConfinedToLease(t *testing.T) {
+	d := mustOC(t)
+	cfg := d.Geometry()
+	if err := d.Lease(0, []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	var tr trace.Trace
+	for lpn := int64(0); lpn < 32; lpn++ {
+		tr = append(tr, trace.Record{
+			Time: 0, Tenant: 0, Op: trace.Write,
+			Offset: lpn * int64(cfg.PageSize), Size: cfg.PageSize,
+		})
+	}
+	if _, err := d.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	// Every mapped page must sit on a leased channel.
+	f := d.Underlying().FTL()
+	for lpn := int64(0); lpn < 32; lpn++ {
+		addr, ok := f.Lookup(ftl.Key{Tenant: 0, LPN: lpn})
+		if !ok {
+			t.Fatalf("lpn %d unmapped", lpn)
+		}
+		if addr.Channel != 2 && addr.Channel != 3 {
+			t.Errorf("lpn %d escaped the lease to channel %d", lpn, addr.Channel)
+		}
+	}
+}
+
+func TestApplyBinding(t *testing.T) {
+	d := mustOC(t)
+	s := alloc.Strategy{Kind: alloc.FourWay, Parts: []int{5, 1, 1, 1}}
+	binding, err := s.Bind(8, make([]alloc.TenantTraits, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(binding); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Leased(0)); got != 5 {
+		t.Errorf("tenant 0 leased %d channels, want 5", got)
+	}
+	if got := len(d.FreeChannels()); got != 0 {
+		t.Errorf("%d channels free after full binding", got)
+	}
+	// Re-apply a different binding: leases must be replaced.
+	s2 := alloc.Strategy{Kind: alloc.Isolated}
+	b2, err := s2.Bind(8, make([]alloc.TenantTraits, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(b2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Leased(0)); got != 2 {
+		t.Errorf("tenant 0 leased %d channels after re-apply, want 2", got)
+	}
+}
+
+func TestApplyRejectsShared(t *testing.T) {
+	d := mustOC(t)
+	s := alloc.Strategy{Kind: alloc.Shared}
+	binding, err := s.Bind(8, make([]alloc.TenantTraits, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(binding); err == nil {
+		t.Error("Shared binding accepted on an Open-Channel device")
+	}
+}
+
+func TestApplyTwoGroupBinding(t *testing.T) {
+	d := mustOC(t)
+	s := alloc.Strategy{Kind: alloc.TwoGroup, WriteChannels: 6}
+	traits := []alloc.TenantTraits{
+		{WriteDominated: true}, {WriteDominated: false},
+		{WriteDominated: true}, {WriteDominated: false},
+	}
+	binding, err := s.Bind(8, traits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(binding); err != nil {
+		t.Fatal(err)
+	}
+	// Write tenants 0 and 2 share the 6-channel slice.
+	if got := d.Leased(0); len(got) != 6 {
+		t.Errorf("write group lease %v", got)
+	}
+	if got := d.Leased(1); len(got) != 2 {
+		t.Errorf("read group lease %v", got)
+	}
+}
+
+func TestSubmitRequiresLease(t *testing.T) {
+	d := mustOC(t)
+	cfg := d.Geometry()
+	r := trace.Record{Time: 0, Tenant: 3, Op: trace.Read, Offset: 0, Size: cfg.PageSize}
+	if err := d.Submit(r, nil); err == nil {
+		t.Error("submit without lease accepted")
+	}
+	if err := d.Lease(3, []int{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(r, nil); err != nil {
+		t.Errorf("submit with lease rejected: %v", err)
+	}
+	d.Underlying().Engine().Run()
+}

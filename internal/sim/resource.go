@@ -1,0 +1,158 @@
+package sim
+
+import "container/heap"
+
+// Resource models a unit of hardware that can serve one operation at a time,
+// such as a flash channel bus or a die. Operations request the resource with
+// Use; when the resource is free the operation occupies it for a fixed
+// duration, after which the completion callback runs and the next waiter is
+// granted.
+//
+// Waiters are ordered by (priority, arrival): lower priority values are
+// served first, ties in FIFO order. This is how the device model implements
+// the paper's read-priority channel arbitration — reads enqueue with a lower
+// priority value than writes.
+type Resource struct {
+	eng  *Engine
+	name string
+
+	busy    bool
+	waiters waiterHeap
+	seq     uint64
+
+	// Telemetry, exposed for dynamic page allocation and statistics.
+	busyUntil Time
+	busyTime  Time
+	grants    uint64
+	contended uint64 // grants that had to wait for a previous holder
+	waitTime  Time   // total time spent waiting across all grants
+	maxQueue  int
+}
+
+// waiter is one queued request for the resource.
+type waiter struct {
+	prio int
+	seq  uint64
+	at   Time // enqueue time, for wait accounting
+	hold Time
+	done func()
+}
+
+type waiterHeap []waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	*h = old[:n-1]
+	return w
+}
+
+// NewResource creates a resource bound to an engine. The name appears only in
+// diagnostics.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Name returns the diagnostic name given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Use requests the resource with the given priority (lower is served first),
+// occupies it for hold once granted, and then invokes done (which may be
+// nil). If the resource is idle and nothing with better priority is queued,
+// the grant happens immediately at the current simulated time.
+func (r *Resource) Use(prio int, hold Time, done func()) {
+	r.seq++
+	w := waiter{prio: prio, seq: r.seq, at: r.eng.Now(), hold: hold, done: done}
+	if !r.busy {
+		r.grant(w)
+		return
+	}
+	heap.Push(&r.waiters, w)
+	if len(r.waiters) > r.maxQueue {
+		r.maxQueue = len(r.waiters)
+	}
+}
+
+// grant occupies the resource for w and schedules the release.
+func (r *Resource) grant(w waiter) {
+	now := r.eng.Now()
+	r.busy = true
+	r.grants++
+	if wait := now - w.at; wait > 0 {
+		r.contended++
+		r.waitTime += wait
+	}
+	r.busyTime += w.hold
+	r.busyUntil = now + w.hold
+	r.eng.Schedule(now+w.hold, func() {
+		if w.done != nil {
+			w.done()
+		}
+		r.release()
+	})
+}
+
+// release frees the resource and grants the best waiter, if any.
+func (r *Resource) release() {
+	r.busy = false
+	if len(r.waiters) > 0 {
+		w := heap.Pop(&r.waiters).(waiter)
+		r.grant(w)
+	}
+}
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen returns the number of operations waiting (not counting the
+// current holder).
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// BusyUntil returns the time at which the current hold ends; if the resource
+// is idle the value is in the past and callers should clamp to now.
+func (r *Resource) BusyUntil() Time { return r.busyUntil }
+
+// Load returns an estimate of pending work used by dynamic page allocation:
+// the remaining hold time of the current operation plus queued hold times.
+func (r *Resource) Load(now Time) Time {
+	var load Time
+	if r.busy && r.busyUntil > now {
+		load = r.busyUntil - now
+	}
+	for _, w := range r.waiters {
+		load += w.hold
+	}
+	return load
+}
+
+// Stats is a snapshot of resource utilization counters.
+type Stats struct {
+	Name      string
+	BusyTime  Time   // total occupied time
+	Grants    uint64 // operations served
+	Contended uint64 // operations that had to wait
+	WaitTime  Time   // total waiting time across operations
+	MaxQueue  int    // peak queue length observed
+}
+
+// Snapshot returns the current utilization counters.
+func (r *Resource) Snapshot() Stats {
+	return Stats{
+		Name:      r.name,
+		BusyTime:  r.busyTime,
+		Grants:    r.grants,
+		Contended: r.contended,
+		WaitTime:  r.waitTime,
+		MaxQueue:  r.maxQueue,
+	}
+}

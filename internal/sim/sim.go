@@ -1,0 +1,143 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in the order they were
+// scheduled, which makes simulations fully deterministic and therefore
+// reproducible across runs and platforms.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// simulation. It is a distinct type from time.Duration to prevent simulated
+// and wall-clock time from being mixed accidentally.
+type Time int64
+
+// Common durations, expressed in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders the time with a unit that keeps the magnitude readable.
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+	}
+}
+
+// Micros returns the time in microseconds as a float, the unit used by the
+// paper's latency figures.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// event is a single scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among equal timestamps
+	fn  func()
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an engine with its clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far. Useful for tests and
+// for detecting runaway simulations.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule registers fn to run at absolute time at. Scheduling in the past
+// panics: it always indicates a modelling bug, and silently clamping would
+// corrupt causality.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds after the current time.
+func (e *Engine) After(d Time, fn func()) {
+	e.Schedule(e.now+d, fn)
+}
+
+// Step executes the single earliest pending event and advances the clock to
+// its timestamp. It returns false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain and returns the final clock value.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline (if it has not already passed it) and returns it. Events
+// scheduled beyond the deadline remain pending.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

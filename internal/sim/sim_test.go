@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{20 * Microsecond, "20.00us"},
+		{1500 * Microsecond, "1.500ms"},
+		{2 * Second, "2.000000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeMicros(t *testing.T) {
+	if got := (1500 * Nanosecond).Micros(); got != 1.5 {
+		t.Errorf("Micros() = %v, want 1.5", got)
+	}
+}
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("Run() = %v, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineFIFOAmongEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("equal-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineScheduleFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(10, func() {
+		fired = append(fired, e.Now())
+		e.After(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Errorf("fired = %v, want [10 15]", fired)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for _, at := range []Time{10, 20, 30, 40} {
+		e.Schedule(at, func() { count++ })
+	}
+	e.RunUntil(25)
+	if count != 2 {
+		t.Errorf("events fired by t=25: %d, want 2", count)
+	}
+	if e.Now() != 25 {
+		t.Errorf("Now() = %v, want 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if count != 4 {
+		t.Errorf("total events fired: %d, want 4", count)
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Errorf("Now() = %v, want 1000", e.Now())
+	}
+}
+
+func TestEngineFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 5 {
+		t.Errorf("Fired() = %d, want 5", e.Fired())
+	}
+}
+
+// Property: regardless of insertion order, events fire sorted by timestamp.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(stamps []uint16) bool {
+		if len(stamps) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []Time
+		for _, s := range stamps {
+			at := Time(s)
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(stamps) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceImmediateGrantWhenIdle(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "bus")
+	var doneAt Time = -1
+	r.Use(0, 100, func() { doneAt = e.Now() })
+	e.Run()
+	if doneAt != 100 {
+		t.Errorf("completion at %v, want 100", doneAt)
+	}
+}
+
+func TestResourceSerializesHolds(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "bus")
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		r.Use(0, 100, func() { ends = append(ends, e.Now()) })
+	}
+	e.Run()
+	want := []Time{100, 200, 300}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourcePriorityPreemptsQueueOrder(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "bus")
+	var order []string
+	r.Use(1, 100, func() { order = append(order, "first-write") })
+	r.Use(1, 100, func() { order = append(order, "queued-write") })
+	r.Use(0, 10, func() { order = append(order, "read") })
+	e.Run()
+	if order[0] != "first-write" || order[1] != "read" || order[2] != "queued-write" {
+		t.Errorf("service order = %v; read should jump the queued write", order)
+	}
+}
+
+func TestResourceConflictAccounting(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "bus")
+	r.Use(0, 100, nil)
+	r.Use(0, 100, nil)
+	r.Use(0, 100, nil)
+	e.Run()
+	s := r.Snapshot()
+	if s.Grants != 3 {
+		t.Errorf("grants = %d, want 3", s.Grants)
+	}
+	if s.Contended != 2 {
+		t.Errorf("contended = %d, want 2", s.Contended)
+	}
+	// Second op waits 100, third waits 200.
+	if s.WaitTime != 300 {
+		t.Errorf("wait time = %v, want 300", s.WaitTime)
+	}
+	if s.BusyTime != 300 {
+		t.Errorf("busy time = %v, want 300", s.BusyTime)
+	}
+	if s.MaxQueue != 2 {
+		t.Errorf("max queue = %d, want 2", s.MaxQueue)
+	}
+}
+
+func TestResourceLoadEstimate(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "bus")
+	r.Use(0, 100, nil)
+	r.Use(0, 50, nil)
+	if got := r.Load(0); got != 150 {
+		t.Errorf("Load = %v, want 150", got)
+	}
+	e.Run()
+	if got := r.Load(e.Now()); got != 0 {
+		t.Errorf("Load after drain = %v, want 0", got)
+	}
+}
+
+func TestResourceInterleavedArrivals(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "die")
+	var ends []Time
+	e.Schedule(0, func() { r.Use(0, 100, func() { ends = append(ends, e.Now()) }) })
+	// Arrives while busy: starts at 100.
+	e.Schedule(50, func() { r.Use(0, 100, func() { ends = append(ends, e.Now()) }) })
+	// Arrives after idle gap: starts at its arrival.
+	e.Schedule(500, func() { r.Use(0, 100, func() { ends = append(ends, e.Now()) }) })
+	e.Run()
+	want := []Time{100, 200, 600}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+// Property: total busy time equals the sum of holds, and every operation
+// completes exactly once, under random arrivals/holds/priorities.
+func TestResourceConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		r := NewResource(e, "x")
+		n := 1 + rng.Intn(40)
+		var wantBusy Time
+		completed := 0
+		for i := 0; i < n; i++ {
+			hold := Time(1 + rng.Intn(1000))
+			at := Time(rng.Intn(5000))
+			prio := rng.Intn(3)
+			wantBusy += hold
+			e.Schedule(at, func() {
+				r.Use(prio, hold, func() { completed++ })
+			})
+		}
+		e.Run()
+		s := r.Snapshot()
+		if completed != n {
+			t.Fatalf("trial %d: completed %d of %d", trial, completed, n)
+		}
+		if s.BusyTime != wantBusy {
+			t.Fatalf("trial %d: busy %v, want %v", trial, s.BusyTime, wantBusy)
+		}
+		if s.Grants != uint64(n) {
+			t.Fatalf("trial %d: grants %d, want %d", trial, s.Grants, n)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package ssd models a multi-channel SSD: per-channel buses, per-die flash
+// arrays, read-priority arbitration, page-level request fan-out, and the
+// access-conflict behaviour the paper optimizes. It drives the discrete-
+// event engine with a block-level trace and produces per-tenant latency
+// statistics.
+//
+// Timing model (per page):
+//
+//	read:  die busy tR  -> channel bus busy tXfer
+//	write: channel bus busy tXfer -> die busy tPROG
+//	GC:    die busy moved*(tR+tPROG) + tBERS (copyback, no bus traffic)
+//
+// A request completes when its last page completes; its response latency is
+// completion time minus arrival time. Access conflicts are the waits
+// operations experience on busy buses and dies; the resource snapshots
+// report them directly.
+package ssd
+
+import (
+	"fmt"
+
+	"ssdkeeper/internal/ftl"
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/stats"
+	"ssdkeeper/internal/trace"
+)
+
+// Operation priorities on shared resources: reads preempt queued writes
+// (they do not abort in-flight ones), and GC runs at background priority.
+const (
+	prioRead  = 0
+	prioWrite = 1
+	prioGC    = 2
+)
+
+// Options tune device behaviour.
+type Options struct {
+	// ReadPriority makes buses and dies serve queued reads before queued
+	// writes. SSDSim — and therefore the paper's evaluation — arbitrates
+	// FIFO (the paper's "reads have priority to respond" refers to their
+	// shorter service time, not a scheduler), so the default is false.
+	// The ablation benchmark flips it to show that strict read priority
+	// collapses the benefit of channel isolation: once reads can no
+	// longer be delayed by queued writes, Shared dominates everywhere.
+	ReadPriority bool
+	// NoCacheRegister removes the per-plane cache register of Figure 1.
+	// With the register (default), a die is free as soon as its array
+	// operation ends — the register holds the data while the channel
+	// streams it, so array time and bus transfer pipeline. Without it
+	// the die stays reserved through the transfer window as well
+	// (approximated as an extended die hold), serializing back-to-back
+	// operations on the same die.
+	NoCacheRegister bool
+	// MaxOutstanding bounds the number of requests in flight inside the
+	// device during Run, modelling host queue depth (NCQ): arrivals
+	// beyond the bound wait in a host-side FIFO and their response
+	// latency includes that wait. Zero leaves the queue unbounded (the
+	// SSDSim default, and the paper's setup).
+	MaxOutstanding int
+	// CMTEntries bounds the FTL's cached mapping table (DFTL-style):
+	// page accesses whose translation entry is not cached pay one
+	// translation-page read on the die before the operation. Zero
+	// models unlimited mapping SRAM (the SSDSim default).
+	CMTEntries int
+}
+
+// DefaultOptions returns the paper's configuration: FIFO arbitration.
+func DefaultOptions() Options { return Options{ReadPriority: false} }
+
+// Device is one simulated SSD.
+type Device struct {
+	cfg  nand.Config
+	opts Options
+	eng  *sim.Engine
+	ftl  *ftl.FTL
+
+	buses []*sim.Resource // one per channel
+	dies  []*sim.Resource // flat die index
+
+	col      *stats.Collector
+	inFlight int
+}
+
+// New builds a device (and its FTL) over a geometry.
+func New(cfg nand.Config, opts Options) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	d := &Device{
+		cfg:  cfg,
+		opts: opts,
+		eng:  eng,
+		col:  stats.NewCollector(),
+	}
+	f, err := ftl.New(cfg, d)
+	if err != nil {
+		return nil, err
+	}
+	d.ftl = f
+	d.buses = make([]*sim.Resource, cfg.Channels)
+	for i := range d.buses {
+		d.buses[i] = sim.NewResource(eng, fmt.Sprintf("ch%d", i))
+	}
+	d.dies = make([]*sim.Resource, cfg.TotalDies())
+	for i := range d.dies {
+		d.dies[i] = sim.NewResource(eng, fmt.Sprintf("die%d", i))
+	}
+	if opts.CMTEntries > 0 {
+		d.ftl.EnableCMT(opts.CMTEntries)
+	}
+	return d, nil
+}
+
+// Config returns the device geometry.
+func (d *Device) Config() nand.Config { return d.cfg }
+
+// FTL exposes the device's translation layer (for channel re-allocation and
+// page-mode changes while a simulation runs).
+func (d *Device) FTL() *ftl.FTL { return d.ftl }
+
+// Engine exposes the simulation engine (for schedulers layered on top, such
+// as SSDKeeper's feature-window timer).
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Stats returns the latency collector.
+func (d *Device) Stats() *stats.Collector { return d.col }
+
+// ChannelLoad implements ftl.Load.
+func (d *Device) ChannelLoad(ch int) sim.Time {
+	return d.buses[ch].Load(d.eng.Now())
+}
+
+// DieLoad implements ftl.Load.
+func (d *Device) DieLoad(die int) sim.Time {
+	return d.dies[die].Load(d.eng.Now())
+}
+
+// prio maps an operation to its arbitration priority under the device
+// options.
+func (d *Device) prio(op trace.Op) int {
+	if !d.opts.ReadPriority {
+		return prioWrite
+	}
+	if op == trace.Read {
+		return prioRead
+	}
+	return prioWrite
+}
+
+// pagesOf converts a record's byte extent to page numbers.
+func (d *Device) pagesOf(r trace.Record) (startLPN int64, n int) {
+	ps := int64(d.cfg.PageSize)
+	startLPN = r.Offset / ps
+	end := r.Offset + int64(r.Size)
+	endLPN := (end + ps - 1) / ps
+	return startLPN, int(endLPN - startLPN)
+}
+
+// Submit issues one request at the current simulated time. The callback
+// done (may be nil) runs at completion with the response latency.
+func (d *Device) Submit(r trace.Record, done func(lat sim.Time)) error {
+	return d.SubmitAt(r, d.eng.Now(), done)
+}
+
+// SubmitAt issues a request whose response latency is measured from the
+// given arrival instant, which must not be in the future. Run uses it to
+// charge host-queue waiting time to requests held back by MaxOutstanding.
+func (d *Device) SubmitAt(r trace.Record, arrival sim.Time, done func(lat sim.Time)) error {
+	startLPN, n := d.pagesOf(r)
+	if n == 0 {
+		return fmt.Errorf("ssd: zero-page request at offset %d size %d", r.Offset, r.Size)
+	}
+	if arrival > d.eng.Now() {
+		return fmt.Errorf("ssd: arrival %v in the future (now %v)", arrival, d.eng.Now())
+	}
+	remaining := n
+	d.inFlight++
+	finishPage := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		lat := d.eng.Now() - arrival
+		if r.Op == trace.Read {
+			d.col.AddRead(r.Tenant, lat)
+		} else {
+			d.col.AddWrite(r.Tenant, lat)
+		}
+		d.inFlight--
+		if done != nil {
+			done(lat)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := ftl.Key{Tenant: r.Tenant, LPN: startLPN + int64(i)}
+		pen := d.ftl.MapPenalty(k)
+		if r.Op == trace.Read {
+			addr, err := d.ftl.MapRead(k)
+			if err != nil {
+				return err
+			}
+			d.readPage(addr, pen, finishPage)
+		} else {
+			addr, gc, err := d.ftl.MapWrite(k)
+			if err != nil {
+				return err
+			}
+			d.writePage(addr, pen, finishPage)
+			if gc != nil {
+				d.chargeGC(gc)
+			}
+		}
+	}
+	return nil
+}
+
+// readPage models: optional translation read, die sensing, then bus
+// transfer to the host. Without a cache register the die also covers the
+// transfer window.
+func (d *Device) readPage(a nand.Addr, mapPenalty sim.Time, done func()) {
+	die := d.dies[d.cfg.DieID(a)]
+	bus := d.buses[a.Channel]
+	p := d.prio(trace.Read)
+	dieHold := d.cfg.ReadLatency + mapPenalty
+	if d.opts.NoCacheRegister {
+		dieHold += d.cfg.XferLatency
+	}
+	die.Use(p, dieHold, func() {
+		bus.Use(p, d.cfg.XferLatency, done)
+	})
+}
+
+// writePage models: bus transfer from the host, then an optional
+// translation read and the die program. Without a cache register the die is
+// reserved for the transfer window too.
+func (d *Device) writePage(a nand.Addr, mapPenalty sim.Time, done func()) {
+	die := d.dies[d.cfg.DieID(a)]
+	bus := d.buses[a.Channel]
+	p := d.prio(trace.Write)
+	dieHold := d.cfg.WriteLatency + mapPenalty
+	if d.opts.NoCacheRegister {
+		dieHold += d.cfg.XferLatency
+	}
+	bus.Use(p, d.cfg.XferLatency, func() {
+		die.Use(p, dieHold, done)
+	})
+}
+
+// chargeGC occupies the victim plane's die at background priority for the
+// plan's copyback and erase time.
+func (d *Device) chargeGC(plan *ftl.GCPlan) {
+	die := d.dies[d.cfg.DieID(plan.VictimAddr)]
+	die.Use(prioGC, plan.DieTime, nil)
+}
+
+// Result summarizes one completed simulation.
+type Result struct {
+	Makespan     sim.Time // time the last event fired
+	Requests     int
+	Device       stats.Latency
+	PerTenant    map[int]stats.Latency
+	BusStats     []sim.Stats
+	DieStats     []sim.Stats
+	FTL          ftl.Counters
+	Conflicts    uint64   // operations that waited on a busy bus or die
+	ConflictWait sim.Time // total time spent waiting
+	// Fairness is Jain's index over the tenants' total latencies (1.0 =
+	// every tenant experiences the device equally).
+	Fairness float64
+}
+
+// Run replays an entire trace and returns the result. Arrivals are injected
+// lazily (record i+1 is scheduled when record i arrives), so memory stays
+// O(outstanding work), not O(trace). An optional onArrival hook observes
+// each record at its arrival instant — SSDKeeper's features collector and
+// window timer hang off it.
+func (d *Device) Run(t trace.Trace, onArrival func(i int, r trace.Record)) (Result, error) {
+	if err := t.Validate(); err != nil {
+		return Result{}, err
+	}
+	var submitErr error
+	var backlog []trace.Record // host-side FIFO when MaxOutstanding binds
+	var dispatch func(r trace.Record)
+	onDone := func(sim.Time) {
+		if len(backlog) == 0 || submitErr != nil {
+			return
+		}
+		next := backlog[0]
+		backlog = backlog[1:]
+		dispatch(next)
+	}
+	dispatch = func(r trace.Record) {
+		if err := d.SubmitAt(r, r.Time, onDone); err != nil {
+			submitErr = err
+		}
+	}
+	var inject func(i int)
+	inject = func(i int) {
+		if i >= len(t) || submitErr != nil {
+			return
+		}
+		r := t[i]
+		if onArrival != nil {
+			onArrival(i, r)
+		}
+		if d.opts.MaxOutstanding > 0 && d.inFlight >= d.opts.MaxOutstanding {
+			backlog = append(backlog, r)
+		} else {
+			dispatch(r)
+		}
+		if submitErr != nil {
+			return
+		}
+		if i+1 < len(t) {
+			d.eng.Schedule(t[i+1].Time, func() { inject(i + 1) })
+		}
+	}
+	if len(t) > 0 {
+		d.eng.Schedule(t[0].Time, func() { inject(0) })
+	}
+	makespan := d.eng.Run()
+	if submitErr != nil {
+		return Result{}, submitErr
+	}
+	return d.result(makespan, len(t)), nil
+}
+
+// Snapshot assembles a Result at the current simulated time, for drivers
+// that pump the engine themselves (e.g. the multi-queue host interface).
+func (d *Device) Snapshot(requests int) Result {
+	return d.result(d.eng.Now(), requests)
+}
+
+// result assembles the summary.
+func (d *Device) result(makespan sim.Time, requests int) Result {
+	res := Result{
+		Makespan:  makespan,
+		Requests:  requests,
+		Device:    d.col.Device(),
+		PerTenant: make(map[int]stats.Latency),
+		FTL:       d.ftl.Counters(),
+		Fairness:  d.col.Fairness(),
+	}
+	for _, id := range d.col.Tenants() {
+		res.PerTenant[id] = d.col.Tenant(id)
+	}
+	for _, b := range d.buses {
+		s := b.Snapshot()
+		res.BusStats = append(res.BusStats, s)
+		res.Conflicts += s.Contended
+		res.ConflictWait += s.WaitTime
+	}
+	for _, dr := range d.dies {
+		s := dr.Snapshot()
+		res.DieStats = append(res.DieStats, s)
+		res.Conflicts += s.Contended
+		res.ConflictWait += s.WaitTime
+	}
+	return res
+}

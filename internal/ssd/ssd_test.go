@@ -1,0 +1,374 @@
+package ssd
+
+import (
+	"math"
+	"testing"
+
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/trace"
+)
+
+func testConfig() nand.Config {
+	return nand.TinyConfig() // Table I timing, shrunk capacity
+}
+
+func mustDevice(t *testing.T, cfg nand.Config, opts Options) *Device {
+	t.Helper()
+	d, err := New(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func run(t *testing.T, d *Device, tr trace.Trace) Result {
+	t.Helper()
+	res, err := d.Run(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSinglePageReadLatency(t *testing.T) {
+	cfg := testConfig()
+	d := mustDevice(t, cfg, DefaultOptions())
+	res := run(t, d, trace.Trace{
+		{Time: 0, Tenant: 0, Op: trace.Read, Offset: 0, Size: cfg.PageSize},
+	})
+	// Uncontended read: tR + tXfer = 20us + 40us.
+	want := (cfg.ReadLatency + cfg.XferLatency).Micros()
+	if got := res.Device.Read.Mean(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("read latency %vus, want %vus", got, want)
+	}
+}
+
+func TestSinglePageWriteLatency(t *testing.T) {
+	cfg := testConfig()
+	d := mustDevice(t, cfg, DefaultOptions())
+	res := run(t, d, trace.Trace{
+		{Time: 0, Tenant: 0, Op: trace.Write, Offset: 0, Size: cfg.PageSize},
+	})
+	// Uncontended write: tXfer + tPROG = 40us + 200us.
+	want := (cfg.XferLatency + cfg.WriteLatency).Micros()
+	if got := res.Device.Write.Mean(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("write latency %vus, want %vus", got, want)
+	}
+}
+
+func TestMultiPageRequestWaitsForSlowestPage(t *testing.T) {
+	cfg := testConfig()
+	d := mustDevice(t, cfg, DefaultOptions())
+	// 4 pages striped statically over 4 distinct channels: the die times
+	// overlap, but each page still pays its own transfer; the request
+	// ends when the last page lands.
+	res := run(t, d, trace.Trace{
+		{Time: 0, Tenant: 0, Op: trace.Write, Offset: 0, Size: 4 * cfg.PageSize},
+	})
+	perPage := (cfg.XferLatency + cfg.WriteLatency).Micros()
+	got := res.Device.Write.Mean()
+	if got < perPage {
+		t.Errorf("4-page write %vus faster than a single page %vus", got, perPage)
+	}
+	// On distinct channels the pages proceed in parallel; the total must
+	// be far below 4x serial.
+	if got >= 4*perPage {
+		t.Errorf("4-page write %vus shows no parallelism (serial would be %vus)", got, 4*perPage)
+	}
+}
+
+func TestPartialPageRoundsUp(t *testing.T) {
+	cfg := testConfig()
+	d := mustDevice(t, cfg, DefaultOptions())
+	// 1 byte crossing nothing: still one page.
+	res := run(t, d, trace.Trace{
+		{Time: 0, Tenant: 0, Op: trace.Read, Offset: 100, Size: 1},
+	})
+	if res.Device.Read.Count != 1 {
+		t.Fatal("request lost")
+	}
+	want := (cfg.ReadLatency + cfg.XferLatency).Micros()
+	if got := res.Device.Read.Mean(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("sub-page read %vus, want one-page %vus", got, want)
+	}
+}
+
+func TestSameDieWritesConflict(t *testing.T) {
+	cfg := testConfig()
+	d := mustDevice(t, cfg, DefaultOptions())
+	// Two writes to the same LPN region land on the same channel; issue
+	// them simultaneously. LPN 0 and LPN 8*2*4=64 map to channel 0 again
+	// under static striping (8 channels * 2 dies * 4 planes).
+	stride := int64(cfg.Channels * cfg.DiesPerChannel() * cfg.PlanesPerDie)
+	res := run(t, d, trace.Trace{
+		{Time: 0, Tenant: 0, Op: trace.Write, Offset: 0, Size: cfg.PageSize},
+		{Time: 0, Tenant: 0, Op: trace.Write, Offset: stride * int64(cfg.PageSize), Size: cfg.PageSize},
+	})
+	if res.Conflicts == 0 {
+		t.Error("simultaneous same-die writes produced no conflicts")
+	}
+	// Second write queues behind the first transfer at least.
+	if res.Device.Write.Max <= cfg.XferLatency+cfg.WriteLatency {
+		t.Errorf("max write latency %v shows no queueing", res.Device.Write.Max)
+	}
+}
+
+func TestDisjointChannelsDoNotConflict(t *testing.T) {
+	cfg := testConfig()
+	d := mustDevice(t, cfg, DefaultOptions())
+	// Tenant 0 on channel 0, tenant 1 on channel 1: simultaneous writes
+	// proceed fully in parallel.
+	if err := d.FTL().SetTenantChannels(0, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FTL().SetTenantChannels(1, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, d, trace.Trace{
+		{Time: 0, Tenant: 0, Op: trace.Write, Offset: 0, Size: cfg.PageSize},
+		{Time: 0, Tenant: 1, Op: trace.Write, Offset: 0, Size: cfg.PageSize},
+	})
+	if res.Conflicts != 0 {
+		t.Errorf("isolated tenants conflicted %d times", res.Conflicts)
+	}
+	want := (cfg.XferLatency + cfg.WriteLatency).Micros()
+	for tenant := 0; tenant < 2; tenant++ {
+		if got := res.PerTenant[tenant].Write.Mean(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("tenant %d write %vus, want uncontended %vus", tenant, got, want)
+		}
+	}
+}
+
+func TestSharedChannelTenantsInterfere(t *testing.T) {
+	cfg := testConfig()
+	d := mustDevice(t, cfg, DefaultOptions())
+	for tenant := 0; tenant < 2; tenant++ {
+		if err := d.FTL().SetTenantChannels(tenant, []int{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := run(t, d, trace.Trace{
+		{Time: 0, Tenant: 0, Op: trace.Write, Offset: 0, Size: cfg.PageSize},
+		{Time: 0, Tenant: 1, Op: trace.Write, Offset: 0, Size: cfg.PageSize},
+	})
+	if res.Conflicts == 0 {
+		t.Error("same-channel tenants did not conflict")
+	}
+}
+
+func TestReadPriorityJumpsWriteQueue(t *testing.T) {
+	cfg := testConfig()
+
+	latencies := func(readPriority bool) (readUs float64) {
+		d := mustDevice(t, cfg, Options{ReadPriority: readPriority})
+		// Pre-write the page the read will fetch so it has a mapping
+		// on channel 0, then saturate channel 0's bus with writes and
+		// issue the read last.
+		tr := trace.Trace{
+			{Time: 0, Tenant: 0, Op: trace.Write, Offset: 0, Size: cfg.PageSize},
+		}
+		at := sim.Time(400 * sim.Microsecond)
+		stride := int64(cfg.Channels*cfg.DiesPerChannel()*cfg.PlanesPerDie) * int64(cfg.PageSize)
+		for i := 1; i <= 6; i++ {
+			tr = append(tr, trace.Record{
+				Time: at, Tenant: 0, Op: trace.Write,
+				Offset: int64(i) * stride, Size: cfg.PageSize,
+			})
+		}
+		tr = append(tr, trace.Record{
+			Time: at + 1, Tenant: 0, Op: trace.Read, Offset: 0, Size: cfg.PageSize,
+		})
+		res := run(t, d, tr)
+		return res.Device.Read.Mean()
+	}
+
+	withPrio := latencies(true)
+	withoutPrio := latencies(false)
+	if withPrio >= withoutPrio {
+		t.Errorf("read priority did not help: %vus with vs %vus without", withPrio, withoutPrio)
+	}
+}
+
+func TestRunRejectsInvalidTrace(t *testing.T) {
+	d := mustDevice(t, testConfig(), DefaultOptions())
+	bad := trace.Trace{{Time: 10, Size: 1}, {Time: 0, Size: 1}}
+	if _, err := d.Run(bad, nil); err == nil {
+		t.Error("out-of-order trace accepted")
+	}
+}
+
+func TestSubmitRejectsZeroPages(t *testing.T) {
+	d := mustDevice(t, testConfig(), DefaultOptions())
+	err := d.Submit(trace.Record{Op: trace.Read, Offset: 0, Size: 0}, nil)
+	if err == nil {
+		t.Error("zero-size request accepted")
+	}
+}
+
+func TestOnArrivalHookSeesEveryRecordInOrder(t *testing.T) {
+	cfg := testConfig()
+	d := mustDevice(t, cfg, DefaultOptions())
+	tr := trace.Trace{
+		{Time: 0, Tenant: 0, Op: trace.Write, Offset: 0, Size: cfg.PageSize},
+		{Time: 100, Tenant: 1, Op: trace.Read, Offset: 0, Size: cfg.PageSize},
+		{Time: 300, Tenant: 2, Op: trace.Read, Offset: 0, Size: cfg.PageSize},
+	}
+	var seen []int
+	_, err := d.Run(tr, func(i int, r trace.Record) {
+		seen = append(seen, i)
+		if d.Engine().Now() != r.Time {
+			t.Errorf("hook for record %d at %v, want %v", i, d.Engine().Now(), r.Time)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != 0 || seen[2] != 2 {
+		t.Errorf("hook order %v", seen)
+	}
+}
+
+func TestResultAccounting(t *testing.T) {
+	cfg := testConfig()
+	d := mustDevice(t, cfg, DefaultOptions())
+	tr := trace.Trace{
+		{Time: 0, Tenant: 0, Op: trace.Write, Offset: 0, Size: 2 * cfg.PageSize},
+		{Time: 50 * sim.Microsecond, Tenant: 1, Op: trace.Read, Offset: 1 << 20, Size: cfg.PageSize},
+	}
+	res := run(t, d, tr)
+	if res.Requests != 2 {
+		t.Errorf("requests = %d", res.Requests)
+	}
+	if res.Device.Write.Count != 1 || res.Device.Read.Count != 1 {
+		t.Errorf("op counts wrong: %+v", res.Device)
+	}
+	if len(res.BusStats) != cfg.Channels || len(res.DieStats) != cfg.TotalDies() {
+		t.Error("resource stats missing")
+	}
+	if res.FTL.Writes != 2 {
+		t.Errorf("ftl writes = %d, want 2 pages", res.FTL.Writes)
+	}
+	if res.FTL.Preloads != 1 {
+		t.Errorf("ftl preloads = %d, want 1 (read of unwritten page)", res.FTL.Preloads)
+	}
+	if res.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+}
+
+func TestGCChargeDelaysForegroundOps(t *testing.T) {
+	cfg := testConfig()
+	cfg.Channels = 1
+	cfg.ChipsPerChannel = 1
+	cfg.PlanesPerDie = 1
+	cfg.BlocksPerPlane = 8
+	cfg.PagesPerBlock = 4
+	cfg.GCThreshold = 0.15
+	d := mustDevice(t, cfg, DefaultOptions())
+	// Hammer overwrites of a small working set to force GC, then check
+	// that max write latency shows the GC stall (erase is 1.5ms).
+	var tr trace.Trace
+	at := sim.Time(0)
+	for round := 0; round < 20; round++ {
+		for lpn := int64(0); lpn < 8; lpn++ {
+			tr = append(tr, trace.Record{
+				Time: at, Tenant: 0, Op: trace.Write,
+				Offset: lpn * int64(cfg.PageSize), Size: cfg.PageSize,
+			})
+			at += 300 * sim.Microsecond // just above per-write service time
+		}
+	}
+	res := run(t, d, tr)
+	if res.FTL.GCRuns == 0 {
+		t.Fatal("workload did not trigger GC")
+	}
+	if res.Device.Write.Max < cfg.EraseLatency {
+		t.Errorf("max write latency %v never absorbed an erase (%v)",
+			res.Device.Write.Max, cfg.EraseLatency)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	cfg := testConfig()
+	p := trace.Profile{
+		Name: "d", WriteRatio: 0.5, Count: 500, IOPS: 20000,
+		Address: 1 << 28, SeqProb: 0.2, MinPages: 1, MaxPages: 4,
+		PageSize: cfg.PageSize, Seed: 3,
+	}
+	tr, err := trace.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := run(t, mustDevice(t, cfg, DefaultOptions()), tr)
+	r2 := run(t, mustDevice(t, cfg, DefaultOptions()), tr)
+	if r1.Device.Read.Sum != r2.Device.Read.Sum || r1.Device.Write.Sum != r2.Device.Write.Sum {
+		t.Error("identical runs produced different latencies")
+	}
+	if r1.Makespan != r2.Makespan {
+		t.Error("identical runs produced different makespans")
+	}
+}
+
+func TestNoCacheRegisterSerializesDieOps(t *testing.T) {
+	cfg := testConfig()
+	// Two reads of the same die back to back: with the cache register
+	// the second sensing overlaps the first transfer; without it the die
+	// serializes sensing+transfer.
+	runPair := func(opts Options) sim.Time {
+		d := mustDevice(t, cfg, opts)
+		if err := d.FTL().SetTenantChannels(0, []int{0}); err != nil {
+			t.Fatal(err)
+		}
+		res := run(t, d, trace.Trace{
+			{Time: 0, Tenant: 0, Op: trace.Read, Offset: 0, Size: cfg.PageSize},
+			{Time: 0, Tenant: 0, Op: trace.Read, Offset: 0, Size: cfg.PageSize},
+		})
+		return res.Device.Read.Max
+	}
+	withReg := runPair(Options{})
+	withoutReg := runPair(Options{NoCacheRegister: true})
+	if withoutReg <= withReg {
+		t.Errorf("removing the cache register did not slow same-die reads: %v vs %v",
+			withoutReg, withReg)
+	}
+}
+
+func TestMaxOutstandingBoundsInFlight(t *testing.T) {
+	cfg := testConfig()
+	d := mustDevice(t, cfg, Options{MaxOutstanding: 2})
+	// 6 simultaneous writes to distinct channels: unbounded, all proceed
+	// in parallel; bounded at 2, they run in waves.
+	var tr trace.Trace
+	for i := 0; i < 6; i++ {
+		tr = append(tr, trace.Record{
+			Time: 0, Tenant: 0, Op: trace.Write,
+			Offset: int64(i) * int64(cfg.PageSize), Size: cfg.PageSize,
+		})
+	}
+	bounded := run(t, d, tr)
+	unbounded := run(t, mustDevice(t, cfg, DefaultOptions()), tr)
+	// Bounded: 3 waves of 240us -> max latency about 720us including
+	// host wait; unbounded: all about 240us.
+	if bounded.Device.Write.Max <= unbounded.Device.Write.Max {
+		t.Errorf("queue depth bound did not extend tail latency: %v vs %v",
+			bounded.Device.Write.Max, unbounded.Device.Write.Max)
+	}
+	want := 3 * (cfg.XferLatency + cfg.WriteLatency)
+	if bounded.Device.Write.Max != want {
+		t.Errorf("bounded max latency %v, want %v (3 waves incl. host wait)",
+			bounded.Device.Write.Max, want)
+	}
+	if bounded.Device.Write.Count != 6 {
+		t.Errorf("lost requests: %d of 6", bounded.Device.Write.Count)
+	}
+}
+
+func TestSubmitAtRejectsFutureArrival(t *testing.T) {
+	cfg := testConfig()
+	d := mustDevice(t, cfg, DefaultOptions())
+	err := d.SubmitAt(trace.Record{Op: trace.Read, Size: 1}, 100, nil)
+	if err == nil {
+		t.Error("future arrival accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math/bits"
+
+	"ssdkeeper/internal/sim"
+)
+
+// Histogram is a log-scaled latency histogram in the HdrHistogram spirit:
+// values are bucketed by magnitude (power of two) with 8 linear sub-buckets
+// per magnitude, giving quantiles with bounded (~12%) relative error at any
+// scale from nanoseconds to hours, in constant memory.
+type Histogram struct {
+	counts [64 * subBuckets]uint64
+	total  uint64
+}
+
+const subBuckets = 8
+
+// bucketOf maps a non-negative duration to a bucket index.
+func bucketOf(d sim.Time) int {
+	v := uint64(d)
+	if v < subBuckets {
+		return int(v) // exact buckets for tiny values
+	}
+	mag := bits.Len64(v) - 1                         // floor(log2(v)), >= 3 here
+	sub := (v >> (uint(mag) - 3)) & (subBuckets - 1) // top 3 bits after the leading 1
+	return mag*subBuckets + int(sub)
+}
+
+// upperBoundOf returns the largest value a bucket can hold.
+func upperBoundOf(idx int) sim.Time {
+	if idx < subBuckets {
+		return sim.Time(idx)
+	}
+	mag := idx / subBuckets
+	sub := uint64(idx % subBuckets)
+	// Reconstruct: leading 1 at mag, next 3 bits = sub, rest all ones.
+	base := uint64(1) << uint(mag)
+	step := base >> 3
+	return sim.Time(base + (sub+1)*step - 1)
+}
+
+// Add records one duration. Negative durations are clamped to zero.
+func (h *Histogram) Add(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)]++
+	h.total++
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) of the
+// recorded values, or 0 if the histogram is empty. Accuracy is limited by
+// the bucket width (~12% relative).
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target value, 1-based.
+	rank := uint64(q*float64(h.total-1)) + 1
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return upperBoundOf(i)
+		}
+	}
+	return upperBoundOf(len(h.counts) - 1)
+}
+
+// P50 returns the median upper bound.
+func (h *Histogram) P50() sim.Time { return h.Quantile(0.50) }
+
+// P95 returns the 95th-percentile upper bound.
+func (h *Histogram) P95() sim.Time { return h.Quantile(0.95) }
+
+// P99 returns the 99th-percentile upper bound — the tail-latency metric QoS
+// work on SSDs (e.g. the paper's AutoSSD and RL-GC citations) optimizes.
+func (h *Histogram) P99() sim.Time { return h.Quantile(0.99) }

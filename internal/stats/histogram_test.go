@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ssdkeeper/internal/sim"
+)
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	if h.Count() != 0 {
+		t.Error("empty histogram count not 0")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	v := 240 * sim.Microsecond
+	h.Add(v)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		// Bucket upper bound must contain the value within 12.5%.
+		if got < v || float64(got) > float64(v)*1.125+1 {
+			t.Errorf("quantile(%v) = %v, want about %v", q, got, v)
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	values := make([]sim.Time, 10000)
+	for i := range values {
+		// Log-uniform between 1us and 1s.
+		v := sim.Time(math.Exp(rng.Float64()*math.Log(1e9-1e3)) * 1e3)
+		if v < sim.Microsecond {
+			v = sim.Microsecond
+		}
+		values[i] = v
+		h.Add(v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		exact := values[int(q*float64(len(values)-1))]
+		got := h.Quantile(q)
+		rel := math.Abs(float64(got)-float64(exact)) / float64(exact)
+		if rel > 0.15 {
+			t.Errorf("quantile(%v) = %v vs exact %v (rel err %.2f)", q, got, exact, rel)
+		}
+	}
+}
+
+func TestHistogramBucketMonotoneProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var h Histogram
+		for _, v := range raw {
+			h.Add(sim.Time(v))
+		}
+		if len(raw) == 0 {
+			return h.Quantile(0.5) == 0
+		}
+		prev := sim.Time(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBucketRoundTripProperty(t *testing.T) {
+	// Every value must fall within its bucket's bounds: value <= upper
+	// bound and (for idx > 0) value > previous bucket's upper bound.
+	f := func(v uint64) bool {
+		d := sim.Time(v >> 1) // keep positive
+		idx := bucketOf(d)
+		if d > upperBoundOf(idx) {
+			return false
+		}
+		if idx > 0 && d <= upperBoundOf(idx-1) && bucketOf(d) != idx-0 {
+			// Values at bucket edges must still map consistently.
+			return upperBoundOf(idx-1) < d || bucketOf(d) == idx
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		v := sim.Time(rng.Int63n(int64(sim.Second)))
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() {
+		t.Errorf("merged count %d, want %d", a.Count(), all.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("quantile(%v) differs after merge", q)
+		}
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-5)
+	if h.Count() != 1 {
+		t.Error("negative value dropped")
+	}
+	if got := h.Quantile(1); got != 0 {
+		t.Errorf("clamped value quantile %v", got)
+	}
+}
+
+func TestAccPercentiles(t *testing.T) {
+	var a Acc
+	for i := 1; i <= 100; i++ {
+		a.Add(sim.Time(i) * sim.Microsecond)
+	}
+	p50 := a.P50()
+	if p50 < 45*sim.Microsecond || p50 > 60*sim.Microsecond {
+		t.Errorf("p50 = %v, want about 50us", p50)
+	}
+	p99 := a.P99()
+	if p99 < 95*sim.Microsecond || p99 > 115*sim.Microsecond {
+		t.Errorf("p99 = %v, want about 99us", p99)
+	}
+	var empty Acc
+	if empty.P50() != 0 {
+		t.Error("empty Acc quantile not 0")
+	}
+}
+
+func TestAccMergePreservesHistogram(t *testing.T) {
+	var a, b Acc
+	for i := 0; i < 50; i++ {
+		a.Add(10 * sim.Microsecond)
+		b.Add(1000 * sim.Microsecond)
+	}
+	a.Merge(b)
+	// Median of the merged stream sits at either mode; p99 must be the
+	// slow mode.
+	if a.P99() < 900*sim.Microsecond {
+		t.Errorf("merged p99 = %v, want about 1000us", a.P99())
+	}
+}

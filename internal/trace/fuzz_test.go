@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMSR drives the trace parser with arbitrary input: it must never
+// panic, and whatever it accepts must round-trip through WriteMSR.
+func FuzzReadMSR(f *testing.F) {
+	f.Add("100,hostA,0,Read,0,4096,0\n110,hostB,0,Write,4096,8192,0\n")
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add("junk")
+	f.Add("100,h,0,Read,0,4096\n")         // 6 fields, no response time
+	f.Add("100,h,0,w,0,1,0\n")             // shorthand op
+	f.Add("9999999999999,h,0,Read,0,1,0\n")
+	f.Add("100,h,0,Read,-5,1,0\n")
+	f.Add("0,,,R,0,0") // regression: zero-size record must be rejected
+
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, tenants, err := ReadMSR(strings.NewReader(in))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted traces must satisfy the package invariants.
+		if vErr := tr.Validate(); vErr != nil {
+			t.Fatalf("accepted trace fails validation: %v", vErr)
+		}
+		if len(tenants) > len(tr) {
+			t.Fatalf("more tenants (%d) than records (%d)", len(tenants), len(tr))
+		}
+		// Round trip what was accepted.
+		var buf bytes.Buffer
+		if err := WriteMSR(&buf, tr); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, _, err := ReadMSR(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(back) != len(tr) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(tr), len(back))
+		}
+	})
+}
+
+// FuzzGenerate drives the synthetic generator with arbitrary profile
+// numbers; accepted profiles must produce valid traces of the right length.
+func FuzzGenerate(f *testing.F) {
+	f.Add(0.5, 100, 1000.0, int64(1<<26), 0.3, 1, 4, int64(7))
+	f.Fuzz(func(t *testing.T, ratio float64, count int, iops float64,
+		addr int64, seq float64, minP, maxP int, seed int64) {
+		if count > 5000 {
+			count = 5000 // bound fuzz runtime
+		}
+		p := Profile{
+			Name: "fuzz", WriteRatio: ratio, Count: count, IOPS: iops,
+			Address: addr, SeqProb: seq, MinPages: minP, MaxPages: maxP,
+			PageSize: 4096, Seed: seed,
+		}
+		tr, err := Generate(p)
+		if err != nil {
+			return
+		}
+		if len(tr) != count {
+			t.Fatalf("generated %d records, want %d", len(tr), count)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("generated trace invalid: %v", err)
+		}
+	})
+}
