@@ -6,6 +6,7 @@ package ssdkeeper_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"ssdkeeper"
@@ -73,7 +74,7 @@ func TestPublicAPILearningFlow(t *testing.T) {
 	scale.DatasetWorkloads = 6
 	scale.DatasetRequests = 400
 
-	samples, err := ssdkeeper.BuildDataset(env, scale, nil)
+	samples, err := ssdkeeper.BuildDataset(context.Background(), env, scale, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,6 +143,57 @@ func TestPublicAPIOpenChannelFlow(t *testing.T) {
 	}
 	if got := len(dev.Leased(0)); got != 5 {
 		t.Errorf("tenant 0 leased %d channels, want 5", got)
+	}
+}
+
+func TestPublicAPIRunLayer(t *testing.T) {
+	cfg := ssdkeeper.EvalConfig()
+	spec := ssdkeeper.MixSpec{
+		Tenants: []ssdkeeper.TenantSpec{
+			{WriteRatio: 0.9, Share: 0.6},
+			{WriteRatio: 0.1, Share: 0.4},
+		},
+		Requests: 1200,
+		IOPS:     8000,
+		Seed:     9,
+	}
+	mix, err := spec.Build(cfg.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := ssdkeeper.RunConfig{
+		Device:   cfg,
+		Options:  ssdkeeper.DefaultOptions(),
+		Strategy: ssdkeeper.Strategy{Kind: ssdkeeper.Shared},
+		Traits:   spec.Traits(),
+		Season:   ssdkeeper.DefaultSeasoning(),
+	}
+
+	// RunContext through the façade, with cancellation honored.
+	res, err := ssdkeeper.RunContext(context.Background(), rc, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != len(mix) {
+		t.Errorf("completed %d of %d", res.Requests, len(mix))
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ssdkeeper.RunContext(cancelled, rc, mix); err == nil {
+		t.Error("cancelled RunContext succeeded")
+	}
+
+	// Instrumented runner: counters visible through the façade types.
+	runner := ssdkeeper.NewRunner(ssdkeeper.WithProbe(ssdkeeper.NewCounterProbe(cfg)))
+	run, err := runner.Run(context.Background(), rc, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Counters == nil || run.Counters.Get("sim.events") <= 0 {
+		t.Error("instrumented run reported no events")
+	}
+	if run.Counters.Get("ftl.gc.runs") <= 0 {
+		t.Error("seasoned run reported no GC activity")
 	}
 }
 

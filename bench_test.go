@@ -10,6 +10,7 @@
 package ssdkeeper
 
 import (
+	"context"
 	"testing"
 
 	"ssdkeeper/internal/alloc"
@@ -21,6 +22,7 @@ import (
 	"ssdkeeper/internal/keeper"
 	"ssdkeeper/internal/nand"
 	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
 	"ssdkeeper/internal/trace"
 	"ssdkeeper/internal/workload"
@@ -45,7 +47,7 @@ func benchSamplesModel(b *testing.B) ([]dataset.Sample, *nn.Network, []dataset.S
 		return benchState.samples, benchState.model, benchState.test
 	}
 	env, scale := quickEnvScale()
-	samples, err := experiments.BuildDataset(env, scale, nil)
+	samples, err := experiments.BuildDataset(context.Background(), env, scale, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -66,7 +68,7 @@ func BenchmarkFig2(b *testing.B) {
 	env, scale := quickEnvScale()
 	var gain float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig2(env, scale)
+		res, err := experiments.Fig2(context.Background(), env, scale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,7 +124,7 @@ func BenchmarkFig5Table5(b *testing.B) {
 	var improvement float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		reports, err := experiments.Fig5Table5(env, scale, model, false)
+		reports, err := experiments.Fig5Table5(context.Background(), env, scale, model, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,7 +167,7 @@ func BenchmarkDatasetGeneration(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := dataset.Label(cfg, spec); err != nil {
+		if _, err := dataset.Label(context.Background(), cfg, spec); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -419,14 +421,15 @@ func BenchmarkAblationFeatures(b *testing.B) {
 func BenchmarkGCPressure(b *testing.B) {
 	cfg := nand.EvalConfig()
 	cfg.Channels, cfg.ChipsPerChannel, cfg.PlanesPerDie = 1, 1, 1
+	runner := simrun.NewRunner()
 	for i := 0; i < b.N; i++ {
-		f, err := ftl.New(cfg, nil)
+		sess, err := runner.NewSession(simrun.Config{
+			Device: cfg, Season: workload.DefaultSeasoning(),
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := f.Season(0.5, 5, 1); err != nil {
-			b.Fatal(err)
-		}
+		f := sess.Device().FTL()
 		for round := 0; round < 20; round++ {
 			for lpn := int64(0); lpn < 256; lpn++ {
 				if _, _, err := f.MapWrite(ftl.Key{Tenant: 0, LPN: lpn}); err != nil {
@@ -570,17 +573,19 @@ func BenchmarkAblationCMT(b *testing.B) {
 func BenchmarkAblationArbitration(b *testing.B) {
 	env, _ := quickEnvScale()
 	tr, _ := ablationMix(b, env.Device)
+	runner := simrun.NewRunner()
 	for _, arb := range []string{"rr", "wrr4:1"} {
 		b.Run(arb, func(b *testing.B) {
 			var t0, t1 float64
 			for i := 0; i < b.N; i++ {
-				dev, err := ssd.New(env.Device, env.Options)
+				sess, err := runner.NewSession(simrun.Config{
+					Device: env.Device, Options: env.Options,
+					Season: workload.DefaultSeasoning(),
+				})
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := dev.FTL().Season(0.5, 5, 1); err != nil {
-					b.Fatal(err)
-				}
+				dev := sess.Device()
 				cfg := hostif.Config{QueueDepth: 8, Outstanding: 8}
 				if arb != "rr" {
 					cfg.Arbitration = hostif.WeightedRoundRobin

@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -92,11 +93,41 @@ func TestCLIPipeline(t *testing.T) {
 		t.Error("different strategies produced identical reports")
 	}
 
+	// ssdsim -counters: the probe table must appear, with nonzero GC and
+	// bus-busy counters on the (default) seasoned device.
+	counters, _ := runTool(t, filepath.Join(bins, "ssdsim"),
+		"-trace", tracePath, "-strategy", "Shared", "-counters")
+	if !strings.Contains(counters, "probe counters:") {
+		t.Fatalf("ssdsim -counters did not print the counter table:\n%s", counters)
+	}
+	for _, name := range []string{"ftl.gc.runs", "ch0.busy_ns", "sim.events"} {
+		if v := counterValue(t, counters, name); v <= 0 {
+			t.Errorf("counter %s = %d, want > 0 on a seasoned run", name, v)
+		}
+	}
+
 	// ssdsim rejects a bad strategy.
 	cmd := exec.Command(filepath.Join(bins, "ssdsim"), "-trace", tracePath, "-strategy", "9:1")
 	if err := cmd.Run(); err == nil {
 		t.Error("ssdsim accepted a 9:1 split on an 8-channel device")
 	}
+}
+
+// counterValue extracts one value from ssdsim's "name value" counter table.
+func counterValue(t *testing.T, out, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("counter %s has non-numeric value %q", name, fields[1])
+			}
+			return v
+		}
+	}
+	t.Fatalf("counter %s not in output:\n%s", name, out)
+	return 0
 }
 
 func TestCLITrainAndReuse(t *testing.T) {

@@ -16,10 +16,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -29,6 +31,8 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var (
 		run       = flag.String("run", "all", "experiment: all, fig2, adaptive, fig4, table3, table5, fig5, fig6")
 		scaleName = flag.String("scale", "default", "scale preset: quick, default, paper")
@@ -102,7 +106,7 @@ func main() {
 		if !*quiet {
 			fmt.Fprintln(os.Stderr, "running fig2 (9 write proportions x 8 strategies)...")
 		}
-		res, err := experiments.Fig2(env, scale)
+		res, err := experiments.Fig2(ctx, env, scale)
 		if err != nil {
 			fatal(err)
 		}
@@ -113,7 +117,7 @@ func main() {
 		if !*quiet {
 			fmt.Fprintln(os.Stderr, "running the self-adjusting two-tenant sweep...")
 		}
-		res, err := experiments.Fig2Adaptive(env, scale, func(done, total int) {
+		res, err := experiments.Fig2Adaptive(ctx, env, scale, func(done, total int) {
 			if !*quiet && done%25 == 0 {
 				fmt.Fprintf(os.Stderr, "  labelled %d/%d two-tenant workloads\n", done, total)
 			}
@@ -154,7 +158,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "  labelled %d/%d workloads\n", done, total)
 			}
 		}
-		ds, err = experiments.BuildDataset(env, scale, progress)
+		ds, err = experiments.BuildDataset(ctx, env, scale, progress)
 		if err != nil {
 			fatal(err)
 		}
@@ -210,7 +214,7 @@ func main() {
 		if !*quiet {
 			fmt.Fprintln(os.Stderr, "replaying Mix1..Mix4 under Shared/Isolated/SSDKeeper...")
 		}
-		reports, err := experiments.Fig5Table5(env, scale, net, *oracle)
+		reports, err := experiments.Fig5Table5(ctx, env, scale, net, *oracle)
 		if err != nil {
 			fatal(err)
 		}

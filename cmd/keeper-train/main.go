@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"ssdkeeper/internal/dataset"
 	"ssdkeeper/internal/experiments"
@@ -23,6 +25,8 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var (
 		workloads  = flag.Int("workloads", 250, "mixed workloads to label")
 		requests   = flag.Int("requests", 5000, "requests per workload")
@@ -70,7 +74,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "labelling %d workloads x %d strategies (%d requests each)...\n",
 				scale.DatasetWorkloads, len(env.Strategies), scale.DatasetRequests)
 		}
-		samples, err = experiments.BuildDataset(env, scale, func(done, total int) {
+		samples, err = experiments.BuildDataset(ctx, env, scale, func(done, total int) {
 			if !*quiet && done%25 == 0 {
 				fmt.Fprintf(os.Stderr, "  %d/%d\n", done, total)
 			}

@@ -16,12 +16,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"ssdkeeper/internal/alloc"
 	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
 	"ssdkeeper/internal/trace"
 	"ssdkeeper/internal/workload"
@@ -35,9 +38,12 @@ func main() {
 		seasoned  = flag.Bool("seasoned", true, "age the device before the run")
 		full      = flag.Bool("fullsize", false, "use the full 512GB Table I geometry instead of the scaled eval geometry")
 		readPrio  = flag.Bool("readpriority", false, "serve queued reads before queued writes")
+		counters  = flag.Bool("counters", false, "print the probe counter table after the run")
 		verbose   = flag.Bool("v", false, "print per-channel utilization")
 	)
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	if *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "ssdsim: -trace is required")
 		flag.Usage()
@@ -70,7 +76,7 @@ func main() {
 	}
 	traits := workload.TraitsFromTrace(tr, sum.Tenants)
 
-	rc := workload.RunConfig{
+	rc := simrun.Config{
 		Device:   cfg,
 		Options:  ssd.Options{ReadPriority: *readPrio},
 		Strategy: strategy,
@@ -80,10 +86,15 @@ func main() {
 	if *seasoned {
 		rc.Season = workload.DefaultSeasoning()
 	}
-	res, err := workload.Run(rc, tr)
+	var opts []simrun.Option
+	if *counters {
+		opts = append(opts, simrun.WithProbe(simrun.NewCounterProbe(cfg)))
+	}
+	run, err := simrun.NewRunner(opts...).Run(ctx, rc, tr)
 	if err != nil {
 		fatal(err)
 	}
+	res := run.Result
 
 	fmt.Printf("\nstrategy %s (hybrid=%v, seasoned=%v)\n", strategy.Name(cfg.Channels), *hybrid, *seasoned)
 	fmt.Printf("device:   read %9.1fus (n=%d)  write %9.1fus (n=%d)  total %9.1fus\n",
@@ -114,6 +125,11 @@ func main() {
 			fmt.Printf("  %-5s busy %v over %d ops, %d contended (waited %v)\n",
 				b.Name, b.BusyTime, b.Grants, b.Contended, b.WaitTime)
 		}
+	}
+
+	if *counters && run.Counters != nil {
+		fmt.Println("\nprobe counters:")
+		fmt.Print(run.Counters.String())
 	}
 }
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 	scale.DatasetRequests = 2500
 	scale.TrainIterations = 120
 	fmt.Println("training the strategy model...")
-	samples, err := ssdkeeper.BuildDataset(env, scale, nil)
+	samples, err := ssdkeeper.BuildDataset(context.Background(), env, scale, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

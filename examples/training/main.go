@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -24,7 +25,7 @@ func main() {
 
 	fmt.Printf("labelling %d mixed workloads x %d strategies (%d requests each)...\n",
 		scale.DatasetWorkloads, len(env.Strategies), scale.DatasetRequests)
-	samples, err := ssdkeeper.BuildDataset(env, scale, func(done, total int) {
+	samples, err := ssdkeeper.BuildDataset(context.Background(), env, scale, func(done, total int) {
 		if done%10 == 0 {
 			fmt.Printf("  %d/%d\n", done, total)
 		}

@@ -9,6 +9,7 @@
 package dataset
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ssdkeeper/internal/ftl"
 
@@ -24,6 +26,7 @@ import (
 	"ssdkeeper/internal/features"
 	"ssdkeeper/internal/nand"
 	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
 	"ssdkeeper/internal/workload"
 )
@@ -79,10 +82,15 @@ type Sample struct {
 
 // Generate runs the full label-generation pipeline. progress (may be nil) is
 // called after each workload completes, from multiple goroutines, with the
-// number done so far.
-func Generate(cfg Config, progress func(done, total int)) ([]Sample, error) {
+// number done so far. Cancelling ctx stops the workers between simulations
+// and returns the context's error; samples labelled so far are discarded
+// (partial datasets would silently bias training).
+func Generate(ctx context.Context, cfg Config, progress func(done, total int)) ([]Sample, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -99,31 +107,42 @@ func Generate(cfg Config, progress func(done, total int)) ([]Sample, error) {
 
 	samples := make([]Sample, cfg.Workloads)
 	errs := make([]error, cfg.Workloads)
-	var done int
-	var mu sync.Mutex
+	var done atomic.Int64
 	var wg sync.WaitGroup
-	work := make(chan int)
+	// Buffered to the full workload count: the scheduling loop never
+	// blocks on a slow worker, and cancellation only has to stop reads.
+	work := make(chan int, cfg.Workloads)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One labeler per worker: the engine and probe are reused
+			// across every simulation this worker runs.
+			lab := NewLabeler(cfg)
 			for i := range work {
-				samples[i], errs[i] = Label(cfg, specs[i])
+				if ctx.Err() != nil {
+					return
+				}
+				samples[i], errs[i] = lab.Label(ctx, specs[i])
 				if progress != nil {
-					mu.Lock()
-					done++
-					d := done
-					mu.Unlock()
-					progress(d, cfg.Workloads)
+					progress(int(done.Add(1)), cfg.Workloads)
 				}
 			}
 		}()
 	}
+schedule:
 	for i := 0; i < cfg.Workloads; i++ {
-		work <- i
+		select {
+		case <-ctx.Done():
+			break schedule
+		case work <- i:
+		}
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: workload %d: %w", i, err)
@@ -137,10 +156,31 @@ func Generate(cfg Config, progress func(done, total int)) ([]Sample, error) {
 // label and is JSON-safe, unlike +Inf.
 const Infeasible = math.MaxFloat64
 
+// Labeler labels workloads one after another on a private simrun.Runner,
+// so the simulation engine (and any probe) is reused across the whole
+// per-strategy loop instead of being reallocated per simulation. Like the
+// runner it wraps, a Labeler belongs to one goroutine; Generate gives each
+// worker its own.
+type Labeler struct {
+	cfg    Config
+	runner *simrun.Runner
+}
+
+// NewLabeler returns a labeler for the given generation config.
+func NewLabeler(cfg Config) *Labeler {
+	return &Labeler{cfg: cfg, runner: simrun.NewRunner()}
+}
+
 // Label runs one mixed workload under every strategy and returns the
 // labelled sample (Algorithm 1, lines 3-8). Strategies that overflow their
-// partitions score Infeasible.
-func Label(cfg Config, spec workload.MixSpec) (Sample, error) {
+// partitions score Infeasible. Cancelling ctx aborts mid-loop.
+func Label(ctx context.Context, cfg Config, spec workload.MixSpec) (Sample, error) {
+	return NewLabeler(cfg).Label(ctx, spec)
+}
+
+// Label labels one workload. See the package-level Label.
+func (l *Labeler) Label(ctx context.Context, spec workload.MixSpec) (Sample, error) {
+	cfg := l.cfg
 	tr, err := spec.Build(cfg.Device.PageSize)
 	if err != nil {
 		return Sample{}, err
@@ -149,7 +189,7 @@ func Label(cfg Config, spec workload.MixSpec) (Sample, error) {
 	lat := make([]float64, len(cfg.Strategies))
 	feasible := 0
 	for si, s := range cfg.Strategies {
-		res, err := workload.Run(workload.RunConfig{
+		res, err := l.runner.Run(ctx, simrun.Config{
 			Device:   cfg.Device,
 			Options:  cfg.Options,
 			Strategy: s,
@@ -164,7 +204,7 @@ func Label(cfg Config, spec workload.MixSpec) (Sample, error) {
 		if err != nil {
 			return Sample{}, fmt.Errorf("strategy %s: %w", s.Name(cfg.Device.Channels), err)
 		}
-		lat[si] = workload.TotalLatency(res)
+		lat[si] = workload.TotalLatency(res.Result)
 		feasible++
 	}
 	if feasible == 0 {

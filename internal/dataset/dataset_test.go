@@ -2,6 +2,8 @@ package dataset
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -38,7 +40,7 @@ func quickConfig() Config {
 func TestGenerateShapesAndDeterminism(t *testing.T) {
 	cfg := quickConfig()
 	var calls int
-	a, err := Generate(cfg, func(done, total int) {
+	a, err := Generate(context.Background(), cfg, func(done, total int) {
 		calls++
 		if total != cfg.Workloads {
 			t.Errorf("progress total %d", total)
@@ -53,7 +55,7 @@ func TestGenerateShapesAndDeterminism(t *testing.T) {
 	if calls != cfg.Workloads {
 		t.Errorf("progress called %d times", calls)
 	}
-	b, err := Generate(cfg, nil)
+	b, err := Generate(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,23 +93,99 @@ func TestGenerateShapesAndDeterminism(t *testing.T) {
 func TestGenerateValidation(t *testing.T) {
 	bad := quickConfig()
 	bad.Workloads = 0
-	if _, err := Generate(bad, nil); err == nil {
+	if _, err := Generate(context.Background(), bad, nil); err == nil {
 		t.Error("zero workloads accepted")
 	}
 	bad = quickConfig()
 	bad.Strategies = nil
-	if _, err := Generate(bad, nil); err == nil {
+	if _, err := Generate(context.Background(), bad, nil); err == nil {
 		t.Error("empty strategy space accepted")
 	}
 	bad = quickConfig()
 	bad.MaxIOPS = 0
-	if _, err := Generate(bad, nil); err == nil {
+	if _, err := Generate(context.Background(), bad, nil); err == nil {
 		t.Error("zero MaxIOPS accepted")
 	}
 	bad = quickConfig()
 	bad.Requests = -1
-	if _, err := Generate(bad, nil); err == nil {
+	if _, err := Generate(context.Background(), bad, nil); err == nil {
 		t.Error("negative requests accepted")
+	}
+}
+
+func TestGenerateCancellation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Workloads = 8
+
+	// Already-cancelled context: nothing is produced.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Generate(ctx, cfg, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Generate returned %v, want context.Canceled", err)
+	}
+
+	// Cancel mid-run, from the first progress callback: Generate must stop
+	// and report the cancellation, not a partial dataset.
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	samples, err := Generate(ctx, cfg, func(done, total int) { cancel() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Generate returned %v, want context.Canceled", err)
+	}
+	if samples != nil {
+		t.Errorf("cancelled Generate returned %d samples, want none", len(samples))
+	}
+}
+
+// TestGenerateParallelWorkers exercises the fan-out with more workers than
+// workloads would strictly need; run under -race it checks the shared
+// progress counter and result slice for data races.
+func TestGenerateParallelWorkers(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Workloads = 6
+	cfg.Workers = 4
+	samples, err := Generate(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != cfg.Workloads {
+		t.Fatalf("got %d samples, want %d", len(samples), cfg.Workloads)
+	}
+	for i, s := range samples {
+		if len(s.Latencies) != len(cfg.Strategies) {
+			t.Errorf("sample %d has %d latencies", i, len(s.Latencies))
+		}
+	}
+}
+
+// TestGenerateDeterministicAcrossWorkerCounts asserts the satellite
+// guarantee: the same seed yields byte-identical samples regardless of how
+// many workers labelled them (specs are pre-drawn from one PRNG; workers
+// only consume them).
+func TestGenerateDeterministicAcrossWorkerCounts(t *testing.T) {
+	ref := quickConfig()
+	ref.Workers = 1
+	want, err := Generate(context.Background(), ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		cfg := quickConfig()
+		cfg.Workers = workers
+		got, err := Generate(context.Background(), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i].Vector != want[i].Vector || got[i].Label != want[i].Label {
+				t.Fatalf("workers=%d: sample %d differs from single-worker run", workers, i)
+			}
+			for j := range want[i].Latencies {
+				if got[i].Latencies[j] != want[i].Latencies[j] {
+					t.Fatalf("workers=%d: sample %d latency %d differs", workers, i, j)
+				}
+			}
+		}
 	}
 }
 
@@ -115,7 +193,7 @@ func TestLabelFeatureVectorMatchesSpec(t *testing.T) {
 	cfg := quickConfig()
 	rng := rand.New(rand.NewSource(9))
 	spec := workload.RandomMixSpec(rng, cfg.Requests, cfg.MaxIOPS)
-	s, err := Label(cfg, spec)
+	s, err := Label(context.Background(), cfg, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +231,7 @@ func TestToNN(t *testing.T) {
 func TestSaveLoadRoundTrip(t *testing.T) {
 	cfg := quickConfig()
 	cfg.Workloads = 2
-	samples, err := Generate(cfg, nil)
+	samples, err := Generate(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

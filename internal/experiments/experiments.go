@@ -10,10 +10,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ssdkeeper/internal/alloc"
 	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
 	"ssdkeeper/internal/trace"
 	"ssdkeeper/internal/workload"
@@ -124,9 +126,10 @@ func NewEnv() Env {
 	}
 }
 
-// runOne replays a trace under one strategy in this environment.
-func (e Env) runOne(s alloc.Strategy, traits []alloc.TenantTraits, hybrid bool, tr trace.Trace) (ssd.Result, error) {
-	return workload.Run(workload.RunConfig{
+// runOne replays a trace under one strategy in this environment, on the
+// given runner so sweeps reuse one engine across their whole loop.
+func (e Env) runOne(ctx context.Context, r *simrun.Runner, s alloc.Strategy, traits []alloc.TenantTraits, hybrid bool, tr trace.Trace) (ssd.Result, error) {
+	res, err := r.Run(ctx, simrun.Config{
 		Device:   e.Device,
 		Options:  e.Options,
 		Strategy: s,
@@ -134,6 +137,10 @@ func (e Env) runOne(s alloc.Strategy, traits []alloc.TenantTraits, hybrid bool, 
 		Hybrid:   hybrid,
 		Season:   e.Season,
 	}, tr)
+	if err != nil {
+		return ssd.Result{}, err
+	}
+	return res.Result, nil
 }
 
 func validateScale(s Scale) error {

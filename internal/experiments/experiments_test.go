@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 
 func TestFig2Quick(t *testing.T) {
 	env := NewEnv()
-	res, err := Fig2(env, QuickScale())
+	res, err := Fig2(context.Background(), env, QuickScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestDatasetTrainingAndMapsQuick(t *testing.T) {
 	env := NewEnv()
 	scale := QuickScale()
 
-	samples, err := BuildDataset(env, scale, nil)
+	samples, err := BuildDataset(context.Background(), env, scale, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestDatasetTrainingAndMapsQuick(t *testing.T) {
 		t.Error("eval string malformed")
 	}
 
-	reports, err := Fig5Table5(env, scale, best.Model, true)
+	reports, err := Fig5Table5(context.Background(), env, scale, best.Model, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestEvaluateModelRejectsShortLatencyTable(t *testing.T) {
 func TestFig2AdaptiveQuick(t *testing.T) {
 	env := NewEnv()
 	scale := QuickScale()
-	res, err := Fig2Adaptive(env, scale, nil)
+	res, err := Fig2Adaptive(context.Background(), env, scale, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 
 	"ssdkeeper/internal/alloc"
 	"ssdkeeper/internal/ftl"
+	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/workload"
 )
 
@@ -39,11 +41,12 @@ type Fig2Result struct {
 // proportion sweeps 10%..90% of a fixed total request count; every strategy
 // in the two-tenant space runs at each point. Latencies are reported raw and
 // normalized to Shared, exactly as the figure plots them.
-func Fig2(env Env, scale Scale) (Fig2Result, error) {
+func Fig2(ctx context.Context, env Env, scale Scale) (Fig2Result, error) {
 	if err := validateScale(scale); err != nil {
 		return Fig2Result{}, err
 	}
 	space := alloc.TwoTenantSpace(env.Device.Channels)
+	runner := simrun.NewRunner()
 	var out Fig2Result
 	for i := 1; i <= 9; i++ {
 		wp := float64(i) / 10
@@ -65,7 +68,7 @@ func Fig2(env Env, scale Scale) (Fig2Result, error) {
 		bestTotal := 0.0
 		for _, s := range space {
 			name := s.Name(env.Device.Channels)
-			res, err := env.runOne(s, spec.Traits(), false, tr)
+			res, err := env.runOne(ctx, runner, s, spec.Traits(), false, tr)
 			if errors.Is(err, ftl.ErrDeviceFull) {
 				point.Rows = append(point.Rows, Fig2Row{Strategy: name, Infeasible: true})
 				continue

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"ssdkeeper/internal/features"
 	"ssdkeeper/internal/keeper"
 	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/workload"
 )
 
@@ -65,7 +67,7 @@ func twoTenantSpec(rng *rand.Rand, requests int, maxIOPS float64) workload.MixSp
 
 // Fig2Adaptive trains a two-tenant strategy model and evaluates it across
 // the Figure 2 write-proportion sweep.
-func Fig2Adaptive(env Env, scale Scale, progress func(done, total int)) (Fig2AdaptiveResult, error) {
+func Fig2Adaptive(ctx context.Context, env Env, scale Scale, progress func(done, total int)) (Fig2AdaptiveResult, error) {
 	if err := validateScale(scale); err != nil {
 		return Fig2AdaptiveResult{}, err
 	}
@@ -84,10 +86,11 @@ func Fig2Adaptive(env Env, scale Scale, progress func(done, total int)) (Fig2Ada
 		Seed:       scale.Seed,
 	}
 	rng := rand.New(rand.NewSource(scale.Seed + 2))
+	labeler := dataset.NewLabeler(cfg)
 	samples := make([]dataset.Sample, cfg.Workloads)
 	for i := range samples {
 		spec := twoTenantSpec(rng, cfg.Requests, cfg.MaxIOPS)
-		s, err := dataset.Label(cfg, spec)
+		s, err := labeler.Label(ctx, spec)
 		if err != nil {
 			return Fig2AdaptiveResult{}, fmt.Errorf("fig2adaptive: workload %d: %w", i, err)
 		}
@@ -112,6 +115,7 @@ func Fig2Adaptive(env Env, scale Scale, progress func(done, total int)) (Fig2Ada
 
 	// Walk the Figure 2 sweep: at each write proportion, measure every
 	// static strategy, then the model's pick from ground-truth features.
+	runner := simrun.NewRunner()
 	var out Fig2AdaptiveResult
 	perStrategyRegret := make([]float64, len(space))
 	for i := 1; i <= 9; i++ {
@@ -133,7 +137,7 @@ func Fig2Adaptive(env Env, scale Scale, progress func(done, total int)) (Fig2Ada
 		row := Fig2AdaptiveRow{WriteProportion: wp}
 		bestIdx, worst := 0, 0.0
 		for si, s := range space {
-			res, err := env.runOne(s, spec.Traits(), false, tr)
+			res, err := env.runOne(ctx, runner, s, spec.Traits(), false, tr)
 			if err != nil {
 				lat[si] = dataset.Infeasible
 				continue

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -10,12 +11,12 @@ import (
 )
 
 // BuildDataset runs the labelled-data pipeline (Algorithm 1, lines 1-8) at
-// the given scale. progress may be nil.
-func BuildDataset(env Env, scale Scale, progress func(done, total int)) ([]dataset.Sample, error) {
+// the given scale. progress may be nil; cancelling ctx aborts generation.
+func BuildDataset(ctx context.Context, env Env, scale Scale, progress func(done, total int)) ([]dataset.Sample, error) {
 	if err := validateScale(scale); err != nil {
 		return nil, err
 	}
-	return dataset.Generate(dataset.Config{
+	return dataset.Generate(ctx, dataset.Config{
 		Device:     env.Device,
 		Options:    env.Options,
 		Strategies: env.Strategies,

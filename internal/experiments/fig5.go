@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"ssdkeeper/internal/keeper"
 	"ssdkeeper/internal/nn"
 	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
 	"ssdkeeper/internal/trace"
 )
@@ -80,13 +82,14 @@ type MixReport struct {
 // Isolated, SSDKeeper, and SSDKeeper with the hybrid page allocator. With
 // oracle set it additionally sweeps all 42 strategies per mix to report the
 // exhaustive optimum.
-func Fig5Table5(env Env, scale Scale, model *nn.Network, oracle bool) ([]MixReport, error) {
+func Fig5Table5(ctx context.Context, env Env, scale Scale, model *nn.Network, oracle bool) ([]MixReport, error) {
 	if err := validateScale(scale); err != nil {
 		return nil, err
 	}
 	profiles := trace.TableII(scale.TableIIScale, env.Device.PageSize, scale.Seed)
 	isolated := alloc.Strategy{Kind: alloc.Isolated}
 	shared := alloc.Strategy{Kind: alloc.Shared}
+	runner := simrun.NewRunner()
 	var reports []MixReport
 	for mi, names := range trace.Mixes() {
 		mix, err := trace.BuildMix(names, profiles, scale.MixHead)
@@ -97,12 +100,12 @@ func Fig5Table5(env Env, scale Scale, model *nn.Network, oracle bool) ([]MixRepo
 
 		// Baselines bind groups by the tenants' true dominance.
 		traits := traitsOf(names, profiles)
-		sharedRes, err := env.runOne(shared, traits, false, mix)
+		sharedRes, err := env.runOne(ctx, runner, shared, traits, false, mix)
 		if err != nil {
 			return nil, fmt.Errorf("%s shared: %w", report.Name, err)
 		}
 		report.Shared = toRow(sharedRes)
-		isoRes, err := env.runOne(isolated, traits, false, mix)
+		isoRes, err := env.runOne(ctx, runner, isolated, traits, false, mix)
 		if err != nil {
 			return nil, fmt.Errorf("%s isolated: %w", report.Name, err)
 		}
@@ -122,7 +125,7 @@ func Fig5Table5(env Env, scale Scale, model *nn.Network, oracle bool) ([]MixRepo
 		if err != nil {
 			return nil, err
 		}
-		rep, err := k.Run(mix)
+		rep, err := k.RunContext(ctx, mix)
 		if err != nil {
 			return nil, fmt.Errorf("%s keeper: %w", report.Name, err)
 		}
@@ -137,12 +140,12 @@ func Fig5Table5(env Env, scale Scale, model *nn.Network, oracle bool) ([]MixRepo
 
 		// Evaluation passes, per the paper: the chosen strategy runs
 		// the whole mix, without and with the hybrid page allocator.
-		keeperRes, err := env.runOne(chosen, chosenTraits, false, mix)
+		keeperRes, err := env.runOne(ctx, runner, chosen, chosenTraits, false, mix)
 		if err != nil {
 			return nil, fmt.Errorf("%s chosen %s: %w", report.Name, report.Chosen, err)
 		}
 		report.Keeper = toRow(keeperRes)
-		hybridRes, err := env.runOne(chosen, chosenTraits, true, mix)
+		hybridRes, err := env.runOne(ctx, runner, chosen, chosenTraits, true, mix)
 		if err != nil {
 			return nil, fmt.Errorf("%s chosen %s hybrid: %w", report.Name, report.Chosen, err)
 		}
@@ -151,7 +154,7 @@ func Fig5Table5(env Env, scale Scale, model *nn.Network, oracle bool) ([]MixRepo
 		report.HybridDeltaPct = 100 * (report.Keeper.TotalUs - report.KeeperHybrid.TotalUs) / report.Keeper.TotalUs
 
 		if oracle {
-			bestName, bestRow, err := exhaustiveBest(env, traits, mix)
+			bestName, bestRow, err := exhaustiveBest(ctx, runner, env, traits, mix)
 			if err != nil {
 				return nil, fmt.Errorf("%s oracle: %w", report.Name, err)
 			}
@@ -165,11 +168,11 @@ func Fig5Table5(env Env, scale Scale, model *nn.Network, oracle bool) ([]MixRepo
 
 // exhaustiveBest replays the mix under every strategy and returns the one
 // with the lowest total latency. Infeasible partitions are skipped.
-func exhaustiveBest(env Env, traits []alloc.TenantTraits, mix trace.Trace) (string, LatencyRow, error) {
+func exhaustiveBest(ctx context.Context, runner *simrun.Runner, env Env, traits []alloc.TenantTraits, mix trace.Trace) (string, LatencyRow, error) {
 	bestName := ""
 	var bestRow LatencyRow
 	for _, s := range env.Strategies {
-		res, err := env.runOne(s, traits, false, mix)
+		res, err := env.runOne(ctx, runner, s, traits, false, mix)
 		if errors.Is(err, ftl.ErrDeviceFull) {
 			continue
 		}

@@ -95,7 +95,9 @@ func (f *FTL) MapPenalty(k Key) sim.Time {
 	if f.cmt == nil {
 		return 0
 	}
-	if f.cmt.touch(k) {
+	hit := f.cmt.touch(k)
+	f.probe.CMT(hit)
+	if hit {
 		return 0
 	}
 	f.cmtMisses++

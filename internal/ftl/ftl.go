@@ -100,8 +100,9 @@ type Key struct {
 
 // FTL is the translation layer state for one device.
 type FTL struct {
-	cfg  nand.Config
-	load Load
+	cfg   nand.Config
+	load  Load
+	probe sim.Probe
 
 	planes  []plane
 	mapping map[Key]int64 // logical page -> PPN
@@ -143,6 +144,7 @@ func New(cfg nand.Config, load Load) (*FTL, error) {
 	f := &FTL{
 		cfg:        cfg,
 		load:       load,
+		probe:      sim.NopProbe{},
 		planes:     make([]plane, cfg.TotalPlanes()),
 		mapping:    make(map[Key]int64),
 		channels:   make(map[int][]int),
@@ -163,6 +165,15 @@ func (f *FTL) SetLoad(load Load) {
 		load = zeroLoad{}
 	}
 	f.load = load
+}
+
+// SetProbe attaches a probe notified of garbage-collection passes and
+// mapping-cache outcomes. A nil probe restores the no-op default.
+func (f *FTL) SetProbe(p sim.Probe) {
+	if p == nil {
+		p = sim.NopProbe{}
+	}
+	f.probe = p
 }
 
 // SetTenantChannels assigns the channel set a tenant's future writes may

@@ -74,11 +74,13 @@ func (f *FTL) collect(planeID int) *GCPlan {
 			return nil
 		}
 		f.gcMoved += uint64(moved)
+		dieTime := sim.Time(moved) * (f.cfg.ReadLatency + f.cfg.WriteLatency)
+		f.probe.GC(planeID, moved, 0, 0, dieTime)
 		return &GCPlan{
 			Plane:      planeID,
 			VictimAddr: victimAddr,
 			Moved:      moved,
-			DieTime:    sim.Time(moved) * (f.cfg.ReadLatency + f.cfg.WriteLatency),
+			DieTime:    dieTime,
 		}
 	}
 	f.eraseBlock(p, victimID)
@@ -89,12 +91,14 @@ func (f *FTL) collect(planeID int) *GCPlan {
 
 	wlMoved, wlTime := f.levelWear(planeID)
 
+	dieTime := sim.Time(moved)*(f.cfg.ReadLatency+f.cfg.WriteLatency) + f.cfg.EraseLatency + wlTime
+	f.probe.GC(planeID, moved, wlMoved, 1, dieTime)
 	return &GCPlan{
 		Plane:      planeID,
 		VictimAddr: victimAddr,
 		Moved:      moved,
 		WearMoves:  wlMoved,
-		DieTime:    sim.Time(moved)*(f.cfg.ReadLatency+f.cfg.WriteLatency) + f.cfg.EraseLatency + wlTime,
+		DieTime:    dieTime,
 	}
 }
 

@@ -6,13 +6,26 @@ import (
 	"ssdkeeper/internal/ftl"
 	"ssdkeeper/internal/nand"
 	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
 	"ssdkeeper/internal/trace"
 )
 
+// newDevice builds a device through the simulation-run layer, as production
+// callers do.
+func newDevice(cfg nand.Config) (*ssd.Device, error) {
+	sess, err := simrun.NewRunner().NewSession(simrun.Config{
+		Device: cfg, Options: ssd.DefaultOptions(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sess.Device(), nil
+}
+
 func device(t *testing.T) *ssd.Device {
 	t.Helper()
-	d, err := ssd.New(nand.TinyConfig(), ssd.DefaultOptions())
+	d, err := newDevice(nand.TinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +117,7 @@ func TestRoundRobinIsFairUnderSymmetricLoad(t *testing.T) {
 func TestWeightedRoundRobinFavorsHeavyTenant(t *testing.T) {
 	cfg := nand.TinyConfig()
 	run := func(weights map[int]int, arb Arbitration) (heavy, light float64) {
-		d, err := ssd.New(cfg, ssd.DefaultOptions())
+		d, err := newDevice(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +211,7 @@ func TestRejectsInvalidTrace(t *testing.T) {
 func TestConflictAwareAvoidsHotDie(t *testing.T) {
 	cfg := nand.TinyConfig()
 	run := func(arb Arbitration) float64 {
-		d, err := ssd.New(cfg, ssd.DefaultOptions())
+		d, err := newDevice(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,7 +245,7 @@ func TestConflictAwareAvoidsHotDie(t *testing.T) {
 
 func TestConflictAwareFallsBackForDynamicWrites(t *testing.T) {
 	cfg := nand.TinyConfig()
-	d, err := ssd.New(cfg, ssd.DefaultOptions())
+	d, err := newDevice(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package keeper
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -17,6 +18,7 @@ import (
 	"ssdkeeper/internal/nand"
 	"ssdkeeper/internal/nn"
 	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
 	"ssdkeeper/internal/trace"
 	"ssdkeeper/internal/workload"
@@ -65,10 +67,13 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Keeper binds a trained strategy model to a device configuration.
+// Keeper binds a trained strategy model to a device configuration. Runs
+// execute on a private simrun.Runner, so repeated Run calls on one Keeper
+// reuse the simulation engine.
 type Keeper struct {
-	cfg   Config
-	model *nn.Network
+	cfg    Config
+	model  *nn.Network
+	runner *simrun.Runner
 }
 
 // New validates that the model matches the feature dimensionality and
@@ -87,7 +92,7 @@ func New(cfg Config, model *nn.Network) (*Keeper, error) {
 		return nil, fmt.Errorf("keeper: model has %d classes for %d strategies",
 			model.OutputDim(), len(cfg.Strategies))
 	}
-	return &Keeper{cfg: cfg, model: model}, nil
+	return &Keeper{cfg: cfg, model: model, runner: simrun.NewRunner()}, nil
 }
 
 // Config returns the keeper's configuration.
@@ -133,15 +138,24 @@ func (r Report) Chosen() alloc.Strategy {
 // after Window elapses the keeper predicts and re-binds channels. With
 // AdaptEvery set it keeps re-observing and re-binding.
 func (k *Keeper) Run(t trace.Trace) (Report, error) {
-	dev, err := ssd.New(k.cfg.Device, k.cfg.Options)
+	return k.RunContext(context.Background(), t)
+}
+
+// RunContext is Run with cancellation: the replay stops between simulated
+// events when ctx is cancelled and the context's error is returned.
+func (k *Keeper) RunContext(ctx context.Context, t trace.Trace) (Report, error) {
+	// Empty traits skip strategy binding: the device starts unbound
+	// (every tenant on all channels, static allocation), the state
+	// Algorithm 2 observes from before its first prediction.
+	sess, err := k.runner.NewSession(simrun.Config{
+		Device:  k.cfg.Device,
+		Options: k.cfg.Options,
+		Season:  k.cfg.Season,
+	})
 	if err != nil {
 		return Report{}, err
 	}
-	if k.cfg.Season.Enabled() {
-		if err := dev.FTL().Season(k.cfg.Season.ValidFrac, k.cfg.Season.FreeBlocks, k.cfg.Season.Seed); err != nil {
-			return Report{}, err
-		}
-	}
+	dev := sess.Device()
 	var report Report
 
 	col := features.NewCollector(k.cfg.SaturationIOPS, 0)
@@ -151,7 +165,7 @@ func (k *Keeper) Run(t trace.Trace) (Report, error) {
 		if err != nil {
 			return err
 		}
-		if err := workload.Apply(dev, strat, vec.Traits(), k.cfg.Hybrid); err != nil {
+		if err := simrun.Apply(dev, strat, vec.Traits(), k.cfg.Hybrid); err != nil {
 			return err
 		}
 		report.Switches = append(report.Switches, Switch{
@@ -182,14 +196,14 @@ func (k *Keeper) Run(t trace.Trace) (Report, error) {
 		col.Observe(r)
 	}
 
-	res, err := dev.Run(t, onArrival)
+	res, err := sess.RunObserved(ctx, t, onArrival)
 	if err != nil {
 		return Report{}, err
 	}
 	if hookErr != nil {
 		return Report{}, hookErr
 	}
-	report.Result = res
+	report.Result = res.Result
 	return report, nil
 }
 
@@ -230,9 +244,9 @@ type TrainResult struct {
 
 // Train runs the full offline pipeline of Algorithm 1: generate labelled
 // mixed workloads, split 7:3, and fit the classifier. progress is forwarded
-// to dataset generation (may be nil).
-func Train(cfg TrainConfig, progress func(done, total int)) (TrainResult, error) {
-	samples, err := dataset.Generate(cfg.Dataset, progress)
+// to dataset generation (may be nil); cancelling ctx aborts generation.
+func Train(ctx context.Context, cfg TrainConfig, progress func(done, total int)) (TrainResult, error) {
+	samples, err := dataset.Generate(ctx, cfg.Dataset, progress)
 	if err != nil {
 		return TrainResult{}, err
 	}

@@ -1,6 +1,7 @@
 package keeper
 
 import (
+	"context"
 	"testing"
 
 	"ssdkeeper/internal/alloc"
@@ -240,7 +241,7 @@ func TestTrainOnSamplesProducesWorkingKeeper(t *testing.T) {
 		Season:     workload.DefaultSeasoning(),
 		Seed:       4,
 	}
-	samples, err := dataset.Generate(dsCfg, nil)
+	samples, err := dataset.Generate(context.Background(), dsCfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestTrainOnSamplesProducesWorkingKeeper(t *testing.T) {
 
 func TestTrainEndToEnd(t *testing.T) {
 	cfg := testConfig()
-	res, err := Train(TrainConfig{
+	res, err := Train(context.Background(), TrainConfig{
 		Dataset: dataset.Config{
 			Device:     cfg.Device,
 			Options:    cfg.Options,

@@ -126,6 +126,9 @@ func (c Config) DiesPerChannel() int { return c.ChipsPerChannel * c.DiesPerChip 
 // TotalDies returns the number of dies in the device.
 func (c Config) TotalDies() int { return c.Channels * c.DiesPerChannel() }
 
+// ChannelOfDie returns the channel a flat die index is attached to.
+func (c Config) ChannelOfDie(die int) int { return die / c.DiesPerChannel() }
+
 // TotalPlanes returns the number of planes in the device.
 func (c Config) TotalPlanes() int { return c.TotalDies() * c.PlanesPerDie }
 

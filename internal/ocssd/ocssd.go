@@ -17,6 +17,7 @@ import (
 	"ssdkeeper/internal/alloc"
 	"ssdkeeper/internal/nand"
 	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
 	"ssdkeeper/internal/trace"
 )
@@ -36,12 +37,12 @@ type Device struct {
 // New creates an Open-Channel device. No tenant may perform I/O until it
 // holds a lease.
 func New(cfg nand.Config, opts ssd.Options) (*Device, error) {
-	dev, err := ssd.New(cfg, opts)
+	sess, err := simrun.NewRunner().NewSession(simrun.Config{Device: cfg, Options: opts})
 	if err != nil {
 		return nil, err
 	}
 	return &Device{
-		dev:    dev,
+		dev:    sess.Device(),
 		leases: make(map[int][]int),
 		owner:  make(map[int]int),
 	}, nil

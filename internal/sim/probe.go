@@ -1,0 +1,70 @@
+package sim
+
+// ResourceKind labels the class of hardware a Resource models, so a probe
+// can route its observations without string matching on resource names.
+type ResourceKind uint8
+
+// Resource kinds instrumented by the SSD model.
+const (
+	// KindBus is a channel bus; the index is the channel number.
+	KindBus ResourceKind = iota
+	// KindDie is a flash die; the index is the device-wide die number.
+	KindDie
+)
+
+// Probe receives fine-grained observations from inside a simulation run:
+// every event the engine fires, every queue/grant transition on an
+// instrumented resource, and the FTL-level garbage-collection and mapping
+// cache outcomes. Implementations must be cheap — probe methods sit on the
+// simulation hot path and are called once per event or per flash operation.
+//
+// Probes are wired in by internal/simrun; NopProbe is the default and keeps
+// the hot path allocation-free.
+type Probe interface {
+	// EventFired is called after each engine event executes, with the
+	// clock value the event fired at.
+	EventFired(now Time)
+	// ResourceQueued is called when a request finds the resource busy and
+	// joins the wait queue; queueLen is the queue length including the
+	// new arrival (not counting the current holder).
+	ResourceQueued(kind ResourceKind, index, queueLen int)
+	// ResourceGranted is called when the resource is granted: hold is the
+	// occupancy duration, wait the time spent queued (zero when granted
+	// immediately).
+	ResourceGranted(kind ResourceKind, index int, hold, wait Time)
+	// GC is called once per garbage-collection invocation with the victim
+	// plane, valid pages relocated by GC, pages migrated by static wear
+	// leveling, blocks erased, and the total die time the cleaning
+	// occupies (the erase stall seen by the die).
+	GC(plane, moved, wearMoved, erases int, dieTime Time)
+	// CMT is called for each mapping lookup against a configured cached
+	// mapping table, with the hit/miss outcome.
+	CMT(hit bool)
+}
+
+// NopProbe is a Probe that discards everything. It is the default probe on
+// engines, resources and FTLs, so instrumented code never needs a nil check.
+type NopProbe struct{}
+
+// EventFired implements Probe.
+func (NopProbe) EventFired(Time) {}
+
+// ResourceQueued implements Probe.
+func (NopProbe) ResourceQueued(ResourceKind, int, int) {}
+
+// ResourceGranted implements Probe.
+func (NopProbe) ResourceGranted(ResourceKind, int, Time, Time) {}
+
+// GC implements Probe.
+func (NopProbe) GC(int, int, int, int, Time) {}
+
+// CMT implements Probe.
+func (NopProbe) CMT(bool) {}
+
+// orNop maps nil to NopProbe so stored probes are always callable.
+func orNop(p Probe) Probe {
+	if p == nil {
+		return NopProbe{}
+	}
+	return p
+}

@@ -16,6 +16,10 @@ type Resource struct {
 	eng  *Engine
 	name string
 
+	probe Probe
+	kind  ResourceKind
+	index int
+
 	busy    bool
 	waiters waiterHeap
 	seq     uint64
@@ -60,7 +64,16 @@ func (h *waiterHeap) Pop() interface{} {
 // NewResource creates a resource bound to an engine. The name appears only in
 // diagnostics.
 func NewResource(eng *Engine, name string) *Resource {
-	return &Resource{eng: eng, name: name}
+	return &Resource{eng: eng, name: name, probe: NopProbe{}}
+}
+
+// Instrument attaches a probe that observes queueing and grants on this
+// resource, identified to the probe as (kind, index). A nil probe restores
+// the no-op default.
+func (r *Resource) Instrument(p Probe, kind ResourceKind, index int) {
+	r.probe = orNop(p)
+	r.kind = kind
+	r.index = index
 }
 
 // Name returns the diagnostic name given at construction.
@@ -81,6 +94,7 @@ func (r *Resource) Use(prio int, hold Time, done func()) {
 	if len(r.waiters) > r.maxQueue {
 		r.maxQueue = len(r.waiters)
 	}
+	r.probe.ResourceQueued(r.kind, r.index, len(r.waiters))
 }
 
 // grant occupies the resource for w and schedules the release.
@@ -88,10 +102,12 @@ func (r *Resource) grant(w waiter) {
 	now := r.eng.Now()
 	r.busy = true
 	r.grants++
-	if wait := now - w.at; wait > 0 {
+	wait := now - w.at
+	if wait > 0 {
 		r.contended++
 		r.waitTime += wait
 	}
+	r.probe.ResourceGranted(r.kind, r.index, w.hold, wait)
 	r.busyTime += w.hold
 	r.busyUntil = now + w.hold
 	r.eng.Schedule(now+w.hold, func() {

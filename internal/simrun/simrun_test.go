@@ -1,0 +1,186 @@
+package simrun_test
+
+// External test package: workload imports simrun, so these tests use the
+// same entry points production callers do (workload.MixSpec for traffic).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"ssdkeeper/internal/alloc"
+	"ssdkeeper/internal/ftl"
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/simrun"
+	"ssdkeeper/internal/ssd"
+	"ssdkeeper/internal/trace"
+	"ssdkeeper/internal/workload"
+)
+
+func testTrace(t *testing.T, cfg nand.Config, requests int) (trace.Trace, []alloc.TenantTraits) {
+	t.Helper()
+	spec := workload.MixSpec{
+		Tenants: []workload.TenantSpec{
+			{WriteRatio: 0.9, Share: 0.6},
+			{WriteRatio: 0.1, Share: 0.4},
+		},
+		Requests: requests,
+		IOPS:     8000,
+		Seed:     11,
+	}
+	tr, err := spec.Build(cfg.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, spec.Traits()
+}
+
+func testConfig(cfg nand.Config, traits []alloc.TenantTraits) simrun.Config {
+	return simrun.Config{
+		Device:   cfg,
+		Options:  ssd.DefaultOptions(),
+		Strategy: alloc.Strategy{Kind: alloc.Shared},
+		Traits:   traits,
+		Season:   simrun.DefaultSeasoning(),
+	}
+}
+
+// TestRunnerReuseIsDeterministic is the engine-reuse contract end to end:
+// back-to-back sessions on one runner produce exactly the results a fresh
+// runner produces.
+func TestRunnerReuseIsDeterministic(t *testing.T) {
+	cfg := nand.EvalConfig()
+	tr, traits := testTrace(t, cfg, 1500)
+	rc := testConfig(cfg, traits)
+
+	fresh, err := simrun.NewRunner().Run(context.Background(), rc, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := simrun.NewRunner()
+	for round := 0; round < 3; round++ {
+		got, err := runner.Run(context.Background(), rc, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Requests != fresh.Requests {
+			t.Fatalf("round %d: %d requests, fresh run had %d", round, got.Requests, fresh.Requests)
+		}
+		if got.Device.Total() != fresh.Device.Total() {
+			t.Fatalf("round %d: total %v differs from fresh run %v (engine reuse not deterministic)",
+				round, got.Device.Total(), fresh.Device.Total())
+		}
+		if got.Makespan != fresh.Makespan {
+			t.Fatalf("round %d: makespan %v vs %v", round, got.Makespan, fresh.Makespan)
+		}
+	}
+}
+
+// TestCounterProbeSeasonedDevice is the acceptance check: a seasoned device
+// under write pressure must report nonzero GC and bus-busy counters.
+func TestCounterProbeSeasonedDevice(t *testing.T) {
+	cfg := nand.EvalConfig()
+	tr, traits := testTrace(t, cfg, 4000)
+	runner := simrun.NewRunner(simrun.WithProbe(simrun.NewCounterProbe(cfg)))
+	res, err := runner.Run(context.Background(), testConfig(cfg, traits), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters == nil {
+		t.Fatal("instrumented run returned nil counters")
+	}
+	mustPositive := []string{"sim.events", "ftl.gc.runs", "ftl.gc.moved_pages", "die.busy_ns"}
+	for _, name := range mustPositive {
+		if got := res.Counters.Get(name); got <= 0 {
+			t.Errorf("counter %s = %d, want > 0 on a seasoned device", name, got)
+		}
+	}
+	// Shared strategy spreads traffic across all channels: every bus busy.
+	var busBusy int64
+	for ch := 0; ch < cfg.Channels; ch++ {
+		busBusy += res.Counters.Get(fmt.Sprintf("ch%d.busy_ns", ch))
+	}
+	if busBusy <= 0 {
+		t.Error("buses never busy under a Shared workload")
+	}
+	// GC runs imply stall time was charged.
+	if got := res.Counters.Get("ftl.gc.stall_ns"); got <= 0 {
+		t.Error("GC ran but charged no die time")
+	}
+}
+
+// TestSessionCountersResetBetweenSessions: each session reports its own run.
+func TestSessionCountersResetBetweenSessions(t *testing.T) {
+	cfg := nand.EvalConfig()
+	tr, traits := testTrace(t, cfg, 800)
+	runner := simrun.NewRunner(simrun.WithProbe(simrun.NewCounterProbe(cfg)))
+	rc := testConfig(cfg, traits)
+	first, err := runner.Run(context.Background(), rc, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstEvents := first.Counters.Get("sim.events")
+	second, err := runner.Run(context.Background(), rc, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := second.Counters.Get("sim.events"); got != firstEvents {
+		t.Errorf("second identical session fired %d events, first %d — counters not reset per session",
+			got, firstEvents)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	cfg := nand.EvalConfig()
+	tr, traits := testTrace(t, cfg, 4000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := simrun.NewRunner().Run(ctx, testConfig(cfg, traits), tr)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestEmptyTraitsSkipBinding: a session with no traits leaves every tenant
+// on all channels — the unbound state the online keeper starts from.
+func TestEmptyTraitsSkipBinding(t *testing.T) {
+	cfg := nand.TinyConfig()
+	sess, err := simrun.NewRunner().NewSession(simrun.Config{
+		Device: cfg, Options: ssd.DefaultOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sess.Device().FTL().TenantChannels(0)
+	if len(set) != cfg.Channels {
+		t.Errorf("unbound tenant restricted to %d of %d channels", len(set), cfg.Channels)
+	}
+}
+
+func TestApplyHybridModes(t *testing.T) {
+	cfg := nand.TinyConfig()
+	sess, err := simrun.NewRunner().NewSession(simrun.Config{
+		Device: cfg, Options: ssd.DefaultOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := sess.Device()
+	traits := []alloc.TenantTraits{{WriteDominated: true}, {WriteDominated: false}}
+	if err := simrun.Apply(dev, alloc.Strategy{Kind: alloc.Isolated}, traits, true); err != nil {
+		t.Fatal(err)
+	}
+	if dev.FTL().TenantMode(0) != ftl.DynamicAlloc {
+		t.Error("write-dominated tenant not dynamic under hybrid")
+	}
+	if dev.FTL().TenantMode(1) != ftl.StaticAlloc {
+		t.Error("read-dominated tenant not static under hybrid")
+	}
+}
+
+func TestRunnerCountersNilWithoutProbe(t *testing.T) {
+	if c := simrun.NewRunner().Counters(); c != nil {
+		t.Errorf("uninstrumented runner exposes counters %v", c)
+	}
+}

@@ -17,6 +17,7 @@
 package ssd
 
 import (
+	"context"
 	"fmt"
 
 	"ssdkeeper/internal/ftl"
@@ -82,12 +83,27 @@ type Device struct {
 	inFlight int
 }
 
-// New builds a device (and its FTL) over a geometry.
+// New builds a device (and its FTL) over a geometry, on a fresh engine with
+// no instrumentation. Production call sites construct devices through
+// internal/simrun, which reuses engines and attaches probes via NewOn; New
+// remains for layer-internal tests.
 func New(cfg nand.Config, opts Options) (*Device, error) {
+	return NewOn(nil, nil, cfg, opts)
+}
+
+// NewOn builds a device (and its FTL) over a geometry on the given engine,
+// with every layer — engine, channel buses, dies, FTL — instrumented with
+// probe. A nil engine means a fresh one; a nil probe means no-op
+// instrumentation. The engine must be at time zero with no pending events
+// (freshly created or Reset).
+func NewOn(eng *sim.Engine, probe sim.Probe, cfg nand.Config, opts Options) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
+	eng.SetProbe(probe)
 	d := &Device{
 		cfg:  cfg,
 		opts: opts,
@@ -98,14 +114,17 @@ func New(cfg nand.Config, opts Options) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	f.SetProbe(probe)
 	d.ftl = f
 	d.buses = make([]*sim.Resource, cfg.Channels)
 	for i := range d.buses {
 		d.buses[i] = sim.NewResource(eng, fmt.Sprintf("ch%d", i))
+		d.buses[i].Instrument(probe, sim.KindBus, i)
 	}
 	d.dies = make([]*sim.Resource, cfg.TotalDies())
 	for i := range d.dies {
 		d.dies[i] = sim.NewResource(eng, fmt.Sprintf("die%d", i))
+		d.dies[i].Instrument(probe, sim.KindDie, i)
 	}
 	if opts.CMTEntries > 0 {
 		d.ftl.EnableCMT(opts.CMTEntries)
@@ -277,6 +296,13 @@ type Result struct {
 // each record at its arrival instant — SSDKeeper's features collector and
 // window timer hang off it.
 func (d *Device) Run(t trace.Trace, onArrival func(i int, r trace.Record)) (Result, error) {
+	return d.RunContext(context.Background(), t, onArrival)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the replay
+// stops between events and the context's error is returned. A background
+// context costs nothing on the event loop.
+func (d *Device) RunContext(ctx context.Context, t trace.Trace, onArrival func(i int, r trace.Record)) (Result, error) {
 	if err := t.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -320,9 +346,12 @@ func (d *Device) Run(t trace.Trace, onArrival func(i int, r trace.Record)) (Resu
 	if len(t) > 0 {
 		d.eng.Schedule(t[0].Time, func() { inject(0) })
 	}
-	makespan := d.eng.Run()
+	makespan, ctxErr := d.eng.RunContext(ctx)
 	if submitErr != nil {
 		return Result{}, submitErr
+	}
+	if ctxErr != nil {
+		return Result{}, ctxErr
 	}
 	return d.result(makespan, len(t)), nil
 }

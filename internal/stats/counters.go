@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counter is one named value inside a Counters registry. Callers hold the
+// pointer returned by Counters.Counter and bump it directly, so the hot
+// path is a field increment — no map lookup, no allocation.
+//
+// Counters are not synchronized: like the simulation engine itself, a
+// registry belongs to a single goroutine (one per simrun.Runner).
+type Counter struct {
+	v int64
+}
+
+// Add increases the counter by d.
+func (c *Counter) Add(d int64) { c.v += d }
+
+// Observe raises the counter to v if v exceeds the current value, turning
+// the counter into a high-water mark.
+func (c *Counter) Observe(v int64) {
+	if v > c.v {
+		c.v = v
+	}
+}
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.v }
+
+// Counters is an insertion-ordered registry of named counters. Probes
+// register their counters once at construction and the registry renders
+// them as a stable, human-readable table after a run.
+type Counters struct {
+	names []string
+	index map[string]int
+	vals  []*Counter
+}
+
+// NewCounters returns an empty registry.
+func NewCounters() *Counters {
+	return &Counters{index: make(map[string]int)}
+}
+
+// Counter returns the counter registered under name, creating it at the end
+// of the registry order on first use.
+func (cs *Counters) Counter(name string) *Counter {
+	if i, ok := cs.index[name]; ok {
+		return cs.vals[i]
+	}
+	c := &Counter{}
+	cs.index[name] = len(cs.vals)
+	cs.names = append(cs.names, name)
+	cs.vals = append(cs.vals, c)
+	return c
+}
+
+// Get returns the value of the named counter, or zero if it was never
+// registered.
+func (cs *Counters) Get(name string) int64 {
+	if i, ok := cs.index[name]; ok {
+		return cs.vals[i].v
+	}
+	return 0
+}
+
+// Names returns the registered names in insertion order.
+func (cs *Counters) Names() []string {
+	return append([]string(nil), cs.names...)
+}
+
+// Len returns the number of registered counters.
+func (cs *Counters) Len() int { return len(cs.vals) }
+
+// Reset zeroes every registered counter, keeping the registrations, so a
+// reused runner starts each session from a clean slate.
+func (cs *Counters) Reset() {
+	for _, c := range cs.vals {
+		c.v = 0
+	}
+}
+
+// String renders a two-column name/value table in registration order.
+func (cs *Counters) String() string {
+	width := 0
+	for _, n := range cs.names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	var b strings.Builder
+	for i, n := range cs.names {
+		fmt.Fprintf(&b, "%-*s %d\n", width, n, cs.vals[i].v)
+	}
+	return b.String()
+}

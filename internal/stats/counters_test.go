@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersCreateOnFirstUse(t *testing.T) {
+	cs := NewCounters()
+	a := cs.Counter("a")
+	a.Add(3)
+	a.Add(4)
+	if got := a.Value(); got != 7 {
+		t.Errorf("a = %d, want 7", got)
+	}
+	// Same name returns the same handle.
+	if cs.Counter("a") != a {
+		t.Error("Counter(\"a\") returned a different handle")
+	}
+	if cs.Len() != 1 {
+		t.Errorf("Len = %d, want 1", cs.Len())
+	}
+}
+
+func TestCountersInsertionOrder(t *testing.T) {
+	cs := NewCounters()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		cs.Counter(name).Add(1)
+	}
+	names := cs.Names()
+	want := []string{"zeta", "alpha", "mid"}
+	if len(names) != len(want) {
+		t.Fatalf("names %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names %v, want insertion order %v", names, want)
+		}
+	}
+}
+
+func TestCounterObserveIsHighWater(t *testing.T) {
+	cs := NewCounters()
+	c := cs.Counter("depth")
+	c.Observe(3)
+	c.Observe(9)
+	c.Observe(5)
+	if got := c.Value(); got != 9 {
+		t.Errorf("high-water = %d, want 9", got)
+	}
+}
+
+func TestCountersGetAndReset(t *testing.T) {
+	cs := NewCounters()
+	cs.Counter("x").Add(5)
+	if got := cs.Get("x"); got != 5 {
+		t.Errorf("Get(x) = %d, want 5", got)
+	}
+	if got := cs.Get("missing"); got != 0 {
+		t.Errorf("Get(missing) = %d, want 0", got)
+	}
+	cs.Reset()
+	if got := cs.Get("x"); got != 0 {
+		t.Errorf("after Reset x = %d, want 0", got)
+	}
+	if cs.Len() != 1 {
+		t.Error("Reset dropped registered counters")
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	cs := NewCounters()
+	cs.Counter("ftl.gc.runs").Add(12)
+	cs.Counter("sim.events").Add(34567)
+	out := cs.String()
+	for _, want := range []string{"ftl.gc.runs", "12", "sim.events", "34567"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Insertion order in the rendering too.
+	if strings.Index(out, "ftl.gc.runs") > strings.Index(out, "sim.events") {
+		t.Error("table rows not in insertion order")
+	}
+}

@@ -13,8 +13,8 @@ func FuzzReadMSR(f *testing.F) {
 	f.Add("")
 	f.Add("\n\n\n")
 	f.Add("junk")
-	f.Add("100,h,0,Read,0,4096\n")         // 6 fields, no response time
-	f.Add("100,h,0,w,0,1,0\n")             // shorthand op
+	f.Add("100,h,0,Read,0,4096\n") // 6 fields, no response time
+	f.Add("100,h,0,w,0,1,0\n")     // shorthand op
 	f.Add("9999999999999,h,0,Read,0,1,0\n")
 	f.Add("100,h,0,Read,-5,1,0\n")
 	f.Add("0,,,R,0,0") // regression: zero-size record must be rejected

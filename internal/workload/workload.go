@@ -5,13 +5,14 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"ssdkeeper/internal/alloc"
-	"ssdkeeper/internal/ftl"
 	"ssdkeeper/internal/nand"
 	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
 	"ssdkeeper/internal/trace"
 )
@@ -147,89 +148,43 @@ func RandomMixSpec(rng *rand.Rand, requests int, maxIOPS float64) MixSpec {
 	return spec
 }
 
-// Seasoning describes how the device is aged before traffic (see
-// ftl.Season). The zero value leaves the device factory-fresh, which
-// disables garbage collection for realistic workload sizes; experiments use
-// DefaultSeasoning so GC stalls — a dominant interference source on a
-// steady-state SSD — are present.
-type Seasoning struct {
-	ValidFrac  float64 // fraction of seasoned pages holding live cold data
-	FreeBlocks int     // free blocks left per plane
-	Seed       int64
-}
+// Seasoning aliases the simulation-run layer's aging description (see
+// simrun.Seasoning and ftl.Season).
+type Seasoning = simrun.Seasoning
 
-// Enabled reports whether any aging is requested.
-func (s Seasoning) Enabled() bool { return s.ValidFrac > 0 || s.FreeBlocks > 0 }
+// DefaultSeasoning returns the aging used throughout the evaluation (see
+// simrun.DefaultSeasoning).
+func DefaultSeasoning() Seasoning { return simrun.DefaultSeasoning() }
 
-// DefaultSeasoning returns the aging used throughout the evaluation: planes
-// nearly full, half the resident pages live. With five free blocks per
-// plane, garbage collection engages within the first few thousand requests
-// of a typical mix.
-func DefaultSeasoning() Seasoning {
-	return Seasoning{ValidFrac: 0.5, FreeBlocks: 5, Seed: 1}
-}
-
-// RunConfig bundles everything needed to replay a trace under one strategy.
-type RunConfig struct {
-	Device   nand.Config
-	Options  ssd.Options
-	Strategy alloc.Strategy
-	Traits   []alloc.TenantTraits
-	// Hybrid enables the paper's hybrid page allocator: dynamic page
-	// allocation for write-dominated tenants, static for read-dominated
-	// ones. When false every tenant uses static allocation (the SSDSim
-	// default).
-	Hybrid bool
-	// Season ages the device before the run.
-	Season Seasoning
-}
+// RunConfig aliases the simulation-run layer's configuration: everything
+// needed to build a device and replay a trace under one strategy.
+type RunConfig = simrun.Config
 
 // NewDevice builds a device with the strategy bound and the seasoning
-// applied, ready to accept the trace.
+// applied, ready to accept the trace. The device lives on its own
+// single-use runner; loops that run many simulations should hold a
+// simrun.Runner instead and reuse its engine.
 func NewDevice(rc RunConfig) (*ssd.Device, error) {
-	dev, err := ssd.New(rc.Device, rc.Options)
+	sess, err := simrun.NewRunner().NewSession(rc)
 	if err != nil {
 		return nil, err
 	}
-	if rc.Season.Enabled() {
-		if err := dev.FTL().Season(rc.Season.ValidFrac, rc.Season.FreeBlocks, rc.Season.Seed); err != nil {
-			return nil, err
-		}
-	}
-	if err := Apply(dev, rc.Strategy, rc.Traits, rc.Hybrid); err != nil {
-		return nil, err
-	}
-	return dev, nil
+	return sess.Device(), nil
 }
 
 // Run replays the trace under the run configuration and returns the device
-// result.
+// result. It is a convenience wrapper over a single-use simrun.Runner.
 func Run(rc RunConfig, t trace.Trace) (ssd.Result, error) {
-	dev, err := NewDevice(rc)
+	res, err := simrun.NewRunner().Run(context.Background(), rc, t)
 	if err != nil {
 		return ssd.Result{}, err
 	}
-	return dev.Run(t, nil)
+	return res.Result, nil
 }
 
-// Apply binds a strategy onto a device's FTL: channel sets for every tenant
-// and, when hybrid is set, the per-tenant page allocation mode.
+// Apply binds a strategy onto a device's FTL (see simrun.Apply).
 func Apply(dev *ssd.Device, s alloc.Strategy, traits []alloc.TenantTraits, hybrid bool) error {
-	binding, err := s.Bind(dev.Config().Channels, traits)
-	if err != nil {
-		return err
-	}
-	for tenant, set := range binding.Sets {
-		if err := dev.FTL().SetTenantChannels(tenant, set); err != nil {
-			return err
-		}
-		mode := ftl.StaticAlloc
-		if hybrid && traits[tenant].WriteDominated {
-			mode = ftl.DynamicAlloc
-		}
-		dev.FTL().SetTenantMode(tenant, mode)
-	}
-	return nil
+	return simrun.Apply(dev, s, traits, hybrid)
 }
 
 // TraitsFromTrace classifies each of the first n tenants of a trace by its

@@ -127,7 +127,7 @@ func TestRunStrategiesDiffer(t *testing.T) {
 
 func TestApplyHybridSetsModes(t *testing.T) {
 	cfg := nand.TinyConfig()
-	dev, err := ssd.New(cfg, ssd.DefaultOptions())
+	dev, err := NewDevice(RunConfig{Device: cfg, Options: ssd.DefaultOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}
