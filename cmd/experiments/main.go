@@ -28,6 +28,7 @@ import (
 	"ssdkeeper/internal/dataset"
 	"ssdkeeper/internal/experiments"
 	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/prof"
 )
 
 func main() {
@@ -45,8 +46,15 @@ func main() {
 		seed      = flag.Int64("seed", 0, "override experiment seed")
 		workers   = flag.Int("workers", 0, "label-generation parallelism (0 = GOMAXPROCS)")
 		quiet     = flag.Bool("q", false, "suppress progress output")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	scale, err := pickScale(*scaleName)
 	if err != nil {

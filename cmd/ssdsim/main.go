@@ -24,6 +24,7 @@ import (
 
 	"ssdkeeper/internal/alloc"
 	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/prof"
 	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
 	"ssdkeeper/internal/trace"
@@ -40,8 +41,15 @@ func main() {
 		readPrio  = flag.Bool("readpriority", false, "serve queued reads before queued writes")
 		counters  = flag.Bool("counters", false, "print the probe counter table after the run")
 		verbose   = flag.Bool("v", false, "print per-channel utilization")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *tracePath == "" {

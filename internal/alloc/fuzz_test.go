@@ -11,6 +11,23 @@ func FuzzParse(f *testing.F) {
 	f.Add("::::", 8)
 	f.Add("-1:9", 8)
 	f.Add("1:1:1:1:1:1:1:1", 8)
+	f.Add("Isolated", 8)
+	f.Add("isolated", 4)
+	f.Add(" Shared ", 8)
+	f.Add("6:2", 8)
+	f.Add("0:8", 8)
+	f.Add("8:0:0:0", 8)
+	f.Add("4:4", 2)
+	f.Add("2:2", 64)
+	f.Add("16:16:16:16", 64)
+	f.Add("9999999999999999999:1", 8)
+	f.Add("+3:5", 8)
+	f.Add("3 : 5", 8)
+	f.Add("3:5:", 8)
+	f.Add(":3:5", 8)
+	f.Add("٣:٥", 8) // non-ASCII digits must not parse as numbers
+	f.Add("1:1:1", 8)
+	f.Add("0x4:4", 8)
 	f.Fuzz(func(t *testing.T, name string, channels int) {
 		if channels < 2 || channels > 64 {
 			return

@@ -96,6 +96,20 @@ func Generate(ctx context.Context, cfg Config, progress func(done, total int)) (
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Split the budget across the two parallel dimensions: outer workers
+	// take whole workloads; each one labels with inner workers fanning the
+	// per-strategy loop out. Many workloads → all-outer (one labeler per
+	// worker, serial strategy loop, minimal cross-goroutine traffic); few
+	// workloads → the spare budget parallelizes inside each label. Either
+	// split produces identical samples.
+	outer := workers
+	if outer > cfg.Workloads {
+		outer = cfg.Workloads
+	}
+	inner := workers / outer
+	if inner < 1 {
+		inner = 1
+	}
 
 	// Draw every spec up front from one PRNG so results do not depend on
 	// worker interleaving.
@@ -112,13 +126,16 @@ func Generate(ctx context.Context, cfg Config, progress func(done, total int)) (
 	// Buffered to the full workload count: the scheduling loop never
 	// blocks on a slow worker, and cancellation only has to stop reads.
 	work := make(chan int, cfg.Workloads)
-	for w := 0; w < workers; w++ {
+	for w := 0; w < outer; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One labeler per worker: the engine and probe are reused
-			// across every simulation this worker runs.
-			lab := NewLabeler(cfg)
+			// One labeler per worker: the runners (engines, devices,
+			// collectors) are reused across every simulation this worker
+			// runs.
+			lcfg := cfg
+			lcfg.Workers = inner
+			lab := NewLabeler(lcfg)
 			for i := range work {
 				if ctx.Err() != nil {
 					return
@@ -156,19 +173,35 @@ schedule:
 // label and is JSON-safe, unlike +Inf.
 const Infeasible = math.MaxFloat64
 
-// Labeler labels workloads one after another on a private simrun.Runner,
-// so the simulation engine (and any probe) is reused across the whole
-// per-strategy loop instead of being reallocated per simulation. Like the
-// runner it wraps, a Labeler belongs to one goroutine; Generate gives each
-// worker its own.
+// Labeler labels workloads one after another on a pool of private
+// simrun.Runners, so the simulation engines, devices, and collectors are
+// reused across the whole per-strategy loop instead of being reallocated per
+// simulation. With more than one worker (Config.Workers; 0 = GOMAXPROCS)
+// each Label call splits its per-strategy loop across the runners; the
+// strategies run concurrently but each result lands in its strategy's slot,
+// so the sample is identical for any worker count. A Labeler belongs to one
+// goroutine at a time; Generate gives each outer worker its own.
 type Labeler struct {
-	cfg    Config
-	runner *simrun.Runner
+	cfg     Config
+	workers int
+	runners []*simrun.Runner // one per worker, created lazily, reused across calls
 }
 
 // NewLabeler returns a labeler for the given generation config.
 func NewLabeler(cfg Config) *Labeler {
-	return &Labeler{cfg: cfg, runner: simrun.NewRunner()}
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Labeler{cfg: cfg, workers: w}
+}
+
+// runnerFor returns (creating on first use) the worker's private runner.
+func (l *Labeler) runnerFor(w int) *simrun.Runner {
+	for len(l.runners) <= w {
+		l.runners = append(l.runners, simrun.NewRunner())
+	}
+	return l.runners[w]
 }
 
 // Label runs one mixed workload under every strategy and returns the
@@ -187,25 +220,75 @@ func (l *Labeler) Label(ctx context.Context, spec workload.MixSpec) (Sample, err
 	}
 	traits := spec.Traits()
 	lat := make([]float64, len(cfg.Strategies))
-	feasible := 0
-	for si, s := range cfg.Strategies {
-		res, err := l.runner.Run(ctx, simrun.Config{
+	errs := make([]error, len(cfg.Strategies))
+	// runOne replays the workload under strategy si on runner r. The trace
+	// and traits are shared read-only; the result lands in the strategy's
+	// own slot, so the outcome is independent of which worker ran it.
+	runOne := func(r *simrun.Runner, si int) {
+		res, err := r.Run(ctx, simrun.Config{
 			Device:   cfg.Device,
 			Options:  cfg.Options,
-			Strategy: s,
+			Strategy: cfg.Strategies[si],
 			Traits:   traits,
 			Hybrid:   cfg.Hybrid,
 			Season:   cfg.Season,
 		}, tr)
 		if errors.Is(err, ftl.ErrDeviceFull) {
 			lat[si] = Infeasible
-			continue
+			return
 		}
 		if err != nil {
-			return Sample{}, fmt.Errorf("strategy %s: %w", s.Name(cfg.Device.Channels), err)
+			errs[si] = err
+			return
 		}
 		lat[si] = workload.TotalLatency(res.Result)
-		feasible++
+	}
+	workers := l.workers
+	if workers > len(cfg.Strategies) {
+		workers = len(cfg.Strategies)
+	}
+	if workers <= 1 {
+		r := l.runnerFor(0)
+		for si := range cfg.Strategies {
+			if err := ctx.Err(); err != nil {
+				return Sample{}, err
+			}
+			runOne(r, si)
+		}
+	} else {
+		// Atomic dispenser over strategy indices: workers pull the next
+		// unclaimed strategy until the space is exhausted.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			r := l.runnerFor(w)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					si := int(next.Add(1)) - 1
+					if si >= len(cfg.Strategies) || ctx.Err() != nil {
+						return
+					}
+					runOne(r, si)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return Sample{}, err
+	}
+	// Report errors in strategy order so the failure surfaced does not
+	// depend on worker interleaving.
+	feasible := 0
+	for si, err := range errs {
+		if err != nil {
+			return Sample{}, fmt.Errorf("strategy %s: %w", cfg.Strategies[si].Name(cfg.Device.Channels), err)
+		}
+		if lat[si] != Infeasible {
+			feasible++
+		}
 	}
 	if feasible == 0 {
 		return Sample{}, fmt.Errorf("dataset: no feasible strategy for spec (device too small for working sets)")

@@ -269,3 +269,46 @@ func TestLabelHistogram(t *testing.T) {
 		t.Errorf("histogram %v", h)
 	}
 }
+
+// Labels must not depend on how many workers fan the per-strategy loop out,
+// nor on reusing one labeler's runners across calls.
+func TestLabelDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := quickConfig()
+	rng := rand.New(rand.NewSource(base.Seed))
+	spec := workload.RandomMixSpec(rng, base.Requests, base.MaxIOPS)
+	var want Sample
+	for _, workers := range []int{1, 2, 3, 8} {
+		cfg := base
+		cfg.Workers = workers
+		lab := NewLabeler(cfg)
+		got, err := lab.Label(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Second call on the same labeler reuses its runners (reset
+		// engines and devices) and must reproduce the first exactly.
+		again, err := lab.Label(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("workers=%d relabel: %v", workers, err)
+		}
+		for i := range got.Latencies {
+			if got.Latencies[i] != again.Latencies[i] {
+				t.Fatalf("workers=%d: relabel on reused runners diverged at strategy %d: %v vs %v",
+					workers, i, got.Latencies[i], again.Latencies[i])
+			}
+		}
+		if workers == 1 {
+			want = got
+			continue
+		}
+		if got.Label != want.Label {
+			t.Errorf("workers=%d label %d, workers=1 label %d", workers, got.Label, want.Label)
+		}
+		for i := range want.Latencies {
+			if got.Latencies[i] != want.Latencies[i] {
+				t.Errorf("workers=%d latency[%d] = %v, workers=1 = %v",
+					workers, i, got.Latencies[i], want.Latencies[i])
+			}
+		}
+	}
+}

@@ -42,6 +42,18 @@ func NewCMT(capacity int) *CMT {
 	}
 }
 
+// Reset empties the cache and zeroes its counters, keeping the index map's
+// storage. Safe on a nil CMT.
+func (c *CMT) Reset() {
+	if c == nil {
+		return
+	}
+	c.order.Init()
+	clear(c.index)
+	c.hits = 0
+	c.misses = 0
+}
+
 // touch records an access to k and reports whether it was cached. The entry
 // becomes most-recently-used either way (a miss loads it).
 func (c *CMT) touch(k Key) bool {

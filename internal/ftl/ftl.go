@@ -79,14 +79,30 @@ type block struct {
 
 // plane holds per-plane block bookkeeping. Blocks are materialized lazily:
 // with Table I geometry a device has 262144 blocks, almost all of which a
-// simulation never touches.
+// simulation never touches. Materialization is chunked: block structs and
+// their owner/valid page arrays are carved out of per-plane slabs of
+// blockChunk blocks, so touching a block costs 3 allocations per chunk
+// instead of 3 per block — seasoning a device (which touches every block of
+// every plane) drops from tens of thousands of allocations to a few
+// hundred.
 type plane struct {
 	blocks    []*block // lazily filled; nil = never used
 	nextFresh int      // first never-used block index
 	recycled  []int    // erased blocks available for reuse
 	active    int      // currently open block, -1 if none
 	full      []int    // closed blocks, candidates for GC
+
+	// Slab remainders for chunked block materialization.
+	slabBlocks []block
+	slabOwners []owner
+	slabValid  []bool
 }
+
+// blockChunk is how many blocks one slab materializes at a time. 64 covers
+// a whole EvalConfig plane in one chunk; for the full Table I geometry the
+// worst-case over-allocation per plane (63 unused blocks) is ~140KB, well
+// under the cost of the per-block garbage it replaces.
+const blockChunk = 64
 
 func (p *plane) freeBlocks(total int) int {
 	return (total - p.nextFresh) + len(p.recycled)
@@ -126,6 +142,11 @@ type FTL struct {
 
 	// cmt is the optional cached mapping table (nil = unlimited SRAM).
 	cmt *CMT
+
+	// plan is the scratch GC plan collect returns. Callers consume the plan
+	// synchronously (the device charges its DieTime before the next mapping
+	// call), so one reusable record replaces a heap allocation per GC pass.
+	plan GCPlan
 }
 
 // New creates an FTL over the given geometry. load may be nil, in which case
@@ -156,6 +177,47 @@ func New(cfg nand.Config, load Load) (*FTL, error) {
 		f.planes[i].active = -1
 	}
 	return f, nil
+}
+
+// Reset restores the FTL to its factory-fresh state — no mappings, no
+// tenant bindings, every block erased-and-never-used with zero wear — while
+// keeping all materialized block storage, maps, and slices for reuse. An
+// enabled CMT is emptied but stays enabled. A reset FTL behaves identically
+// to one just built by New over the same geometry; only the allocation
+// pattern differs. Run loops (internal/simrun) use it to rebuild a device
+// per session without re-materializing plane state.
+func (f *FTL) Reset() {
+	for i := range f.planes {
+		p := &f.planes[i]
+		for _, b := range p.blocks {
+			if b == nil {
+				continue
+			}
+			b.writePtr = 0
+			b.validCount = 0
+			b.erases = 0
+			clear(b.owners)
+			clear(b.valid)
+		}
+		p.nextFresh = 0
+		p.recycled = p.recycled[:0]
+		p.active = -1
+		p.full = p.full[:0]
+	}
+	clear(f.mapping)
+	clear(f.channels)
+	clear(f.modes)
+	clear(f.rr)
+	f.writes = 0
+	f.preloads = 0
+	f.invalidations = 0
+	f.gcRuns = 0
+	f.gcMoved = 0
+	f.gcErases = 0
+	f.wlRuns = 0
+	f.wlMoved = 0
+	f.cmtMisses = 0
+	f.cmt.Reset()
 }
 
 // SetLoad replaces the load telemetry source (used when the device is
@@ -369,18 +431,33 @@ func (f *FTL) appendPage(planeID int, k Key) (blockID, page int, err error) {
 	return p.active, page, nil
 }
 
-// blockAt materializes the block lazily.
+// blockAt materializes the block lazily, carving it from the plane's slab.
 func (f *FTL) blockAt(p *plane, id int) *block {
 	if p.blocks == nil {
 		p.blocks = make([]*block, f.cfg.BlocksPerPlane)
 	}
-	if p.blocks[id] == nil {
-		p.blocks[id] = &block{
-			owners: make([]owner, f.cfg.PagesPerBlock),
-			valid:  make([]bool, f.cfg.PagesPerBlock),
-		}
+	if b := p.blocks[id]; b != nil {
+		return b
 	}
-	return p.blocks[id]
+	if len(p.slabBlocks) == 0 {
+		chunk := blockChunk
+		if chunk > f.cfg.BlocksPerPlane {
+			chunk = f.cfg.BlocksPerPlane
+		}
+		pages := f.cfg.PagesPerBlock
+		p.slabBlocks = make([]block, chunk)
+		p.slabOwners = make([]owner, chunk*pages)
+		p.slabValid = make([]bool, chunk*pages)
+	}
+	b := &p.slabBlocks[0]
+	p.slabBlocks = p.slabBlocks[1:]
+	pages := f.cfg.PagesPerBlock
+	b.owners = p.slabOwners[:pages:pages]
+	p.slabOwners = p.slabOwners[pages:]
+	b.valid = p.slabValid[:pages:pages]
+	p.slabValid = p.slabValid[pages:]
+	p.blocks[id] = b
+	return b
 }
 
 // popFree takes a free block. Never-used blocks go first; among recycled

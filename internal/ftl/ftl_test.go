@@ -1,6 +1,7 @@
 package ftl
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -384,5 +385,104 @@ func TestTenantDefaultsAllChannelsStatic(t *testing.T) {
 	}
 	if got := len(f.TenantChannels(7)); got != cfg.Channels {
 		t.Errorf("reset channel set size %d, want %d", got, cfg.Channels)
+	}
+}
+
+// A Reset FTL must be indistinguishable from a fresh one: same placements,
+// same GC activity, same wear, for the same request sequence.
+func TestFTLResetBehavesFresh(t *testing.T) {
+	cfg := gcConfig()
+	drive := func(f *FTL) (Counters, WearStats) {
+		if err := f.Season(0.5, 5, 1); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			k := Key{Tenant: 0, LPN: int64(i % 8)}
+			if _, _, err := f.MapWrite(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.Counters(), f.Wear()
+	}
+	reused := mustFTL(t, cfg, nil)
+	first, firstWear := drive(reused)
+	reused.Reset()
+	second, secondWear := drive(reused)
+	if first != second {
+		t.Errorf("counters diverge after Reset: %+v vs %+v", first, second)
+	}
+	if firstWear != secondWear {
+		t.Errorf("wear diverges after Reset: %+v vs %+v", firstWear, secondWear)
+	}
+	fresh := mustFTL(t, cfg, nil)
+	third, thirdWear := drive(fresh)
+	if second != third {
+		t.Errorf("reset FTL diverges from fresh: %+v vs %+v", second, third)
+	}
+	if secondWear != thirdWear {
+		t.Errorf("reset FTL wear diverges from fresh: %+v vs %+v", secondWear, thirdWear)
+	}
+}
+
+func TestFTLResetClearsBindingsAndCMT(t *testing.T) {
+	cfg := nand.TinyConfig()
+	f := mustFTL(t, cfg, nil)
+	f.EnableCMT(4)
+	if err := f.SetTenantChannels(1, []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.SetTenantMode(1, DynamicAlloc)
+	f.MapPenalty(Key{Tenant: 1, LPN: 9}) // populate the CMT
+	f.Reset()
+	if got := f.TenantChannels(1); len(got) != cfg.Channels {
+		t.Errorf("tenant channels after reset = %v, want all %d", got, cfg.Channels)
+	}
+	if f.TenantMode(1) != StaticAlloc {
+		t.Error("tenant mode survived reset")
+	}
+	if f.cmt.Len() != 0 {
+		t.Errorf("CMT entries after reset = %d, want 0 (still enabled)", f.cmt.Len())
+	}
+	if hits, misses := f.CMTStats(); hits != 0 || misses != 0 {
+		t.Errorf("CMT counters after reset = %d/%d", hits, misses)
+	}
+}
+
+// The memoized seasoning layout must reproduce the direct rng loop draw for
+// draw — this pins the cache's build order to the loop's visit order.
+func TestSeasonLayoutMatchesDirectDraws(t *testing.T) {
+	const planes, fill, pages = 3, 4, 8
+	const validFrac, seed = 0.5, 42
+	l := seasonLayoutFor(planes, fill, pages, validFrac, seed)
+	if l == nil {
+		t.Fatal("layout unexpectedly uncached")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var lpn int64
+	for b := 0; b < planes*fill; b++ {
+		var count int32
+		for page := 0; page < pages; page++ {
+			idx := b*pages + page
+			want := rng.Float64() < validFrac
+			if l.valid[idx] != want {
+				t.Fatalf("block %d page %d: valid=%v, rng says %v", b, page, l.valid[idx], want)
+			}
+			if want {
+				if l.owners[idx] != (owner{tenant: coldTenant, lpn: lpn}) {
+					t.Fatalf("block %d page %d: owner %+v, want lpn %d", b, page, l.owners[idx], lpn)
+				}
+				lpn++
+				count++
+			}
+		}
+		if l.counts[b] != count {
+			t.Fatalf("block %d: count %d, want %d", b, l.counts[b], count)
+		}
+	}
+}
+
+func TestSeasonLayoutSkipsHugeGeometries(t *testing.T) {
+	if l := seasonLayoutFor(64, 4090, 128, 0.5, 1); l != nil {
+		t.Error("huge layout was cached; should fall back to the direct loop")
 	}
 }

@@ -76,12 +76,13 @@ func (f *FTL) collect(planeID int) *GCPlan {
 		f.gcMoved += uint64(moved)
 		dieTime := sim.Time(moved) * (f.cfg.ReadLatency + f.cfg.WriteLatency)
 		f.probe.GC(planeID, moved, 0, 0, dieTime)
-		return &GCPlan{
+		f.plan = GCPlan{
 			Plane:      planeID,
 			VictimAddr: victimAddr,
 			Moved:      moved,
 			DieTime:    dieTime,
 		}
+		return &f.plan
 	}
 	f.eraseBlock(p, victimID)
 
@@ -93,13 +94,14 @@ func (f *FTL) collect(planeID int) *GCPlan {
 
 	dieTime := sim.Time(moved)*(f.cfg.ReadLatency+f.cfg.WriteLatency) + f.cfg.EraseLatency + wlTime
 	f.probe.GC(planeID, moved, wlMoved, 1, dieTime)
-	return &GCPlan{
+	f.plan = GCPlan{
 		Plane:      planeID,
 		VictimAddr: victimAddr,
 		Moved:      moved,
 		WearMoves:  wlMoved,
 		DieTime:    dieTime,
 	}
+	return &f.plan
 }
 
 // eraseBlock resets a block and returns it to the plane's recycled pool.

@@ -3,6 +3,7 @@ package ftl
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // coldTenant owns seasoning data: resident pages that belong to no real
@@ -33,8 +34,12 @@ func (f *FTL) Season(validFrac float64, freeBlocks int, seed int64) error {
 	if freeBlocks >= f.cfg.BlocksPerPlane {
 		return nil // nothing to fill
 	}
-	rng := rand.New(rand.NewSource(seed))
 	fill := f.cfg.BlocksPerPlane - freeBlocks
+	pages := f.cfg.PagesPerBlock
+	if layout := seasonLayoutFor(len(f.planes), fill, pages, validFrac, seed); layout != nil {
+		return f.applySeasonLayout(layout, fill)
+	}
+	rng := rand.New(rand.NewSource(seed))
 	var lpn int64
 	for planeID := range f.planes {
 		p := &f.planes[planeID]
@@ -44,8 +49,8 @@ func (f *FTL) Season(validFrac float64, freeBlocks int, seed int64) error {
 				return fmt.Errorf("ftl: plane %d ran out of blocks while seasoning", planeID)
 			}
 			b := f.blockAt(p, id)
-			b.writePtr = f.cfg.PagesPerBlock
-			for page := 0; page < f.cfg.PagesPerBlock; page++ {
+			b.writePtr = pages
+			for page := 0; page < pages; page++ {
 				if rng.Float64() < validFrac {
 					b.valid[page] = true
 					b.owners[page] = owner{tenant: coldTenant, lpn: lpn}
@@ -53,6 +58,102 @@ func (f *FTL) Season(validFrac float64, freeBlocks int, seed int64) error {
 					lpn++
 				}
 			}
+			p.full = append(p.full, id)
+		}
+	}
+	return nil
+}
+
+// seasonLayout is the memoized result of one seasoning parameterization: the
+// valid bitmap, page owners, and per-block valid counts for every filled
+// block, flattened plane-major in the exact order the rng loop visits them.
+// Layouts are immutable once built.
+type seasonLayout struct {
+	valid  []bool
+	owners []owner
+	counts []int32 // one per filled block
+}
+
+// seasonKey identifies a seasoning layout: the geometry the loop iterates
+// over plus the distribution parameters.
+type seasonKey struct {
+	planes, fill, pages int
+	validFrac           float64
+	seed                int64
+}
+
+// seasonLayoutCacheMax bounds how many pages of seasoning state a cached
+// layout may cover (~2M pages = 32MB of owners). Experiment geometries are
+// far below it; full Table I seasoning skips the cache and pays the direct
+// loop instead of pinning hundreds of MB.
+const seasonLayoutCacheMax = 1 << 21
+
+var seasonLayouts struct {
+	sync.Mutex
+	m map[seasonKey]*seasonLayout
+}
+
+// seasonLayoutFor returns the cached layout for the parameters, building it
+// on first use, or nil when the layout is too large to cache. Building
+// replays exactly the rng draw sequence of the direct loop, so the applied
+// state is byte-for-byte identical.
+func seasonLayoutFor(planes, fill, pages int, validFrac float64, seed int64) *seasonLayout {
+	total := planes * fill * pages
+	if total <= 0 || total > seasonLayoutCacheMax {
+		return nil
+	}
+	k := seasonKey{planes: planes, fill: fill, pages: pages, validFrac: validFrac, seed: seed}
+	seasonLayouts.Lock()
+	defer seasonLayouts.Unlock()
+	if l, ok := seasonLayouts.m[k]; ok {
+		return l
+	}
+	l := &seasonLayout{
+		valid:  make([]bool, total),
+		owners: make([]owner, total),
+		counts: make([]int32, planes*fill),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var lpn int64
+	for b := 0; b < planes*fill; b++ {
+		base := b * pages
+		var count int32
+		for page := 0; page < pages; page++ {
+			if rng.Float64() < validFrac {
+				l.valid[base+page] = true
+				l.owners[base+page] = owner{tenant: coldTenant, lpn: lpn}
+				count++
+				lpn++
+			}
+		}
+		l.counts[b] = count
+	}
+	if seasonLayouts.m == nil {
+		seasonLayouts.m = make(map[seasonKey]*seasonLayout)
+	}
+	seasonLayouts.m[k] = l
+	return l
+}
+
+// applySeasonLayout copies a memoized layout into the planes, replacing the
+// per-page rng loop with block-sized copies.
+func (f *FTL) applySeasonLayout(l *seasonLayout, fill int) error {
+	pages := f.cfg.PagesPerBlock
+	idx := 0
+	for planeID := range f.planes {
+		p := &f.planes[planeID]
+		for i := 0; i < fill; i++ {
+			id, ok := f.popFree(p)
+			if !ok {
+				return fmt.Errorf("ftl: plane %d ran out of blocks while seasoning", planeID)
+			}
+			b := f.blockAt(p, id)
+			b.writePtr = pages
+			base := idx * pages
+			copy(b.valid, l.valid[base:base+pages])
+			copy(b.owners, l.owners[base:base+pages])
+			b.validCount = int(l.counts[idx])
+			idx++
 			p.full = append(p.full, id)
 		}
 	}

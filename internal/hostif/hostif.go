@@ -59,6 +59,10 @@ type queue struct {
 	weight   int
 	// turns counts the consecutive dispatches in the current WRR cycle.
 	turns int
+	// onComplete is the completion callback every command of this queue
+	// shares, created once at queue construction so dispatch allocates no
+	// per-command closure.
+	onComplete func(sim.Time)
 }
 
 // Host drives a device through per-tenant queues.
@@ -108,6 +112,12 @@ func (h *Host) queueOf(tenant int) *queue {
 			}
 		}
 		q = &queue{tenant: tenant, weight: w}
+		q.onComplete = func(sim.Time) {
+			q.inFlight--
+			h.total--
+			// Completion frees budget; keep the pipeline full.
+			_ = h.dispatch()
+		}
 		h.queues[tenant] = q
 		h.order = append(h.order, tenant)
 		sort.Ints(h.order)
@@ -155,12 +165,7 @@ func (h *Host) dispatch() error {
 		q.pending = q.pending[1:]
 		q.inFlight++
 		h.total++
-		if err := h.dev.SubmitAt(r, r.Time, func(sim.Time) {
-			q.inFlight--
-			h.total--
-			// Completion frees budget; keep the pipeline full.
-			_ = h.dispatch()
-		}); err != nil {
+		if err := h.dev.SubmitAt(r, r.Time, q.onComplete); err != nil {
 			return err
 		}
 		idle = 0
@@ -212,8 +217,11 @@ func (h *Host) Run(t trace.Trace) (ssd.Result, error) {
 	}
 	eng := h.dev.Engine()
 	var submitErr error
-	var inject func(i int)
-	inject = func(i int) {
+	// One injection closure for the whole replay, scheduled through the
+	// typed fast path with the record index as the event argument.
+	var inject func(arg uint64)
+	inject = func(arg uint64) {
+		i := int(arg)
 		if i >= len(t) || submitErr != nil {
 			return
 		}
@@ -222,11 +230,11 @@ func (h *Host) Run(t trace.Trace) (ssd.Result, error) {
 			return
 		}
 		if i+1 < len(t) {
-			eng.Schedule(t[i+1].Time, func() { inject(i + 1) })
+			eng.ScheduleCall(t[i+1].Time, inject, arg+1)
 		}
 	}
 	if len(t) > 0 {
-		eng.Schedule(t[0].Time, func() { inject(0) })
+		eng.ScheduleCall(t[0].Time, inject, 0)
 	}
 	eng.Run()
 	if submitErr != nil {

@@ -1,0 +1,50 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags of the CLIs
+// to runtime/pprof. The profiles it writes are what the event-core
+// optimization work is measured with: `go tool pprof` over a cpu profile
+// shows where simulated time is spent, and an allocs profile shows what the
+// hot path still allocates (see DESIGN.md, "Event-loop cost model").
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (if non-empty) and arranges for a
+// heap allocation profile to be written to memPath (if non-empty). It
+// returns a stop function that must run before the process exits — typically
+// via defer from main — and an error if a profile file cannot be created.
+// Empty paths are no-ops, so callers can pass flag values through directly.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live + cumulative allocs accurately
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // Resource models a unit of hardware that can serve one operation at a time,
 // such as a flash channel bus or a die. Operations request the resource with
 // Use; when the resource is free the operation occupies it for a fixed
@@ -12,6 +10,12 @@ import "container/heap"
 // served first, ties in FIFO order. This is how the device model implements
 // the paper's read-priority channel arbitration — reads enqueue with a lower
 // priority value than writes.
+//
+// The wait queue is an inlined 4-ary min-heap over []waiter (no
+// container/heap interface boxing), and release events go through the
+// engine's typed ScheduleCall fast path with a completion function created
+// once per resource — granting and releasing allocate nothing per
+// operation.
 type Resource struct {
 	eng  *Engine
 	name string
@@ -21,7 +25,9 @@ type Resource struct {
 	index int
 
 	busy    bool
-	waiters waiterHeap
+	cur     waiter // the waiter currently holding the resource
+	fin     func(uint64)
+	waiters []waiter // inlined min-heap ordered by (prio, seq)
 	seq     uint64
 
 	// Telemetry, exposed for dynamic page allocation and statistics.
@@ -33,38 +39,70 @@ type Resource struct {
 	maxQueue  int
 }
 
+// Completion is the typed completion callback for UseCompletion: a pooled
+// operation record implements it once and is re-armed across stages, so
+// multi-stage flash operations (die sense then bus transfer, and the
+// converse for writes) schedule no per-stage closures.
+type Completion interface {
+	// OnComplete runs when the resource hold ends, before the next waiter
+	// is granted.
+	OnComplete()
+}
+
+// funcCompletion adapts a plain func() to Completion. A func value is
+// pointer-shaped, so the interface conversion does not allocate.
+type funcCompletion func()
+
+// OnComplete implements Completion.
+func (f funcCompletion) OnComplete() { f() }
+
 // waiter is one queued request for the resource.
 type waiter struct {
 	prio int
 	seq  uint64
 	at   Time // enqueue time, for wait accounting
 	hold Time
-	done func()
+	done Completion
 }
 
-type waiterHeap []waiter
-
-func (h waiterHeap) Len() int { return len(h) }
-func (h waiterHeap) Less(i, j int) bool {
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
+// wbefore orders waiters by (prio, seq): better priority first, FIFO among
+// equals. Sequence numbers are unique per resource, so the order is total
+// and independent of heap arity.
+func (w *waiter) wbefore(o *waiter) bool {
+	if w.prio != o.prio {
+		return w.prio < o.prio
 	}
-	return h[i].seq < h[j].seq
-}
-func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(waiter)) }
-func (h *waiterHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	w := old[n-1]
-	*h = old[:n-1]
-	return w
+	return w.seq < o.seq
 }
 
 // NewResource creates a resource bound to an engine. The name appears only in
 // diagnostics.
 func NewResource(eng *Engine, name string) *Resource {
-	return &Resource{eng: eng, name: name, probe: NopProbe{}}
+	r := &Resource{eng: eng, name: name, probe: NopProbe{}}
+	// One completion closure for the resource's lifetime; every release
+	// event reuses it through the typed schedule path.
+	r.fin = r.finish
+	return r
+}
+
+// Reset returns the resource to its just-constructed state — idle, empty
+// queue, zeroed telemetry and sequence counter — keeping the wait heap's
+// capacity. The owning engine must have been Reset as well (so no release
+// event for a previous hold is still pending).
+func (r *Resource) Reset() {
+	r.busy = false
+	r.cur = waiter{}
+	for i := range r.waiters {
+		r.waiters[i] = waiter{}
+	}
+	r.waiters = r.waiters[:0]
+	r.seq = 0
+	r.busyUntil = 0
+	r.busyTime = 0
+	r.grants = 0
+	r.contended = 0
+	r.waitTime = 0
+	r.maxQueue = 0
 }
 
 // Instrument attaches a probe that observes queueing and grants on this
@@ -84,17 +122,81 @@ func (r *Resource) Name() string { return r.name }
 // nil). If the resource is idle and nothing with better priority is queued,
 // the grant happens immediately at the current simulated time.
 func (r *Resource) Use(prio int, hold Time, done func()) {
+	var c Completion
+	if done != nil {
+		c = funcCompletion(done)
+	}
+	r.UseCompletion(prio, hold, c)
+}
+
+// UseCompletion is Use with a typed completion callback; c may be nil. It is
+// the allocation-free path for callers that pool their operation records.
+func (r *Resource) UseCompletion(prio int, hold Time, c Completion) {
 	r.seq++
-	w := waiter{prio: prio, seq: r.seq, at: r.eng.Now(), hold: hold, done: done}
+	w := waiter{prio: prio, seq: r.seq, at: r.eng.Now(), hold: hold, done: c}
 	if !r.busy {
 		r.grant(w)
 		return
 	}
-	heap.Push(&r.waiters, w)
+	r.pushWaiter(w)
 	if len(r.waiters) > r.maxQueue {
 		r.maxQueue = len(r.waiters)
 	}
 	r.probe.ResourceQueued(r.kind, r.index, len(r.waiters))
+}
+
+// pushWaiter inserts w into the wait heap, sifting up by (prio, seq).
+func (r *Resource) pushWaiter(w waiter) {
+	h := append(r.waiters, w)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !w.wbefore(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = w
+	r.waiters = h
+}
+
+// popWaiter removes and returns the best waiter, zeroing the vacated slot so
+// its completion callback is released.
+func (r *Resource) popWaiter() waiter {
+	h := r.waiters
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = waiter{}
+	h = h[:n]
+	r.waiters = h
+	if n > 0 {
+		i := 0
+		for {
+			c := heapArity*i + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + heapArity
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].wbefore(&h[m]) {
+					m = j
+				}
+			}
+			if !h[m].wbefore(&last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return root
 }
 
 // grant occupies the resource for w and schedules the release.
@@ -110,20 +212,28 @@ func (r *Resource) grant(w waiter) {
 	r.probe.ResourceGranted(r.kind, r.index, w.hold, wait)
 	r.busyTime += w.hold
 	r.busyUntil = now + w.hold
-	r.eng.Schedule(now+w.hold, func() {
-		if w.done != nil {
-			w.done()
-		}
-		r.release()
-	})
+	r.cur = w
+	r.eng.ScheduleCall(now+w.hold, r.fin, 0)
+}
+
+// finish ends the current hold: it runs the holder's completion and then
+// releases the resource. It is the single release callback every scheduled
+// hold shares (the holder is unique until release, so its state lives in
+// r.cur rather than a per-event closure).
+func (r *Resource) finish(uint64) {
+	w := r.cur
+	r.cur = waiter{} // release the completion reference
+	if w.done != nil {
+		w.done.OnComplete()
+	}
+	r.release()
 }
 
 // release frees the resource and grants the best waiter, if any.
 func (r *Resource) release() {
 	r.busy = false
 	if len(r.waiters) > 0 {
-		w := heap.Pop(&r.waiters).(waiter)
-		r.grant(w)
+		r.grant(r.popWaiter())
 	}
 }
 
@@ -145,8 +255,8 @@ func (r *Resource) Load(now Time) Time {
 	if r.busy && r.busyUntil > now {
 		load = r.busyUntil - now
 	}
-	for _, w := range r.waiters {
-		load += w.hold
+	for i := range r.waiters {
+		load += r.waiters[i].hold
 	}
 	return load
 }

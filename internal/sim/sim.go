@@ -4,10 +4,16 @@
 // Events scheduled for the same instant fire in the order they were
 // scheduled, which makes simulations fully deterministic and therefore
 // reproducible across runs and platforms.
+//
+// The event queue is an inlined, index-addressed 4-ary min-heap over a
+// plain []event — no container/heap, so pushes and pops move event values
+// directly instead of boxing them through interface{}. Popped and reset
+// slots are zeroed so the closures they captured become collectable
+// immediately. See DESIGN.md "event-loop cost model" for the allocation
+// budget this buys.
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 )
@@ -43,51 +49,58 @@ func (t Time) String() string {
 // paper's latency figures.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
-// event is a single scheduled callback.
+// event is a single scheduled callback. Exactly one of fn and call is set:
+// fn is the general closure path, call+arg the typed fast path that lets a
+// long-lived function value be scheduled many times with varying state and
+// no per-event closure allocation.
 type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among equal timestamps
-	fn  func()
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fn   func()
+	call func(arg uint64)
+	arg  uint64
 }
 
-// eventHeap implements heap.Interface ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (at, seq): earlier timestamps first, FIFO among
+// equals. (at, seq) pairs are unique, so this is a strict total order and
+// the pop sequence is independent of heap shape or arity.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+
+// heapArity is the fan-out of the event heap. A 4-ary heap halves the tree
+// depth of a binary heap, trading slightly more comparisons per level for
+// far fewer cache-missing levels — the standard layout for hot simulator
+// queues (d-ary heaps sit one cache line per node group).
+const heapArity = 4
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []event // inlined 4-ary min-heap ordered by (at, seq)
 	fired  uint64
 	probe  Probe
+	// probeNop caches whether probe is the no-op default so Step can skip
+	// the interface call entirely on the uninstrumented hot path.
+	probeNop bool
 }
 
 // NewEngine returns an engine with its clock at zero and no pending events.
 func NewEngine() *Engine {
-	return &Engine{probe: NopProbe{}}
+	return &Engine{probe: NopProbe{}, probeNop: true}
 }
 
 // SetProbe attaches a probe notified after every event fires. A nil probe
 // restores the no-op default.
-func (e *Engine) SetProbe(p Probe) { e.probe = orNop(p) }
+func (e *Engine) SetProbe(p Probe) {
+	e.probe = orNop(p)
+	_, e.probeNop = e.probe.(NopProbe)
+}
 
 // Reset rewinds the engine to its initial state — clock at zero, no pending
 // events, sequence and fired counters cleared — while keeping the event
@@ -100,7 +113,7 @@ func (e *Engine) Reset() {
 	e.seq = 0
 	e.fired = 0
 	for i := range e.events {
-		e.events[i].fn = nil // release captured closures
+		e.events[i] = event{} // release captured closures
 	}
 	e.events = e.events[:0]
 }
@@ -115,20 +128,101 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events waiting to fire.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// Schedule registers fn to run at absolute time at. Scheduling in the past
-// panics: it always indicates a modelling bug, and silently clamping would
-// corrupt causality.
-func (e *Engine) Schedule(at Time, fn func()) {
+// push inserts ev, sifting up by (at, seq). The hole-shifting form moves
+// parents down and writes ev once instead of swapping element-by-element.
+func (e *Engine) push(ev event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !ev.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.events = h
+}
+
+// pop removes and returns the earliest event. The vacated tail slot is
+// zeroed so the popped event's closure is unreachable from the backing
+// array the moment it returns — pending-closure memory is released even if
+// the heap's capacity is retained for the next run.
+func (e *Engine) pop() event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{}
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		// Sift last down from the root: at each level pick the least of
+		// up to heapArity children.
+		i := 0
+		for {
+			c := heapArity*i + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + heapArity
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].before(&h[m]) {
+					m = j
+				}
+			}
+			if !h[m].before(&last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return root
+}
+
+// checkSchedule validates a timestamp and assigns the FIFO sequence number.
+// Scheduling in the past panics: it always indicates a modelling bug, and
+// silently clamping would corrupt causality.
+func (e *Engine) checkSchedule(at Time) uint64 {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	return e.seq
+}
+
+// Schedule registers fn to run at absolute time at.
+func (e *Engine) Schedule(at Time, fn func()) {
+	seq := e.checkSchedule(at)
+	e.push(event{at: at, seq: seq, fn: fn})
+}
+
+// ScheduleCall registers the typed fast-path event fn(arg) at absolute time
+// at. Unlike Schedule, the function value can be created once and reused for
+// every event of its kind (per-event state travels in arg), so the dominant
+// schedule sites — resource completions, trace-arrival injection — allocate
+// nothing per event.
+func (e *Engine) ScheduleCall(at Time, fn func(arg uint64), arg uint64) {
+	seq := e.checkSchedule(at)
+	e.push(event{at: at, seq: seq, call: fn, arg: arg})
 }
 
 // After schedules fn to run d nanoseconds after the current time.
 func (e *Engine) After(d Time, fn func()) {
 	e.Schedule(e.now+d, fn)
+}
+
+// AfterCall schedules the typed fast-path event fn(arg) d nanoseconds after
+// the current time.
+func (e *Engine) AfterCall(d Time, fn func(arg uint64), arg uint64) {
+	e.ScheduleCall(e.now+d, fn, arg)
 }
 
 // Step executes the single earliest pending event and advances the clock to
@@ -137,11 +231,17 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.fired++
-	ev.fn()
-	e.probe.EventFired(e.now)
+	if ev.call != nil {
+		ev.call(ev.arg)
+	} else {
+		ev.fn()
+	}
+	if !e.probeNop {
+		e.probe.EventFired(e.now)
+	}
 	return true
 }
 

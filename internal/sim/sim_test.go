@@ -283,3 +283,179 @@ func TestResourceConservationProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestEngineScheduleCallPassesArg(t *testing.T) {
+	e := NewEngine()
+	var got []uint64
+	fn := func(arg uint64) { got = append(got, arg) }
+	e.ScheduleCall(10, fn, 7)
+	e.ScheduleCall(20, fn, 9)
+	e.Run()
+	if len(got) != 2 || got[0] != 7 || got[1] != 9 {
+		t.Errorf("args = %v, want [7 9]", got)
+	}
+}
+
+func TestEngineAfterCall(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	var arg uint64
+	e.Schedule(10, func() {
+		e.AfterCall(5, func(a uint64) { at, arg = e.Now(), a }, 3)
+	})
+	e.Run()
+	if at != 15 || arg != 3 {
+		t.Errorf("fired at %v with arg %d, want 15 and 3", at, arg)
+	}
+}
+
+func TestEngineScheduleCallPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleCall in the past did not panic")
+			}
+		}()
+		e.ScheduleCall(5, func(uint64) {}, 0)
+	})
+	e.Run()
+}
+
+// Property: a random interleave of typed and closure events fires in exactly
+// (at, seq) order — i.e. sorted by time, FIFO among equal times — matching a
+// stable sort of the schedule order. This pins the 4-ary heap's total order
+// against the reference semantics regardless of arity or sift details.
+func TestEngineMixedTypedOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		e := NewEngine()
+		n := 1 + rng.Intn(200)
+		at := make([]Time, n)
+		var fired []int
+		rec := func(arg uint64) { fired = append(fired, int(arg)) }
+		for i := 0; i < n; i++ {
+			at[i] = Time(rng.Intn(50)) // dense range forces many ties
+			if rng.Intn(2) == 0 {
+				e.ScheduleCall(at[i], rec, uint64(i))
+			} else {
+				i := i
+				e.Schedule(at[i], func() { fired = append(fired, i) })
+			}
+		}
+		e.Run()
+		want := make([]int, n)
+		for i := range want {
+			want[i] = i
+		}
+		sort.SliceStable(want, func(a, b int) bool { return at[want[a]] < at[want[b]] })
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("trial %d: fired[%d] = %d, want %d (full %v)", trial, i, fired[i], want[i], fired)
+			}
+		}
+	}
+}
+
+// Regression for the event-heap reference leak: popped and drained slots of
+// the heap's backing array must not keep scheduled callbacks (and whatever
+// they capture) reachable after the run consumed them.
+func TestEngineReleasesEventReferencesAfterRun(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 100; i++ {
+		payload := make([]byte, 1)
+		e.Schedule(Time(i%10), func() { _ = payload })
+		e.ScheduleCall(Time(i%10), func(uint64) { _ = payload }, 0)
+	}
+	e.Run()
+	evs := e.events[:cap(e.events)]
+	for i := range evs {
+		if evs[i].fn != nil || evs[i].call != nil {
+			t.Fatalf("backing slot %d still references a callback after Run", i)
+		}
+	}
+}
+
+func TestEngineResetReleasesPendingEventReferences(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 50; i++ {
+		e.Schedule(Time(1000+i), func() {})
+	}
+	e.RunUntil(10) // consume nothing, just advance
+	e.Reset()
+	if e.Pending() != 0 || e.Now() != 0 {
+		t.Fatalf("Reset left pending=%d now=%v", e.Pending(), e.Now())
+	}
+	evs := e.events[:cap(e.events)]
+	for i := range evs {
+		if evs[i].fn != nil || evs[i].call != nil {
+			t.Fatalf("backing slot %d still references a callback after Reset", i)
+		}
+	}
+}
+
+// RunUntil partway through a schedule followed by Reset must leave the
+// engine indistinguishable from a fresh one.
+func TestEngineRunUntilThenResetBehavesFresh(t *testing.T) {
+	run := func(e *Engine) []Time {
+		var fired []Time
+		for _, at := range []Time{5, 15, 25} {
+			at := at
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		return fired
+	}
+	used := NewEngine()
+	for _, at := range []Time{10, 20, 30, 40} {
+		used.Schedule(at, func() {})
+	}
+	used.RunUntil(25) // fires 2 of 4, clock at 25, 2 pending
+	used.Reset()
+	fresh := NewEngine()
+	got, want := run(used), run(fresh)
+	if len(got) != len(want) {
+		t.Fatalf("reset engine fired %v, fresh %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reset engine fired %v, fresh %v", got, want)
+		}
+	}
+	if used.Fired() != fresh.Fired() {
+		t.Errorf("Fired() = %d after reset, fresh %d", used.Fired(), fresh.Fired())
+	}
+}
+
+// A Reset resource must reproduce a fresh resource's grant order, timing,
+// and statistics exactly (including seq-based FIFO tie-breaks).
+func TestResourceResetBehavesFresh(t *testing.T) {
+	drive := func(e *Engine, r *Resource) ([]Time, Stats) {
+		var ends []Time
+		for i := 0; i < 4; i++ {
+			prio := i % 2
+			e.Schedule(Time(i*10), func() {
+				r.Use(prio, 100, func() { ends = append(ends, e.Now()) })
+			})
+		}
+		e.Run()
+		return ends, r.Snapshot()
+	}
+	e := NewEngine()
+	r := NewResource(e, "bus")
+	first, firstStats := drive(e, r)
+	e.Reset()
+	r.Reset()
+	second, secondStats := drive(e, r)
+	if len(first) != len(second) {
+		t.Fatalf("runs completed %d vs %d ops", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("completion times diverge: %v vs %v", first, second)
+		}
+	}
+	if firstStats != secondStats {
+		t.Errorf("stats diverge after reset: %+v vs %+v", firstStats, secondStats)
+	}
+}

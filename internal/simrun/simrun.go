@@ -90,12 +90,25 @@ func WithProbe(p sim.Probe) Option {
 type Runner struct {
 	eng   *sim.Engine
 	probe sim.Probe
+	// col is the latency collector shared by every session the runner
+	// builds; NewSession resets it, and results snapshot out of it, so
+	// back-to-back runs reuse its accumulators and histogram storage.
+	col *stats.Collector
+
+	// dev caches the previous session's device. When the next session asks
+	// for the same geometry and options the device is Reset and reused —
+	// the FTL keeps its materialized plane storage, the resources their
+	// queues — instead of rebuilt, which removes nearly all per-session
+	// allocation from back-to-back run loops.
+	dev     *ssd.Device
+	devCfg  nand.Config
+	devOpts ssd.Options
 }
 
 // NewRunner returns a runner with a fresh engine and, unless WithProbe says
 // otherwise, no-op instrumentation.
 func NewRunner(opts ...Option) *Runner {
-	r := &Runner{eng: sim.NewEngine()}
+	r := &Runner{eng: sim.NewEngine(), col: stats.NewCollector()}
 	for _, o := range opts {
 		o(r)
 	}
@@ -128,12 +141,23 @@ type Session struct {
 // probe are zeroed, so each session reports its own run.
 func (r *Runner) NewSession(cfg Config) (*Session, error) {
 	r.eng.Reset()
+	r.col.Reset()
 	if cs := r.Counters(); cs != nil {
 		cs.Reset()
 	}
-	dev, err := ssd.NewOn(r.eng, r.probe, cfg.Device, cfg.Options)
-	if err != nil {
-		return nil, err
+	var dev *ssd.Device
+	if r.dev != nil && cfg.Device == r.devCfg && cfg.Options == r.devOpts {
+		dev = r.dev
+		dev.Reset()
+	} else {
+		var err error
+		dev, err = ssd.NewOnCollector(r.eng, r.probe, r.col, cfg.Device, cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+		r.dev = dev
+		r.devCfg = cfg.Device
+		r.devOpts = cfg.Options
 	}
 	if cfg.Season.Enabled() {
 		if err := dev.FTL().Season(cfg.Season.ValidFrac, cfg.Season.FreeBlocks, cfg.Season.Seed); err != nil {

@@ -184,3 +184,82 @@ func TestRunnerCountersNilWithoutProbe(t *testing.T) {
 		t.Errorf("uninstrumented runner exposes counters %v", c)
 	}
 }
+
+// Device reuse contract: a runner that resets and reuses its cached device
+// (same geometry and options) must reproduce exactly what fresh runners
+// produce, across different strategies and seasonings; changing the config
+// mid-stream must transparently rebuild.
+func TestRunnerDeviceReuseMatchesFreshAcrossConfigs(t *testing.T) {
+	cfg := nand.EvalConfig()
+	tr, traits := testTrace(t, cfg, 1200)
+	runs := []simrun.Config{
+		testConfig(cfg, traits),
+		func() simrun.Config { // different strategy, same device
+			rc := testConfig(cfg, traits)
+			rc.Strategy = alloc.Strategy{Kind: alloc.Isolated}
+			return rc
+		}(),
+		func() simrun.Config { // no seasoning at all
+			rc := testConfig(cfg, traits)
+			rc.Season = simrun.Seasoning{}
+			return rc
+		}(),
+		func() simrun.Config { // different options: forces a rebuild
+			rc := testConfig(cfg, traits)
+			rc.Options.MaxOutstanding = 8
+			return rc
+		}(),
+		testConfig(cfg, traits), // back to the first: rebuild again
+	}
+	reused := simrun.NewRunner()
+	for i, rc := range runs {
+		got, err := reused.Run(context.Background(), rc, tr)
+		if err != nil {
+			t.Fatalf("run %d (reused): %v", i, err)
+		}
+		want, err := simrun.NewRunner().Run(context.Background(), rc, tr)
+		if err != nil {
+			t.Fatalf("run %d (fresh): %v", i, err)
+		}
+		if got.Makespan != want.Makespan {
+			t.Errorf("run %d: makespan %v (reused) vs %v (fresh)", i, got.Makespan, want.Makespan)
+		}
+		if g, w := got.Device.Total(), want.Device.Total(); g != w {
+			t.Errorf("run %d: device total %v (reused) vs %v (fresh)", i, g, w)
+		}
+		if g, w := got.FTL, want.FTL; g != w {
+			t.Errorf("run %d: FTL counters %+v (reused) vs %+v (fresh)", i, g, w)
+		}
+		if g, w := got.Conflicts, want.Conflicts; g != w {
+			t.Errorf("run %d: conflicts %d (reused) vs %d (fresh)", i, g, w)
+		}
+		for id, wl := range want.PerTenant {
+			gl, ok := got.PerTenant[id]
+			if !ok || gl.Read.Count != wl.Read.Count || gl.Read.Mean() != wl.Read.Mean() ||
+				gl.Write.Count != wl.Write.Count || gl.Write.Mean() != wl.Write.Mean() {
+				t.Errorf("run %d tenant %d: latencies diverge (reused %+v vs fresh %+v)", i, id, gl, wl)
+			}
+		}
+	}
+}
+
+// Results snapshotted out of a session must stay valid after the runner
+// starts (and runs) the next session on the same reused device.
+func TestResultSurvivesNextSession(t *testing.T) {
+	cfg := nand.EvalConfig()
+	tr, traits := testTrace(t, cfg, 1000)
+	rc := testConfig(cfg, traits)
+	r := simrun.NewRunner()
+	first, err := r.Run(context.Background(), rc, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := first.Device.Total()
+	p99 := first.Device.Read.P99()
+	if _, err := r.Run(context.Background(), rc, tr); err != nil {
+		t.Fatal(err)
+	}
+	if first.Device.Total() != total || first.Device.Read.P99() != p99 {
+		t.Error("first session's result mutated by the second session")
+	}
+}

@@ -81,6 +81,12 @@ type Device struct {
 
 	col      *stats.Collector
 	inFlight int
+
+	// Free lists for the per-request and per-page operation records the
+	// replay hot path fans out into. The engine is single-goroutine, so
+	// plain slices beat sync.Pool here (no atomics, no per-P caches).
+	reqFree []*request
+	opFree  []*pageOp
 }
 
 // New builds a device (and its FTL) over a geometry, on a fresh engine with
@@ -97,18 +103,29 @@ func New(cfg nand.Config, opts Options) (*Device, error) {
 // instrumentation. The engine must be at time zero with no pending events
 // (freshly created or Reset).
 func NewOn(eng *sim.Engine, probe sim.Probe, cfg nand.Config, opts Options) (*Device, error) {
+	return NewOnCollector(eng, probe, nil, cfg, opts)
+}
+
+// NewOnCollector is NewOn with a caller-owned latency collector, so run
+// loops (internal/simrun) can reuse one collector's accumulators across
+// many sessions. The collector must be fresh or Reset; nil means a private
+// one.
+func NewOnCollector(eng *sim.Engine, probe sim.Probe, col *stats.Collector, cfg nand.Config, opts Options) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if eng == nil {
 		eng = sim.NewEngine()
 	}
+	if col == nil {
+		col = stats.NewCollector()
+	}
 	eng.SetProbe(probe)
 	d := &Device{
 		cfg:  cfg,
 		opts: opts,
 		eng:  eng,
-		col:  stats.NewCollector(),
+		col:  col,
 	}
 	f, err := ftl.New(cfg, d)
 	if err != nil {
@@ -130,6 +147,23 @@ func NewOn(eng *sim.Engine, probe sim.Probe, cfg nand.Config, opts Options) (*De
 		d.ftl.EnableCMT(opts.CMTEntries)
 	}
 	return d, nil
+}
+
+// Reset returns the device to its just-constructed state so a run loop can
+// reuse it for the next session instead of rebuilding: the FTL is factory-
+// reset (keeping its materialized block storage), every bus and die resource
+// is idled and its telemetry zeroed, and the in-flight counter cleared. The
+// engine and collector are owned by the caller (internal/simrun) and must be
+// Reset separately; geometry, options, and probes are unchanged.
+func (d *Device) Reset() {
+	d.ftl.Reset() // also empties the CMT, which stays enabled
+	for _, b := range d.buses {
+		b.Reset()
+	}
+	for _, dr := range d.dies {
+		dr.Reset()
+	}
+	d.inFlight = 0
 }
 
 // Config returns the device geometry.
@@ -177,6 +211,100 @@ func (d *Device) pagesOf(r trace.Record) (startLPN int64, n int) {
 	return startLPN, int(endLPN - startLPN)
 }
 
+// request tracks one in-flight host request: its page fan-out counter and
+// the data needed to record the response latency when the last page lands.
+// Requests are pooled on the device; what used to be a per-request
+// finishPage closure is now a record from the free list.
+type request struct {
+	d         *Device
+	remaining int
+	arrival   sim.Time
+	tenant    int
+	read      bool
+	done      func(lat sim.Time)
+}
+
+// pageDone retires one page of the request, completing it when the fan-out
+// drains.
+func (rq *request) pageDone() {
+	rq.remaining--
+	if rq.remaining > 0 {
+		return
+	}
+	d := rq.d
+	lat := d.eng.Now() - rq.arrival
+	if rq.read {
+		d.col.AddRead(rq.tenant, lat)
+	} else {
+		d.col.AddWrite(rq.tenant, lat)
+	}
+	d.inFlight--
+	done := rq.done
+	d.freeRequest(rq)
+	if done != nil {
+		done(lat)
+	}
+}
+
+// pageOp is one page operation's two-stage resource walk: reads hold the
+// die then the bus, writes the bus then the die. One pooled record per page
+// replaces the two closures the stages used to allocate; it implements
+// sim.Completion and re-arms itself for the second stage.
+type pageOp struct {
+	rq     *request
+	bus    *sim.Resource
+	die    *sim.Resource
+	prio   int
+	second sim.Time // hold time of the second resource
+	write  bool
+	final  bool
+}
+
+// OnComplete implements sim.Completion: stage one chains into the second
+// resource; stage two retires the page and recycles the record.
+func (op *pageOp) OnComplete() {
+	if !op.final {
+		op.final = true
+		if op.write {
+			op.die.UseCompletion(op.prio, op.second, op)
+		} else {
+			op.bus.UseCompletion(op.prio, op.second, op)
+		}
+		return
+	}
+	rq := op.rq
+	rq.d.freePageOp(op)
+	rq.pageDone()
+}
+
+func (d *Device) newRequest() *request {
+	if n := len(d.reqFree); n > 0 {
+		rq := d.reqFree[n-1]
+		d.reqFree = d.reqFree[:n-1]
+		return rq
+	}
+	return &request{d: d}
+}
+
+func (d *Device) freeRequest(rq *request) {
+	rq.done = nil
+	d.reqFree = append(d.reqFree, rq)
+}
+
+func (d *Device) newPageOp() *pageOp {
+	if n := len(d.opFree); n > 0 {
+		op := d.opFree[n-1]
+		d.opFree = d.opFree[:n-1]
+		return op
+	}
+	return &pageOp{}
+}
+
+func (d *Device) freePageOp(op *pageOp) {
+	*op = pageOp{}
+	d.opFree = append(d.opFree, op)
+}
+
 // Submit issues one request at the current simulated time. The callback
 // done (may be nil) runs at completion with the response latency.
 func (d *Device) Submit(r trace.Record, done func(lat sim.Time)) error {
@@ -194,24 +322,13 @@ func (d *Device) SubmitAt(r trace.Record, arrival sim.Time, done func(lat sim.Ti
 	if arrival > d.eng.Now() {
 		return fmt.Errorf("ssd: arrival %v in the future (now %v)", arrival, d.eng.Now())
 	}
-	remaining := n
+	rq := d.newRequest()
+	rq.remaining = n
+	rq.arrival = arrival
+	rq.tenant = r.Tenant
+	rq.read = r.Op == trace.Read
+	rq.done = done
 	d.inFlight++
-	finishPage := func() {
-		remaining--
-		if remaining > 0 {
-			return
-		}
-		lat := d.eng.Now() - arrival
-		if r.Op == trace.Read {
-			d.col.AddRead(r.Tenant, lat)
-		} else {
-			d.col.AddWrite(r.Tenant, lat)
-		}
-		d.inFlight--
-		if done != nil {
-			done(lat)
-		}
-	}
 	for i := 0; i < n; i++ {
 		k := ftl.Key{Tenant: r.Tenant, LPN: startLPN + int64(i)}
 		pen := d.ftl.MapPenalty(k)
@@ -220,13 +337,13 @@ func (d *Device) SubmitAt(r trace.Record, arrival sim.Time, done func(lat sim.Ti
 			if err != nil {
 				return err
 			}
-			d.readPage(addr, pen, finishPage)
+			d.readPage(addr, pen, rq)
 		} else {
 			addr, gc, err := d.ftl.MapWrite(k)
 			if err != nil {
 				return err
 			}
-			d.writePage(addr, pen, finishPage)
+			d.writePage(addr, pen, rq)
 			if gc != nil {
 				d.chargeGC(gc)
 			}
@@ -238,33 +355,35 @@ func (d *Device) SubmitAt(r trace.Record, arrival sim.Time, done func(lat sim.Ti
 // readPage models: optional translation read, die sensing, then bus
 // transfer to the host. Without a cache register the die also covers the
 // transfer window.
-func (d *Device) readPage(a nand.Addr, mapPenalty sim.Time, done func()) {
-	die := d.dies[d.cfg.DieID(a)]
-	bus := d.buses[a.Channel]
-	p := d.prio(trace.Read)
+func (d *Device) readPage(a nand.Addr, mapPenalty sim.Time, rq *request) {
+	op := d.newPageOp()
+	op.rq = rq
+	op.die = d.dies[d.cfg.DieID(a)]
+	op.bus = d.buses[a.Channel]
+	op.prio = d.prio(trace.Read)
+	op.second = d.cfg.XferLatency
 	dieHold := d.cfg.ReadLatency + mapPenalty
 	if d.opts.NoCacheRegister {
 		dieHold += d.cfg.XferLatency
 	}
-	die.Use(p, dieHold, func() {
-		bus.Use(p, d.cfg.XferLatency, done)
-	})
+	op.die.UseCompletion(op.prio, dieHold, op)
 }
 
 // writePage models: bus transfer from the host, then an optional
 // translation read and the die program. Without a cache register the die is
 // reserved for the transfer window too.
-func (d *Device) writePage(a nand.Addr, mapPenalty sim.Time, done func()) {
-	die := d.dies[d.cfg.DieID(a)]
-	bus := d.buses[a.Channel]
-	p := d.prio(trace.Write)
-	dieHold := d.cfg.WriteLatency + mapPenalty
+func (d *Device) writePage(a nand.Addr, mapPenalty sim.Time, rq *request) {
+	op := d.newPageOp()
+	op.rq = rq
+	op.die = d.dies[d.cfg.DieID(a)]
+	op.bus = d.buses[a.Channel]
+	op.prio = d.prio(trace.Write)
+	op.write = true
+	op.second = d.cfg.WriteLatency + mapPenalty
 	if d.opts.NoCacheRegister {
-		dieHold += d.cfg.XferLatency
+		op.second += d.cfg.XferLatency
 	}
-	bus.Use(p, d.cfg.XferLatency, func() {
-		die.Use(p, dieHold, done)
-	})
+	op.bus.UseCompletion(op.prio, d.cfg.XferLatency, op)
 }
 
 // chargeGC occupies the victim plane's die at background priority for the
@@ -322,8 +441,12 @@ func (d *Device) RunContext(ctx context.Context, t trace.Trace, onArrival func(i
 			submitErr = err
 		}
 	}
-	var inject func(i int)
-	inject = func(i int) {
+	// inject is scheduled through the typed fast path: one closure for the
+	// whole replay, with the record index as the event argument, instead of
+	// one capturing closure per trace record.
+	var inject func(arg uint64)
+	inject = func(arg uint64) {
+		i := int(arg)
 		if i >= len(t) || submitErr != nil {
 			return
 		}
@@ -340,11 +463,11 @@ func (d *Device) RunContext(ctx context.Context, t trace.Trace, onArrival func(i
 			return
 		}
 		if i+1 < len(t) {
-			d.eng.Schedule(t[i+1].Time, func() { inject(i + 1) })
+			d.eng.ScheduleCall(t[i+1].Time, inject, arg+1)
 		}
 	}
 	if len(t) > 0 {
-		d.eng.Schedule(t[0].Time, func() { inject(0) })
+		d.eng.ScheduleCall(t[0].Time, inject, 0)
 	}
 	makespan, ctxErr := d.eng.RunContext(ctx)
 	if submitErr != nil {
@@ -362,18 +485,20 @@ func (d *Device) Snapshot(requests int) Result {
 	return d.result(d.eng.Now(), requests)
 }
 
-// result assembles the summary.
+// result assembles the summary. Latency accumulators are snapshotted
+// (histograms cloned) so a Result stays valid after its collector is Reset
+// for the next session on a reused runner.
 func (d *Device) result(makespan sim.Time, requests int) Result {
 	res := Result{
 		Makespan:  makespan,
 		Requests:  requests,
-		Device:    d.col.Device(),
+		Device:    d.col.Device().Snapshot(),
 		PerTenant: make(map[int]stats.Latency),
 		FTL:       d.ftl.Counters(),
 		Fairness:  d.col.Fairness(),
 	}
 	for _, id := range d.col.Tenants() {
-		res.PerTenant[id] = d.col.Tenant(id)
+		res.PerTenant[id] = d.col.Tenant(id).Snapshot()
 	}
 	for _, b := range d.buses {
 		s := b.Snapshot()

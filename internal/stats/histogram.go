@@ -53,6 +53,21 @@ func (h *Histogram) Add(d sim.Time) {
 // Count returns the number of recorded values.
 func (h *Histogram) Count() uint64 { return h.total }
 
+// Reset clears all recorded values in place, so a histogram (and the Acc
+// holding it) can be reused across simulation runs without reallocating.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Clone returns an independent copy. Results that outlive the run they were
+// collected in snapshot their histograms so collector reuse cannot mutate
+// them retroactively.
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	c := *h
+	return &c
+}
+
 // Merge folds other into h.
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil {

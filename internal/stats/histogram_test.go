@@ -168,3 +168,80 @@ func TestAccMergePreservesHistogram(t *testing.T) {
 		t.Errorf("merged p99 = %v, want about 1000us", a.P99())
 	}
 }
+
+func TestHistogramMergeNilIsNoop(t *testing.T) {
+	var h Histogram
+	h.Add(100)
+	h.Merge(nil)
+	if h.Count() != 1 || h.P50() < 100 {
+		t.Errorf("merge(nil) changed histogram: count=%d", h.Count())
+	}
+}
+
+func TestHistogramMergeEmptyOperands(t *testing.T) {
+	var empty, h Histogram
+	h.Add(50)
+	h.Merge(&empty) // empty into populated
+	if h.Count() != 1 {
+		t.Errorf("count after merging empty = %d, want 1", h.Count())
+	}
+	empty.Merge(&h) // populated into empty
+	if empty.Count() != 1 || empty.Quantile(1) != h.Quantile(1) {
+		t.Errorf("empty.Merge lost data: count=%d", empty.Count())
+	}
+	var a, b Histogram
+	a.Merge(&b) // empty into empty
+	if a.Count() != 0 || a.Quantile(0.99) != 0 {
+		t.Errorf("empty-empty merge produced data: count=%d", a.Count())
+	}
+}
+
+func TestHistogramMergeSelf(t *testing.T) {
+	var h Histogram
+	for i := sim.Time(1); i <= 10; i++ {
+		h.Add(i * 100)
+	}
+	before := h.Quantile(1)
+	h.Merge(&h)
+	if h.Count() != 20 {
+		t.Errorf("self-merge count = %d, want 20", h.Count())
+	}
+	if h.Quantile(1) != before {
+		t.Errorf("self-merge moved max quantile: %v -> %v", before, h.Quantile(1))
+	}
+}
+
+func TestHistogramMergeMatchesCombinedAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var a, b, both Histogram
+	for i := 0; i < 500; i++ {
+		v := sim.Time(rng.Int63n(1 << 40))
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		both.Add(v)
+	}
+	a.Merge(&b)
+	if a != both {
+		t.Fatal("merged histogram differs from one built by combined adds")
+	}
+}
+
+func TestHistogramResetAndClone(t *testing.T) {
+	var h Histogram
+	h.Add(42)
+	c := h.Clone()
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 {
+		t.Errorf("reset histogram not empty: count=%d", h.Count())
+	}
+	if c.Count() != 1 {
+		t.Errorf("clone mutated by reset: count=%d", c.Count())
+	}
+	var nilH *Histogram
+	if nilH.Clone() != nil {
+		t.Error("nil.Clone() != nil")
+	}
+}

@@ -65,6 +65,25 @@ func (a *Acc) Merge(other Acc) {
 	}
 }
 
+// Reset clears the accumulator in place, keeping the histogram's backing
+// storage for reuse.
+func (a *Acc) Reset() {
+	h := a.hist
+	*a = Acc{}
+	if h != nil {
+		h.Reset()
+		a.hist = h
+	}
+}
+
+// Snapshot returns an independent copy of the accumulator: the histogram is
+// cloned, so later Reset/Add calls on a (a reused per-run accumulator)
+// cannot mutate the snapshot.
+func (a Acc) Snapshot() Acc {
+	a.hist = a.hist.Clone()
+	return a
+}
+
 // Quantile returns an upper bound for the q-quantile of the recorded
 // latencies (0 for an empty accumulator).
 func (a Acc) Quantile(q float64) sim.Time {
@@ -121,10 +140,26 @@ func (l *Latency) Merge(other Latency) {
 	l.Write.Merge(other.Write)
 }
 
-// Collector accumulates per-tenant latencies for one simulation run.
+// Reset clears both accumulators in place.
+func (l *Latency) Reset() {
+	l.Read.Reset()
+	l.Write.Reset()
+}
+
+// Snapshot returns an independent copy (histograms cloned).
+func (l Latency) Snapshot() Latency {
+	return Latency{Read: l.Read.Snapshot(), Write: l.Write.Snapshot()}
+}
+
+// Collector accumulates per-tenant latencies for one simulation run. A
+// collector is reusable: Reset clears it for the next run while keeping the
+// per-tenant accumulators (and their histogram storage) on a free list, so
+// loops that run thousands of simulations (the 42-strategy label loop)
+// allocate no fresh accumulators after the first run.
 type Collector struct {
 	perTenant map[int]*Latency
 	device    Latency
+	free      []*Latency // reset accumulators awaiting reuse
 }
 
 // NewCollector returns an empty collector.
@@ -147,10 +182,28 @@ func (c *Collector) AddWrite(tenant int, d sim.Time) {
 func (c *Collector) tenant(id int) *Latency {
 	l, ok := c.perTenant[id]
 	if !ok {
-		l = &Latency{}
+		if n := len(c.free); n > 0 {
+			l = c.free[n-1]
+			c.free = c.free[:n-1]
+		} else {
+			l = &Latency{}
+		}
 		c.perTenant[id] = l
 	}
 	return l
+}
+
+// Reset clears the collector for a new run. Tenant accumulators are
+// recycled onto the free list, so the set of observed tenants (and
+// therefore Tenants and the per-tenant result map) starts empty, exactly as
+// on a fresh collector.
+func (c *Collector) Reset() {
+	for id, l := range c.perTenant {
+		l.Reset()
+		c.free = append(c.free, l)
+		delete(c.perTenant, id)
+	}
+	c.device.Reset()
 }
 
 // Device returns the aggregate latency over all tenants.

@@ -176,3 +176,48 @@ func TestCollectorFairness(t *testing.T) {
 		t.Errorf("skewed tenants fairness %v, want well below 1", got)
 	}
 }
+
+func TestAccSnapshotIsolatesHistogram(t *testing.T) {
+	var a Acc
+	a.Add(100)
+	snap := a.Snapshot()
+	a.Reset()
+	a.Add(1)
+	if snap.Count != 1 || snap.P99() < 100 {
+		t.Errorf("snapshot mutated by reset+add: count=%d p99=%v", snap.Count, snap.P99())
+	}
+	if a.Count != 1 || a.Min != 1 {
+		t.Errorf("reset acc wrong: count=%d min=%v", a.Count, a.Min)
+	}
+}
+
+// A Reset collector must be observably identical to a fresh one: same tenant
+// set, zero device totals, and reusable without cross-run bleed.
+func TestCollectorResetBehavesFresh(t *testing.T) {
+	c := NewCollector()
+	c.AddRead(3, 100)
+	c.AddWrite(5, 200)
+	c.Reset()
+	if got := c.Tenants(); len(got) != 0 {
+		t.Fatalf("tenants after reset = %v, want none", got)
+	}
+	if d := c.Device(); d.Read.Count != 0 || d.Write.Count != 0 {
+		t.Fatalf("device totals survived reset: %+v", d)
+	}
+	// Second run on the reused collector matches a fresh collector.
+	fresh := NewCollector()
+	for _, col := range []*Collector{c, fresh} {
+		col.AddRead(1, 50)
+		col.AddRead(1, 150)
+		col.AddWrite(2, 300)
+	}
+	if got, want := c.Tenant(1).Read.Mean(), fresh.Tenant(1).Read.Mean(); got != want {
+		t.Errorf("tenant mean on reused = %v, fresh = %v", got, want)
+	}
+	if got, want := c.Device().Total(), fresh.Device().Total(); got != want {
+		t.Errorf("device total on reused = %v, fresh = %v", got, want)
+	}
+	if got, want := len(c.Tenants()), len(fresh.Tenants()); got != want {
+		t.Errorf("tenant count on reused = %d, fresh = %d", got, want)
+	}
+}

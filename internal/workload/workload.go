@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"ssdkeeper/internal/alloc"
 	"ssdkeeper/internal/nand"
@@ -172,10 +173,18 @@ func NewDevice(rc RunConfig) (*ssd.Device, error) {
 	return sess.Device(), nil
 }
 
+// runnerPool recycles runners across Run calls. A reset engine behaves
+// identically to a fresh one, so pooled reuse keeps results byte-for-byte
+// unchanged while callers that invoke Run in a loop (or from several
+// goroutines) stop paying an engine + collector allocation per run.
+var runnerPool = sync.Pool{New: func() any { return simrun.NewRunner() }}
+
 // Run replays the trace under the run configuration and returns the device
-// result. It is a convenience wrapper over a single-use simrun.Runner.
+// result. Runners are pooled and reused across calls.
 func Run(rc RunConfig, t trace.Trace) (ssd.Result, error) {
-	res, err := simrun.NewRunner().Run(context.Background(), rc, t)
+	r := runnerPool.Get().(*simrun.Runner)
+	res, err := r.Run(context.Background(), rc, t)
+	runnerPool.Put(r)
 	if err != nil {
 		return ssd.Result{}, err
 	}

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# bench.sh — run the simulation-core benchmarks and write BENCH_simcore.json.
+#
+# Runs the two root hot-path benchmarks (BenchmarkSimulatorThroughput and
+# BenchmarkDatasetGeneration, both at QuickScale) with -benchmem, parses the
+# output, and writes machine-readable before/after numbers to
+# BENCH_simcore.json at the repo root. The "baseline" block is the seed tree
+# measured immediately before the allocation-free event core landed (commit
+# 3c74399, benchtime=2s, Intel Xeon @ 2.70GHz); the "after" block is whatever
+# tree the script runs on. CI runs this non-blockingly so the numbers stay
+# visible without shared-runner noise failing the build.
+#
+# Usage:
+#   scripts/bench.sh            # benchtime=2s, writes BENCH_simcore.json
+#   BENCHTIME=5s scripts/bench.sh
+#   OUT=/tmp/b.json scripts/bench.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="${OUT:-BENCH_simcore.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running simulation-core benchmarks (benchtime=$BENCHTIME)..." >&2
+go test -run '^$' -bench 'BenchmarkSimulatorThroughput$|BenchmarkDatasetGeneration$' \
+  -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+
+# Parse `go test -bench` lines. Throughput reports an extra requests/s metric:
+#   BenchmarkSimulatorThroughput-8  N  <ns> ns/op  <r> requests/s  <B> B/op  <a> allocs/op
+#   BenchmarkDatasetGeneration-8    N  <ns> ns/op  <B> B/op  <a> allocs/op
+metric() { # metric <benchmark-prefix> <unit>
+  awk -v bench="$1" -v unit="$2" '
+    index($1, bench) == 1 {
+      for (i = 2; i < NF; i++) if ($(i + 1) == unit) { printf "%s", $i; exit }
+    }' "$RAW"
+}
+
+json_field() { # json_field <benchmark-prefix> — emits the per-benchmark object
+  local ns bytes allocs reqs
+  ns=$(metric "$1" "ns/op"); bytes=$(metric "$1" "B/op"); allocs=$(metric "$1" "allocs/op")
+  reqs=$(metric "$1" "requests/s")
+  if [ -z "$ns" ]; then
+    echo "bench.sh: no result parsed for $1" >&2
+    exit 1
+  fi
+  printf '{"ns_op": %s, "bytes_op": %s, "allocs_op": %s' "$ns" "$bytes" "$allocs"
+  [ -n "$reqs" ] && printf ', "requests_per_s": %s' "$reqs"
+  printf '}'
+}
+
+cpu=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)
+thr=$(json_field BenchmarkSimulatorThroughput)
+gen=$(json_field BenchmarkDatasetGeneration)
+
+cat > "$OUT" <<EOF
+{
+  "benchtime": "$BENCHTIME",
+  "cpu": "${cpu:-unknown}",
+  "baseline": {
+    "commit": "3c74399",
+    "note": "seed tree before the allocation-free event core (benchtime=2s)",
+    "SimulatorThroughput": {"ns_op": 30373374, "bytes_op": 8435243, "allocs_op": 138728, "requests_per_s": 164618},
+    "DatasetGeneration": {"ns_op": 388885978, "bytes_op": 141203259, "allocs_op": 1219674}
+  },
+  "after": {
+    "SimulatorThroughput": $thr,
+    "DatasetGeneration": $gen
+  }
+}
+EOF
+echo "wrote $OUT" >&2
