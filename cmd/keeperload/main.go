@@ -1,0 +1,287 @@
+// Command keeperload drives an ssdkeeperd daemon with a multi-tenant
+// workload and reports per-tenant latency percentiles. It supports closed-
+// loop generation (a fixed worker pool, each worker submitting its next
+// request as soon as the previous one answers — throughput finds its own
+// level) and open-loop generation (requests fired at a fixed aggregate
+// rate regardless of completions — the mode that exposes backpressure).
+//
+// Usage:
+//
+//	keeperload -addr http://localhost:8080 -n 1000 -concurrency 32
+//	keeperload -mode open -iops 2000 -n 5000 -write-ratios 0.9,0.1,0.8,0.2
+//	keeperload -n 1000 -json > result.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ssdkeeper/internal/serve"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/stats"
+	"ssdkeeper/internal/trace"
+)
+
+type tenantReport struct {
+	Tenant    int     `json:"tenant"`
+	OK        uint64  `json:"ok"`
+	Rejected  uint64  `json:"rejected"`
+	Failed    uint64  `json:"failed"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	WriteFrac float64 `json:"write_frac"`
+}
+
+type report struct {
+	Mode        string         `json:"mode"`
+	Requests    int            `json:"requests"`
+	OK          uint64         `json:"ok"`
+	Rejected    uint64         `json:"rejected"`
+	Failed      uint64         `json:"failed"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Throughput  float64        `json:"throughput_rps"`
+	Tenants     []tenantReport `json:"tenants"`
+}
+
+// tenantStats accumulates one tenant's outcomes; counters are guarded by mu
+// because many workers share a tenant.
+type tenantStats struct {
+	mu       sync.Mutex
+	ok       uint64
+	rejected uint64
+	failed   uint64
+	writes   uint64
+	hist     stats.Histogram
+	maxLat   sim.Time
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "daemon base URL")
+		mode     = flag.String("mode", "closed", "closed (worker pool) or open (fixed rate)")
+		n        = flag.Int("n", 1000, "total requests")
+		workers  = flag.Int("concurrency", 32, "closed-loop worker count (also bounds open-loop in-flight)")
+		iops     = flag.Float64("iops", 2000, "open-loop aggregate arrival rate (req/s, wall)")
+		tenants  = flag.Int("tenants", 4, "tenant count")
+		ratios   = flag.String("write-ratios", "", "per-tenant write ratios, comma-separated (default 0.5 each)")
+		size     = flag.Int("size", 16*1024, "request size in bytes")
+		maxBytes = flag.Int64("max-bytes", 64<<20, "per-tenant address space to spread offsets over")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+		asJSON   = flag.Bool("json", false, "write the report as JSON to stdout")
+	)
+	flag.Parse()
+
+	writeRatio, err := parseRatios(*ratios, *tenants)
+	if err != nil {
+		fatal(err)
+	}
+	if *tenants < 1 || *n < 1 || *workers < 1 {
+		fatal(fmt.Errorf("need positive -tenants, -n, -concurrency"))
+	}
+
+	// Pre-generate the request stream so both modes replay the identical
+	// sequence for a given seed.
+	rng := rand.New(rand.NewSource(*seed))
+	pages := *maxBytes / int64(*size)
+	if pages < 1 {
+		pages = 1
+	}
+	reqs := make([]serve.Request, *n)
+	for i := range reqs {
+		t := i % *tenants
+		op := trace.Read
+		if rng.Float64() < writeRatio[t] {
+			op = trace.Write
+		}
+		reqs[i] = serve.Request{
+			Tenant: t,
+			Op:     op,
+			Offset: rng.Int63n(pages) * int64(*size),
+			Size:   *size,
+		}
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	perTenant := make([]*tenantStats, *tenants)
+	for i := range perTenant {
+		perTenant[i] = &tenantStats{}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	switch *mode {
+	case "closed":
+		// Workers pull the next unsent request; each submits synchronously.
+		next := make(chan serve.Request, *workers)
+		for w := 0; w < *workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for req := range next {
+					submit(client, *addr, req, perTenant[req.Tenant])
+				}
+			}()
+		}
+		for _, req := range reqs {
+			next <- req
+		}
+		close(next)
+	case "open":
+		if *iops <= 0 {
+			fatal(fmt.Errorf("open loop needs positive -iops"))
+		}
+		gap := time.Duration(float64(time.Second) / *iops)
+		sem := make(chan struct{}, *workers)
+		tick := time.NewTicker(gap)
+		defer tick.Stop()
+		for _, req := range reqs {
+			<-tick.C
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(req serve.Request) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				submit(client, *addr, req, perTenant[req.Tenant])
+			}(req)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := report{Mode: *mode, Requests: *n, WallSeconds: wall.Seconds()}
+	for t, ts := range perTenant {
+		rep.OK += ts.ok
+		rep.Rejected += ts.rejected
+		rep.Failed += ts.failed
+		rep.Tenants = append(rep.Tenants, tenantReport{
+			Tenant:    t,
+			OK:        ts.ok,
+			Rejected:  ts.rejected,
+			Failed:    ts.failed,
+			P50Ms:     ms(ts.hist.P50()),
+			P99Ms:     ms(ts.hist.P99()),
+			MaxMs:     ms(ts.maxLat),
+			WriteFrac: writeRatio[t],
+		})
+	}
+	if wall > 0 {
+		rep.Throughput = float64(rep.OK) / wall.Seconds()
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("%s loop: %d ok, %d rejected, %d failed in %.2fs (%.0f req/s)\n",
+			rep.Mode, rep.OK, rep.Rejected, rep.Failed, rep.WallSeconds, rep.Throughput)
+		for _, tr := range rep.Tenants {
+			fmt.Printf("  tenant %d (w=%.2f): ok %d rej %d, p50 %.3fms p99 %.3fms max %.3fms\n",
+				tr.Tenant, tr.WriteFrac, tr.OK, tr.Rejected, tr.P50Ms, tr.P99Ms, tr.MaxMs)
+		}
+	}
+	if rep.OK == 0 {
+		fatal(fmt.Errorf("no request succeeded"))
+	}
+}
+
+// submit POSTs one request and records its outcome. Reported latency is the
+// daemon's simulated response latency (queue wait included), not the HTTP
+// round trip, so percentiles describe the device under the configured
+// acceleration rather than loopback networking.
+func submit(client *http.Client, base string, req serve.Request, ts *tenantStats) {
+	body := fmt.Sprintf(`{"tenant":%d,"op":"%s","offset":%d,"size":%d}`,
+		req.Tenant, opName(req.Op), req.Offset, req.Size)
+	resp, err := client.Post(base+"/io", "application/json", strings.NewReader(body))
+	if err != nil {
+		ts.mu.Lock()
+		ts.failed++
+		ts.mu.Unlock()
+		return
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var jr struct {
+			LatencyNS int64 `json:"latency_ns"`
+		}
+		if err := json.Unmarshal(data, &jr); err != nil {
+			ts.failed++
+			return
+		}
+		ts.ok++
+		if req.Op == trace.Write {
+			ts.writes++
+		}
+		lat := sim.Time(jr.LatencyNS)
+		ts.hist.Add(lat)
+		if lat > ts.maxLat {
+			ts.maxLat = lat
+		}
+	case resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable:
+		ts.rejected++
+	default:
+		ts.failed++
+	}
+}
+
+func opName(op trace.Op) string {
+	if op == trace.Write {
+		return "write"
+	}
+	return "read"
+}
+
+func ms(t sim.Time) float64 { return float64(t) / 1e6 }
+
+// parseRatios expands "-write-ratios 0.9,0.1" to one ratio per tenant
+// (missing entries default to 0.5).
+func parseRatios(s string, tenants int) ([]float64, error) {
+	out := make([]float64, tenants)
+	for i := range out {
+		out[i] = 0.5
+	}
+	if s == "" {
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > tenants {
+		return nil, fmt.Errorf("%d write ratios for %d tenants", len(parts), tenants)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad write ratio %q: %w", p, err)
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("write ratio %v outside [0,1]", v)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "keeperload:", err)
+	os.Exit(1)
+}

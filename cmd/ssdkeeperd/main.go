@@ -1,0 +1,188 @@
+// Command ssdkeeperd is the live multi-tenant SSD service daemon: a
+// simulated device served over HTTP, with SSDKeeper's adaptation loop
+// running online. Tenants submit I/O to /io (JSON) or /io/batch (line
+// protocol); arrivals feed the keeper's sliding-window collector, and each
+// elapsed window triggers ANN inference and an epoch-based channel
+// re-allocation on the serving device. /metrics exposes Prometheus text,
+// /healthz liveness, /debug/pprof profiles. SIGINT/SIGTERM drains
+// gracefully: admission stops, queued requests are rejected, in-flight
+// requests complete, and the daemon exits 0 with a final device summary.
+//
+// Usage:
+//
+//	ssdkeeperd -addr :8080 -model model.json -accel 1.0
+//	ssdkeeperd -addr :8080 -train-workloads 12      # self-train a quick model
+//	ssdkeeperd -no-keeper                           # serve without adaptation
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ssdkeeper/internal/dataset"
+	"ssdkeeper/internal/experiments"
+	"ssdkeeper/internal/keeper"
+	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/serve"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		modelPath  = flag.String("model", "", "trained model (empty: self-train a quick model at startup)")
+		noKeeper   = flag.Bool("no-keeper", false, "serve without the online keeper (static shared allocation)")
+		accel      = flag.Float64("accel", 1.0, "simulated nanoseconds per wall nanosecond")
+		window     = flag.Duration("window", 100*time.Millisecond, "keeper observation window T (simulated)")
+		adaptEvery = flag.Duration("adapt-every", 100*time.Millisecond, "re-adaptation period (simulated; 0 = single shot)")
+		hybrid     = flag.Bool("hybrid", true, "switch page-allocation mode with each epoch (hybrid allocator)")
+		tenants    = flag.Int("tenants", 4, "tenant ID space")
+		queueLen   = flag.Int("queue-len", 64, "per-tenant admission queue bound")
+		queueDepth = flag.Int("queue-depth", 32, "per-tenant in-device command bound")
+		maxBytes   = flag.Int64("max-bytes", 64<<20, "per-tenant logical address space")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request completion deadline (wall)")
+		fresh      = flag.Bool("fresh", false, "skip device seasoning (no GC pressure)")
+		trainWork  = flag.Int("train-workloads", 12, "workloads to label when self-training")
+		quiet      = flag.Bool("q", false, "suppress startup progress output")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	env := experiments.NewEnv()
+	if *fresh {
+		env.Season = workload.Seasoning{} // factory-fresh device, GC idle
+	}
+
+	var k *keeper.Keeper
+	if !*noKeeper {
+		model, err := loadOrTrainModel(ctx, env, *modelPath, *trainWork, *quiet)
+		if err != nil {
+			fatal(err)
+		}
+		k, err = keeper.New(keeper.Config{
+			Device:         env.Device,
+			Options:        env.Options,
+			Strategies:     env.Strategies,
+			SaturationIOPS: env.SaturationIOPS,
+			Window:         sim.Time(*window),
+			AdaptEvery:     sim.Time(*adaptEvery),
+			Hybrid:         *hybrid,
+			Season:         env.Season,
+		}, model)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	s, err := serve.New(serve.Config{
+		Device:     env.Device,
+		Options:    env.Options,
+		Season:     env.Season,
+		Tenants:    *tenants,
+		QueueLen:   *queueLen,
+		QueueDepth: *queueDepth,
+		MaxBytes:   *maxBytes,
+		Accel:      *accel,
+	}, k)
+	if err != nil {
+		fatal(err)
+	}
+	s.Start()
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler(*timeout)}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "ssdkeeperd: serving on %s (accel %g, keeper %v)\n",
+			*addr, *accel, k != nil)
+	}
+
+	select {
+	case err := <-errc:
+		s.Drain()
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: reject what is queued, finish what is in flight, then
+	// close the listener once every blocked handler has been answered.
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "ssdkeeperd: draining...")
+	}
+	res := s.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fatal(err)
+	}
+	switches := 0
+	if c := s.Controller(); c != nil {
+		switches = c.SwitchCount()
+	}
+	fmt.Fprintf(os.Stderr,
+		"ssdkeeperd: drained clean: %d requests, makespan %v, %d keeper switches, fairness %.3f\n",
+		res.Requests, res.Makespan, switches, res.Fairness)
+	if err := s.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+// loadOrTrainModel loads a serialized classifier, or — with no -model —
+// runs the offline pipeline at quick scale so the daemon is usable out of
+// the box (smoke tests and demos; real deployments train with keeper-train).
+func loadOrTrainModel(ctx context.Context, env experiments.Env, path string, workloads int, quiet bool) (*nn.Network, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return nn.Load(f)
+	}
+	scale := experiments.QuickScale()
+	if workloads > 0 {
+		scale.DatasetWorkloads = workloads
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "ssdkeeperd: no -model; self-training on %d quick workloads...\n",
+			scale.DatasetWorkloads)
+	}
+	res, err := keeper.Train(ctx, keeper.TrainConfig{
+		Dataset: dataset.Config{
+			Device: env.Device, Options: env.Options, Strategies: env.Strategies,
+			Workloads: scale.DatasetWorkloads, Requests: scale.DatasetRequests,
+			MaxIOPS: env.SaturationIOPS, Season: env.Season, Seed: scale.Seed,
+		},
+		Hidden:     16,
+		Iterations: scale.TrainIterations,
+		BatchSize:  scale.TrainBatch,
+		Seed:       scale.Seed,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "ssdkeeperd: self-trained model: loss %.3f, test accuracy %.1f%%\n",
+			res.History.FinalLoss, 100*res.History.FinalAcc)
+	}
+	return res.Model, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssdkeeperd:", err)
+	os.Exit(1)
+}

@@ -59,6 +59,9 @@ type queue struct {
 	weight   int
 	// turns counts the consecutive dispatches in the current WRR cycle.
 	turns int
+	// stalled counts dispatch attempts deferred because the queue was at
+	// its in-flight bound (a fairness diagnostic).
+	stalled uint64
 	// onComplete is the completion callback every command of this queue
 	// shares, created once at queue construction so dispatch allocates no
 	// per-command closure.
@@ -70,11 +73,10 @@ type Host struct {
 	cfg Config
 	dev *ssd.Device
 
-	queues  map[int]*queue
-	order   []int          // deterministic arbitration order (sorted tenants)
-	next    int            // arbitration cursor into order
-	total   int            // device-wide in-flight
-	stalled map[int]uint64 // dispatches deferred per tenant
+	queues map[int]*queue
+	order  []int // deterministic arbitration order (sorted tenants)
+	next   int   // arbitration cursor into order
+	total  int   // device-wide in-flight
 }
 
 // New creates a host interface over a device.
@@ -94,10 +96,9 @@ func New(dev *ssd.Device, cfg Config) (*Host, error) {
 		}
 	}
 	return &Host{
-		cfg:     cfg,
-		dev:     dev,
-		queues:  make(map[int]*queue),
-		stalled: make(map[int]uint64),
+		cfg:    cfg,
+		dev:    dev,
+		queues: make(map[int]*queue),
 	}, nil
 }
 
@@ -143,6 +144,14 @@ func (h *Host) dispatch() error {
 	idle := 0
 	for idle < len(h.order) {
 		if h.cfg.Outstanding > 0 && h.total >= h.cfg.Outstanding {
+			// The device-wide bound defers every queue that still holds
+			// work; charge those stalls too, or an Outstanding-bound host
+			// looks stall-free no matter how starved its tenants are.
+			for _, t := range h.order {
+				if q := h.queues[t]; len(q.pending) > 0 {
+					q.stalled++
+				}
+			}
 			return nil
 		}
 		tenant := h.order[h.next%len(h.order)]
@@ -154,7 +163,7 @@ func (h *Host) dispatch() error {
 		q := h.queues[tenant]
 		if len(q.pending) == 0 || q.inFlight >= h.cfg.QueueDepth {
 			if len(q.pending) > 0 {
-				h.stalled[tenant]++
+				q.stalled++
 			}
 			q.turns = 0
 			h.next++
@@ -250,12 +259,20 @@ func (h *Host) Run(t trace.Trace) (ssd.Result, error) {
 	return res, nil
 }
 
-// Stalls reports how many dispatch attempts each tenant's queue deferred
-// (a fairness diagnostic).
-func (h *Host) Stalls() map[int]uint64 {
-	out := make(map[int]uint64, len(h.stalled))
-	for t, n := range h.stalled {
-		out[t] = n
+// TenantStalls is one tenant's deferred-dispatch count.
+type TenantStalls struct {
+	Tenant int
+	Stalls uint64
+}
+
+// Stalls reports how many dispatch attempts each tenant's queue deferred (a
+// fairness diagnostic). The snapshot covers every tenant that has enqueued
+// at least once — stalled or not — in ascending tenant order, so repeated
+// calls and repeated runs render identically.
+func (h *Host) Stalls() []TenantStalls {
+	out := make([]TenantStalls, 0, len(h.order))
+	for _, t := range h.order {
+		out = append(out, TenantStalls{Tenant: t, Stalls: h.queues[t].stalled})
 	}
 	return out
 }

@@ -191,8 +191,100 @@ func TestArrivalsSpreadOverTime(t *testing.T) {
 	if res.Device.Write.Mean() > 2*base {
 		t.Errorf("paced arrivals too slow: %v vs base %v", res.Device.Write.Mean(), base)
 	}
-	if len(h.Stalls()) != 0 && h.Stalls()[0] > 0 {
-		t.Errorf("paced workload stalled: %v", h.Stalls())
+	for _, s := range h.Stalls() {
+		if s.Stalls > 0 {
+			t.Errorf("paced workload stalled: %v", h.Stalls())
+		}
+	}
+}
+
+func TestStallsEmptyHost(t *testing.T) {
+	dev := device(t)
+	h, err := New(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No tenant ever enqueued: the snapshot is empty, and running an empty
+	// trace must neither panic nor invent queues.
+	if got := h.Stalls(); len(got) != 0 {
+		t.Errorf("stalls before any traffic: %v", got)
+	}
+	if _, err := h.Run(trace.Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Stalls(); len(got) != 0 {
+		t.Errorf("stalls after empty run: %v", got)
+	}
+}
+
+func TestStallsSingleTenantDeterministic(t *testing.T) {
+	cfg := nand.TinyConfig()
+	run := func() []TenantStalls {
+		d, err := newDevice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := New(d, Config{QueueDepth: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Run(burst(cfg, 3, 20, 0)); err != nil {
+			t.Fatal(err)
+		}
+		return h.Stalls()
+	}
+	got := run()
+	if len(got) != 1 || got[0].Tenant != 3 {
+		t.Fatalf("single-tenant snapshot %v, want exactly tenant 3", got)
+	}
+	// Depth 1 with a 20-deep burst must defer dispatches.
+	if got[0].Stalls == 0 {
+		t.Error("depth-1 burst recorded no stalls")
+	}
+	again := run()
+	if len(again) != 1 || again[0] != got[0] {
+		t.Errorf("snapshot not deterministic across runs: %v vs %v", got, again)
+	}
+}
+
+func TestStallsAllStalledOrderedSnapshot(t *testing.T) {
+	cfg := nand.TinyConfig()
+	run := func() []TenantStalls {
+		d, err := newDevice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Outstanding 1 over four bursting tenants: at any instant three
+		// queues hold work they cannot dispatch, so every tenant stalls.
+		h, err := New(d, Config{QueueDepth: 8, Outstanding: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.Merge(burst(cfg, 2, 10, 0), burst(cfg, 0, 10, 0),
+			burst(cfg, 3, 10, 0), burst(cfg, 1, 10, 0))
+		if _, err := h.Run(tr); err != nil {
+			t.Fatal(err)
+		}
+		return h.Stalls()
+	}
+	got := run()
+	if len(got) != 4 {
+		t.Fatalf("snapshot %v, want all four tenants", got)
+	}
+	for i, s := range got {
+		if s.Tenant != i {
+			t.Errorf("snapshot position %d holds tenant %d; want ascending tenant order (%v)", i, s.Tenant, got)
+		}
+		if s.Stalls == 0 {
+			t.Errorf("tenant %d never stalled under Outstanding=1 contention", s.Tenant)
+		}
+	}
+	again := run()
+	for i := range got {
+		if again[i] != got[i] {
+			t.Errorf("snapshot not deterministic across runs: %v vs %v", got, again)
+			break
+		}
 	}
 }
 

@@ -1,0 +1,139 @@
+package keeper
+
+import (
+	"ssdkeeper/internal/features"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/simrun"
+	"ssdkeeper/internal/ssd"
+	"ssdkeeper/internal/trace"
+)
+
+// Controller is the keeper's online loop — sliding-window feature
+// collection, epoch-boundary ANN prediction, channel (and page-mode)
+// re-binding — detached from any particular traffic source. Keeper.Run
+// drives one from a trace replay's arrival hook; the serving daemon
+// (internal/serve) drives one from live arrivals and wall-clock ticks.
+//
+// The controller is single-goroutine, like the engine of the device it
+// re-binds: callers serialize Observe/Tick with the simulation they pace.
+//
+// Epoch semantics (Algorithm 2, generalized): the first window covers
+// [0, Window). When simulated time reaches an epoch boundary the collected
+// features are predicted and the device re-bound at that boundary time.
+// With AdaptEvery == 0 the controller adapts once and then only observes;
+// with AdaptEvery > 0 the window resets at each boundary and the next epoch
+// ends AdaptEvery later. Boundaries with no intervening arrivals still fire
+// (in order) as soon as time passes them, each seeing the features
+// collected since the previous boundary.
+type Controller struct {
+	// SkipIdle, when set, suppresses adaptation at epoch boundaries whose
+	// window saw no arrivals: the binding is left alone and no switch is
+	// recorded. A live server sets it so an idle device is not re-bound
+	// once per window on zero information; trace replay leaves it unset,
+	// keeping the historical fire-every-boundary semantics.
+	SkipIdle bool
+
+	k        *Keeper
+	dev      *ssd.Device
+	col      *features.Collector
+	next     sim.Time
+	observed int  // arrivals observed in the current window
+	done     bool // single-shot adaptation already fired
+	switches []Switch
+	err      error
+}
+
+// Controller returns an online controller bound to dev, with the first
+// epoch boundary one Window from time zero. The device must use the
+// keeper's geometry (its channel count bounds the strategy space).
+func (k *Keeper) Controller(dev *ssd.Device) *Controller {
+	return &Controller{
+		k:    k,
+		dev:  dev,
+		col:  features.NewCollector(k.cfg.SaturationIOPS, 0),
+		next: k.cfg.Window,
+	}
+}
+
+// adapt predicts from the current window and re-binds the device at epoch
+// boundary time now.
+func (c *Controller) adapt(now sim.Time) error {
+	vec := c.col.Vector(now)
+	strat, idx, err := c.k.Predict(vec)
+	if err != nil {
+		return err
+	}
+	if err := simrun.Apply(c.dev, strat, vec.Traits(), c.k.cfg.Hybrid); err != nil {
+		return err
+	}
+	c.switches = append(c.switches, Switch{
+		At: now, Vector: vec, Strategy: strat, Index: idx,
+	})
+	return nil
+}
+
+// advance fires every epoch boundary at or before now, in order. It is a
+// no-op once the controller has failed or finished its single adaptation.
+func (c *Controller) advance(now sim.Time) {
+	if c.err != nil || c.done {
+		return
+	}
+	for now >= c.next {
+		if !c.SkipIdle || c.observed > 0 {
+			if err := c.adapt(c.next); err != nil {
+				c.err = err
+				return
+			}
+			if c.k.cfg.AdaptEvery <= 0 {
+				c.done = true
+				return
+			}
+		}
+		c.col.Reset(c.next)
+		c.observed = 0
+		step := c.k.cfg.AdaptEvery
+		if step <= 0 {
+			// Idle single shot: slide the window until traffic appears.
+			step = c.k.cfg.Window
+		}
+		c.next += step
+	}
+}
+
+// Observe records one request arrival at simulated time now, first firing
+// any epoch boundaries the arrival stepped past. Trace mode calls it from
+// the replay's arrival hook; live mode calls it at admission.
+func (c *Controller) Observe(now sim.Time, r trace.Record) {
+	c.advance(now)
+	if c.err != nil {
+		return
+	}
+	c.observed++
+	c.col.Observe(r)
+}
+
+// Tick fires any epoch boundaries at or before now without recording an
+// arrival. Live traffic pauses between requests; the daemon's pacer ticks
+// the controller so adaptation epochs track time, not just arrivals.
+func (c *Controller) Tick(now sim.Time) { c.advance(now) }
+
+// Err returns the first prediction or re-binding failure; once set the
+// controller stops adapting and observing.
+func (c *Controller) Err() error { return c.err }
+
+// Switches returns a copy of the re-allocations performed so far.
+func (c *Controller) Switches() []Switch {
+	return append([]Switch(nil), c.switches...)
+}
+
+// SwitchCount returns the number of re-allocations performed so far without
+// copying (the daemon's metrics path polls it).
+func (c *Controller) SwitchCount() int { return len(c.switches) }
+
+// LastSwitch returns the most recent re-allocation, if any.
+func (c *Controller) LastSwitch() (Switch, bool) {
+	if len(c.switches) == 0 {
+		return Switch{}, false
+	}
+	return c.switches[len(c.switches)-1], true
+}

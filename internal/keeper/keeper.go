@@ -156,55 +156,19 @@ func (k *Keeper) RunContext(ctx context.Context, t trace.Trace) (Report, error) 
 		return Report{}, err
 	}
 	dev := sess.Device()
-	var report Report
-
-	col := features.NewCollector(k.cfg.SaturationIOPS, 0)
-	adapt := func(now sim.Time) error {
-		vec := col.Vector(now)
-		strat, idx, err := k.Predict(vec)
-		if err != nil {
-			return err
-		}
-		if err := simrun.Apply(dev, strat, vec.Traits(), k.cfg.Hybrid); err != nil {
-			return err
-		}
-		report.Switches = append(report.Switches, Switch{
-			At: now, Vector: vec, Strategy: strat, Index: idx,
-		})
-		return nil
-	}
-
-	var hookErr error
-	next := k.cfg.Window
+	ctrl := k.Controller(dev)
 	onArrival := func(_ int, r trace.Record) {
-		if hookErr != nil {
-			return
-		}
-		now := dev.Engine().Now()
-		for now >= next {
-			if err := adapt(next); err != nil {
-				hookErr = err
-				return
-			}
-			if k.cfg.AdaptEvery <= 0 {
-				next = sim.Time(int64(^uint64(0) >> 2)) // effectively never
-				break
-			}
-			col.Reset(next)
-			next += k.cfg.AdaptEvery
-		}
-		col.Observe(r)
+		ctrl.Observe(dev.Engine().Now(), r)
 	}
 
 	res, err := sess.RunObserved(ctx, t, onArrival)
 	if err != nil {
 		return Report{}, err
 	}
-	if hookErr != nil {
-		return Report{}, hookErr
+	if err := ctrl.Err(); err != nil {
+		return Report{}, err
 	}
-	report.Result = res.Result
-	return report, nil
+	return Report{Result: res.Result, Switches: ctrl.switches}, nil
 }
 
 // HybridModeFor returns the page mode the hybrid page allocator gives a

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Wire endpoints:
+//
+//	POST /io        one JSON request  {"tenant":0,"op":"read","offset":0,"size":4096}
+//	                → 200 {"latency_ns":..., "sim_ns":...}
+//	POST /io/batch  text/plain, one line-protocol request per line
+//	                ("<tenant> <R|W> <offset> <size>"); the whole batch is
+//	                admitted open-loop, then answered line by line in order:
+//	                "ok <latency_ns>" | "rej <reason>"
+//	GET  /metrics   Prometheus text exposition
+//	GET  /healthz   "ok" | 503 "draining"/device error
+//	     /debug/pprof/*  standard profiles
+//
+// Backpressure: a full tenant queue answers 429 with a Retry-After hint; a
+// draining server answers 503. Each request runs under the server's request
+// timeout (Handler's reqTimeout), so a stalled pacer cannot strand clients.
+
+// maxBodyBytes bounds request bodies; a batch of maxBatchLines maximal
+// lines fits comfortably.
+const (
+	maxBodyBytes  = 4 << 20
+	maxBatchLines = 65536
+)
+
+// retryAfterSeconds is the backoff hint sent with 429/503. One second spans
+// several pacer ticks and many device service times at any sane Accel.
+const retryAfterSeconds = "1"
+
+// Handler returns the daemon's HTTP surface. reqTimeout bounds each
+// request's wait for simulated completion (0 means 30s).
+func (s *Server) Handler(reqTimeout time.Duration) http.Handler {
+	if reqTimeout <= 0 {
+		reqTimeout = 30 * time.Second
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/io", func(w http.ResponseWriter, r *http.Request) { s.handleIO(w, r, reqTimeout) })
+	mux.HandleFunc("/io/batch", func(w http.ResponseWriter, r *http.Request) { s.handleBatch(w, r, reqTimeout) })
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.WriteMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case s.Err() != nil:
+			http.Error(w, fmt.Sprintf("device error: %v", s.Err()), http.StatusServiceUnavailable)
+		case s.Draining():
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		default:
+			fmt.Fprintln(w, "ok")
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// rejectStatus maps an admission error to its HTTP status.
+func rejectStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrCanceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeReject(w http.ResponseWriter, err error) {
+	status := rejectStatus(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func (s *Server) handleIO(w http.ResponseWriter, r *http.Request, reqTimeout time.Duration) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := DecodeJSONRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), reqTimeout)
+	defer cancel()
+	resp, err := s.Submit(ctx, req)
+	if err != nil {
+		writeReject(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(jsonResponse{
+		LatencyNS: int64(resp.Latency), SimNS: int64(resp.At),
+	})
+}
+
+// batchResult is one line's outcome: a handle to wait on, or an immediate
+// rejection.
+type batchResult struct {
+	p   *Pending
+	err error
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, reqTimeout time.Duration) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	// Admit every line first (open loop), then wait: the batch observes
+	// queueing as simulated latency, not as serialized HTTP round trips.
+	results := make([]batchResult, 0, 256)
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) == 0 {
+			continue
+		}
+		if len(results) >= maxBatchLines {
+			http.Error(w, fmt.Sprintf("batch exceeds %d lines", maxBatchLines), http.StatusBadRequest)
+			return
+		}
+		req, err := DecodeLine(line)
+		if err != nil {
+			results = append(results, batchResult{err: err})
+			continue
+		}
+		p, err := s.SubmitAsync(req)
+		results = append(results, batchResult{p: p, err: err})
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), reqTimeout)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/plain")
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	for _, res := range results {
+		if res.err != nil {
+			fmt.Fprintf(bw, "rej %s\n", rejectReason(res.err))
+			continue
+		}
+		resp, err := s.Wait(ctx, res.p)
+		if err != nil {
+			fmt.Fprintf(bw, "rej %s\n", rejectReason(err))
+			continue
+		}
+		fmt.Fprintf(bw, "ok %d\n", int64(resp.Latency))
+	}
+}
+
+// rejectReason renders the compact reason token of the line protocol.
+func rejectReason(err error) string {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, ErrCanceled):
+		return "timeout"
+	default:
+		return "invalid"
+	}
+}

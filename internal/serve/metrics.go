@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"ssdkeeper/internal/trace"
+)
+
+// WriteMetrics renders the server's state in Prometheus text exposition
+// format: serving counters and latency summaries per tenant, keeper
+// adaptation state, and every simulation probe counter from the
+// stats.Counters registry (as labeled samples, so dotted counter names pass
+// through unmangled).
+func (s *Server) WriteMetrics(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining {
+		s.advanceLocked()
+	}
+
+	fmt.Fprintf(w, "# HELP ssdkeeper_up Whether the server is accepting requests.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_up gauge\n")
+	up := 1
+	if s.draining || s.submitErr != nil {
+		up = 0
+	}
+	fmt.Fprintf(w, "ssdkeeper_up %d\n", up)
+
+	fmt.Fprintf(w, "# HELP ssdkeeper_sim_seconds Simulated time elapsed.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_sim_seconds gauge\n")
+	fmt.Fprintf(w, "ssdkeeper_sim_seconds %g\n", float64(s.eng.Now())/1e9)
+	fmt.Fprintf(w, "# HELP ssdkeeper_accel Simulated nanoseconds per wall nanosecond.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_accel gauge\n")
+	fmt.Fprintf(w, "ssdkeeper_accel %g\n", s.cfg.Accel)
+
+	ops := [2]string{trace.Read: "read", trace.Write: "write"}
+
+	fmt.Fprintf(w, "# HELP ssdkeeper_admitted_total Requests admitted, by tenant and op.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_admitted_total counter\n")
+	for t := range s.queues {
+		for op, name := range ops {
+			fmt.Fprintf(w, "ssdkeeper_admitted_total{tenant=\"%d\",op=\"%s\"} %d\n",
+				t, name, s.queues[t].admitted[op])
+		}
+	}
+	fmt.Fprintf(w, "# HELP ssdkeeper_completed_total Requests completed, by tenant and op.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_completed_total counter\n")
+	for t := range s.queues {
+		for op, name := range ops {
+			fmt.Fprintf(w, "ssdkeeper_completed_total{tenant=\"%d\",op=\"%s\"} %d\n",
+				t, name, s.queues[t].completed[op])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP ssdkeeper_rejected_total Requests rejected, by reason.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_rejected_total counter\n")
+	var full, canceled uint64
+	for t := range s.queues {
+		full += s.queues[t].rejFull
+		canceled += s.queues[t].canceled
+	}
+	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"queue_full\"} %d\n", full)
+	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"draining\"} %d\n", s.rejDrain)
+	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"invalid\"} %d\n", s.rejBad)
+	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"canceled\"} %d\n", canceled)
+
+	fmt.Fprintf(w, "# HELP ssdkeeper_queue_length Requests waiting for device capacity.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_queue_length gauge\n")
+	for t := range s.queues {
+		fmt.Fprintf(w, "ssdkeeper_queue_length{tenant=\"%d\"} %d\n", t, len(s.queues[t].queued))
+	}
+	fmt.Fprintf(w, "# HELP ssdkeeper_inflight Requests inside the device.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_inflight gauge\n")
+	for t := range s.queues {
+		fmt.Fprintf(w, "ssdkeeper_inflight{tenant=\"%d\"} %d\n", t, s.queues[t].inflight)
+	}
+
+	fmt.Fprintf(w, "# HELP ssdkeeper_latency_seconds Simulated response latency summary (queue wait included).\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_latency_seconds summary\n")
+	for t := range s.queues {
+		for op, name := range ops {
+			h := &s.queues[t].hist[op]
+			if h.Count() == 0 {
+				continue
+			}
+			for _, q := range []struct {
+				label string
+				v     float64
+			}{
+				{"0.5", float64(h.P50()) / 1e9},
+				{"0.95", float64(h.P95()) / 1e9},
+				{"0.99", float64(h.P99()) / 1e9},
+			} {
+				fmt.Fprintf(w, "ssdkeeper_latency_seconds{tenant=\"%d\",op=\"%s\",quantile=\"%s\"} %g\n",
+					t, name, q.label, q.v)
+			}
+			fmt.Fprintf(w, "ssdkeeper_latency_seconds_count{tenant=\"%d\",op=\"%s\"} %d\n",
+				t, name, h.Count())
+		}
+	}
+
+	if s.ctrl != nil {
+		fmt.Fprintf(w, "# HELP ssdkeeper_keeper_switches_total Online channel re-allocations performed.\n")
+		fmt.Fprintf(w, "# TYPE ssdkeeper_keeper_switches_total counter\n")
+		fmt.Fprintf(w, "ssdkeeper_keeper_switches_total %d\n", s.ctrl.SwitchCount())
+		if sw, ok := s.ctrl.LastSwitch(); ok {
+			fmt.Fprintf(w, "# HELP ssdkeeper_keeper_strategy Strategy index chosen by the last adaptation epoch.\n")
+			fmt.Fprintf(w, "# TYPE ssdkeeper_keeper_strategy gauge\n")
+			fmt.Fprintf(w, "ssdkeeper_keeper_strategy{name=%q} %d\n",
+				sw.Strategy.Name(s.cfg.Device.Channels), sw.Index)
+			fmt.Fprintf(w, "# HELP ssdkeeper_keeper_last_switch_sim_seconds Simulated time of the last re-allocation.\n")
+			fmt.Fprintf(w, "# TYPE ssdkeeper_keeper_last_switch_sim_seconds gauge\n")
+			fmt.Fprintf(w, "ssdkeeper_keeper_last_switch_sim_seconds %g\n", float64(sw.At)/1e9)
+		}
+	}
+
+	if cs := s.runner.Counters(); cs != nil {
+		fmt.Fprintf(w, "# HELP ssdkeeper_sim_counter Simulation probe counters (see internal/simrun).\n")
+		fmt.Fprintf(w, "# TYPE ssdkeeper_sim_counter counter\n")
+		for _, name := range cs.Names() {
+			fmt.Fprintf(w, "ssdkeeper_sim_counter{name=%q} %d\n", name, cs.Get(name))
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/trace"
+)
+
+// Request is one tenant I/O submitted to the daemon, the wire-level
+// equivalent of a trace.Record without a timestamp: arrival time is when
+// the daemon admits it.
+type Request struct {
+	Tenant int
+	Op     trace.Op
+	Offset int64
+	Size   int
+}
+
+// Record converts the request to a trace record arriving at the given
+// simulated time.
+func (r Request) Record(at sim.Time) trace.Record {
+	return trace.Record{Time: at, Tenant: r.Tenant, Op: r.Op, Offset: r.Offset, Size: r.Size}
+}
+
+// maxRequestBytes bounds a single request's extent; larger transfers should
+// be split by the client, as block layers do.
+const maxRequestBytes = 4 << 20
+
+// Validate checks field sanity against the server's tenant and address
+// space bounds.
+func (r Request) Validate(tenants int, maxBytes int64) error {
+	switch {
+	case r.Tenant < 0 || r.Tenant >= tenants:
+		return fmt.Errorf("tenant %d outside [0,%d)", r.Tenant, tenants)
+	case r.Size <= 0:
+		return fmt.Errorf("non-positive size %d", r.Size)
+	case r.Size > maxRequestBytes:
+		return fmt.Errorf("size %d exceeds %d-byte request cap", r.Size, maxRequestBytes)
+	case r.Offset < 0:
+		return fmt.Errorf("negative offset %d", r.Offset)
+	case r.Offset+int64(r.Size) > maxBytes:
+		return fmt.Errorf("extent [%d,%d) outside the %d-byte tenant space",
+			r.Offset, r.Offset+int64(r.Size), maxBytes)
+	}
+	return nil
+}
+
+// parseOp accepts the spellings used across the repo's trace formats.
+func parseOp(s string) (trace.Op, error) {
+	switch s {
+	case "R", "r", "read", "Read", "READ":
+		return trace.Read, nil
+	case "W", "w", "write", "Write", "WRITE":
+		return trace.Write, nil
+	}
+	return 0, fmt.Errorf("unknown op %q", s)
+}
+
+// jsonRequest is the HTTP/JSON wire form of a request.
+type jsonRequest struct {
+	Tenant int    `json:"tenant"`
+	Op     string `json:"op"`
+	Offset int64  `json:"offset"`
+	Size   int    `json:"size"`
+}
+
+// jsonResponse is the HTTP/JSON wire form of a completion.
+type jsonResponse struct {
+	LatencyNS int64 `json:"latency_ns"`
+	SimNS     int64 `json:"sim_ns"`
+}
+
+// DecodeJSONRequest parses one JSON-encoded request. Unknown fields are
+// rejected so client typos fail loudly instead of silently defaulting.
+func DecodeJSONRequest(data []byte) (Request, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var jr jsonRequest
+	if err := dec.Decode(&jr); err != nil {
+		return Request{}, fmt.Errorf("serve: bad JSON request: %w", err)
+	}
+	op, err := parseOp(jr.Op)
+	if err != nil {
+		return Request{}, fmt.Errorf("serve: bad JSON request: %w", err)
+	}
+	return Request{Tenant: jr.Tenant, Op: op, Offset: jr.Offset, Size: jr.Size}, nil
+}
+
+// DecodeLine parses one line of the compact load-generator protocol:
+//
+//	<tenant> <R|W> <offset> <size>
+//
+// Fields are separated by any run of spaces or tabs. The same format with
+// commas is accepted too, so trace-derived corpora feed straight in.
+func DecodeLine(line string) (Request, error) {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if strings.ContainsRune(line, ',') {
+		line = strings.ReplaceAll(line, ",", " ")
+	}
+	f := strings.Fields(line)
+	if len(f) != 4 {
+		return Request{}, fmt.Errorf("serve: line has %d fields, want 4 (tenant op offset size)", len(f))
+	}
+	tenant, err := strconv.Atoi(f[0])
+	if err != nil {
+		return Request{}, fmt.Errorf("serve: bad tenant %q: %w", f[0], err)
+	}
+	op, err := parseOp(f[1])
+	if err != nil {
+		return Request{}, fmt.Errorf("serve: %w", err)
+	}
+	offset, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("serve: bad offset %q: %w", f[2], err)
+	}
+	size, err := strconv.Atoi(f[3])
+	if err != nil {
+		return Request{}, fmt.Errorf("serve: bad size %q: %w", f[3], err)
+	}
+	return Request{Tenant: tenant, Op: op, Offset: offset, Size: size}, nil
+}
+
+// EncodeLine renders the canonical line form DecodeLine parses.
+func EncodeLine(r Request) string {
+	op := "R"
+	if r.Op == trace.Write {
+		op = "W"
+	}
+	return fmt.Sprintf("%d %s %d %d", r.Tenant, op, r.Offset, r.Size)
+}

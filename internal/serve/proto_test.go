@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/trace"
+)
+
+func TestDecodeLine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Request
+	}{
+		{"0 R 0 4096", Request{0, trace.Read, 0, 4096}},
+		{"3 W 16384 32768", Request{3, trace.Write, 16384, 32768}},
+		{"  1   read  0   512 ", Request{1, trace.Read, 0, 512}},
+		{"2,w,4096,4096", Request{2, trace.Write, 4096, 4096}},
+		{"0 R 0 4096 # trailing comment", Request{0, trace.Read, 0, 4096}},
+	}
+	for _, c := range cases {
+		got, err := DecodeLine(c.in)
+		if err != nil {
+			t.Errorf("DecodeLine(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("DecodeLine(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeLineRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"# only a comment",
+		"0 R 0",         // too few fields
+		"0 R 0 4096 9",  // too many fields
+		"x R 0 4096",    // bad tenant
+		"0 Q 0 4096",    // bad op
+		"0 R zero 4096", // bad offset
+		"0 R 0 lots",    // bad size
+		"0.5 R 0 4096",  // fractional tenant
+		"0 R 0x10 4096", // hex offset
+	}
+	for _, in := range bad {
+		if req, err := DecodeLine(in); err == nil {
+			t.Errorf("DecodeLine(%q) accepted as %+v", in, req)
+		}
+	}
+}
+
+func TestEncodeLineRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{0, trace.Read, 0, 4096},
+		{3, trace.Write, 1 << 30, 1},
+	}
+	for _, req := range reqs {
+		back, err := DecodeLine(EncodeLine(req))
+		if err != nil {
+			t.Fatalf("EncodeLine(%+v) does not re-parse: %v", req, err)
+		}
+		if back != req {
+			t.Errorf("round trip changed %+v to %+v", req, back)
+		}
+	}
+}
+
+func TestDecodeJSONRequest(t *testing.T) {
+	req, err := DecodeJSONRequest([]byte(`{"tenant":2,"op":"write","offset":8192,"size":4096}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (Request{2, trace.Write, 8192, 4096}); req != want {
+		t.Errorf("got %+v, want %+v", req, want)
+	}
+	bad := []string{
+		``,
+		`{`,
+		`{"tenant":0,"op":"transmogrify","offset":0,"size":1}`,
+		`{"tenant":0,"op":"read","offset":0,"size":1,"color":"red"}`, // unknown field
+		`{"tenant":"zero","op":"read","offset":0,"size":1}`,
+	}
+	for _, in := range bad {
+		if req, err := DecodeJSONRequest([]byte(in)); err == nil {
+			t.Errorf("DecodeJSONRequest(%q) accepted as %+v", in, req)
+		}
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	ok := Request{Tenant: 1, Op: trace.Read, Offset: 4096, Size: 4096}
+	if err := ok.Validate(4, 64<<20); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+	// The extent check catches an offset+size that together exceed the
+	// tenant space even though each alone is in range.
+	edge := Request{Tenant: 0, Op: trace.Write, Offset: 64<<20 - 1, Size: 2}
+	if err := edge.Validate(4, 64<<20); err == nil {
+		t.Error("extent past MaxBytes accepted")
+	}
+}
+
+func TestRequestRecord(t *testing.T) {
+	r := Request{Tenant: 2, Op: trace.Write, Offset: 4096, Size: 512}.Record(7 * sim.Millisecond)
+	want := trace.Record{Time: 7 * sim.Millisecond, Tenant: 2, Op: trace.Write, Offset: 4096, Size: 512}
+	if r != want {
+		t.Errorf("Record = %+v, want %+v", r, want)
+	}
+}
+
+func TestParseOpSpellings(t *testing.T) {
+	for _, s := range []string{"R", "r", "read", "Read", "READ"} {
+		if op, err := parseOp(s); err != nil || op != trace.Read {
+			t.Errorf("parseOp(%q) = %v, %v", s, op, err)
+		}
+	}
+	for _, s := range []string{"W", "w", "write", "Write", "WRITE"} {
+		if op, err := parseOp(s); err != nil || op != trace.Write {
+			t.Errorf("parseOp(%q) = %v, %v", s, op, err)
+		}
+	}
+	if _, err := parseOp("trim"); err == nil {
+		t.Error("parseOp accepted unknown op")
+	}
+	if _, err := parseOp(strings.Repeat("R", 2)); err == nil {
+		t.Error("parseOp accepted RR")
+	}
+}

@@ -1,0 +1,481 @@
+// Package serve is the serving layer: a long-running multi-tenant SSD
+// service wrapped around a simrun.Session. Tenants submit I/O over HTTP
+// (JSON, or a compact line protocol for load generators); requests are
+// admitted through bounded per-tenant queues into the simulated device,
+// whose clock is paced against wall time by a configurable acceleration
+// factor; and the keeper runs online — a sliding-window feature collector
+// fed by live arrivals drives periodic ANN inference and epoch-based
+// channel reallocation, instead of the batch drivers' fixed trace scan.
+//
+// Concurrency model: the simulation engine is single-goroutine by design,
+// so one mutex serializes everything that touches it — admissions, the
+// pacer tick, metrics snapshots, and the drain. Handler goroutines hold the
+// lock only long enough to advance the clock and enqueue; they wait for
+// completion on a per-request channel filled by the engine's completion
+// callback. The lock is therefore held for microseconds at a time and the
+// device, not the lock, is the throughput bound.
+//
+// Pacing model: simulated time is a linear image of wall time,
+// sim = (wall - start) * Accel. Every entry point first advances the engine
+// to the current wall target (firing any completions that came due), so
+// simulated completions surface with at most one pacer tick of wall delay.
+// Accel > 1 runs the device faster than real time (useful for smoke tests
+// and accelerated replay); Accel < 1 slows it down, which is how overload
+// is produced on demand.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ssdkeeper/internal/keeper"
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/simrun"
+	"ssdkeeper/internal/ssd"
+	"ssdkeeper/internal/stats"
+)
+
+// Admission and lifecycle errors, mapped onto HTTP statuses by the handler
+// layer (429, 503, 400).
+var (
+	// ErrQueueFull is backpressure: the tenant's admission queue is at its
+	// bound. Clients should retry after backing off.
+	ErrQueueFull = errors.New("serve: tenant queue full")
+	// ErrDraining means the server is shutting down and admits nothing.
+	ErrDraining = errors.New("serve: draining")
+	// ErrCanceled means the client gave up before completion.
+	ErrCanceled = errors.New("serve: request canceled")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	Device  nand.Config
+	Options ssd.Options
+	Season  simrun.Seasoning
+
+	// Tenants is the tenant-ID space served (default features.MaxTenants
+	// via the keeper; 4). Requests outside it are rejected as invalid.
+	Tenants int
+	// QueueLen bounds each tenant's admission queue (default 64). A full
+	// queue rejects with ErrQueueFull instead of queueing unboundedly.
+	QueueLen int
+	// QueueDepth bounds each tenant's in-device commands (default 32),
+	// the serving-layer analogue of hostif's per-queue depth.
+	QueueDepth int
+	// MaxBytes bounds each tenant's logical address space (default 64MB,
+	// the working-set size the keeper's training mixes use).
+	MaxBytes int64
+	// Accel is the pacing factor: simulated nanoseconds per wall
+	// nanosecond (default 1.0).
+	Accel float64
+	// TickEvery is the pacer period (default 2ms wall). Completions and
+	// adaptation epochs fire with at most this much wall delay when no
+	// arrivals are advancing the clock.
+	TickEvery time.Duration
+	// Now is the wall clock (default time.Now); tests inject a manual
+	// clock to make pacing deterministic.
+	Now func() time.Time
+}
+
+func (c *Config) fillDefaults() {
+	if c.Tenants == 0 {
+		c.Tenants = 4
+	}
+	if c.QueueLen == 0 {
+		c.QueueLen = 64
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 32
+	}
+	if c.MaxBytes == 0 {
+		c.MaxBytes = 64 << 20
+	}
+	if c.Accel == 0 {
+		c.Accel = 1
+	}
+	if c.TickEvery == 0 {
+		c.TickEvery = 2 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if err := c.Device.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Tenants < 0, c.QueueLen < 0, c.QueueDepth < 0, c.MaxBytes < 0:
+		return fmt.Errorf("serve: negative bounds in %+v", c)
+	case c.Accel < 0:
+		return fmt.Errorf("serve: negative accel %v", c.Accel)
+	}
+	return nil
+}
+
+// Response reports one completed request.
+type Response struct {
+	Latency sim.Time // simulated response latency (queue wait included)
+	At      sim.Time // simulated completion time
+}
+
+// outcome is what a pending request's waiter receives.
+type outcome struct {
+	resp Response
+	err  error
+}
+
+// Pending is one admitted request between admission and completion. All
+// fields except done are guarded by the server mutex.
+type Pending struct {
+	req      Request
+	arrival  sim.Time     // sim time at admission; latency is measured from here
+	done     chan outcome // buffered 1; filled exactly once
+	resolved bool         // completion, rejection, or cancellation delivered
+}
+
+// tenantQueue is one tenant's serving state.
+type tenantQueue struct {
+	queued   []*Pending // admitted, waiting for device capacity
+	inflight int
+
+	admitted  [2]uint64 // by op: arrivals accepted into queue or device
+	completed [2]uint64
+	hist      [2]stats.Histogram // sim response latency by op
+	rejFull   uint64
+	canceled  uint64
+}
+
+// Server is the serving core. Build one with New, start its pacer with
+// Start, submit with Submit (or the HTTP layer in http.go), and stop it
+// with Drain.
+type Server struct {
+	cfg    Config
+	runner *simrun.Runner
+	dev    *ssd.Device
+	eng    *sim.Engine
+	ctrl   *keeper.Controller // nil when serving without a keeper
+
+	mu        sync.Mutex
+	started   bool
+	stopped   bool      // pacer stop already requested
+	epoch     time.Time // wall anchor of sim time zero
+	queues    []tenantQueue
+	draining  bool
+	admitted  uint64 // total accepted (for the final result snapshot)
+	rejDrain  uint64
+	rejBad    uint64
+	submitErr error // first device submit failure; poisons the server
+
+	stop chan struct{} // closes to stop the pacer
+	done chan struct{} // pacer exited
+}
+
+// New builds a server over a fresh seasoned session. k (may be nil) enables
+// the online keeper; its device geometry must match cfg.Device so channel
+// strategies bind onto the same channel count.
+func New(cfg Config, k *keeper.Keeper) (*Server, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if k != nil && k.Config().Device != cfg.Device {
+		return nil, fmt.Errorf("serve: keeper geometry %+v differs from server geometry %+v",
+			k.Config().Device, cfg.Device)
+	}
+	runner := simrun.NewRunner(simrun.WithProbe(simrun.NewCounterProbe(cfg.Device)))
+	// Empty traits leave the device unbound — every tenant on all channels
+	// with static allocation — the state the online keeper adapts from.
+	sess, err := runner.NewSession(simrun.Config{
+		Device: cfg.Device, Options: cfg.Options, Season: cfg.Season,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dev := sess.Device()
+	s := &Server{
+		cfg:    cfg,
+		runner: runner,
+		dev:    dev,
+		eng:    dev.Engine(),
+		epoch:  cfg.Now(), // sim time zero is the construction instant
+		queues: make([]tenantQueue, cfg.Tenants),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if k != nil {
+		s.ctrl = k.Controller(dev)
+		// A live device can idle for many windows; adapting on empty
+		// windows would re-bind channels on zero information.
+		s.ctrl.SkipIdle = true
+	}
+	return s, nil
+}
+
+// Start launches the pacer goroutine. (Simulated time zero was anchored
+// when the server was built; an un-started server still paces correctly on
+// every entry point, it just never advances between requests on its own.)
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go s.pace()
+}
+
+// pace ticks the clock forward so completions and adaptation epochs fire
+// even when no arrivals are advancing it.
+func (s *Server) pace() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.TickEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if !s.draining {
+				s.advanceLocked()
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// wallSim maps a wall instant to its simulated time under the pacing model.
+func (s *Server) wallSim(t time.Time) sim.Time {
+	d := t.Sub(s.epoch)
+	if d < 0 {
+		return 0
+	}
+	return sim.Time(float64(d) * s.cfg.Accel)
+}
+
+// advanceLocked advances the engine to the current wall target, firing any
+// completions that came due (which dispatch queued work in turn), and ticks
+// the keeper so epochs track time even across arrival gaps. It returns the
+// target so callers can stamp arrivals with the exact time the engine was
+// advanced to (reading the clock twice would race the engine into the past).
+func (s *Server) advanceLocked() sim.Time {
+	target := s.wallSim(s.cfg.Now())
+	s.eng.RunUntil(target)
+	if s.ctrl != nil {
+		s.ctrl.Tick(target)
+	}
+	return target
+}
+
+// submitLocked hands an admitted request to the device. The completion
+// callback runs inside the engine (under the server mutex): it records the
+// latency, resolves the waiter, and back-fills device capacity from the
+// tenant's queue.
+func (s *Server) submitLocked(p *Pending) {
+	q := &s.queues[p.req.Tenant]
+	q.inflight++
+	err := s.dev.SubmitAt(p.req.Record(p.arrival), p.arrival, func(lat sim.Time) {
+		q.inflight--
+		q.completed[p.req.Op]++
+		q.hist[p.req.Op].Add(lat)
+		if !p.resolved {
+			p.resolved = true
+			p.done <- outcome{resp: Response{Latency: lat, At: s.eng.Now()}}
+		}
+		s.dispatchLocked(q)
+	})
+	if err != nil {
+		// A submit failure is a server bug or a device-full condition;
+		// fail this request and remember the first error for /healthz.
+		q.inflight--
+		if s.submitErr == nil {
+			s.submitErr = err
+		}
+		if !p.resolved {
+			p.resolved = true
+			p.done <- outcome{err: err}
+		}
+	}
+}
+
+// dispatchLocked moves queued requests into the device while the tenant has
+// capacity.
+func (s *Server) dispatchLocked(q *tenantQueue) {
+	for q.inflight < s.cfg.QueueDepth && len(q.queued) > 0 {
+		p := q.queued[0]
+		q.queued = q.queued[1:]
+		if p.resolved { // canceled while queued
+			continue
+		}
+		// A queued request's arrival stays its admission time, so the
+		// recorded latency includes the time spent waiting for capacity.
+		s.submitLocked(p)
+	}
+}
+
+// SubmitAsync validates and admits a request, returning a handle to wait
+// on. Admission advances the simulated clock to the current wall target, so
+// the request arrives "now" in simulated time. Rejections (validation,
+// backpressure, draining) are synchronous errors.
+func (s *Server) SubmitAsync(req Request) (*Pending, error) {
+	if err := req.Validate(s.cfg.Tenants, s.cfg.MaxBytes); err != nil {
+		s.mu.Lock()
+		s.rejBad++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: invalid request: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejDrain++
+		return nil, ErrDraining
+	}
+	if err := s.submitErr; err != nil {
+		return nil, err
+	}
+	now := s.advanceLocked()
+	q := &s.queues[req.Tenant]
+	if q.inflight >= s.cfg.QueueDepth && len(q.queued) >= s.cfg.QueueLen {
+		q.rejFull++
+		return nil, ErrQueueFull
+	}
+	p := &Pending{req: req, arrival: now, done: make(chan outcome, 1)}
+	q.admitted[req.Op]++
+	s.admitted++
+	if s.ctrl != nil {
+		s.ctrl.Observe(now, req.Record(now))
+	}
+	if q.inflight < s.cfg.QueueDepth {
+		s.submitLocked(p)
+	} else {
+		q.queued = append(q.queued, p)
+	}
+	return p, nil
+}
+
+// Wait blocks until the request completes, the server drains, or ctx ends.
+// A context cancellation while the request is still queued frees its queue
+// slot; once in the device the simulated work always completes (there is no
+// abort in the device model) but the response is abandoned.
+func (s *Server) Wait(ctx context.Context, p *Pending) (Response, error) {
+	select {
+	case out := <-p.done:
+		return out.resp, out.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		if !p.resolved {
+			p.resolved = true // completion callback now skips delivery
+			s.queues[p.req.Tenant].canceled++
+			s.removeQueuedLocked(p)
+		}
+		s.mu.Unlock()
+		// Prefer a completion that raced the cancellation.
+		select {
+		case out := <-p.done:
+			return out.resp, out.err
+		default:
+		}
+		return Response{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+	}
+}
+
+// removeQueuedLocked takes a canceled request out of its tenant's admission
+// queue so it stops occupying a bounded slot. In-device requests are left
+// to finish.
+func (s *Server) removeQueuedLocked(p *Pending) {
+	q := &s.queues[p.req.Tenant]
+	for i, qp := range q.queued {
+		if qp == p {
+			q.queued = append(q.queued[:i], q.queued[i+1:]...)
+			return
+		}
+	}
+}
+
+// Submit admits a request and waits for its completion.
+func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
+	p, err := s.SubmitAsync(req)
+	if err != nil {
+		return Response{}, err
+	}
+	return s.Wait(ctx, p)
+}
+
+// Drain stops admission, rejects everything still queued, completes all
+// in-flight device work (simulated time jumps to the last completion), and
+// stops the pacer. It returns the final device result; calling it twice
+// returns the same snapshot. The ISSUE-level guarantee: after Drain, every
+// admitted-and-dispatched request has been answered, every queued one was
+// rejected with ErrDraining, and the device counters equal those of a batch
+// replay of the dispatched requests at their admission times.
+func (s *Server) Drain() ssd.Result {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for i := range s.queues {
+			q := &s.queues[i]
+			for _, p := range q.queued {
+				if !p.resolved {
+					p.resolved = true
+					s.rejDrain++
+					p.done <- outcome{err: ErrDraining}
+				}
+			}
+			q.queued = nil
+		}
+		// No more arrivals: run the engine dry so every in-flight request
+		// completes and resolves its waiter.
+		s.eng.Run()
+	}
+	res := s.dev.Snapshot(int(s.admitted))
+	started, stopped := s.started, s.stopped
+	s.stopped = true
+	s.mu.Unlock()
+	if started {
+		if !stopped {
+			close(s.stop)
+		}
+		<-s.done
+	}
+	return res
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Err returns the first device submit failure, if any (surfaced by
+// /healthz so orchestrators restart a poisoned server).
+func (s *Server) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.submitErr
+}
+
+// Device exposes the underlying device for tests that inspect FTL state.
+func (s *Server) Device() *ssd.Device { return s.dev }
+
+// Controller exposes the online keeper controller (nil without a keeper).
+func (s *Server) Controller() *keeper.Controller { return s.ctrl }
+
+// SimNow returns the current simulated time (advancing it to the wall
+// target first).
+func (s *Server) SimNow() sim.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining {
+		s.advanceLocked()
+	}
+	return s.eng.Now()
+}

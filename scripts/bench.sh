@@ -1,24 +1,33 @@
 #!/usr/bin/env bash
-# bench.sh — run the simulation-core benchmarks and write BENCH_simcore.json.
+# bench.sh — run the simulation-core benchmarks and write BENCH_simcore.json,
+# then benchmark the serving daemon end to end and write BENCH_server.json.
 #
-# Runs the two root hot-path benchmarks (BenchmarkSimulatorThroughput and
-# BenchmarkDatasetGeneration, both at QuickScale) with -benchmem, parses the
-# output, and writes machine-readable before/after numbers to
+# Part 1 runs the two root hot-path benchmarks (BenchmarkSimulatorThroughput
+# and BenchmarkDatasetGeneration, both at QuickScale) with -benchmem, parses
+# the output, and writes machine-readable before/after numbers to
 # BENCH_simcore.json at the repo root. The "baseline" block is the seed tree
 # measured immediately before the allocation-free event core landed (commit
 # 3c74399, benchtime=2s, Intel Xeon @ 2.70GHz); the "after" block is whatever
 # tree the script runs on. CI runs this non-blockingly so the numbers stay
 # visible without shared-runner noise failing the build.
 #
+# Part 2 starts ssdkeeperd (accelerated clock, quick self-trained model),
+# drives it with keeperload over HTTP, and records end-to-end throughput and
+# per-tenant latency percentiles in BENCH_server.json. Skip it with SERVER=0.
+#
 # Usage:
-#   scripts/bench.sh            # benchtime=2s, writes BENCH_simcore.json
+#   scripts/bench.sh            # benchtime=2s, writes both BENCH files
 #   BENCHTIME=5s scripts/bench.sh
-#   OUT=/tmp/b.json scripts/bench.sh
+#   OUT=/tmp/b.json SERVER=0 scripts/bench.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-2s}"
 OUT="${OUT:-BENCH_simcore.json}"
+SERVER="${SERVER:-1}"
+SERVER_OUT="${SERVER_OUT:-BENCH_server.json}"
+SERVER_N="${SERVER_N:-4000}"
+PORT="${PORT:-18095}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -70,3 +79,50 @@ cat > "$OUT" <<EOF
 }
 EOF
 echo "wrote $OUT" >&2
+
+[ "$SERVER" = "0" ] && exit 0
+
+# ---- Part 2: serving-daemon benchmark -> BENCH_server.json ----------------
+ADDR="127.0.0.1:$PORT"
+URL="http://$ADDR"
+BIN="$(mktemp -d)"
+trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$RAW" "$BIN"' EXIT
+
+echo "building serving daemon and load generator..." >&2
+go build -o "$BIN/ssdkeeperd" ./cmd/ssdkeeperd
+go build -o "$BIN/keeperload" ./cmd/keeperload
+
+"$BIN/ssdkeeperd" -addr "$ADDR" -accel 20 -window 50ms -adapt-every 50ms \
+  -train-workloads 8 2>"$BIN/daemon.log" &
+DPID=$!
+for _ in $(seq 1 200); do
+  curl -sf "$URL/healthz" >/dev/null 2>&1 && break
+  sleep 0.3
+done
+curl -sf "$URL/healthz" >/dev/null || {
+  echo "bench.sh: daemon never became healthy" >&2
+  cat "$BIN/daemon.log" >&2
+  exit 1
+}
+
+echo "driving $SERVER_N requests (closed loop, 32 workers, 4 tenants)..." >&2
+"$BIN/keeperload" -addr "$URL" -n "$SERVER_N" -concurrency 32 \
+  -write-ratios 0.9,0.1,0.8,0.2 -json > "$BIN/load.json"
+switches=$(curl -sf "$URL/metrics" \
+  | awk '$1 == "ssdkeeper_keeper_switches_total" && !seen {print $NF; seen = 1}')
+kill -TERM "$DPID"
+wait "$DPID" || {
+  echo "bench.sh: daemon exited non-zero on drain" >&2
+  cat "$BIN/daemon.log" >&2
+  exit 1
+}
+
+# The load report is already JSON; wrap it with run metadata.
+{
+  printf '{\n  "requests": %s,\n  "accel": 20,\n' "$SERVER_N"
+  printf '  "keeper_switches": %s,\n  "cpu": "%s",\n' "${switches:-0}" "${cpu:-unknown}"
+  printf '  "load": '
+  sed 's/^/  /' "$BIN/load.json" | sed '1s/^  //'
+  printf '}\n'
+} > "$SERVER_OUT"
+echo "wrote $SERVER_OUT" >&2

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# smoke_server.sh — end-to-end smoke test of the serving daemon.
+#
+# Phase 1 (adaptation): start ssdkeeperd with an accelerated clock and a
+# short keeper window, push 1k requests through keeperload, and assert that
+#   - every request is answered,
+#   - at least one online re-allocation epoch is visible in /metrics,
+#   - /healthz is healthy under load,
+#   - SIGTERM drains cleanly (exit 0, "drained clean" in the log).
+#
+# Phase 2 (backpressure): restart with a decelerated clock (the device runs
+# 50x slower than wall time) and tight queues, overload one tenant with a
+# closed-loop worker pool, and assert 429s are produced and counted.
+#
+# Usage: scripts/smoke_server.sh [port]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PORT="${1:-18098}"
+ADDR="127.0.0.1:$PORT"
+URL="http://$ADDR"
+BIN="$(mktemp -d)"
+LOG="$BIN/daemon.log"
+trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$BIN"' EXIT
+
+echo "building..." >&2
+go build -o "$BIN/ssdkeeperd" ./cmd/ssdkeeperd
+go build -o "$BIN/keeperload" ./cmd/keeperload
+
+wait_healthy() {
+  for _ in $(seq 1 200); do
+    curl -sf "$URL/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.3
+  done
+  echo "smoke_server.sh: daemon never became healthy" >&2
+  cat "$LOG" >&2
+  return 1
+}
+
+# Extractors read their whole input: an early `exit`/`head -1` would SIGPIPE
+# the producer and trip pipefail.
+metric() { # metric <series-prefix> — prints the value of the first matching sample
+  curl -sf "$URL/metrics" \
+    | awk -v p="$1" 'index($0, p) == 1 && !seen {print $NF; seen = 1}'
+}
+
+json_count() { # json_count <key> <file> — first numeric value of "key" in a report
+  awk -v k="\"$1\":" '$1 == k && !seen {gsub(",", "", $2); print $2; seen = 1}' "$2"
+}
+
+fail() {
+  echo "smoke_server.sh: $1" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+echo "phase 1: online adaptation under load (accel 20)..." >&2
+"$BIN/ssdkeeperd" -addr "$ADDR" -accel 20 -window 50ms -adapt-every 50ms \
+  -train-workloads 8 2>"$LOG" &
+DPID=$!
+wait_healthy
+
+"$BIN/keeperload" -addr "$URL" -n 1000 -concurrency 32 \
+  -write-ratios 0.9,0.1,0.8,0.2 -json > "$BIN/load1.json"
+ok=$(json_count ok "$BIN/load1.json")
+[ "$ok" = "1000" ] || fail "phase 1: $ok/1000 requests answered"
+
+switches=$(metric ssdkeeper_keeper_switches_total)
+[ -n "$switches" ] && [ "$switches" -ge 1 ] \
+  || fail "phase 1: no online re-allocation epoch (switches=$switches)"
+completed=$(curl -sf "$URL/metrics" \
+  | awk '/^ssdkeeper_completed_total/ {s += $NF} END {print s}')
+[ "$completed" -ge 1000 ] || fail "phase 1: completed_total=$completed < 1000"
+curl -sf "$URL/healthz" >/dev/null || fail "phase 1: unhealthy under load"
+
+kill -TERM "$DPID"
+if ! wait "$DPID"; then
+  fail "phase 1: daemon exited non-zero on SIGTERM"
+fi
+grep -q "drained clean" "$LOG" || fail "phase 1: no clean-drain report in log"
+echo "phase 1 ok: $switches keeper switches, clean drain" >&2
+
+echo "phase 2: backpressure under overload (accel 0.02)..." >&2
+"$BIN/ssdkeeperd" -addr "$ADDR" -accel 0.02 -no-keeper \
+  -queue-len 4 -queue-depth 4 -timeout 30s 2>"$LOG" &
+DPID=$!
+wait_healthy
+
+# One tenant, 32 closed-loop workers against 4+4 slots: must produce 429s.
+"$BIN/keeperload" -addr "$URL" -n 200 -concurrency 32 -tenants 1 \
+  -json > "$BIN/load2.json" || true
+rejected=$(json_count rejected "$BIN/load2.json")
+[ -n "$rejected" ] && [ "$rejected" -ge 1 ] \
+  || fail "phase 2: overload produced no rejections"
+full=$(metric 'ssdkeeper_rejected_total{reason="queue_full"}')
+[ -n "$full" ] && [ "$full" -ge 1 ] \
+  || fail "phase 2: queue_full counter is $full"
+
+kill -TERM "$DPID"
+wait "$DPID" || fail "phase 2: daemon exited non-zero on SIGTERM"
+echo "phase 2 ok: $rejected rejected at the client, $full queue-full at the server" >&2
+echo "smoke_server.sh: all checks passed" >&2
