@@ -71,6 +71,8 @@ func main() {
 		mode     = flag.String("mode", "closed", "closed (worker pool) or open (fixed rate)")
 		n        = flag.Int("n", 1000, "total requests")
 		workers  = flag.Int("concurrency", 32, "closed-loop worker count (also bounds open-loop in-flight)")
+		conns    = flag.Int("conns", 0, "idle connections kept to the daemon (0: match -concurrency)")
+		spread   = flag.Bool("spread", false, "set a distinct shard key per request, spreading tenants across daemon shards")
 		iops     = flag.Float64("iops", 2000, "open-loop aggregate arrival rate (req/s, wall)")
 		tenants  = flag.Int("tenants", 4, "tenant count")
 		ratios   = flag.String("write-ratios", "", "per-tenant write ratios, comma-separated (default 0.5 each)")
@@ -110,9 +112,27 @@ func main() {
 			Offset: rng.Int63n(pages) * int64(*size),
 			Size:   *size,
 		}
+		if *spread {
+			reqs[i].Key = uint64(i + 1)
+		}
 	}
 
-	client := &http.Client{Timeout: *timeout}
+	// A dedicated transport with a connection pool sized to the worker count:
+	// the default transport caps idle connections per host at 2, so a large
+	// -concurrency would otherwise churn through TCP handshakes mid-run.
+	nc := *conns
+	if nc <= 0 {
+		nc = *workers
+	}
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        nc,
+			MaxIdleConnsPerHost: nc,
+			MaxConnsPerHost:     nc,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
 	perTenant := make([]*tenantStats, *tenants)
 	for i := range perTenant {
 		perTenant[i] = &tenantStats{}
@@ -205,8 +225,14 @@ func main() {
 // round trip, so percentiles describe the device under the configured
 // acceleration rather than loopback networking.
 func submit(client *http.Client, base string, req serve.Request, ts *tenantStats) {
-	body := fmt.Sprintf(`{"tenant":%d,"op":"%s","offset":%d,"size":%d}`,
-		req.Tenant, opName(req.Op), req.Offset, req.Size)
+	var body string
+	if req.Key != 0 {
+		body = fmt.Sprintf(`{"tenant":%d,"op":"%s","offset":%d,"size":%d,"key":%d}`,
+			req.Tenant, opName(req.Op), req.Offset, req.Size, req.Key)
+	} else {
+		body = fmt.Sprintf(`{"tenant":%d,"op":"%s","offset":%d,"size":%d}`,
+			req.Tenant, opName(req.Op), req.Offset, req.Size)
+	}
 	resp, err := client.Post(base+"/io", "application/json", strings.NewReader(body))
 	if err != nil {
 		ts.mu.Lock()

@@ -41,6 +41,7 @@ func main() {
 		modelPath  = flag.String("model", "", "trained model (empty: self-train a quick model at startup)")
 		noKeeper   = flag.Bool("no-keeper", false, "serve without the online keeper (static shared allocation)")
 		accel      = flag.Float64("accel", 1.0, "simulated nanoseconds per wall nanosecond")
+		shards     = flag.Int("shards", 1, "independent device shards (each with its own engine and keeper)")
 		window     = flag.Duration("window", 100*time.Millisecond, "keeper observation window T (simulated)")
 		adaptEvery = flag.Duration("adapt-every", 100*time.Millisecond, "re-adaptation period (simulated; 0 = single shot)")
 		hybrid     = flag.Bool("hybrid", true, "switch page-allocation mode with each epoch (hybrid allocator)")
@@ -93,6 +94,7 @@ func main() {
 		QueueDepth: *queueDepth,
 		MaxBytes:   *maxBytes,
 		Accel:      *accel,
+		ShardCount: *shards,
 	}, k)
 	if err != nil {
 		fatal(err)
@@ -107,8 +109,8 @@ func main() {
 		}
 	}()
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "ssdkeeperd: serving on %s (accel %g, keeper %v)\n",
-			*addr, *accel, k != nil)
+		fmt.Fprintf(os.Stderr, "ssdkeeperd: serving on %s (accel %g, shards %d, keeper %v)\n",
+			*addr, *accel, s.ShardCount(), k != nil)
 	}
 
 	select {
@@ -129,10 +131,7 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		fatal(err)
 	}
-	switches := 0
-	if c := s.Controller(); c != nil {
-		switches = c.SwitchCount()
-	}
+	switches := s.KeeperSwitches()
 	fmt.Fprintf(os.Stderr,
 		"ssdkeeperd: drained clean: %d requests, makespan %v, %d keeper switches, fairness %.3f\n",
 		res.Requests, res.Makespan, switches, res.Fairness)

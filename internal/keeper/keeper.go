@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"ssdkeeper/internal/alloc"
 	"ssdkeeper/internal/dataset"
@@ -74,6 +75,12 @@ type Keeper struct {
 	cfg    Config
 	model  *nn.Network
 	runner *simrun.Runner
+
+	// predictMu serializes forward passes: nn.Network reuses per-layer
+	// scratch buffers, so one keeper shared by several controllers (the
+	// sharded server runs one controller per shard) must not predict
+	// concurrently.
+	predictMu sync.Mutex
 }
 
 // New validates that the model matches the feature dimensionality and
@@ -101,9 +108,12 @@ func (k *Keeper) Config() Config { return k.cfg }
 // Model returns the underlying network (for persistence).
 func (k *Keeper) Model() *nn.Network { return k.model }
 
-// Predict maps a feature vector to the chosen strategy.
+// Predict maps a feature vector to the chosen strategy. Safe for concurrent
+// use: the network's scratch buffers are guarded here.
 func (k *Keeper) Predict(v features.Vector) (alloc.Strategy, int, error) {
+	k.predictMu.Lock()
 	idx, err := k.model.Predict(v.Input())
+	k.predictMu.Unlock()
 	if err != nil {
 		return alloc.Strategy{}, 0, err
 	}

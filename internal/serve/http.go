@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"sync"
 	"time"
 )
 
@@ -127,6 +129,20 @@ type batchResult struct {
 	err error
 }
 
+// batchPool recycles the per-batch result slices, and scanBufPool the
+// scanner's line buffer: under a sustained load generator /io/batch is the
+// hot path and these are its two big per-request allocations.
+var (
+	batchPool = sync.Pool{New: func() any {
+		s := make([]batchResult, 0, 256)
+		return &s
+	}}
+	scanBufPool = sync.Pool{New: func() any {
+		b := make([]byte, 64<<10)
+		return &b
+	}}
+)
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, reqTimeout time.Duration) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -134,10 +150,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, reqTimeout 
 	}
 	// Admit every line first (open loop), then wait: the batch observes
 	// queueing as simulated latency, not as serialized HTTP round trips.
-	results := make([]batchResult, 0, 256)
+	resultsp := batchPool.Get().(*[]batchResult)
+	results := (*resultsp)[:0]
+	defer func() {
+		// Zero before pooling so recycled slots don't pin Pendings (and
+		// their reply channels) past the batch's lifetime.
+		clear(results)
+		*resultsp = results[:0]
+		batchPool.Put(resultsp)
+	}()
+	bufp := scanBufPool.Get().(*[]byte)
+	defer scanBufPool.Put(bufp)
 	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	sc.Buffer(*bufp, len(*bufp))
 	for sc.Scan() {
-		line := sc.Text()
+		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
@@ -145,7 +172,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, reqTimeout 
 			http.Error(w, fmt.Sprintf("batch exceeds %d lines", maxBatchLines), http.StatusBadRequest)
 			return
 		}
-		req, err := DecodeLine(line)
+		req, err := DecodeLineBytes(line)
 		if err != nil {
 			results = append(results, batchResult{err: err})
 			continue
@@ -162,17 +189,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, reqTimeout 
 	w.Header().Set("Content-Type", "text/plain")
 	bw := bufio.NewWriter(w)
 	defer bw.Flush()
+	var num [20]byte
 	for _, res := range results {
 		if res.err != nil {
-			fmt.Fprintf(bw, "rej %s\n", rejectReason(res.err))
+			bw.WriteString("rej ")
+			bw.WriteString(rejectReason(res.err))
+			bw.WriteByte('\n')
 			continue
 		}
 		resp, err := s.Wait(ctx, res.p)
 		if err != nil {
-			fmt.Fprintf(bw, "rej %s\n", rejectReason(err))
+			bw.WriteString("rej ")
+			bw.WriteString(rejectReason(err))
+			bw.WriteByte('\n')
 			continue
 		}
-		fmt.Fprintf(bw, "ok %d\n", int64(resp.Latency))
+		bw.WriteString("ok ")
+		bw.Write(strconv.AppendInt(num[:0], int64(resp.Latency), 10))
+		bw.WriteByte('\n')
 	}
 }
 

@@ -4,83 +4,131 @@ import (
 	"fmt"
 	"io"
 
+	"ssdkeeper/internal/keeper"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/stats"
 	"ssdkeeper/internal/trace"
 )
 
 // WriteMetrics renders the server's state in Prometheus text exposition
-// format: serving counters and latency summaries per tenant, keeper
-// adaptation state, and every simulation probe counter from the
-// stats.Counters registry (as labeled samples, so dotted counter names pass
-// through unmangled).
+// format: serving counters and latency summaries per tenant (merged across
+// shards), per-shard gauges, keeper adaptation state, and every simulation
+// probe counter from the stats.Counters registries (as labeled samples, so
+// dotted counter names pass through unmangled).
+//
+// Rendering holds no locks: each shard copies its state into a snapshot
+// inside its own goroutine (one mailbox round trip), handler-side counters
+// are atomics, and the writer — possibly a slow scraper — is fed entirely
+// from the copies. A stalled /metrics client can no longer stall admission.
 func (s *Server) WriteMetrics(w io.Writer) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.draining {
-		s.advanceLocked()
+	snaps := make([]*shardSnapshot, len(s.shards))
+	for i, sd := range s.shards {
+		if r, ok := sd.send(msgSnapshot); ok {
+			snaps[i] = r.snap
+		} else {
+			snaps[i] = sd.final // closed post-drain: frozen final state
+		}
 	}
 
 	fmt.Fprintf(w, "# HELP ssdkeeper_up Whether the server is accepting requests.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_up gauge\n")
 	up := 1
-	if s.draining || s.submitErr != nil {
+	if s.draining.Load() || s.Err() != nil {
 		up = 0
 	}
 	fmt.Fprintf(w, "ssdkeeper_up %d\n", up)
 
-	fmt.Fprintf(w, "# HELP ssdkeeper_sim_seconds Simulated time elapsed.\n")
+	fmt.Fprintf(w, "# HELP ssdkeeper_shards Independent device shards serving.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_shards gauge\n")
+	fmt.Fprintf(w, "ssdkeeper_shards %d\n", len(s.shards))
+
+	var simNow sim.Time
+	for _, snap := range snaps {
+		if snap.simNow > simNow {
+			simNow = snap.simNow
+		}
+	}
+	fmt.Fprintf(w, "# HELP ssdkeeper_sim_seconds Simulated time elapsed (max across shards).\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_sim_seconds gauge\n")
-	fmt.Fprintf(w, "ssdkeeper_sim_seconds %g\n", float64(s.eng.Now())/1e9)
+	fmt.Fprintf(w, "ssdkeeper_sim_seconds %g\n", float64(simNow)/1e9)
 	fmt.Fprintf(w, "# HELP ssdkeeper_accel Simulated nanoseconds per wall nanosecond.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_accel gauge\n")
 	fmt.Fprintf(w, "ssdkeeper_accel %g\n", s.cfg.Accel)
+
+	if len(s.shards) > 1 {
+		fmt.Fprintf(w, "# HELP ssdkeeper_shard_sim_seconds Simulated time elapsed per shard.\n")
+		fmt.Fprintf(w, "# TYPE ssdkeeper_shard_sim_seconds gauge\n")
+		for i, snap := range snaps {
+			fmt.Fprintf(w, "ssdkeeper_shard_sim_seconds{shard=\"%d\"} %g\n", i, float64(snap.simNow)/1e9)
+		}
+	}
 
 	ops := [2]string{trace.Read: "read", trace.Write: "write"}
 
 	fmt.Fprintf(w, "# HELP ssdkeeper_admitted_total Requests admitted, by tenant and op.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_admitted_total counter\n")
-	for t := range s.queues {
+	for t := 0; t < s.cfg.Tenants; t++ {
 		for op, name := range ops {
-			fmt.Fprintf(w, "ssdkeeper_admitted_total{tenant=\"%d\",op=\"%s\"} %d\n",
-				t, name, s.queues[t].admitted[op])
+			var n uint64
+			for _, sd := range s.shards {
+				n += sd.tenants[t].admitted[op].Load()
+			}
+			fmt.Fprintf(w, "ssdkeeper_admitted_total{tenant=\"%d\",op=\"%s\"} %d\n", t, name, n)
 		}
 	}
 	fmt.Fprintf(w, "# HELP ssdkeeper_completed_total Requests completed, by tenant and op.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_completed_total counter\n")
-	for t := range s.queues {
+	for t := 0; t < s.cfg.Tenants; t++ {
 		for op, name := range ops {
-			fmt.Fprintf(w, "ssdkeeper_completed_total{tenant=\"%d\",op=\"%s\"} %d\n",
-				t, name, s.queues[t].completed[op])
+			var n uint64
+			for _, snap := range snaps {
+				n += snap.tenants[t].completed[op]
+			}
+			fmt.Fprintf(w, "ssdkeeper_completed_total{tenant=\"%d\",op=\"%s\"} %d\n", t, name, n)
 		}
 	}
 
 	fmt.Fprintf(w, "# HELP ssdkeeper_rejected_total Requests rejected, by reason.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_rejected_total counter\n")
 	var full, canceled uint64
-	for t := range s.queues {
-		full += s.queues[t].rejFull
-		canceled += s.queues[t].canceled
+	for _, sd := range s.shards {
+		for t := range sd.tenants {
+			full += sd.tenants[t].rejFull.Load()
+			canceled += sd.tenants[t].canceled.Load()
+		}
 	}
 	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"queue_full\"} %d\n", full)
-	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"draining\"} %d\n", s.rejDrain)
-	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"invalid\"} %d\n", s.rejBad)
+	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"draining\"} %d\n", s.rejDrain.Load())
+	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"invalid\"} %d\n", s.rejBad.Load())
 	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"canceled\"} %d\n", canceled)
 
 	fmt.Fprintf(w, "# HELP ssdkeeper_queue_length Requests waiting for device capacity.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_queue_length gauge\n")
-	for t := range s.queues {
-		fmt.Fprintf(w, "ssdkeeper_queue_length{tenant=\"%d\"} %d\n", t, len(s.queues[t].queued))
+	for t := 0; t < s.cfg.Tenants; t++ {
+		n := 0
+		for _, snap := range snaps {
+			n += snap.tenants[t].queued
+		}
+		fmt.Fprintf(w, "ssdkeeper_queue_length{tenant=\"%d\"} %d\n", t, n)
 	}
-	fmt.Fprintf(w, "# HELP ssdkeeper_inflight Requests inside the device.\n")
+	fmt.Fprintf(w, "# HELP ssdkeeper_inflight Requests inside the devices.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_inflight gauge\n")
-	for t := range s.queues {
-		fmt.Fprintf(w, "ssdkeeper_inflight{tenant=\"%d\"} %d\n", t, s.queues[t].inflight)
+	for t := 0; t < s.cfg.Tenants; t++ {
+		n := 0
+		for _, snap := range snaps {
+			n += snap.tenants[t].inflight
+		}
+		fmt.Fprintf(w, "ssdkeeper_inflight{tenant=\"%d\"} %d\n", t, n)
 	}
 
 	fmt.Fprintf(w, "# HELP ssdkeeper_latency_seconds Simulated response latency summary (queue wait included).\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_latency_seconds summary\n")
-	for t := range s.queues {
+	for t := 0; t < s.cfg.Tenants; t++ {
 		for op, name := range ops {
-			h := &s.queues[t].hist[op]
+			var h stats.Histogram
+			for _, snap := range snaps {
+				h.Merge(&snap.tenants[t].hist[op])
+			}
 			if h.Count() == 0 {
 				continue
 			}
@@ -100,26 +148,50 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		}
 	}
 
-	if s.ctrl != nil {
-		fmt.Fprintf(w, "# HELP ssdkeeper_keeper_switches_total Online channel re-allocations performed.\n")
+	if s.shards[0].ctrl != nil {
+		switches := 0
+		var last keeper.Switch
+		hasLast := false
+		for _, snap := range snaps {
+			switches += snap.switches
+			if snap.hasLast && (!hasLast || snap.last.At > last.At) {
+				last, hasLast = snap.last, true
+			}
+		}
+		fmt.Fprintf(w, "# HELP ssdkeeper_keeper_switches_total Online channel re-allocations performed (all shards).\n")
 		fmt.Fprintf(w, "# TYPE ssdkeeper_keeper_switches_total counter\n")
-		fmt.Fprintf(w, "ssdkeeper_keeper_switches_total %d\n", s.ctrl.SwitchCount())
-		if sw, ok := s.ctrl.LastSwitch(); ok {
+		fmt.Fprintf(w, "ssdkeeper_keeper_switches_total %d\n", switches)
+		if len(s.shards) > 1 {
+			fmt.Fprintf(w, "# HELP ssdkeeper_shard_keeper_switches_total Online channel re-allocations per shard.\n")
+			fmt.Fprintf(w, "# TYPE ssdkeeper_shard_keeper_switches_total counter\n")
+			for i, snap := range snaps {
+				fmt.Fprintf(w, "ssdkeeper_shard_keeper_switches_total{shard=\"%d\"} %d\n", i, snap.switches)
+			}
+		}
+		if hasLast {
 			fmt.Fprintf(w, "# HELP ssdkeeper_keeper_strategy Strategy index chosen by the last adaptation epoch.\n")
 			fmt.Fprintf(w, "# TYPE ssdkeeper_keeper_strategy gauge\n")
 			fmt.Fprintf(w, "ssdkeeper_keeper_strategy{name=%q} %d\n",
-				sw.Strategy.Name(s.cfg.Device.Channels), sw.Index)
+				last.Strategy.Name(s.cfg.Device.Channels), last.Index)
 			fmt.Fprintf(w, "# HELP ssdkeeper_keeper_last_switch_sim_seconds Simulated time of the last re-allocation.\n")
 			fmt.Fprintf(w, "# TYPE ssdkeeper_keeper_last_switch_sim_seconds gauge\n")
-			fmt.Fprintf(w, "ssdkeeper_keeper_last_switch_sim_seconds %g\n", float64(sw.At)/1e9)
+			fmt.Fprintf(w, "ssdkeeper_keeper_last_switch_sim_seconds %g\n", float64(last.At)/1e9)
 		}
 	}
 
-	if cs := s.runner.Counters(); cs != nil {
-		fmt.Fprintf(w, "# HELP ssdkeeper_sim_counter Simulation probe counters (see internal/simrun).\n")
+	if len(snaps[0].counterNames) > 0 {
+		fmt.Fprintf(w, "# HELP ssdkeeper_sim_counter Simulation probe counters, summed across shards (see internal/simrun).\n")
 		fmt.Fprintf(w, "# TYPE ssdkeeper_sim_counter counter\n")
-		for _, name := range cs.Names() {
-			fmt.Fprintf(w, "ssdkeeper_sim_counter{name=%q} %d\n", name, cs.Get(name))
+		// Shards build identical registries (same probe construction), so
+		// shard 0's insertion order names them all; sum by name.
+		totals := make(map[string]int64, len(snaps[0].counterNames))
+		for _, snap := range snaps {
+			for i, n := range snap.counterNames {
+				totals[n] += snap.counterVals[i]
+			}
+		}
+		for _, name := range snaps[0].counterNames {
+			fmt.Fprintf(w, "ssdkeeper_sim_counter{name=%q} %d\n", name, totals[name])
 		}
 	}
 }

@@ -4,8 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"ssdkeeper/internal/sim"
 	"ssdkeeper/internal/trace"
@@ -19,6 +17,12 @@ type Request struct {
 	Op     trace.Op
 	Offset int64
 	Size   int
+	// Key selects the shard within the tenant's hash ring. Zero (the
+	// default) routes every request of a tenant to one shard; a nonzero
+	// key spreads the tenant's traffic across shards — useful for load
+	// generators that want to exercise all devices. Routing is stable:
+	// the same (tenant, key) pair always lands on the same shard.
+	Key uint64
 }
 
 // Record converts the request to a trace record arriving at the given
@@ -67,6 +71,7 @@ type jsonRequest struct {
 	Op     string `json:"op"`
 	Offset int64  `json:"offset"`
 	Size   int    `json:"size"`
+	Key    uint64 `json:"key,omitempty"`
 }
 
 // jsonResponse is the HTTP/JSON wire form of a completion.
@@ -88,51 +93,171 @@ func DecodeJSONRequest(data []byte) (Request, error) {
 	if err != nil {
 		return Request{}, fmt.Errorf("serve: bad JSON request: %w", err)
 	}
-	return Request{Tenant: jr.Tenant, Op: op, Offset: jr.Offset, Size: jr.Size}, nil
+	return Request{Tenant: jr.Tenant, Op: op, Offset: jr.Offset, Size: jr.Size, Key: jr.Key}, nil
 }
 
-// DecodeLine parses one line of the compact load-generator protocol:
+// lineSep reports whether b separates fields in the line protocol: any
+// whitespace strings.Fields would split on (minus newline, which frames
+// lines) plus comma, so trace-derived CSV corpora feed straight in.
+func lineSep(b byte) bool {
+	switch b {
+	case ' ', '\t', '\r', '\v', '\f', ',':
+		return true
+	}
+	return false
+}
+
+// parseIntBytes is strconv.ParseInt(string(b), 10, 64) without the string
+// conversion. Overflow-safe: accumulates negated so int64 min parses.
+func parseIntBytes(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("empty number")
+	}
+	neg := false
+	switch b[0] {
+	case '-':
+		neg = true
+		b = b[1:]
+	case '+':
+		b = b[1:]
+	}
+	if len(b) == 0 {
+		return 0, fmt.Errorf("sign without digits")
+	}
+	var n int64 // accumulated negative
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad digit %q", c)
+		}
+		d := int64(c - '0')
+		if n < (minInt64+d)/10 {
+			return 0, fmt.Errorf("overflows int64")
+		}
+		n = n*10 - d
+	}
+	if neg {
+		return n, nil
+	}
+	if n == minInt64 {
+		return 0, fmt.Errorf("overflows int64")
+	}
+	return -n, nil
+}
+
+const minInt64 = -1 << 63
+
+// parseUintBytes parses an unsigned decimal (no sign) without allocating.
+func parseUintBytes(b []byte) (uint64, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("empty number")
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad digit %q", c)
+		}
+		d := uint64(c - '0')
+		if n > (^uint64(0)-d)/10 {
+			return 0, fmt.Errorf("overflows uint64")
+		}
+		n = n*10 + d
+	}
+	return n, nil
+}
+
+// parseOpBytes is parseOp on a byte slice. The string(b) conversions in the
+// switch do not allocate: the compiler recognizes the compare-against-
+// constant pattern.
+func parseOpBytes(b []byte) (trace.Op, error) {
+	switch {
+	case len(b) == 1 && (b[0] == 'R' || b[0] == 'r'):
+		return trace.Read, nil
+	case len(b) == 1 && (b[0] == 'W' || b[0] == 'w'):
+		return trace.Write, nil
+	case string(b) == "read" || string(b) == "Read" || string(b) == "READ":
+		return trace.Read, nil
+	case string(b) == "write" || string(b) == "Write" || string(b) == "WRITE":
+		return trace.Write, nil
+	}
+	return 0, fmt.Errorf("unknown op %q", b)
+}
+
+// DecodeLineBytes parses one line of the compact load-generator protocol
+// without allocating:
 //
-//	<tenant> <R|W> <offset> <size>
+//	<tenant> <R|W> <offset> <size> [key]
 //
-// Fields are separated by any run of spaces or tabs. The same format with
-// commas is accepted too, so trace-derived corpora feed straight in.
-func DecodeLine(line string) (Request, error) {
-	if i := strings.IndexByte(line, '#'); i >= 0 {
+// Fields are separated by any run of spaces, tabs or commas; '#' starts a
+// comment; the optional fifth field is the shard-spreading key (see
+// Request.Key). This is the batch ingest hot path — callers hand it
+// bufio.Scanner.Bytes() directly and no intermediate strings are built.
+func DecodeLineBytes(line []byte) (Request, error) {
+	if i := bytes.IndexByte(line, '#'); i >= 0 {
 		line = line[:i]
 	}
-	line = strings.TrimSpace(line)
-	if strings.ContainsRune(line, ',') {
-		line = strings.ReplaceAll(line, ",", " ")
+	var fields [6][]byte
+	n := 0
+	i := 0
+	for i < len(line) {
+		for i < len(line) && lineSep(line[i]) {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		for i < len(line) && !lineSep(line[i]) {
+			i++
+		}
+		if n < len(fields) {
+			fields[n] = line[start:i]
+		}
+		n++
 	}
-	f := strings.Fields(line)
-	if len(f) != 4 {
-		return Request{}, fmt.Errorf("serve: line has %d fields, want 4 (tenant op offset size)", len(f))
+	if n != 4 && n != 5 {
+		return Request{}, fmt.Errorf("serve: line has %d fields, want 4 or 5 (tenant op offset size [key])", n)
 	}
-	tenant, err := strconv.Atoi(f[0])
+	tenant, err := parseIntBytes(fields[0])
 	if err != nil {
-		return Request{}, fmt.Errorf("serve: bad tenant %q: %w", f[0], err)
+		return Request{}, fmt.Errorf("serve: bad tenant %q: %w", fields[0], err)
 	}
-	op, err := parseOp(f[1])
+	op, err := parseOpBytes(fields[1])
 	if err != nil {
 		return Request{}, fmt.Errorf("serve: %w", err)
 	}
-	offset, err := strconv.ParseInt(f[2], 10, 64)
+	offset, err := parseIntBytes(fields[2])
 	if err != nil {
-		return Request{}, fmt.Errorf("serve: bad offset %q: %w", f[2], err)
+		return Request{}, fmt.Errorf("serve: bad offset %q: %w", fields[2], err)
 	}
-	size, err := strconv.Atoi(f[3])
+	size, err := parseIntBytes(fields[3])
 	if err != nil {
-		return Request{}, fmt.Errorf("serve: bad size %q: %w", f[3], err)
+		return Request{}, fmt.Errorf("serve: bad size %q: %w", fields[3], err)
 	}
-	return Request{Tenant: tenant, Op: op, Offset: offset, Size: size}, nil
+	var key uint64
+	if n == 5 {
+		key, err = parseUintBytes(fields[4])
+		if err != nil {
+			return Request{}, fmt.Errorf("serve: bad key %q: %w", fields[4], err)
+		}
+	}
+	return Request{Tenant: int(tenant), Op: op, Offset: offset, Size: int(size), Key: key}, nil
 }
 
-// EncodeLine renders the canonical line form DecodeLine parses.
+// DecodeLine parses one line of the compact load-generator protocol; see
+// DecodeLineBytes for the grammar.
+func DecodeLine(line string) (Request, error) {
+	return DecodeLineBytes([]byte(line))
+}
+
+// EncodeLine renders the canonical line form DecodeLine parses. The key
+// field is emitted only when nonzero, so encode∘decode round-trips.
 func EncodeLine(r Request) string {
 	op := "R"
 	if r.Op == trace.Write {
 		op = "W"
+	}
+	if r.Key != 0 {
+		return fmt.Sprintf("%d %s %d %d %d", r.Tenant, op, r.Offset, r.Size, r.Key)
 	}
 	return fmt.Sprintf("%d %s %d %d", r.Tenant, op, r.Offset, r.Size)
 }

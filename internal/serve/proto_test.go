@@ -13,11 +13,13 @@ func TestDecodeLine(t *testing.T) {
 		in   string
 		want Request
 	}{
-		{"0 R 0 4096", Request{0, trace.Read, 0, 4096}},
-		{"3 W 16384 32768", Request{3, trace.Write, 16384, 32768}},
-		{"  1   read  0   512 ", Request{1, trace.Read, 0, 512}},
-		{"2,w,4096,4096", Request{2, trace.Write, 4096, 4096}},
-		{"0 R 0 4096 # trailing comment", Request{0, trace.Read, 0, 4096}},
+		{"0 R 0 4096", Request{0, trace.Read, 0, 4096, 0}},
+		{"3 W 16384 32768", Request{3, trace.Write, 16384, 32768, 0}},
+		{"  1   read  0   512 ", Request{1, trace.Read, 0, 512, 0}},
+		{"2,w,4096,4096", Request{2, trace.Write, 4096, 4096, 0}},
+		{"0 R 0 4096 # trailing comment", Request{0, trace.Read, 0, 4096, 0}},
+		{"0 R 0 4096 9", Request{0, trace.Read, 0, 4096, 9}},
+		{"1,W,8192,512,42", Request{1, trace.Write, 8192, 512, 42}},
 	}
 	for _, c := range cases {
 		got, err := DecodeLine(c.in)
@@ -35,14 +37,17 @@ func TestDecodeLineRejects(t *testing.T) {
 	bad := []string{
 		"",
 		"# only a comment",
-		"0 R 0",         // too few fields
-		"0 R 0 4096 9",  // too many fields
-		"x R 0 4096",    // bad tenant
-		"0 Q 0 4096",    // bad op
-		"0 R zero 4096", // bad offset
-		"0 R 0 lots",    // bad size
-		"0.5 R 0 4096",  // fractional tenant
-		"0 R 0x10 4096", // hex offset
+		"0 R 0",                           // too few fields
+		"0 R 0 4096 9 9",                  // too many fields
+		"x R 0 4096",                      // bad tenant
+		"0 Q 0 4096",                      // bad op
+		"0 R zero 4096",                   // bad offset
+		"0 R 0 lots",                      // bad size
+		"0.5 R 0 4096",                    // fractional tenant
+		"0 R 0x10 4096",                   // hex offset
+		"0 R 0 4096 -1",                   // signed key
+		"0 R 0 4096 k",                    // non-numeric key
+		"0 R 0 4096 99999999999999999999", // key overflows uint64
 	}
 	for _, in := range bad {
 		if req, err := DecodeLine(in); err == nil {
@@ -53,8 +58,9 @@ func TestDecodeLineRejects(t *testing.T) {
 
 func TestEncodeLineRoundTrip(t *testing.T) {
 	reqs := []Request{
-		{0, trace.Read, 0, 4096},
-		{3, trace.Write, 1 << 30, 1},
+		{0, trace.Read, 0, 4096, 0},
+		{3, trace.Write, 1 << 30, 1, 0},
+		{2, trace.Write, 8192, 512, 7}, // key round-trips via the 5th field
 	}
 	for _, req := range reqs {
 		back, err := DecodeLine(EncodeLine(req))
@@ -72,8 +78,15 @@ func TestDecodeJSONRequest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := (Request{2, trace.Write, 8192, 4096}); req != want {
+	if want := (Request{2, trace.Write, 8192, 4096, 0}); req != want {
 		t.Errorf("got %+v, want %+v", req, want)
+	}
+	keyed, err := DecodeJSONRequest([]byte(`{"tenant":1,"op":"read","offset":0,"size":512,"key":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyed.Key != 5 {
+		t.Errorf("key not decoded: got %+v", keyed)
 	}
 	bad := []string{
 		``,

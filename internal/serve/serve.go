@@ -1,27 +1,30 @@
 // Package serve is the serving layer: a long-running multi-tenant SSD
-// service wrapped around a simrun.Session. Tenants submit I/O over HTTP
-// (JSON, or a compact line protocol for load generators); requests are
-// admitted through bounded per-tenant queues into the simulated device,
-// whose clock is paced against wall time by a configurable acceleration
-// factor; and the keeper runs online — a sliding-window feature collector
-// fed by live arrivals drives periodic ANN inference and epoch-based
-// channel reallocation, instead of the batch drivers' fixed trace scan.
+// service sharded over independent simulated devices. Tenants submit I/O
+// over HTTP (JSON, or a compact line protocol for load generators);
+// requests route to a shard by stable hash, are admitted through bounded
+// per-tenant queues into that shard's device, whose clock is paced against
+// wall time by a configurable acceleration factor; and the keeper runs
+// online per shard — a sliding-window feature collector fed by live
+// arrivals drives periodic ANN inference and epoch-based channel
+// reallocation on each shard's device independently.
 //
-// Concurrency model: the simulation engine is single-goroutine by design,
-// so one mutex serializes everything that touches it — admissions, the
-// pacer tick, metrics snapshots, and the drain. Handler goroutines hold the
-// lock only long enough to advance the clock and enqueue; they wait for
-// completion on a per-request channel filled by the engine's completion
-// callback. The lock is therefore held for microseconds at a time and the
-// device, not the lock, is the throughput bound.
+// Concurrency model: a simulation engine is single-goroutine by design, so
+// each shard runs one goroutine that owns its engine, device, controller,
+// and queues outright (see shard.go). Handlers validate, reserve a bounded
+// admission slot with one atomic, and push the request into the shard's
+// mailbox; they wait for completion on a per-request channel filled by the
+// engine's completion callback. One shard wakeup drains a batch of
+// submissions, so the cost of waking the actor amortizes across bursts, and
+// no lock is ever held across the engine.
 //
 // Pacing model: simulated time is a linear image of wall time,
-// sim = (wall - start) * Accel. Every entry point first advances the engine
-// to the current wall target (firing any completions that came due), so
-// simulated completions surface with at most one pacer tick of wall delay.
-// Accel > 1 runs the device faster than real time (useful for smoke tests
-// and accelerated replay); Accel < 1 slows it down, which is how overload
-// is produced on demand.
+// sim = (wall - start) * Accel, shared by all shards. Each shard goroutine
+// sleeps until the earlier of its next engine event's wall due time and one
+// pacer tick, so completions surface on time without polling. Requests are
+// stamped with the wall-derived sim time at admission and arrive at that
+// stamp regardless of mailbox lag. Accel > 1 runs the devices faster than
+// real time; Accel < 1 slows them down, which is how overload (and a
+// device-bound, shard-scalable regime) is produced on demand.
 package serve
 
 import (
@@ -29,8 +32,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ssdkeeper/internal/ftl"
 	"ssdkeeper/internal/keeper"
 	"ssdkeeper/internal/nand"
 	"ssdkeeper/internal/sim"
@@ -57,14 +62,26 @@ type Config struct {
 	Options ssd.Options
 	Season  simrun.Seasoning
 
+	// ShardCount is the number of independent device shards (default 1).
+	// Each shard owns a full device/engine/keeper stack driven by its own
+	// goroutine; tenants route to shards by stable hash, optionally spread
+	// across all shards by a per-request key.
+	ShardCount int
+	// MailboxLen bounds each shard's submission mailbox (default 1024).
+	MailboxLen int
+	// BatchMax bounds how many mailbox messages one shard wakeup processes
+	// before re-arming its pacing timer (default 256).
+	BatchMax int
+
 	// Tenants is the tenant-ID space served (default features.MaxTenants
 	// via the keeper; 4). Requests outside it are rejected as invalid.
 	Tenants int
-	// QueueLen bounds each tenant's admission queue (default 64). A full
-	// queue rejects with ErrQueueFull instead of queueing unboundedly.
+	// QueueLen bounds each tenant's admission queue per shard (default
+	// 64). A full queue rejects with ErrQueueFull instead of queueing
+	// unboundedly.
 	QueueLen int
-	// QueueDepth bounds each tenant's in-device commands (default 32),
-	// the serving-layer analogue of hostif's per-queue depth.
+	// QueueDepth bounds each tenant's in-device commands per shard
+	// (default 32), the serving-layer analogue of hostif's per-queue depth.
 	QueueDepth int
 	// MaxBytes bounds each tenant's logical address space (default 64MB,
 	// the working-set size the keeper's training mixes use).
@@ -72,9 +89,10 @@ type Config struct {
 	// Accel is the pacing factor: simulated nanoseconds per wall
 	// nanosecond (default 1.0).
 	Accel float64
-	// TickEvery is the pacer period (default 2ms wall). Completions and
-	// adaptation epochs fire with at most this much wall delay when no
-	// arrivals are advancing the clock.
+	// TickEvery caps the pacer sleep (default 2ms wall). Completions wake
+	// shards exactly when due via the engine's next-event time; the tick
+	// bounds how stale keeper epochs and the wall target can get when no
+	// events are pending.
 	TickEvery time.Duration
 	// Now is the wall clock (default time.Now); tests inject a manual
 	// clock to make pacing deterministic.
@@ -82,6 +100,15 @@ type Config struct {
 }
 
 func (c *Config) fillDefaults() {
+	if c.ShardCount == 0 {
+		c.ShardCount = 1
+	}
+	if c.MailboxLen == 0 {
+		c.MailboxLen = 1024
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 256
+	}
 	if c.Tenants == 0 {
 		c.Tenants = 4
 	}
@@ -111,6 +138,8 @@ func (c Config) Validate() error {
 		return err
 	}
 	switch {
+	case c.ShardCount < 0, c.MailboxLen < 0, c.BatchMax < 0:
+		return fmt.Errorf("serve: negative shard bounds in %+v", c)
 	case c.Tenants < 0, c.QueueLen < 0, c.QueueDepth < 0, c.MaxBytes < 0:
 		return fmt.Errorf("serve: negative bounds in %+v", c)
 	case c.Accel < 0:
@@ -131,55 +160,48 @@ type outcome struct {
 	err  error
 }
 
-// Pending is one admitted request between admission and completion. All
-// fields except done are guarded by the server mutex.
+// Pending is one admitted request between admission and completion. The
+// state word is the CAS state machine shared by the shard goroutine and the
+// waiter; everything else is written once at admission (req, stamp, shard)
+// or owned by the shard goroutine (arrival, reaped).
 type Pending struct {
-	req      Request
-	arrival  sim.Time     // sim time at admission; latency is measured from here
-	done     chan outcome // buffered 1; filled exactly once
-	resolved bool         // completion, rejection, or cancellation delivered
+	req     Request
+	shard   *shard
+	stamp   sim.Time // wall-derived sim time at admission; the arrival target
+	arrival sim.Time // sim time the shard admitted it; latency measures from here
+	state   atomic.Int32
+	reaped  bool         // queue slot released (shard-goroutine-only)
+	done    chan outcome // buffered 1; filled exactly once
 }
 
-// tenantQueue is one tenant's serving state.
-type tenantQueue struct {
-	queued   []*Pending // admitted, waiting for device capacity
-	inflight int
-
-	admitted  [2]uint64 // by op: arrivals accepted into queue or device
-	completed [2]uint64
-	hist      [2]stats.Histogram // sim response latency by op
-	rejFull   uint64
-	canceled  uint64
-}
-
-// Server is the serving core. Build one with New, start its pacer with
-// Start, submit with Submit (or the HTTP layer in http.go), and stop it
-// with Drain.
+// Server is the serving core: a stable-hash router over ShardCount
+// independent shards. Build one with New, start pacing with Start, submit
+// with Submit (or the HTTP layer in http.go), and stop it with Drain.
 type Server struct {
 	cfg    Config
-	runner *simrun.Runner
-	dev    *ssd.Device
-	eng    *sim.Engine
-	ctrl   *keeper.Controller // nil when serving without a keeper
+	epoch  time.Time // wall anchor of sim time zero, shared by all shards
+	shards []*shard
 
-	mu        sync.Mutex
-	started   bool
-	stopped   bool      // pacer stop already requested
-	epoch     time.Time // wall anchor of sim time zero
-	queues    []tenantQueue
-	draining  bool
-	admitted  uint64 // total accepted (for the final result snapshot)
-	rejDrain  uint64
-	rejBad    uint64
+	started atomic.Bool
+	startc  chan struct{} // closed by Start; shards arm their pacers on it
+
+	draining atomic.Bool
+	rejBad   atomic.Uint64
+	rejDrain atomic.Uint64
+
+	errMu     sync.Mutex
 	submitErr error // first device submit failure; poisons the server
 
-	stop chan struct{} // closes to stop the pacer
-	done chan struct{} // pacer exited
+	drainMu  sync.Mutex
+	drained  bool
+	perShard []ssd.Result
+	merged   ssd.Result
 }
 
-// New builds a server over a fresh seasoned session. k (may be nil) enables
-// the online keeper; its device geometry must match cfg.Device so channel
-// strategies bind onto the same channel count.
+// New builds a server over ShardCount fresh seasoned shards. k (may be nil)
+// enables the online keeper — one controller per shard over the shared
+// model; its device geometry must match cfg.Device so channel strategies
+// bind onto the same channel count.
 func New(cfg Config, k *keeper.Keeper) (*Server, error) {
 	cfg.fillDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -189,66 +211,34 @@ func New(cfg Config, k *keeper.Keeper) (*Server, error) {
 		return nil, fmt.Errorf("serve: keeper geometry %+v differs from server geometry %+v",
 			k.Config().Device, cfg.Device)
 	}
-	runner := simrun.NewRunner(simrun.WithProbe(simrun.NewCounterProbe(cfg.Device)))
-	// Empty traits leave the device unbound — every tenant on all channels
-	// with static allocation — the state the online keeper adapts from.
-	sess, err := runner.NewSession(simrun.Config{
-		Device: cfg.Device, Options: cfg.Options, Season: cfg.Season,
-	})
-	if err != nil {
-		return nil, err
-	}
-	dev := sess.Device()
 	s := &Server{
 		cfg:    cfg,
-		runner: runner,
-		dev:    dev,
-		eng:    dev.Engine(),
 		epoch:  cfg.Now(), // sim time zero is the construction instant
-		queues: make([]tenantQueue, cfg.Tenants),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		startc: make(chan struct{}),
 	}
-	if k != nil {
-		s.ctrl = k.Controller(dev)
-		// A live device can idle for many windows; adapting on empty
-		// windows would re-bind channels on zero information.
-		s.ctrl.SkipIdle = true
+	for i := 0; i < cfg.ShardCount; i++ {
+		sd, err := newShard(i, s, k)
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.sendMu.Lock()
+				prev.closed = true
+				prev.sendMu.Unlock()
+				close(prev.stop)
+				<-prev.done
+			}
+			return nil, err
+		}
+		s.shards = append(s.shards, sd)
 	}
 	return s, nil
 }
 
-// Start launches the pacer goroutine. (Simulated time zero was anchored
-// when the server was built; an un-started server still paces correctly on
-// every entry point, it just never advances between requests on its own.)
+// Start arms the shard pacers. (Simulated time zero was anchored when the
+// server was built; an un-started server still paces correctly on every
+// entry point, it just never advances between requests on its own.)
 func (s *Server) Start() {
-	s.mu.Lock()
-	if s.started {
-		s.mu.Unlock()
-		return
-	}
-	s.started = true
-	s.mu.Unlock()
-	go s.pace()
-}
-
-// pace ticks the clock forward so completions and adaptation epochs fire
-// even when no arrivals are advancing it.
-func (s *Server) pace() {
-	defer close(s.done)
-	t := time.NewTicker(s.cfg.TickEvery)
-	defer t.Stop()
-	for {
-		select {
-		case <-s.stop:
-			return
-		case <-t.C:
-			s.mu.Lock()
-			if !s.draining {
-				s.advanceLocked()
-			}
-			s.mu.Unlock()
-		}
+	if s.started.CompareAndSwap(false, true) {
+		close(s.startc)
 	}
 }
 
@@ -261,141 +251,120 @@ func (s *Server) wallSim(t time.Time) sim.Time {
 	return sim.Time(float64(d) * s.cfg.Accel)
 }
 
-// advanceLocked advances the engine to the current wall target, firing any
-// completions that came due (which dispatch queued work in turn), and ticks
-// the keeper so epochs track time even across arrival gaps. It returns the
-// target so callers can stamp arrivals with the exact time the engine was
-// advanced to (reading the clock twice would race the engine into the past).
-func (s *Server) advanceLocked() sim.Time {
-	target := s.wallSim(s.cfg.Now())
-	s.eng.RunUntil(target)
-	if s.ctrl != nil {
-		s.ctrl.Tick(target)
-	}
-	return target
+// wallTarget is the simulated time the clock should be advanced to now.
+func (s *Server) wallTarget() sim.Time { return s.wallSim(s.cfg.Now()) }
+
+// wallUntil returns how far in the future (wall) the simulated instant at
+// is due; non-positive means already due.
+func (s *Server) wallUntil(at sim.Time) time.Duration {
+	due := s.epoch.Add(time.Duration(float64(at) / s.cfg.Accel))
+	return due.Sub(s.cfg.Now())
 }
 
-// submitLocked hands an admitted request to the device. The completion
-// callback runs inside the engine (under the server mutex): it records the
-// latency, resolves the waiter, and back-fills device capacity from the
-// tenant's queue.
-func (s *Server) submitLocked(p *Pending) {
-	q := &s.queues[p.req.Tenant]
-	q.inflight++
-	err := s.dev.SubmitAt(p.req.Record(p.arrival), p.arrival, func(lat sim.Time) {
-		q.inflight--
-		q.completed[p.req.Op]++
-		q.hist[p.req.Op].Add(lat)
-		if !p.resolved {
-			p.resolved = true
-			p.done <- outcome{resp: Response{Latency: lat, At: s.eng.Now()}}
-		}
-		s.dispatchLocked(q)
-	})
-	if err != nil {
-		// A submit failure is a server bug or a device-full condition;
-		// fail this request and remember the first error for /healthz.
-		q.inflight--
-		if s.submitErr == nil {
-			s.submitErr = err
-		}
-		if !p.resolved {
-			p.resolved = true
-			p.done <- outcome{err: err}
-		}
+// poison records the first device submit failure for /healthz.
+func (s *Server) poison(err error) {
+	s.errMu.Lock()
+	if s.submitErr == nil {
+		s.submitErr = err
 	}
+	s.errMu.Unlock()
 }
 
-// dispatchLocked moves queued requests into the device while the tenant has
-// capacity.
-func (s *Server) dispatchLocked(q *tenantQueue) {
-	for q.inflight < s.cfg.QueueDepth && len(q.queued) > 0 {
-		p := q.queued[0]
-		q.queued = q.queued[1:]
-		if p.resolved { // canceled while queued
-			continue
-		}
-		// A queued request's arrival stays its admission time, so the
-		// recorded latency includes the time spent waiting for capacity.
-		s.submitLocked(p)
-	}
+// ShardCount returns the number of shards serving.
+func (s *Server) ShardCount() int { return len(s.shards) }
+
+// ShardFor returns the shard index the request routes to: stable hash of
+// the tenant, mixed with the request key when one is set.
+func (s *Server) ShardFor(req Request) int {
+	return shardIndex(req.Tenant, req.Key, len(s.shards))
 }
 
 // SubmitAsync validates and admits a request, returning a handle to wait
-// on. Admission advances the simulated clock to the current wall target, so
-// the request arrives "now" in simulated time. Rejections (validation,
-// backpressure, draining) are synchronous errors.
+// on. Admission stamps the request with the current wall-derived simulated
+// time — it arrives "now" regardless of mailbox lag. Rejections
+// (validation, backpressure, draining) are synchronous errors: the bounded
+// slot is reserved with one atomic before the mailbox, so ErrQueueFull
+// never needs a shard round trip.
 func (s *Server) SubmitAsync(req Request) (*Pending, error) {
 	if err := req.Validate(s.cfg.Tenants, s.cfg.MaxBytes); err != nil {
-		s.mu.Lock()
-		s.rejBad++
-		s.mu.Unlock()
+		s.rejBad.Add(1)
 		return nil, fmt.Errorf("serve: invalid request: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
-		s.rejDrain++
+	if s.draining.Load() {
+		s.rejDrain.Add(1)
 		return nil, ErrDraining
 	}
-	if err := s.submitErr; err != nil {
+	s.errMu.Lock()
+	err := s.submitErr
+	s.errMu.Unlock()
+	if err != nil {
 		return nil, err
 	}
-	now := s.advanceLocked()
-	q := &s.queues[req.Tenant]
-	if q.inflight >= s.cfg.QueueDepth && len(q.queued) >= s.cfg.QueueLen {
-		q.rejFull++
-		return nil, ErrQueueFull
+	sd := s.shards[shardIndex(req.Tenant, req.Key, len(s.shards))]
+	ts := &sd.tenants[req.Tenant]
+	bound := int64(s.cfg.QueueDepth + s.cfg.QueueLen)
+	for {
+		n := ts.occupancy.Load()
+		if n >= bound {
+			ts.rejFull.Add(1)
+			return nil, ErrQueueFull
+		}
+		if ts.occupancy.CompareAndSwap(n, n+1) {
+			break
+		}
 	}
-	p := &Pending{req: req, arrival: now, done: make(chan outcome, 1)}
-	q.admitted[req.Op]++
-	s.admitted++
-	if s.ctrl != nil {
-		s.ctrl.Observe(now, req.Record(now))
+	p := &Pending{
+		req:   req,
+		shard: sd,
+		stamp: s.wallTarget(),
+		done:  make(chan outcome, 1),
 	}
-	if q.inflight < s.cfg.QueueDepth {
-		s.submitLocked(p)
-	} else {
-		q.queued = append(q.queued, p)
+	ts.admitted[req.Op].Add(1)
+	if !sd.enter() {
+		// The shard closed between the draining check and here.
+		ts.occupancy.Add(-1)
+		ts.admitted[req.Op].Add(^uint64(0))
+		s.rejDrain.Add(1)
+		return nil, ErrDraining
 	}
+	sd.mailbox <- shardMsg{kind: msgSubmit, p: p}
+	sd.leave()
 	return p, nil
 }
 
 // Wait blocks until the request completes, the server drains, or ctx ends.
 // A context cancellation while the request is still queued frees its queue
-// slot; once in the device the simulated work always completes (there is no
-// abort in the device model) but the response is abandoned.
+// slot synchronously; once in the device the simulated work always
+// completes (there is no abort in the device model) but the response is
+// abandoned.
 func (s *Server) Wait(ctx context.Context, p *Pending) (Response, error) {
 	select {
 	case out := <-p.done:
 		return out.resp, out.err
 	case <-ctx.Done():
-		s.mu.Lock()
-		if !p.resolved {
-			p.resolved = true // completion callback now skips delivery
-			s.queues[p.req.Tenant].canceled++
-			s.removeQueuedLocked(p)
-		}
-		s.mu.Unlock()
-		// Prefer a completion that raced the cancellation.
-		select {
-		case out := <-p.done:
-			return out.resp, out.err
+		sd := p.shard
+		ts := &sd.tenants[p.req.Tenant]
+		switch {
+		case p.state.CompareAndSwap(stateQueued, stateResolved):
+			ts.canceled.Add(1)
+			// Round-trip a reap through the mailbox so the queue slot is
+			// free before we return: a retry after cancellation must be
+			// admissible immediately.
+			if sd.enter() {
+				reply := make(chan shardReply, 1)
+				sd.mailbox <- shardMsg{kind: msgReap, p: p, reply: reply}
+				sd.leave()
+				<-reply
+			}
+			return Response{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+		case p.state.CompareAndSwap(stateDispatched, stateResolved):
+			ts.canceled.Add(1)
+			return Response{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
 		default:
-		}
-		return Response{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
-	}
-}
-
-// removeQueuedLocked takes a canceled request out of its tenant's admission
-// queue so it stops occupying a bounded slot. In-device requests are left
-// to finish.
-func (s *Server) removeQueuedLocked(p *Pending) {
-	q := &s.queues[p.req.Tenant]
-	for i, qp := range q.queued {
-		if qp == p {
-			q.queued = append(q.queued[:i], q.queued[i+1:]...)
-			return
+			// Resolution won the race; the outcome is (or is about to be)
+			// in the buffered channel.
+			out := <-p.done
+			return out.resp, out.err
 		}
 	}
 }
@@ -410,72 +379,161 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 }
 
 // Drain stops admission, rejects everything still queued, completes all
-// in-flight device work (simulated time jumps to the last completion), and
-// stops the pacer. It returns the final device result; calling it twice
-// returns the same snapshot. The ISSUE-level guarantee: after Drain, every
-// admitted-and-dispatched request has been answered, every queued one was
-// rejected with ErrDraining, and the device counters equal those of a batch
-// replay of the dispatched requests at their admission times.
+// in-flight device work on every shard (each shard's simulated time jumps
+// to its last completion), and stops the shard goroutines. It returns the
+// merged final device result; calling it twice returns the same snapshot.
+// The guarantee holds per shard: after Drain, every dispatched request has
+// been answered, every queued one was rejected with ErrDraining, and each
+// shard's device counters equal those of a batch replay of its dispatched
+// records (see DrainResults).
 func (s *Server) Drain() ssd.Result {
-	s.mu.Lock()
-	if !s.draining {
-		s.draining = true
-		for i := range s.queues {
-			q := &s.queues[i]
-			for _, p := range q.queued {
-				if !p.resolved {
-					p.resolved = true
-					s.rejDrain++
-					p.done <- outcome{err: ErrDraining}
-				}
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if !s.drained {
+		s.draining.Store(true)
+		s.perShard = make([]ssd.Result, len(s.shards))
+		// The drain message queues FIFO behind in-flight submissions, so
+		// every admitted request is either dispatched or drain-rejected —
+		// never lost.
+		for i, sd := range s.shards {
+			if r, ok := sd.send(msgDrain); ok {
+				s.perShard[i] = r.res
 			}
-			q.queued = nil
 		}
-		// No more arrivals: run the engine dry so every in-flight request
-		// completes and resolves its waiter.
-		s.eng.Run()
-	}
-	res := s.dev.Snapshot(int(s.admitted))
-	started, stopped := s.started, s.stopped
-	s.stopped = true
-	s.mu.Unlock()
-	if started {
-		if !stopped {
-			close(s.stop)
+		for _, sd := range s.shards {
+			sd.sendMu.Lock()
+			sd.closed = true
+			sd.sendMu.Unlock()
+			close(sd.stop)
+			<-sd.done
 		}
-		<-s.done
+		s.merged = mergeResults(s.perShard)
+		s.drained = true
 	}
-	return res
+	return s.merged
+}
+
+// DrainResults drains (if not already drained) and returns the per-shard
+// final results, indexed by shard. Shard i's result equals a batch replay
+// of the records ShardFor routed to it that reached its device.
+func (s *Server) DrainResults() []ssd.Result {
+	s.Drain()
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return append([]ssd.Result(nil), s.perShard...)
+}
+
+// mergeResults folds per-shard results into one serving-level summary:
+// counters and latency accumulators sum, makespan is the max (shards run
+// concurrently in wall time), bus/die stats concatenate in shard order, and
+// fairness is recomputed as Jain's index over the merged per-tenant totals.
+func mergeResults(rs []ssd.Result) ssd.Result {
+	if len(rs) == 0 {
+		return ssd.Result{}
+	}
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	var m ssd.Result
+	m.PerTenant = make(map[int]stats.Latency)
+	for _, r := range rs {
+		if r.Makespan > m.Makespan {
+			m.Makespan = r.Makespan
+		}
+		m.Requests += r.Requests
+		m.Device.Merge(r.Device)
+		for t, l := range r.PerTenant {
+			cur := m.PerTenant[t]
+			cur.Merge(l)
+			m.PerTenant[t] = cur
+		}
+		m.BusStats = append(m.BusStats, r.BusStats...)
+		m.DieStats = append(m.DieStats, r.DieStats...)
+		m.FTL = addFTL(m.FTL, r.FTL)
+		m.Conflicts += r.Conflicts
+		m.ConflictWait += r.ConflictWait
+	}
+	m.Fairness = jainFairness(m.PerTenant)
+	return m
+}
+
+func addFTL(a, b ftl.Counters) ftl.Counters {
+	a.Writes += b.Writes
+	a.Preloads += b.Preloads
+	a.Invalidations += b.Invalidations
+	a.GCRuns += b.GCRuns
+	a.GCMovedPages += b.GCMovedPages
+	a.GCErases += b.GCErases
+	a.WLRuns += b.WLRuns
+	a.WLMovedPages += b.WLMovedPages
+	a.Mapped += b.Mapped
+	return a
+}
+
+// jainFairness is Jain's index over the tenants' total latencies, the same
+// definition the device collector uses for a single shard.
+func jainFairness(per map[int]stats.Latency) float64 {
+	var sum, sumsq float64
+	n := 0
+	for _, l := range per {
+		x := float64(l.Read.Sum + l.Write.Sum)
+		sum += x
+		sumsq += x * x
+		n++
+	}
+	if n == 0 || sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumsq)
 }
 
 // Draining reports whether Drain has begun.
-func (s *Server) Draining() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.draining
-}
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Err returns the first device submit failure, if any (surfaced by
 // /healthz so orchestrators restart a poisoned server).
 func (s *Server) Err() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
 	return s.submitErr
 }
 
-// Device exposes the underlying device for tests that inspect FTL state.
-func (s *Server) Device() *ssd.Device { return s.dev }
+// Device exposes shard 0's device for tests that inspect FTL state.
+func (s *Server) Device() *ssd.Device { return s.shards[0].dev }
 
-// Controller exposes the online keeper controller (nil without a keeper).
-func (s *Server) Controller() *keeper.Controller { return s.ctrl }
+// Controller exposes shard 0's online keeper controller (nil without a
+// keeper). Tests drive a single-shard server through it; multi-shard
+// observability goes through the metrics snapshot.
+func (s *Server) Controller() *keeper.Controller { return s.shards[0].ctrl }
 
-// SimNow returns the current simulated time (advancing it to the wall
-// target first).
-func (s *Server) SimNow() sim.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.draining {
-		s.advanceLocked()
+// KeeperSwitches sums the online re-allocations across shards. Safe at any
+// time; after Drain it reads the frozen final snapshots.
+func (s *Server) KeeperSwitches() int {
+	total := 0
+	for _, sd := range s.shards {
+		if r, ok := sd.send(msgSnapshot); ok {
+			total += r.snap.switches
+		} else if sd.final != nil {
+			total += sd.final.switches
+		}
 	}
-	return s.eng.Now()
+	return total
+}
+
+// SimNow returns the current simulated time — the max across shards —
+// advancing each shard to the wall target first. The mailbox round trip
+// doubles as a barrier: every submission enqueued before this call has been
+// processed when it returns.
+func (s *Server) SimNow() sim.Time {
+	var now sim.Time
+	for _, sd := range s.shards {
+		r, ok := sd.send(msgAdvance)
+		if !ok {
+			r = shardReply{now: sd.final.simNow}
+		}
+		if r.now > now {
+			now = r.now
+		}
+	}
+	return now
 }

@@ -1,0 +1,487 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssdkeeper/internal/keeper"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/simrun"
+	"ssdkeeper/internal/ssd"
+	"ssdkeeper/internal/stats"
+)
+
+// Per-shard actor model: each shard owns a complete serving stack — a
+// seasoned device, its engine, its keeper controller, its admission queues —
+// and a single goroutine is the only code that touches any of it. Handlers
+// never lock a shard; they push a message into the shard's bounded mailbox
+// and wait on the request's reply channel. One wakeup drains up to BatchMax
+// messages, so a burst of submissions costs one scheduler round trip, not
+// one per request.
+//
+// The only state shared between handler goroutines and the shard goroutine
+// is atomic: the per-tenant occupancy counter (admission bounds are enforced
+// synchronously, before the mailbox), the admission/rejection counters, and
+// each Pending's state word.
+
+// Pending lifecycle, a CAS state machine shared by the shard goroutine
+// (dispatch, completion, drain) and the waiter (cancellation). Whoever wins
+// the transition into stateResolved delivers the outcome — exactly once.
+const (
+	stateQueued     int32 = iota // admitted; not yet in the device
+	stateDispatched              // submitted to the device
+	stateResolved                // outcome delivered (or abandoned by cancel)
+)
+
+type msgKind uint8
+
+const (
+	msgSubmit   msgKind = iota // p: an admitted request
+	msgAdvance                 // advance to the wall target; reply sim now
+	msgSnapshot                // advance and reply a metrics snapshot
+	msgReap                    // p: canceled while queued; free its slot
+	msgDrain                   // reject queued, run dry, reply final result
+)
+
+// shardMsg is one mailbox entry. Submissions carry only p; control messages
+// carry a kind and a buffered reply channel.
+type shardMsg struct {
+	kind  msgKind
+	p     *Pending
+	reply chan shardReply
+}
+
+type shardReply struct {
+	now  sim.Time
+	snap *shardSnapshot
+	res  ssd.Result
+}
+
+// tenantState is one tenant's serving state on one shard. The first group
+// is handler-side bookkeeping (atomics, updated before the mailbox); the
+// second is owned by the shard goroutine.
+type tenantState struct {
+	// occupancy counts admitted-but-unfinished requests; admission CASes
+	// it below QueueDepth+QueueLen so ErrQueueFull stays a synchronous
+	// answer, with no shard round trip.
+	occupancy atomic.Int64
+	admitted  [2]atomic.Uint64 // by op
+	rejFull   atomic.Uint64
+	canceled  atomic.Uint64
+
+	queued    []*Pending // admitted, waiting for device capacity
+	inflight  int
+	completed [2]uint64
+	hist      [2]stats.Histogram // sim response latency by op
+}
+
+// shard is one independent serving slice: device, engine, controller,
+// queues, goroutine.
+type shard struct {
+	id  int
+	srv *Server
+
+	runner *simrun.Runner
+	dev    *ssd.Device
+	eng    *sim.Engine
+	ctrl   *keeper.Controller // nil when serving without a keeper
+
+	tenants []tenantState
+
+	mailbox chan shardMsg
+	stop    chan struct{} // closed by Drain after the final result is out
+	done    chan struct{} // closed when the goroutine exits
+
+	// sendMu guards the shard's lifetime: senders hold the read lock
+	// across the closed check and the mailbox send, so the shard cannot be
+	// closed (goroutine exited, nobody draining the mailbox) mid-send.
+	sendMu sync.RWMutex
+	closed bool
+
+	// Shard-goroutine-only state.
+	draining   bool
+	dispatched int            // requests handed to the device (Result.Requests)
+	final      *shardSnapshot // metrics state frozen at drain
+	finalRes   ssd.Result
+}
+
+func newShard(id int, srv *Server, k *keeper.Keeper) (*shard, error) {
+	runner := simrun.NewInstrumentedRunner(srv.cfg.Device)
+	// Empty traits leave the device unbound — every tenant on all channels
+	// with static allocation — the state the online keeper adapts from.
+	sess, err := runner.NewSession(simrun.Config{
+		Device: srv.cfg.Device, Options: srv.cfg.Options, Season: srv.cfg.Season,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dev := sess.Device()
+	sd := &shard{
+		id:      id,
+		srv:     srv,
+		runner:  runner,
+		dev:     dev,
+		eng:     dev.Engine(),
+		tenants: make([]tenantState, srv.cfg.Tenants),
+		mailbox: make(chan shardMsg, srv.cfg.MailboxLen),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if k != nil {
+		sd.ctrl = k.Controller(dev)
+		// A live device can idle for many windows; adapting on empty
+		// windows would re-bind channels on zero information.
+		sd.ctrl.SkipIdle = true
+	}
+	go sd.loop()
+	return sd, nil
+}
+
+// enter pins the shard open for one mailbox send; the caller must call
+// leave after the send. Returns false once the shard is closed.
+func (sd *shard) enter() bool {
+	sd.sendMu.RLock()
+	if sd.closed {
+		sd.sendMu.RUnlock()
+		return false
+	}
+	return true
+}
+
+func (sd *shard) leave() { sd.sendMu.RUnlock() }
+
+// send delivers a control message and waits for the reply. ok is false when
+// the shard is already closed (post-drain).
+func (sd *shard) send(kind msgKind) (shardReply, bool) {
+	if !sd.enter() {
+		return shardReply{}, false
+	}
+	reply := make(chan shardReply, 1)
+	sd.mailbox <- shardMsg{kind: kind, reply: reply}
+	sd.leave()
+	return <-reply, true
+}
+
+// minWake floors the pacing timer so float rounding near a due event cannot
+// busy-spin the loop.
+const minWake = 100 * time.Microsecond
+
+// loop is the shard goroutine: the only code that touches the engine,
+// device, controller, queues, and histograms.
+func (sd *shard) loop() {
+	defer close(sd.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	// Pacing arms only once Start is called: an un-started server advances
+	// purely on messages, which keeps fake-clock tests deterministic.
+	paced := false
+	startc := sd.srv.startc
+	for {
+		select {
+		case msg := <-sd.mailbox:
+			sd.handle(msg)
+			sd.drainMailbox()
+		case <-startc:
+			startc = nil
+			paced = true
+		case <-timer.C:
+			if !sd.draining {
+				sd.advanceTo(sd.srv.wallTarget())
+			}
+		case <-sd.stop:
+			sd.sweepMailbox()
+			return
+		}
+		if paced && !sd.draining {
+			timer.Reset(sd.nextWake())
+		}
+	}
+}
+
+// drainMailbox batches: having woken for one message, consume whatever else
+// is already queued (up to BatchMax) before going back to sleep.
+func (sd *shard) drainMailbox() {
+	for i := 1; i < sd.srv.cfg.BatchMax; i++ {
+		select {
+		case msg := <-sd.mailbox:
+			sd.handle(msg)
+		default:
+			return
+		}
+	}
+}
+
+// sweepMailbox answers stragglers after stop: messages already in the
+// mailbox when the shard closed (drain has run, so submissions reject and
+// control messages reply from the frozen final state).
+func (sd *shard) sweepMailbox() {
+	for {
+		select {
+		case msg := <-sd.mailbox:
+			sd.handle(msg)
+		default:
+			return
+		}
+	}
+}
+
+// nextWake sleeps until the earlier of the next engine event's wall due
+// time and one pacer tick (keeper epoch boundaries are not engine events,
+// so the tick cap keeps adaptation tracking time across idle gaps).
+func (sd *shard) nextWake() time.Duration {
+	d := sd.srv.cfg.TickEvery
+	if at, ok := sd.eng.NextAt(); ok {
+		if w := sd.srv.wallUntil(at); w < d {
+			d = w
+		}
+	}
+	if d < minWake {
+		d = minWake
+	}
+	return d
+}
+
+func (sd *shard) handle(msg shardMsg) {
+	switch msg.kind {
+	case msgSubmit:
+		sd.admit(msg.p)
+	case msgAdvance:
+		if !sd.draining {
+			sd.advanceTo(sd.srv.wallTarget())
+		}
+		msg.reply <- shardReply{now: sd.eng.Now()}
+	case msgSnapshot:
+		if !sd.draining {
+			sd.advanceTo(sd.srv.wallTarget())
+		}
+		msg.reply <- shardReply{now: sd.eng.Now(), snap: sd.snapshot()}
+	case msgReap:
+		sd.reap(msg.p)
+		msg.reply <- shardReply{}
+	case msgDrain:
+		msg.reply <- shardReply{res: sd.drainNow()}
+	}
+}
+
+// advanceTo runs the engine forward (firing completions, which dispatch
+// queued work in turn) and ticks the keeper so epochs track time across
+// arrival gaps.
+func (sd *shard) advanceTo(target sim.Time) {
+	sd.eng.RunUntil(target)
+	if sd.ctrl != nil {
+		sd.ctrl.Tick(target)
+	}
+}
+
+// admit processes one submission. The request arrives at its admission-time
+// stamp (not the processing instant), so arrival times are independent of
+// mailbox lag — the property the drain-equals-batch-replay invariant and
+// the fake-clock tests rest on.
+func (sd *shard) admit(p *Pending) {
+	ts := &sd.tenants[p.req.Tenant]
+	if sd.draining {
+		// Raced past the handler's draining check; undo the optimistic
+		// admission accounting and reject.
+		ts.admitted[p.req.Op].Add(^uint64(0))
+		sd.srv.rejDrain.Add(1)
+		if p.state.CompareAndSwap(stateQueued, stateResolved) {
+			p.done <- outcome{err: ErrDraining}
+		}
+		sd.freeSlot(p, ts)
+		return
+	}
+	if p.state.Load() == stateResolved { // canceled before processing
+		sd.freeSlot(p, ts)
+		return
+	}
+	target := p.stamp
+	if now := sd.eng.Now(); target < now {
+		target = now
+	}
+	sd.advanceTo(target)
+	p.arrival = sd.eng.Now()
+	if sd.ctrl != nil {
+		sd.ctrl.Observe(p.arrival, p.req.Record(p.arrival))
+	}
+	if ts.inflight < sd.srv.cfg.QueueDepth {
+		sd.dispatch(p, ts)
+	} else {
+		ts.queued = append(ts.queued, p)
+	}
+}
+
+// dispatch hands a request to the device. The completion callback runs
+// inside the engine — shard-goroutine context — so it touches shard state
+// freely; only the resolution CAS and the occupancy release are shared.
+func (sd *shard) dispatch(p *Pending, ts *tenantState) {
+	if !p.state.CompareAndSwap(stateQueued, stateDispatched) {
+		sd.freeSlot(p, ts) // canceled between queueing and dispatch
+		return
+	}
+	ts.inflight++
+	err := sd.dev.SubmitAt(p.req.Record(p.arrival), p.arrival, func(lat sim.Time) {
+		ts.inflight--
+		ts.occupancy.Add(-1)
+		ts.completed[p.req.Op]++
+		ts.hist[p.req.Op].Add(lat)
+		if p.state.CompareAndSwap(stateDispatched, stateResolved) {
+			p.done <- outcome{resp: Response{Latency: lat, At: sd.eng.Now()}}
+		}
+		sd.dispatchQueued(ts)
+	})
+	if err != nil {
+		// A submit failure is a server bug or a device-full condition;
+		// fail this request and remember the first error for /healthz.
+		ts.inflight--
+		ts.occupancy.Add(-1)
+		sd.srv.poison(err)
+		if p.state.CompareAndSwap(stateDispatched, stateResolved) {
+			p.done <- outcome{err: err}
+		}
+		return
+	}
+	sd.dispatched++
+}
+
+// dispatchQueued moves queued requests into the device while the tenant has
+// capacity. A queued request's arrival stays its admission time, so the
+// recorded latency includes the time spent waiting for capacity.
+func (sd *shard) dispatchQueued(ts *tenantState) {
+	for ts.inflight < sd.srv.cfg.QueueDepth && len(ts.queued) > 0 {
+		p := ts.queued[0]
+		ts.queued = ts.queued[1:]
+		sd.dispatch(p, ts)
+	}
+}
+
+// freeSlot releases a request's occupancy slot exactly once across the
+// reap / dispatch-skip / drain paths. reaped is shard-goroutine-only.
+func (sd *shard) freeSlot(p *Pending, ts *tenantState) {
+	if !p.reaped {
+		p.reaped = true
+		ts.occupancy.Add(-1)
+	}
+}
+
+// reap removes a canceled request from its tenant's queue (the waiter
+// already won the resolution CAS) and frees its slot.
+func (sd *shard) reap(p *Pending) {
+	ts := &sd.tenants[p.req.Tenant]
+	for i, q := range ts.queued {
+		if q == p {
+			ts.queued = append(ts.queued[:i], ts.queued[i+1:]...)
+			break
+		}
+	}
+	sd.freeSlot(p, ts)
+}
+
+// drainNow rejects everything queued, runs the engine dry so every
+// dispatched request completes, and freezes the final result and metrics
+// snapshot. Idempotent within the shard goroutine.
+func (sd *shard) drainNow() ssd.Result {
+	if sd.draining {
+		return sd.finalRes
+	}
+	sd.draining = true
+	for ti := range sd.tenants {
+		ts := &sd.tenants[ti]
+		for _, p := range ts.queued {
+			if p.state.CompareAndSwap(stateQueued, stateResolved) {
+				sd.srv.rejDrain.Add(1)
+				p.done <- outcome{err: ErrDraining}
+			}
+			sd.freeSlot(p, ts)
+		}
+		ts.queued = nil
+	}
+	// No more arrivals: run the engine dry so every in-flight request
+	// completes and resolves its waiter.
+	sd.eng.Run()
+	sd.finalRes = sd.dev.Snapshot(sd.dispatched)
+	sd.final = sd.snapshot()
+	return sd.finalRes
+}
+
+// tenantSnapshot is one tenant's metrics state at snapshot time.
+type tenantSnapshot struct {
+	queued    int
+	inflight  int
+	completed [2]uint64
+	hist      [2]stats.Histogram
+}
+
+// shardSnapshot is everything the metrics renderer needs from one shard,
+// copied inside the shard goroutine so rendering holds no locks.
+type shardSnapshot struct {
+	simNow       sim.Time
+	tenants      []tenantSnapshot
+	switches     int
+	last         keeper.Switch
+	hasLast      bool
+	counterNames []string
+	counterVals  []int64
+}
+
+func (sd *shard) snapshot() *shardSnapshot {
+	snap := &shardSnapshot{
+		simNow:  sd.eng.Now(),
+		tenants: make([]tenantSnapshot, len(sd.tenants)),
+	}
+	for i := range sd.tenants {
+		ts := &sd.tenants[i]
+		snap.tenants[i] = tenantSnapshot{
+			queued:    len(ts.queued),
+			inflight:  ts.inflight,
+			completed: ts.completed,
+			hist:      ts.hist, // value copy: Histogram is a plain array struct
+		}
+	}
+	if sd.ctrl != nil {
+		snap.switches = sd.ctrl.SwitchCount()
+		snap.last, snap.hasLast = sd.ctrl.LastSwitch()
+	}
+	if cs := sd.runner.Counters(); cs != nil {
+		snap.counterNames = cs.Names()
+		snap.counterVals = make([]int64, len(snap.counterNames))
+		for i, n := range snap.counterNames {
+			snap.counterVals[i] = cs.Get(n)
+		}
+	}
+	return snap
+}
+
+// fnv1a64 folds v into h one byte at a time (FNV-1a), the stable hash
+// behind tenant→shard routing. Stability matters: the routing test pins
+// assignments so restarts and rebuilds keep tenants on their shards.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv1a64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// shardIndex routes (tenant, key) to a shard. Key zero pins the tenant to
+// one shard; a nonzero key spreads the tenant's requests across all shards
+// while staying deterministic per key.
+func shardIndex(tenant int, key uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv1a64(fnvOffset64, uint64(tenant))
+	if key != 0 {
+		h = fnv1a64(h, key)
+	}
+	return int(h % uint64(shards))
+}

@@ -128,6 +128,16 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events waiting to fire.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// NextAt peeks at the timestamp of the earliest pending event without firing
+// it. Pacers use it to sleep until the next completion is actually due
+// instead of polling on a fixed tick.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
 // push inserts ev, sifting up by (at, seq). The hole-shifting form moves
 // parents down and writes ev once instead of swapping element-by-element.
 func (e *Engine) push(ev event) {

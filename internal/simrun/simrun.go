@@ -115,6 +115,14 @@ func NewRunner(opts ...Option) *Runner {
 	return r
 }
 
+// NewInstrumentedRunner returns a runner whose sessions are instrumented
+// with a CounterProbe for the given geometry — the standard shape for
+// serving shards and drain-replay verification, which both want the probe's
+// counter registry alongside the device result.
+func NewInstrumentedRunner(cfg nand.Config) *Runner {
+	return NewRunner(WithProbe(NewCounterProbe(cfg)))
+}
+
 // Probe returns the runner's probe (nil when running uninstrumented).
 func (r *Runner) Probe() sim.Probe { return r.probe }
 

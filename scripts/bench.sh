@@ -11,14 +11,21 @@
 # tree the script runs on. CI runs this non-blockingly so the numbers stay
 # visible without shared-runner noise failing the build.
 #
-# Part 2 starts ssdkeeperd (accelerated clock, quick self-trained model),
-# drives it with keeperload over HTTP, and records end-to-end throughput and
-# per-tenant latency percentiles in BENCH_server.json. Skip it with SERVER=0.
+# Part 2 benchmarks the serving daemon end to end: it trains one quick model,
+# then for each shard count in SHARD_SWEEP boots ssdkeeperd with that -shards,
+# drives it with keeperload (closed loop, -spread so tenants use every shard),
+# and records the throughput sweep plus the 8x/1x scaling ratio in
+# BENCH_server.json. The sweep runs device-bound: SWEEP_ACCEL is low enough
+# that each shard's simulated device — whose wall throughput is its simulated
+# IOPS times accel — is the bottleneck, not the host CPU, so added shards add
+# capacity the way added devices do and the sweep measures how well the shard
+# goroutines keep their devices busy. Skip with SERVER=0.
 #
 # Usage:
 #   scripts/bench.sh            # benchtime=2s, writes both BENCH files
 #   BENCHTIME=5s scripts/bench.sh
 #   OUT=/tmp/b.json SERVER=0 scripts/bench.sh
+#   SHARD_SWEEP="1 8" SWEEP_N=2000 scripts/bench.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,7 +33,10 @@ BENCHTIME="${BENCHTIME:-2s}"
 OUT="${OUT:-BENCH_simcore.json}"
 SERVER="${SERVER:-1}"
 SERVER_OUT="${SERVER_OUT:-BENCH_server.json}"
-SERVER_N="${SERVER_N:-4000}"
+SHARD_SWEEP="${SHARD_SWEEP:-1 2 4 8}"
+SWEEP_N="${SWEEP_N:-6000}"
+SWEEP_ACCEL="${SWEEP_ACCEL:-0.02}"
+SWEEP_WORKERS="${SWEEP_WORKERS:-128}"
 PORT="${PORT:-18095}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -82,47 +92,87 @@ echo "wrote $OUT" >&2
 
 [ "$SERVER" = "0" ] && exit 0
 
-# ---- Part 2: serving-daemon benchmark -> BENCH_server.json ----------------
+# ---- Part 2: serving-daemon shard sweep -> BENCH_server.json --------------
 ADDR="127.0.0.1:$PORT"
 URL="http://$ADDR"
 BIN="$(mktemp -d)"
 trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$RAW" "$BIN"' EXIT
 
-echo "building serving daemon and load generator..." >&2
+echo "building serving daemon, trainer, and load generator..." >&2
 go build -o "$BIN/ssdkeeperd" ./cmd/ssdkeeperd
+go build -o "$BIN/keeper-train" ./cmd/keeper-train
 go build -o "$BIN/keeperload" ./cmd/keeperload
 
-"$BIN/ssdkeeperd" -addr "$ADDR" -accel 20 -window 50ms -adapt-every 50ms \
-  -train-workloads 8 2>"$BIN/daemon.log" &
-DPID=$!
-for _ in $(seq 1 200); do
-  curl -sf "$URL/healthz" >/dev/null 2>&1 && break
-  sleep 0.3
+# One quick model shared by every sweep point, so shard counts are compared
+# under an identical keeper instead of per-boot self-training noise.
+echo "training quick model for the sweep..." >&2
+"$BIN/keeper-train" -workloads 8 -requests 600 -iterations 40 -batch 16 \
+  -hidden 16 -out "$BIN/model.json" -q
+
+start_daemon() { # start_daemon <shards>
+  "$BIN/ssdkeeperd" -addr "$ADDR" -model "$BIN/model.json" \
+    -accel "$SWEEP_ACCEL" -shards "$1" -window 50ms -adapt-every 50ms \
+    2>"$BIN/daemon.log" &
+  DPID=$!
+  for _ in $(seq 1 200); do
+    curl -sf "$URL/healthz" >/dev/null 2>&1 && break
+    sleep 0.3
+  done
+  curl -sf "$URL/healthz" >/dev/null || {
+    echo "bench.sh: daemon never became healthy" >&2
+    cat "$BIN/daemon.log" >&2
+    exit 1
+  }
+}
+
+stop_daemon() {
+  kill -TERM "$DPID"
+  wait "$DPID" || {
+    echo "bench.sh: daemon exited non-zero on drain" >&2
+    cat "$BIN/daemon.log" >&2
+    exit 1
+  }
+}
+
+sweep_points=""
+first_thr=""
+last_thr=""
+for shards in $SHARD_SWEEP; do
+  echo "sweep: $shards shard(s), $SWEEP_N requests, $SWEEP_WORKERS workers, accel $SWEEP_ACCEL..." >&2
+  start_daemon "$shards"
+  "$BIN/keeperload" -addr "$URL" -n "$SWEEP_N" -concurrency "$SWEEP_WORKERS" \
+    -conns "$SWEEP_WORKERS" -spread -write-ratios 0.9,0.1,0.8,0.2 -json \
+    > "$BIN/load-$shards.json"
+  switches=$(curl -sf "$URL/metrics" \
+    | awk '$1 == "ssdkeeper_keeper_switches_total" && !seen {print $NF; seen = 1}')
+  stop_daemon
+  thr=$(jq -r '.throughput_rps' "$BIN/load-$shards.json")
+  point=$(jq --argjson shards "$shards" --argjson switches "${switches:-0}" \
+    '{shards: $shards, throughput_rps: .throughput_rps, ok: .ok,
+      rejected: .rejected, failed: .failed, wall_seconds: .wall_seconds,
+      keeper_switches: $switches}' "$BIN/load-$shards.json")
+  sweep_points="$sweep_points${sweep_points:+,}$point"
+  [ -z "$first_thr" ] && first_thr="$thr"
+  last_thr="$thr"
+  echo "sweep: $shards shard(s): $thr req/s, ${switches:-0} keeper switches" >&2
 done
-curl -sf "$URL/healthz" >/dev/null || {
-  echo "bench.sh: daemon never became healthy" >&2
-  cat "$BIN/daemon.log" >&2
-  exit 1
-}
 
-echo "driving $SERVER_N requests (closed loop, 32 workers, 4 tenants)..." >&2
-"$BIN/keeperload" -addr "$URL" -n "$SERVER_N" -concurrency 32 \
-  -write-ratios 0.9,0.1,0.8,0.2 -json > "$BIN/load.json"
-switches=$(curl -sf "$URL/metrics" \
-  | awk '$1 == "ssdkeeper_keeper_switches_total" && !seen {print $NF; seen = 1}')
-kill -TERM "$DPID"
-wait "$DPID" || {
-  echo "bench.sh: daemon exited non-zero on drain" >&2
-  cat "$BIN/daemon.log" >&2
-  exit 1
-}
+scaling=$(jq -n --argjson a "$first_thr" --argjson b "$last_thr" \
+  'if $a > 0 then ($b / $a * 1000 | round) / 1000 else 0 end')
 
-# The load report is already JSON; wrap it with run metadata.
-{
-  printf '{\n  "requests": %s,\n  "accel": 20,\n' "$SERVER_N"
-  printf '  "keeper_switches": %s,\n  "cpu": "%s",\n' "${switches:-0}" "${cpu:-unknown}"
-  printf '  "load": '
-  sed 's/^/  /' "$BIN/load.json" | sed '1s/^  //'
-  printf '}\n'
-} > "$SERVER_OUT"
-echo "wrote $SERVER_OUT" >&2
+jq -n \
+  --argjson points "[$sweep_points]" \
+  --argjson n "$SWEEP_N" \
+  --argjson accel "$SWEEP_ACCEL" \
+  --argjson workers "$SWEEP_WORKERS" \
+  --argjson scaling "$scaling" \
+  --argjson procs "$(nproc)" \
+  --arg cpu "${cpu:-unknown}" \
+  --slurpfile detail "$BIN/load-${SHARD_SWEEP##* }.json" \
+  '{requests_per_point: $n, accel: $accel, workers: $workers,
+    cpu: $cpu, nproc: $procs,
+    note: "device-bound sweep: closed loop with -spread keys; accel is low enough that each shard simulated device, not the host CPU, bounds throughput, so req/s tracks shard count",
+    sweep: $points,
+    scaling_last_over_first: $scaling,
+    load_detail_last_point: $detail[0]}' > "$SERVER_OUT"
+echo "wrote $SERVER_OUT (scaling ${SHARD_SWEEP##* }x over ${SHARD_SWEEP%% *}x: $scaling)" >&2
