@@ -218,6 +218,35 @@ func BenchmarkNNInference(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictParallel drives Keeper.Predict from every GOMAXPROCS
+// worker at once (`-cpu 1,N` shows the scaling). Inference scratch is pooled
+// per caller — there is no shared Predict mutex — so ns/op should hold
+// roughly flat as workers are added instead of serializing on a lock.
+func BenchmarkPredictParallel(b *testing.B) {
+	env, _ := quickEnvScale()
+	net, err := nn.NewMLP([]int{features.Dim, 64, len(env.Strategies)}, nn.Logistic{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := keeper.New(keeper.Config{
+		Device: env.Device, Options: env.Options, Strategies: env.Strategies,
+		SaturationIOPS: env.SaturationIOPS, Window: 100 * Millisecond,
+		Season: env.Season,
+	}, net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := features.Vector{Intensity: 9, Prop: [4]float64{0.4, 0.3, 0.2, 0.1}}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := k.Predict(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkNNTrainingEpoch measures one epoch of minibatch training on the
 // paper's network shape.
 func BenchmarkNNTrainingEpoch(b *testing.B) {

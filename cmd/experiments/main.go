@@ -28,6 +28,7 @@ import (
 	"ssdkeeper/internal/dataset"
 	"ssdkeeper/internal/experiments"
 	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/policy"
 	"ssdkeeper/internal/prof"
 )
 
@@ -195,7 +196,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		net, err = nn.Load(f)
+		// Versioned keeper-train checkpoint or legacy bare model; either
+		// way the schema is verified against this binary's strategy space.
+		net, _, err = policy.LoadCheckpoint(f, env.Device.Channels, env.Strategies)
 		f.Close()
 		if err != nil {
 			fatal(err)

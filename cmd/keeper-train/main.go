@@ -4,11 +4,19 @@
 // classifier, and write the dataset and model artifacts that cmd/experiments
 // and applications can reuse.
 //
+// Models are written as versioned checkpoints: the nn serialization wrapped
+// in an envelope carrying the format version, training metadata, a
+// feature-schema hash binding the file to the feature encoding and strategy
+// space the binary was built with, and a content checksum. -inspect loads
+// and verifies a checkpoint (exit 1 on schema mismatch or corruption)
+// without training anything.
+//
 // Usage:
 //
 //	keeper-train -workloads 250 -requests 5000 -out model.json -dataset data.jsonl
 //	keeper-train -dataset data.jsonl -reuse -out model.json   # retrain only
 //	keeper-train -optimizer sgd-momentum -iterations 300 ...
+//	keeper-train -inspect model.json                          # verify a checkpoint
 package main
 
 import (
@@ -17,11 +25,15 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
+	"time"
 
 	"ssdkeeper/internal/dataset"
 	"ssdkeeper/internal/experiments"
 	"ssdkeeper/internal/keeper"
 	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/policy"
 )
 
 func main() {
@@ -39,11 +51,19 @@ func main() {
 		outModel   = flag.String("out", "model.json", "model output path")
 		outDataset = flag.String("dataset", "", "dataset path (written, or read with -reuse)")
 		reuse      = flag.Bool("reuse", false, "load the dataset instead of generating it")
+		name       = flag.String("name", "", "model name recorded in the checkpoint (default: -out base name)")
+		inspect    = flag.String("inspect", "", "verify a checkpoint against this binary's schema and exit")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
 	env := experiments.NewEnv()
+	if *inspect != "" {
+		if err := inspectCheckpoint(env, *inspect); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	scale := experiments.DefaultScale()
 	scale.DatasetWorkloads = *workloads
 	scale.DatasetRequests = *requests
@@ -145,17 +165,62 @@ func main() {
 		fmt.Fprintln(os.Stderr, eval.String())
 	}
 
+	modelName := *name
+	if modelName == "" {
+		modelName = strings.TrimSuffix(filepath.Base(*outModel), ".json")
+	}
+	meta := policy.Meta{
+		Name:       modelName,
+		TrainedAt:  time.Now().UTC().Format(time.RFC3339),
+		Samples:    len(samples),
+		Iterations: scale.TrainIterations,
+		Optimizer:  *optName,
+		Activation: *actName,
+		Loss:       res.History.FinalLoss,
+		Accuracy:   res.History.FinalAcc,
+	}
 	f, err := os.Create(*outModel)
 	if err != nil {
 		fatal(err)
 	}
-	if err := res.Model.Save(f); err != nil {
+	if err := policy.SaveCheckpoint(f, res.Model, meta, env.Device.Channels, env.Strategies); err != nil {
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *outModel)
+	fmt.Fprintf(os.Stderr, "wrote %s (checkpoint format %d, schema %s)\n",
+		*outModel, policy.FormatVersion, policy.SchemaHash(env.Device.Channels, env.Strategies))
+}
+
+// inspectCheckpoint loads and verifies one checkpoint against the schema
+// this binary was built with. Any mismatch (format, schema hash, checksum,
+// geometry) is fatal: the deploy pipeline uses the exit status as its gate.
+func inspectCheckpoint(env experiments.Env, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	net, meta, err := policy.LoadCheckpoint(f, env.Device.Channels, env.Strategies)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: ok\n", path)
+	fmt.Printf("  schema      %s\n", policy.SchemaHash(env.Device.Channels, env.Strategies))
+	fmt.Printf("  geometry    %d -> %d classes (%d params)\n", net.InputDim(), net.OutputDim(), net.ParamCount())
+	if meta.Name != "" {
+		fmt.Printf("  name        %s\n", meta.Name)
+	}
+	if meta.TrainedAt != "" {
+		fmt.Printf("  trained_at  %s\n", meta.TrainedAt)
+	}
+	if meta.Samples > 0 {
+		fmt.Printf("  training    %d samples, %d iterations, %s/%s\n",
+			meta.Samples, meta.Iterations, meta.Optimizer, meta.Activation)
+		fmt.Printf("  eval        loss %.3f, test accuracy %.1f%%\n", meta.Loss, 100*meta.Accuracy)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -8,9 +8,18 @@
 // gracefully: admission stops, queued requests are rejected, in-flight
 // requests complete, and the daemon exits 0 with a final device summary.
 //
+// Models come from a versioned checkpoint registry (-model-dir, newest
+// version wins), a single checkpoint file (-model), or a quick self-training
+// run. With -model-dir the daemon supports drain-free hot reload: POST
+// /model/reload?version=vNNN (or SIGHUP for the latest version) atomically
+// publishes the new policy, and every shard picks it up at its next
+// adaptation epoch; role=shadow installs a candidate for shadow evaluation
+// (agreement/divergence counters in /metrics) without touching the device.
+//
 // Usage:
 //
 //	ssdkeeperd -addr :8080 -model model.json -accel 1.0
+//	ssdkeeperd -addr :8080 -model-dir models/        # registry + hot reload
 //	ssdkeeperd -addr :8080 -train-workloads 12      # self-train a quick model
 //	ssdkeeperd -no-keeper                           # serve without adaptation
 package main
@@ -23,13 +32,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"ssdkeeper/internal/dataset"
 	"ssdkeeper/internal/experiments"
 	"ssdkeeper/internal/keeper"
-	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/policy"
 	"ssdkeeper/internal/serve"
 	"ssdkeeper/internal/sim"
 	"ssdkeeper/internal/workload"
@@ -38,7 +48,8 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
-		modelPath  = flag.String("model", "", "trained model (empty: self-train a quick model at startup)")
+		modelPath  = flag.String("model", "", "trained model checkpoint (empty: self-train a quick model at startup)")
+		modelDir   = flag.String("model-dir", "", "versioned checkpoint registry; serves the latest version and enables POST /model/reload and SIGHUP hot reload")
 		noKeeper   = flag.Bool("no-keeper", false, "serve without the online keeper (static shared allocation)")
 		accel      = flag.Float64("accel", 1.0, "simulated nanoseconds per wall nanosecond")
 		shards     = flag.Int("shards", 1, "independent device shards (each with its own engine and keeper)")
@@ -65,12 +76,15 @@ func main() {
 	}
 
 	var k *keeper.Keeper
+	var reg *policy.Registry
+	var modelVersion string
 	if !*noKeeper {
-		model, err := loadOrTrainModel(ctx, env, *modelPath, *trainWork, *quiet)
+		prov, r, err := loadProvider(ctx, env, *modelDir, *modelPath, *trainWork, *quiet)
 		if err != nil {
 			fatal(err)
 		}
-		k, err = keeper.New(keeper.Config{
+		reg, modelVersion = r, prov.Version()
+		k, err = keeper.NewWithProvider(keeper.Config{
 			Device:         env.Device,
 			Options:        env.Options,
 			Strategies:     env.Strategies,
@@ -79,7 +93,7 @@ func main() {
 			AdaptEvery:     sim.Time(*adaptEvery),
 			Hybrid:         *hybrid,
 			Season:         env.Season,
-		}, model)
+		}, prov)
 		if err != nil {
 			fatal(err)
 		}
@@ -101,6 +115,24 @@ func main() {
 	}
 	s.Start()
 
+	if k != nil && reg != nil {
+		s.SetReloader(registryReloader(reg, k.Source()))
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				st, err := s.Reload("active", "")
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ssdkeeperd: SIGHUP reload failed: %v\n", err)
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "ssdkeeperd: SIGHUP reload: active %s (was %s)\n",
+					st.Version, st.Previous)
+			}
+		}()
+	}
+
 	srv := &http.Server{Addr: *addr, Handler: s.Handler(*timeout)}
 	errc := make(chan error, 1)
 	go func() {
@@ -109,8 +141,12 @@ func main() {
 		}
 	}()
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "ssdkeeperd: serving on %s (accel %g, shards %d, keeper %v)\n",
+		fmt.Fprintf(os.Stderr, "ssdkeeperd: serving on %s (accel %g, shards %d, keeper %v",
 			*addr, *accel, s.ShardCount(), k != nil)
+		if modelVersion != "" {
+			fmt.Fprintf(os.Stderr, ", model %s", modelVersion)
+		}
+		fmt.Fprintln(os.Stderr, ")")
 	}
 
 	select {
@@ -140,17 +176,42 @@ func main() {
 	}
 }
 
-// loadOrTrainModel loads a serialized classifier, or — with no -model —
-// runs the offline pipeline at quick scale so the daemon is usable out of
-// the box (smoke tests and demos; real deployments train with keeper-train).
-func loadOrTrainModel(ctx context.Context, env experiments.Env, path string, workloads int, quiet bool) (*nn.Network, error) {
+// loadProvider resolves the policy provider the daemon starts with, in
+// precedence order: the latest version from a -model-dir registry, a single
+// -model checkpoint file, or a quick self-training run so the daemon is
+// usable out of the box (smoke tests and demos; real deployments train with
+// keeper-train). The registry (non-nil only with -model-dir) also backs the
+// hot-reload endpoint.
+func loadProvider(ctx context.Context, env experiments.Env, dir, path string, workloads int, quiet bool) (policy.Provider, *policy.Registry, error) {
+	if dir != "" {
+		reg, err := policy.NewRegistry(dir, env.Device.Channels, env.Strategies)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := reg.Latest()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "ssdkeeperd: loaded model %s from %s\n", m.Version(), dir)
+		}
+		return m, reg, nil
+	}
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer f.Close()
-		return nn.Load(f)
+		net, _, err := policy.LoadCheckpoint(f, env.Device.Channels, env.Strategies)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		m, err := policy.NewModel(filepath.Base(path), net, env.Strategies)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, nil, nil
 	}
 	scale := experiments.QuickScale()
 	if workloads > 0 {
@@ -172,13 +233,55 @@ func loadOrTrainModel(ctx context.Context, env experiments.Env, path string, wor
 		Seed:       scale.Seed,
 	}, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "ssdkeeperd: self-trained model: loss %.3f, test accuracy %.1f%%\n",
 			res.History.FinalLoss, 100*res.History.FinalAcc)
 	}
-	return res.Model, nil
+	m, err := policy.NewModel("self-trained", res.Model, env.Strategies)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, nil, nil
+}
+
+// registryReloader maps the /model/reload protocol onto the checkpoint
+// registry and the keeper's policy source. version "" resolves to the
+// registry's latest; role=shadow with version "none" clears the candidate.
+func registryReloader(reg *policy.Registry, src *policy.Source) serve.Reloader {
+	return func(role, version string) (serve.ReloadStatus, error) {
+		if role == "shadow" && version == "none" {
+			st := serve.ReloadStatus{Role: role}
+			if prev := src.SetShadow(nil); prev != nil {
+				st.Previous = prev.Version()
+			}
+			return st, nil
+		}
+		var m *policy.Model
+		var err error
+		if version == "" {
+			m, err = reg.Latest()
+		} else {
+			m, err = reg.Load(version)
+		}
+		if err != nil {
+			return serve.ReloadStatus{}, err
+		}
+		st := serve.ReloadStatus{Role: role, Version: m.Version()}
+		if role == "shadow" {
+			if prev := src.SetShadow(m); prev != nil {
+				st.Previous = prev.Version()
+			}
+			return st, nil
+		}
+		prev, err := src.SetActive(m)
+		if err != nil {
+			return serve.ReloadStatus{}, err
+		}
+		st.Previous = prev.Version()
+		return st, nil
+	}
 }
 
 func fatal(err error) {

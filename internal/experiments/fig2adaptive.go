@@ -11,6 +11,7 @@ import (
 	"ssdkeeper/internal/features"
 	"ssdkeeper/internal/keeper"
 	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/policy"
 	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/workload"
 )
@@ -112,6 +113,10 @@ func Fig2Adaptive(ctx context.Context, env Env, scale Scale, progress func(done,
 	if err != nil {
 		return Fig2AdaptiveResult{}, err
 	}
+	pol, err := policy.NewANN(trained.Model, space)
+	if err != nil {
+		return Fig2AdaptiveResult{}, err
+	}
 
 	// Walk the Figure 2 sweep: at each write proportion, measure every
 	// static strategy, then the model's pick from ground-truth features.
@@ -159,10 +164,11 @@ func Fig2Adaptive(ctx context.Context, env Env, scale Scale, progress func(done,
 		if err != nil {
 			return Fig2AdaptiveResult{}, err
 		}
-		pick, err := trained.Model.Predict(vec.Input())
+		chosen, err := pol.Decide(vec)
 		if err != nil {
 			return Fig2AdaptiveResult{}, err
 		}
+		pick := alloc.Index(space, chosen)
 		row.Chosen = space[pick].Name(env.Device.Channels)
 		row.ChosenUs = lat[pick]
 		row.Best = space[bestIdx].Name(env.Device.Channels)

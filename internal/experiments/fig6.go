@@ -10,6 +10,7 @@ import (
 	"ssdkeeper/internal/alloc"
 	"ssdkeeper/internal/features"
 	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/policy"
 	"ssdkeeper/internal/workload"
 )
 
@@ -26,6 +27,16 @@ type Fig6Cell struct {
 // the write-proportion axis, asks the trained model for a strategy, and
 // emits (intensity, total write proportion, strategy) cells.
 func Fig6(env Env, scale Scale, model *nn.Network) ([]Fig6Cell, error) {
+	pol, err := policy.NewANN(model, env.Strategies)
+	if err != nil {
+		return nil, err
+	}
+	return Fig6Policy(env, scale, pol)
+}
+
+// Fig6Policy is Fig6 over any decision policy (a loaded checkpoint, an
+// oracle): the probed strategy map shows whatever brain the policy wraps.
+func Fig6Policy(env Env, scale Scale, pol policy.Policy) ([]Fig6Cell, error) {
 	if err := validateScale(scale); err != nil {
 		return nil, err
 	}
@@ -44,11 +55,10 @@ func Fig6(env Env, scale Scale, model *nn.Network) ([]Fig6Cell, error) {
 			if err != nil {
 				return nil, err
 			}
-			idx, err := model.Predict(vec.Input())
+			s, err := pol.Decide(vec)
 			if err != nil {
 				return nil, err
 			}
-			s := env.Strategies[idx]
 			var wr [features.MaxTenants]float64
 			copy(wr[:], ratios)
 			cells = append(cells, Fig6Cell{

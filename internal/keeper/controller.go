@@ -1,7 +1,9 @@
 package keeper
 
 import (
+	"ssdkeeper/internal/alloc"
 	"ssdkeeper/internal/features"
+	"ssdkeeper/internal/policy"
 	"ssdkeeper/internal/sim"
 	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
@@ -41,6 +43,25 @@ type Controller struct {
 	done     bool // single-shot adaptation already fired
 	switches []Switch
 	err      error
+
+	// Per-controller policy instances, instantiated lazily from the
+	// keeper's source and refreshed at each epoch boundary when the
+	// published version changes. The controller owns them outright (they
+	// carry the ANN's forward-pass scratch), so prediction takes no lock —
+	// and because every controller re-checks at its own next boundary, a
+	// SetActive on the source is an atomic, drain-free hot swap across all
+	// serving shards.
+	pol    policy.Policy
+	polVer string
+
+	// Shadow evaluation: when the source publishes a shadow candidate, it
+	// decides on the same vector at every adaptation epoch and the
+	// (dis)agreement is counted. Shadow decisions never touch the device.
+	shadowPol     policy.Policy
+	shadowVer     string
+	shadowAgree   uint64
+	shadowDiverge uint64
+	shadowErrs    uint64
 }
 
 // Controller returns an online controller bound to dev, with the first
@@ -55,11 +76,33 @@ func (k *Keeper) Controller(dev *ssd.Device) *Controller {
 	}
 }
 
+// refresh re-instantiates the controller's policy instances when the
+// source's published versions changed since the last epoch. Version strings
+// identify immutable providers, so a plain compare suffices.
+func (c *Controller) refresh() {
+	act := c.k.source.Active()
+	if c.pol == nil || c.polVer != act.Version() {
+		c.pol = act.NewPolicy()
+		c.polVer = act.Version()
+	}
+	sh := c.k.source.Shadow()
+	switch {
+	case sh == nil:
+		c.shadowPol, c.shadowVer = nil, ""
+	case c.shadowPol == nil || c.shadowVer != sh.Version():
+		c.shadowPol = sh.NewPolicy()
+		c.shadowVer = sh.Version()
+	}
+}
+
 // adapt predicts from the current window and re-binds the device at epoch
-// boundary time now.
+// boundary time now. When a shadow candidate is installed it decides on the
+// same vector and the comparison is counted; shadow failures are counted,
+// not fatal — a broken candidate must not take down the active loop.
 func (c *Controller) adapt(now sim.Time) error {
+	c.refresh()
 	vec := c.col.Vector(now)
-	strat, idx, err := c.k.Predict(vec)
+	strat, err := c.pol.Decide(vec)
 	if err != nil {
 		return err
 	}
@@ -67,8 +110,18 @@ func (c *Controller) adapt(now sim.Time) error {
 		return err
 	}
 	c.switches = append(c.switches, Switch{
-		At: now, Vector: vec, Strategy: strat, Index: idx,
+		At: now, Vector: vec, Strategy: strat, Index: alloc.Index(c.k.cfg.Strategies, strat),
 	})
+	if c.shadowPol != nil {
+		switch shadow, err := c.shadowPol.Decide(vec); {
+		case err != nil:
+			c.shadowErrs++
+		case alloc.Equal(shadow, strat):
+			c.shadowAgree++
+		default:
+			c.shadowDiverge++
+		}
+	}
 	return nil
 }
 
@@ -136,4 +189,16 @@ func (c *Controller) LastSwitch() (Switch, bool) {
 		return Switch{}, false
 	}
 	return c.switches[len(c.switches)-1], true
+}
+
+// PolicyVersion returns the version of the policy applied at the last
+// adaptation epoch ("" before the first). A hot swap becomes visible here
+// one epoch after SetActive.
+func (c *Controller) PolicyVersion() string { return c.polVer }
+
+// ShadowStats returns the shadow-evaluation counters: epochs where the
+// candidate agreed with the active policy, epochs where it diverged, and
+// epochs where it errored. All zero when no shadow is installed.
+func (c *Controller) ShadowStats() (agree, diverge, errs uint64) {
+	return c.shadowAgree, c.shadowDiverge, c.shadowErrs
 }

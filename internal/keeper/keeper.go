@@ -18,6 +18,7 @@ import (
 	"ssdkeeper/internal/ftl"
 	"ssdkeeper/internal/nand"
 	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/policy"
 	"ssdkeeper/internal/sim"
 	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
@@ -68,56 +69,91 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Keeper binds a trained strategy model to a device configuration. Runs
-// execute on a private simrun.Runner, so repeated Run calls on one Keeper
-// reuse the simulation engine.
+// Keeper binds a decision policy to a device configuration. Runs execute on
+// a private simrun.Runner, so repeated Run calls on one Keeper reuse the
+// simulation engine. The policy is consumed through a policy.Source, so the
+// active provider can be hot-swapped while controllers are running; each
+// controller owns its per-instance policy (and with it, the ANN's inference
+// scratch), which is what lets every serving shard predict concurrently with
+// no shared lock.
 type Keeper struct {
 	cfg    Config
-	model  *nn.Network
+	model  *nn.Network // retained by New for persistence; nil for provider-built keepers
+	source *policy.Source
 	runner *simrun.Runner
 
-	// predictMu serializes forward passes: nn.Network reuses per-layer
-	// scratch buffers, so one keeper shared by several controllers (the
-	// sharded server runs one controller per shard) must not predict
-	// concurrently.
-	predictMu sync.Mutex
+	// pool recycles per-caller policy instances for Predict so casual
+	// callers (trace replay, tests) stay contention-free without managing
+	// instances themselves. Controllers bypass it entirely.
+	pool sync.Pool
 }
 
 // New validates that the model matches the feature dimensionality and
-// strategy space, and returns a Keeper.
+// strategy space, and returns a Keeper serving it as the active policy.
 func New(cfg Config, model *nn.Network) (*Keeper, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if model == nil {
-		return nil, fmt.Errorf("keeper: nil model")
+	prov, err := policy.NewModel("in-memory", model, cfg.Strategies)
+	if err != nil {
+		return nil, fmt.Errorf("keeper: %w", err)
 	}
-	if model.InputDim() != features.Dim {
-		return nil, fmt.Errorf("keeper: model input dim %d, want %d", model.InputDim(), features.Dim)
+	k, err := NewWithProvider(cfg, prov)
+	if err != nil {
+		return nil, err
 	}
-	if model.OutputDim() != len(cfg.Strategies) {
-		return nil, fmt.Errorf("keeper: model has %d classes for %d strategies",
-			model.OutputDim(), len(cfg.Strategies))
+	k.model = model
+	return k, nil
+}
+
+// NewWithProvider returns a Keeper whose decisions come from the given
+// versioned provider (a registry checkpoint, a static strategy, an oracle).
+func NewWithProvider(cfg Config, prov policy.Provider) (*Keeper, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	return &Keeper{cfg: cfg, model: model, runner: simrun.NewRunner()}, nil
+	src, err := policy.NewSource(prov)
+	if err != nil {
+		return nil, fmt.Errorf("keeper: %w", err)
+	}
+	return &Keeper{cfg: cfg, source: src, runner: simrun.NewRunner()}, nil
 }
 
 // Config returns the keeper's configuration.
 func (k *Keeper) Config() Config { return k.cfg }
 
-// Model returns the underlying network (for persistence).
+// Model returns the network passed to New (for persistence), or nil when
+// the keeper was built from a provider.
 func (k *Keeper) Model() *nn.Network { return k.model }
 
-// Predict maps a feature vector to the chosen strategy. Safe for concurrent
-// use: the network's scratch buffers are guarded here.
+// Source returns the policy source. Swapping its active provider re-points
+// every controller at the next adaptation epoch; installing a shadow starts
+// side-by-side evaluation.
+func (k *Keeper) Source() *policy.Source { return k.source }
+
+// pooledPolicy is one recycled Predict instance, tagged with the provider
+// version it was instantiated from so a hot swap invalidates it.
+type pooledPolicy struct {
+	version string
+	pol     policy.Policy
+}
+
+// Predict maps a feature vector to the chosen strategy and its index in the
+// strategy space (-1 if the policy chose outside it). Safe for concurrent
+// use with no shared lock: each call borrows a pooled per-caller policy
+// instance, so forward passes never share scratch.
 func (k *Keeper) Predict(v features.Vector) (alloc.Strategy, int, error) {
-	k.predictMu.Lock()
-	idx, err := k.model.Predict(v.Input())
-	k.predictMu.Unlock()
+	prov := k.source.Active()
+	pp, _ := k.pool.Get().(*pooledPolicy)
+	if pp == nil || pp.version != prov.Version() {
+		pp = &pooledPolicy{version: prov.Version(), pol: prov.NewPolicy()}
+	}
+	strat, err := pp.pol.Decide(v)
+	k.pool.Put(pp)
 	if err != nil {
 		return alloc.Strategy{}, 0, err
 	}
-	return k.cfg.Strategies[idx], idx, nil
+	return strat, alloc.Index(k.cfg.Strategies, strat), nil
 }
 
 // Switch records one channel re-allocation during a run.

@@ -102,21 +102,7 @@ func (n *Network) Forward(x []float64) ([]float64, error) {
 	if len(x) != n.InputDim() {
 		return nil, fmt.Errorf("nn: input dim %d, want %d", len(x), n.InputDim())
 	}
-	in := x
-	for li, l := range n.Layers {
-		z, a := n.zs[li], n.as[li]
-		for o := 0; o < l.Out; o++ {
-			s := l.B[o]
-			row := l.W[o*l.In : (o+1)*l.In]
-			for i, v := range in {
-				s += row[i] * v
-			}
-			z[o] = s
-			a[o] = l.Act.F(s)
-		}
-		in = a
-	}
-	return in, nil
+	return forwardInto(n.Layers, x, n.zs, n.as), nil
 }
 
 // Predict returns the argmax class for one input.
@@ -125,13 +111,7 @@ func (n *Network) Predict(x []float64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	best := 0
-	for i, v := range logits {
-		if v > logits[best] {
-			best = i
-		}
-	}
-	return best, nil
+	return argmax(logits), nil
 }
 
 // Probs returns the softmax class distribution for one input in a fresh

@@ -1,0 +1,329 @@
+package policy
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"ssdkeeper/internal/alloc"
+	"ssdkeeper/internal/dataset"
+	"ssdkeeper/internal/features"
+	"ssdkeeper/internal/nn"
+)
+
+func testStrategies() []alloc.Strategy {
+	return []alloc.Strategy{
+		{Kind: alloc.Shared},
+		{Kind: alloc.Isolated},
+		{Kind: alloc.TwoGroup, WriteChannels: 6},
+	}
+}
+
+const testChannels = 8
+
+func testNet(t *testing.T, classes int, seed int64) *nn.Network {
+	t.Helper()
+	net, err := nn.NewMLP([]int{features.Dim, 8, classes}, nn.Logistic{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// pinnedVectors returns a deterministic spread of feature vectors.
+func pinnedVectors(n int) []features.Vector {
+	rng := rand.New(rand.NewSource(42))
+	vs := make([]features.Vector, n)
+	for i := range vs {
+		v := features.Vector{Intensity: rng.Intn(features.Levels)}
+		for t := 0; t < features.MaxTenants; t++ {
+			v.ReadChar[t] = rng.Intn(2) == 1
+			v.Prop[t] = rng.Float64()
+		}
+		vs[i] = v
+	}
+	return vs
+}
+
+// TestCheckpointRoundTripBitIdentical pins the satellite requirement:
+// save → load → Forward on pinned inputs equals the original network
+// bit for bit.
+func TestCheckpointRoundTripBitIdentical(t *testing.T) {
+	strategies := testStrategies()
+	net := testNet(t, len(strategies), 7)
+	meta := Meta{Name: "rt", Samples: 123, Iterations: 40, Loss: 0.5, Accuracy: 0.9}
+
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, net, meta, testChannels, strategies); err != nil {
+		t.Fatal(err)
+	}
+	loaded, gotMeta, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), testChannels, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Errorf("meta round trip: got %+v, want %+v", gotMeta, meta)
+	}
+	for i, v := range pinnedVectors(64) {
+		x := v.Input()
+		want, err := net.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCopy := append([]float64(nil), want...)
+		got, err := loaded.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range wantCopy {
+			if got[j] != wantCopy[j] {
+				t.Fatalf("input %d logit %d: loaded %v != original %v (not bit-identical)",
+					i, j, got[j], wantCopy[j])
+			}
+		}
+	}
+}
+
+// TestLoadCheckpointRefusesSchemaMismatch: a checkpoint written against one
+// strategy space must not load into a binary built for another.
+func TestLoadCheckpointRefusesSchemaMismatch(t *testing.T) {
+	strategies := testStrategies()
+	net := testNet(t, len(strategies), 7)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, net, Meta{}, testChannels, strategies); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same sizes, different composition: geometry check alone cannot catch it.
+	other := []alloc.Strategy{
+		{Kind: alloc.Shared},
+		{Kind: alloc.Isolated},
+		{Kind: alloc.TwoGroup, WriteChannels: 4},
+	}
+	_, _, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), testChannels, other)
+	if err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "feature-schema hash") {
+		t.Errorf("mismatch error %q does not name the schema hash", err)
+	}
+
+	// Different channel count also changes the schema.
+	if _, _, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), 16, strategies); err == nil {
+		t.Fatal("channel-count mismatch accepted")
+	}
+}
+
+func TestLoadCheckpointRefusesCorruption(t *testing.T) {
+	strategies := testStrategies()
+	net := testNet(t, len(strategies), 7)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, net, Meta{}, testChannels, strategies); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one digit inside the embedded weights.
+	corrupted := strings.Replace(buf.String(), `"version":1`, `"version": 1`, 1)
+	if corrupted == buf.String() {
+		t.Fatal("corruption did not apply")
+	}
+	_, _, err := LoadCheckpoint(strings.NewReader(corrupted), testChannels, strategies)
+	if err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corruption error %q does not name the checksum", err)
+	}
+}
+
+// TestLoadCheckpointLegacy: bare nn.Save output (pre-envelope) still loads.
+func TestLoadCheckpointLegacy(t *testing.T) {
+	strategies := testStrategies()
+	net := testNet(t, len(strategies), 7)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, meta, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), testChannels, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Name != "legacy" {
+		t.Errorf("legacy meta name %q", meta.Name)
+	}
+	if loaded.OutputDim() != len(strategies) {
+		t.Errorf("legacy load output dim %d", loaded.OutputDim())
+	}
+	// A legacy file with the wrong geometry is still refused.
+	wrong := testNet(t, len(strategies)+2, 7)
+	buf.Reset()
+	if err := wrong.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), testChannels, strategies); err == nil {
+		t.Fatal("legacy geometry mismatch accepted")
+	}
+}
+
+func TestANNPolicyMatchesNetworkPredict(t *testing.T) {
+	strategies := testStrategies()
+	net := testNet(t, len(strategies), 11)
+	pol, err := NewANN(net, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range pinnedVectors(32) {
+		wantIdx, err := net.Predict(v.Input())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pol.Decide(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !alloc.Equal(got, strategies[wantIdx]) {
+			t.Fatalf("input %d: policy chose %v, network argmax is class %d", i, got, wantIdx)
+		}
+	}
+}
+
+func TestStaticAndOracle(t *testing.T) {
+	strategies := testStrategies()
+	sp := StaticProvider{Strategy: strategies[1]}
+	if sp.Version() != "static" {
+		t.Errorf("static version %q", sp.Version())
+	}
+	got, err := sp.NewPolicy().Decide(features.Vector{})
+	if err != nil || !alloc.Equal(got, strategies[1]) {
+		t.Errorf("static decide = %v, %v", got, err)
+	}
+
+	// Oracle answers the label of the nearest sample.
+	samples := []dataset.Sample{
+		{Vector: features.Vector{Intensity: 2}, Label: 0},
+		{Vector: features.Vector{Intensity: 18}, Label: 2},
+	}
+	oracle, err := NewOracle(samples, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = oracle.Decide(features.Vector{Intensity: 16})
+	if err != nil || !alloc.Equal(got, strategies[2]) {
+		t.Errorf("oracle near 18 = %v, %v; want %v", got, err, strategies[2])
+	}
+	got, err = oracle.Decide(features.Vector{Intensity: 4})
+	if err != nil || !alloc.Equal(got, strategies[0]) {
+		t.Errorf("oracle near 2 = %v, %v; want %v", got, err, strategies[0])
+	}
+	if _, err := NewOracle(nil, strategies); err == nil {
+		t.Error("empty oracle accepted")
+	}
+	if _, err := NewOracle([]dataset.Sample{{Label: 9}}, strategies); err == nil {
+		t.Error("out-of-space label accepted")
+	}
+}
+
+func TestSourceSwapAndShadow(t *testing.T) {
+	strategies := testStrategies()
+	a := StaticProvider{Ver: "a", Strategy: strategies[0]}
+	b := StaticProvider{Ver: "b", Strategy: strategies[1]}
+	src, err := NewSource(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSource(nil); err == nil {
+		t.Error("nil active accepted")
+	}
+	if got := src.Active().Version(); got != "a" {
+		t.Errorf("active = %q", got)
+	}
+	if src.Shadow() != nil {
+		t.Error("fresh source has a shadow")
+	}
+	prev, err := src.SetActive(b)
+	if err != nil || prev.Version() != "a" {
+		t.Errorf("SetActive returned %v, %v", prev, err)
+	}
+	if got := src.Active().Version(); got != "b" {
+		t.Errorf("active after swap = %q", got)
+	}
+	if _, err := src.SetActive(nil); err == nil {
+		t.Error("nil active swap accepted")
+	}
+	if prev := src.SetShadow(a); prev != nil {
+		t.Errorf("first SetShadow returned %v", prev)
+	}
+	if got := src.Shadow().Version(); got != "a" {
+		t.Errorf("shadow = %q", got)
+	}
+	if prev := src.SetShadow(nil); prev == nil || prev.Version() != "a" {
+		t.Errorf("clearing shadow returned %v", prev)
+	}
+	if src.Shadow() != nil {
+		t.Error("shadow not cleared")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	dir := t.TempDir()
+	strategies := testStrategies()
+	reg, err := NewRegistry(dir, testChannels, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Latest(); err == nil {
+		t.Error("empty registry Latest succeeded")
+	}
+	for _, v := range []string{"v001", "v002", "v010"} {
+		net := testNet(t, len(strategies), int64(len(v)))
+		f, err := writeCheckpoint(dir, v, net, strategies)
+		if err != nil {
+			t.Fatalf("write %s: %v (%s)", v, err, f)
+		}
+	}
+	versions, err := reg.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"v001", "v002", "v010"}
+	if len(versions) != len(want) {
+		t.Fatalf("versions = %v", versions)
+	}
+	for i := range want {
+		if versions[i] != want[i] {
+			t.Fatalf("versions = %v, want %v", versions, want)
+		}
+	}
+	latest, err := reg.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Version() != "v010" {
+		t.Errorf("latest = %q, want v010", latest.Version())
+	}
+	m, err := reg.Load("v001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NewPolicy().Decide(features.Vector{Intensity: 10}); err != nil {
+		t.Errorf("loaded policy decide: %v", err)
+	}
+	for _, bad := range []string{"", "../escape", "a/b", "x..y"} {
+		if _, err := reg.Load(bad); err == nil {
+			t.Errorf("version name %q accepted", bad)
+		}
+	}
+	if _, err := NewRegistry(dir+"/missing", testChannels, strategies); err == nil {
+		t.Error("missing dir accepted")
+	}
+}
+
+func writeCheckpoint(dir, version string, net *nn.Network, strategies []alloc.Strategy) (string, error) {
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, net, Meta{Name: version}, testChannels, strategies); err != nil {
+		return "", err
+	}
+	path := dir + "/" + version + ".json"
+	return path, os.WriteFile(path, buf.Bytes(), 0o644)
+}

@@ -1,0 +1,111 @@
+package policy
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ssdkeeper/internal/alloc"
+)
+
+// Registry loads versioned model checkpoints from a directory. Every *.json
+// file is one version, named by its base name without the extension
+// (models/v003.json → version "v003"); Latest is the lexically greatest
+// version, so zero-padded names sort naturally. The registry holds no cache
+// and no lock — Load re-reads and re-verifies the file, and the returned
+// *Model is immutable, so concurrent loads (e.g. a reload HTTP handler
+// racing a SIGHUP) are safe.
+type Registry struct {
+	dir        string
+	channels   int
+	strategies []alloc.Strategy
+}
+
+// NewRegistry binds a checkpoint directory to the schema (channel count and
+// strategy space) this binary serves.
+func NewRegistry(dir string, channels int, strategies []alloc.Strategy) (*Registry, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("policy: model dir: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("policy: model dir %s is not a directory", dir)
+	}
+	return &Registry{dir: dir, channels: channels, strategies: strategies}, nil
+}
+
+// Dir returns the registry's directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// Versions lists the available checkpoint versions in ascending order.
+func (r *Registry) Versions() ([]string, error) {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("policy: list models: %w", err)
+	}
+	var versions []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		versions = append(versions, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(versions)
+	return versions, nil
+}
+
+// Load reads, verifies, and wraps one version as a provider.
+func (r *Registry) Load(version string) (*Model, error) {
+	if err := checkVersionName(version); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(r.dir, version+".json"))
+	if err != nil {
+		return nil, fmt.Errorf("policy: version %q: %w", version, err)
+	}
+	defer f.Close()
+	net, meta, err := LoadCheckpoint(f, r.channels, r.strategies)
+	if err != nil {
+		return nil, fmt.Errorf("policy: version %q: %w", version, err)
+	}
+	m, err := NewModel(version, net, r.strategies)
+	if err != nil {
+		return nil, err
+	}
+	m.meta = meta
+	return m, nil
+}
+
+// Latest loads the lexically greatest version.
+func (r *Registry) Latest() (*Model, error) {
+	versions, err := r.Versions()
+	if err != nil {
+		return nil, err
+	}
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("policy: no *.json checkpoints in %s", r.dir)
+	}
+	return r.Load(versions[len(versions)-1])
+}
+
+// checkVersionName rejects version strings that could escape the registry
+// directory — versions arrive from HTTP query parameters.
+func checkVersionName(version string) error {
+	if version == "" {
+		return fmt.Errorf("policy: empty version name")
+	}
+	for _, c := range version {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("policy: invalid version name %q (allowed: letters, digits, '.', '_', '-')", version)
+		}
+	}
+	if strings.Contains(version, "..") {
+		return fmt.Errorf("policy: invalid version name %q", version)
+	}
+	return nil
+}

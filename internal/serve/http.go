@@ -22,6 +22,8 @@ import (
 //	                ("<tenant> <R|W> <offset> <size>"); the whole batch is
 //	                admitted open-loop, then answered line by line in order:
 //	                "ok <latency_ns>" | "rej <reason>"
+//	POST /model/reload  hot-swap the active (or shadow) policy from the
+//	                checkpoint registry; see reload.go for the protocol
 //	GET  /metrics   Prometheus text exposition
 //	GET  /healthz   "ok" | 503 "draining"/device error
 //	     /debug/pprof/*  standard profiles
@@ -50,6 +52,7 @@ func (s *Server) Handler(reqTimeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/io", func(w http.ResponseWriter, r *http.Request) { s.handleIO(w, r, reqTimeout) })
 	mux.HandleFunc("/io/batch", func(w http.ResponseWriter, r *http.Request) { s.handleBatch(w, r, reqTimeout) })
+	mux.HandleFunc("/model/reload", s.handleReload)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.WriteMetrics(w)

@@ -38,6 +38,7 @@ import (
 	"ssdkeeper/internal/ftl"
 	"ssdkeeper/internal/keeper"
 	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/policy"
 	"ssdkeeper/internal/sim"
 	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
@@ -189,6 +190,13 @@ type Server struct {
 	rejBad   atomic.Uint64
 	rejDrain atomic.Uint64
 
+	// ksrc is the keeper's policy source (nil without a keeper): /metrics
+	// reads the published active/shadow versions from it, and the reload
+	// surface swaps providers through it.
+	ksrc     *policy.Source
+	reloadMu sync.Mutex
+	reloader Reloader
+
 	errMu     sync.Mutex
 	submitErr error // first device submit failure; poisons the server
 
@@ -215,6 +223,9 @@ func New(cfg Config, k *keeper.Keeper) (*Server, error) {
 		cfg:    cfg,
 		epoch:  cfg.Now(), // sim time zero is the construction instant
 		startc: make(chan struct{}),
+	}
+	if k != nil {
+		s.ksrc = k.Source()
 	}
 	for i := 0; i < cfg.ShardCount; i++ {
 		sd, err := newShard(i, s, k)

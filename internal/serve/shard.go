@@ -423,6 +423,10 @@ type shardSnapshot struct {
 	switches     int
 	last         keeper.Switch
 	hasLast      bool
+	polVersion   string // policy version applied at the last adaptation epoch
+	shadowAgree  uint64
+	shadowDiv    uint64
+	shadowErrs   uint64
 	counterNames []string
 	counterVals  []int64
 }
@@ -444,6 +448,8 @@ func (sd *shard) snapshot() *shardSnapshot {
 	if sd.ctrl != nil {
 		snap.switches = sd.ctrl.SwitchCount()
 		snap.last, snap.hasLast = sd.ctrl.LastSwitch()
+		snap.polVersion = sd.ctrl.PolicyVersion()
+		snap.shadowAgree, snap.shadowDiv, snap.shadowErrs = sd.ctrl.ShadowStats()
 	}
 	if cs := sd.runner.Counters(); cs != nil {
 		snap.counterNames = cs.Names()

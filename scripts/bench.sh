@@ -96,7 +96,20 @@ echo "wrote $OUT" >&2
 ADDR="127.0.0.1:$PORT"
 URL="http://$ADDR"
 BIN="$(mktemp -d)"
-trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$RAW" "$BIN"' EXIT
+trap 'jobs -p | xargs -r kill 2>/dev/null; rm -rf "$RAW" "$BIN"' EXIT
+
+# Concurrent-inference microbenchmark: Keeper.Predict under RunParallel at 1
+# and $(nproc) workers. With pooled per-caller inference scratch (no shared
+# Predict mutex) ns/op stays roughly flat as workers are added.
+echo "running predict-parallel benchmark (-cpu 1,$(nproc))..." >&2
+go test -run '^$' -bench 'BenchmarkPredictParallel$' -cpu "1,$(nproc)" \
+  -benchtime "$BENCHTIME" . | tee "$BIN/predict.txt" >&2
+predict_1=$(awk '/^BenchmarkPredictParallel/ {print $3; exit}' "$BIN/predict.txt")
+predict_n=$(awk '/^BenchmarkPredictParallel/ {v = $3} END {print v}' "$BIN/predict.txt")
+if [ -z "$predict_1" ]; then
+  echo "bench.sh: no result parsed for BenchmarkPredictParallel" >&2
+  exit 1
+fi
 
 echo "building serving daemon, trainer, and load generator..." >&2
 go build -o "$BIN/ssdkeeperd" ./cmd/ssdkeeperd
@@ -168,10 +181,15 @@ jq -n \
   --argjson scaling "$scaling" \
   --argjson procs "$(nproc)" \
   --arg cpu "${cpu:-unknown}" \
+  --argjson p1 "$predict_1" \
+  --argjson pn "$predict_n" \
   --slurpfile detail "$BIN/load-${SHARD_SWEEP##* }.json" \
   '{requests_per_point: $n, accel: $accel, workers: $workers,
     cpu: $cpu, nproc: $procs,
     note: "device-bound sweep: closed loop with -spread keys; accel is low enough that each shard simulated device, not the host CPU, bounds throughput, so req/s tracks shard count",
+    predict_parallel: {
+      note: "Keeper.Predict under RunParallel; pooled per-caller inference scratch, no shared mutex, so ns/op holds flat as workers are added",
+      cpu1_ns_op: $p1, cpuN_ns_op: $pn, cpus: $procs},
     sweep: $points,
     scaling_last_over_first: $scaling,
     load_detail_last_point: $detail[0]}' > "$SERVER_OUT"

@@ -12,6 +12,14 @@
 # 50x slower than wall time) and tight queues, overload one tenant with a
 # closed-loop worker pool, and assert 429s are produced and counted.
 #
+# Phase 3 (hot reload): train two versioned checkpoints with keeper-train,
+# boot with -model-dir holding only v001, drop v002 in mid-run, POST
+# /model/reload while load is in flight, and assert that
+#   - the reload response and /metrics both report v002 active,
+#   - a shadow candidate installs and clears through the endpoint,
+#   - every request submitted across the swap is answered,
+#   - SIGTERM still drains cleanly.
+#
 # Usage: scripts/smoke_server.sh [port]
 set -euo pipefail
 
@@ -21,11 +29,13 @@ ADDR="127.0.0.1:$PORT"
 URL="http://$ADDR"
 BIN="$(mktemp -d)"
 LOG="$BIN/daemon.log"
-trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$BIN"' EXIT
+# xargs -r: a bare `kill` with no surviving jobs would fail the trap itself.
+trap 'jobs -p | xargs -r kill 2>/dev/null; rm -rf "$BIN"' EXIT
 
 echo "building..." >&2
 go build -o "$BIN/ssdkeeperd" ./cmd/ssdkeeperd
 go build -o "$BIN/keeperload" ./cmd/keeperload
+go build -o "$BIN/keeper-train" ./cmd/keeper-train
 
 wait_healthy() {
   for _ in $(seq 1 200); do
@@ -99,4 +109,62 @@ full=$(metric 'ssdkeeper_rejected_total{reason="queue_full"}')
 kill -TERM "$DPID"
 wait "$DPID" || fail "phase 2: daemon exited non-zero on SIGTERM"
 echo "phase 2 ok: $rejected rejected at the client, $full queue-full at the server" >&2
+
+echo "phase 3: live model reload (accel 20, -model-dir)..." >&2
+MODELS="$BIN/models"
+STAGE="$BIN/stage"
+mkdir -p "$MODELS" "$STAGE"
+# Two quick checkpoints off one shared dataset; v002 lands mid-run.
+"$BIN/keeper-train" -workloads 8 -requests 600 -iterations 40 -batch 16 \
+  -hidden 16 -dataset "$BIN/data.jsonl" -out "$MODELS/v001.json" -q
+"$BIN/keeper-train" -dataset "$BIN/data.jsonl" -reuse -seed 7 -iterations 40 \
+  -batch 16 -hidden 16 -out "$STAGE/v002.json" -q
+"$BIN/keeper-train" -inspect "$MODELS/v001.json" >/dev/null \
+  || fail "phase 3: keeper-train -inspect rejected its own checkpoint"
+
+"$BIN/ssdkeeperd" -addr "$ADDR" -accel 20 -window 50ms -adapt-every 50ms \
+  -model-dir "$MODELS" 2>"$LOG" &
+DPID=$!
+wait_healthy
+# `grep -q` straight off curl would SIGPIPE it under pipefail; snapshot first.
+scrape() { curl -sf "$URL/metrics" > "$BIN/metrics.txt"; }
+scrape
+grep -q 'ssdkeeper_model_info{role="active",version="v001"}' "$BIN/metrics.txt" \
+  || fail "phase 3: v001 not active at boot"
+
+# Load in flight across the swap.
+"$BIN/keeperload" -addr "$URL" -n 1000 -concurrency 32 \
+  -write-ratios 0.9,0.1,0.8,0.2 -json > "$BIN/load3.json" &
+LPID=$!
+sleep 1
+
+cp "$STAGE/v002.json" "$MODELS/v002.json"
+reload=$(curl -sf -X POST "$URL/model/reload") \
+  || fail "phase 3: POST /model/reload failed"
+echo "$reload" | grep -q '"version":"v002"' \
+  || fail "phase 3: reload response did not pick v002: $reload"
+scrape
+grep -q 'ssdkeeper_model_info{role="active",version="v002"}' "$BIN/metrics.txt" \
+  || fail "phase 3: /metrics does not show v002 active after reload"
+
+# Shadow install and clear through the same endpoint.
+curl -sf -X POST "$URL/model/reload?role=shadow&version=v001" >/dev/null \
+  || fail "phase 3: shadow install failed"
+scrape
+grep -q 'ssdkeeper_model_info{role="shadow",version="v001"}' "$BIN/metrics.txt" \
+  || fail "phase 3: shadow candidate not published"
+curl -sf -X POST "$URL/model/reload?role=shadow&version=none" >/dev/null \
+  || fail "phase 3: shadow clear failed"
+scrape
+grep -q 'ssdkeeper_shadow_agree_total' "$BIN/metrics.txt" \
+  || fail "phase 3: shadow counters missing from /metrics"
+
+wait "$LPID" || fail "phase 3: load generator failed across the reload"
+ok=$(json_count ok "$BIN/load3.json")
+[ "$ok" = "1000" ] || fail "phase 3: $ok/1000 requests answered across the reload"
+
+kill -TERM "$DPID"
+wait "$DPID" || fail "phase 3: daemon exited non-zero on SIGTERM"
+grep -q "drained clean" "$LOG" || fail "phase 3: no clean-drain report in log"
+echo "phase 3 ok: reload v001 -> v002 under load, $ok/1000 answered, clean drain" >&2
 echo "smoke_server.sh: all checks passed" >&2
