@@ -1,0 +1,131 @@
+// Command keeperfleet is the fleet front end: a router that places tenants
+// on ssdkeeperd nodes via a consistent-hash ring and proxies /io and
+// /io/batch to each tenant's owner over the daemons' own wire protocol.
+// Clients talk to one address; the fleet behind it can be rebalanced live —
+// a tenant migration drains the tenant on its source node, replays the
+// handoff batch on the target, and flips the ring override, losing and
+// duplicating nothing.
+//
+// Endpoints: /io and /io/batch (proxied data plane), /fleet/status (JSON
+// placement), POST /fleet/migrate?tenant=N&to=URL (manual migration),
+// /metrics (fleet series), /healthz, /readyz.
+//
+// Usage:
+//
+//	keeperfleet -addr :8090 -nodes http://localhost:8081,http://localhost:8082,http://localhost:8083
+//	keeperfleet -addr :8090 -nodes ... -rebalance          # auto-migrate hot tenants
+//	keeperfleet -addr :8090 -nodes ... -gate-policy reject # 503+Retry-After during handoffs
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ssdkeeper/internal/fleet"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8090", "router listen address")
+		nodes      = flag.String("nodes", "", "comma-separated node base URLs (required)")
+		vnodes     = flag.Int("vnodes", 64, "virtual nodes per node on the ring")
+		tenants    = flag.Int("tenants", 4, "tenant ID space routed")
+		gatePolicy = flag.String("gate-policy", fleet.GateQueue, "migrating-tenant policy: queue or reject")
+		gateWait   = flag.Duration("gate-wait", 15*time.Second, "max time a queued request waits for a migration")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per proxied request timeout")
+		rebalance  = flag.Bool("rebalance", false, "enable the automatic rebalancer")
+		probeEvery = flag.Duration("probe-every", 2*time.Second, "membership probe interval")
+		balEvery   = flag.Duration("rebalance-every", 5*time.Second, "rebalancer decision interval")
+		hotFactor  = flag.Float64("hot-factor", 1.5, "node is hot when its load exceeds hot-factor x fleet mean")
+		minLoad    = flag.Uint64("min-load", 100, "minimum per-interval completions before a node counts as hot")
+		quiet      = flag.Bool("q", false, "suppress startup output")
+	)
+	flag.Parse()
+
+	list := splitNodes(*nodes)
+	if len(list) == 0 {
+		fatal(fmt.Errorf("need -nodes (comma-separated base URLs)"))
+	}
+
+	router, err := fleet.NewRouter(fleet.Config{
+		Nodes:      list,
+		VNodes:     *vnodes,
+		Tenants:    *tenants,
+		GatePolicy: *gatePolicy,
+		GateWait:   *gateWait,
+		ReqTimeout: *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	members := fleet.NewMembership(list, *tenants, *probeEvery)
+	router.SetMembership(members)
+	go members.Run(ctx, *probeEvery)
+
+	if *rebalance {
+		rb := fleet.NewRebalancer(router, members)
+		rb.HotFactor = *hotFactor
+		rb.MinLoad = *minLoad
+		rb.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "keeperfleet: "+format+"\n", args...)
+		}
+		go rb.Run(ctx, *balEvery)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: router.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "keeperfleet: routing %d tenants over %d nodes on %s (gate %s, rebalance %v)\n",
+			*tenants, len(list), *addr, *gatePolicy, *rebalance)
+		for t := 0; t < *tenants; t++ {
+			fmt.Fprintf(os.Stderr, "keeperfleet:   tenant %d → %s\n", t, router.Owner(t))
+		}
+	}
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "keeperfleet: stopped")
+	}
+}
+
+func splitNodes(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(p), "/"))
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "keeperfleet:", err)
+	os.Exit(1)
+}

@@ -5,9 +5,14 @@
 // level) and open-loop generation (requests fired at a fixed aggregate
 // rate regardless of completions — the mode that exposes backpressure).
 //
+// -addr accepts one target or a comma-separated list: with several, requests
+// round-robin across them (each a node, or several fleet routers) and the
+// report breaks out per-node as well as aggregate percentiles.
+//
 // Usage:
 //
 //	keeperload -addr http://localhost:8080 -n 1000 -concurrency 32
+//	keeperload -addr http://localhost:8081,http://localhost:8082 -n 5000
 //	keeperload -mode open -iops 2000 -n 5000 -write-ratios 0.9,0.1,0.8,0.2
 //	keeperload -n 1000 -json > result.json
 package main
@@ -42,6 +47,15 @@ type tenantReport struct {
 	WriteFrac float64 `json:"write_frac"`
 }
 
+type nodeReport struct {
+	Addr     string  `json:"addr"`
+	OK       uint64  `json:"ok"`
+	Rejected uint64  `json:"rejected"`
+	Failed   uint64  `json:"failed"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
 type report struct {
 	Mode        string         `json:"mode"`
 	Requests    int            `json:"requests"`
@@ -51,6 +65,7 @@ type report struct {
 	WallSeconds float64        `json:"wall_seconds"`
 	Throughput  float64        `json:"throughput_rps"`
 	Tenants     []tenantReport `json:"tenants"`
+	Nodes       []nodeReport   `json:"nodes,omitempty"`
 }
 
 // tenantStats accumulates one tenant's outcomes; counters are guarded by mu
@@ -67,7 +82,7 @@ type tenantStats struct {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://localhost:8080", "daemon base URL")
+		addr     = flag.String("addr", "http://localhost:8080", "daemon base URL, or a comma-separated list to round-robin across")
 		mode     = flag.String("mode", "closed", "closed (worker pool) or open (fixed rate)")
 		n        = flag.Int("n", 1000, "total requests")
 		workers  = flag.Int("concurrency", 32, "closed-loop worker count (also bounds open-loop in-flight)")
@@ -90,6 +105,10 @@ func main() {
 	}
 	if *tenants < 1 || *n < 1 || *workers < 1 {
 		fatal(fmt.Errorf("need positive -tenants, -n, -concurrency"))
+	}
+	addrs := parseAddrs(*addr)
+	if len(addrs) == 0 {
+		fatal(fmt.Errorf("need at least one -addr target"))
 	}
 
 	// Pre-generate the request stream so both modes replay the identical
@@ -137,24 +156,35 @@ func main() {
 	for i := range perTenant {
 		perTenant[i] = &tenantStats{}
 	}
+	// Per-target stats: request i round-robins to addrs[i % len(addrs)], so
+	// with several targets each sees the same tenant mix.
+	perNode := make([]*tenantStats, len(addrs))
+	for i := range perNode {
+		perNode[i] = &tenantStats{}
+	}
+	target := func(i int) (string, *tenantStats) {
+		return addrs[i%len(addrs)], perNode[i%len(addrs)]
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
 	switch *mode {
 	case "closed":
 		// Workers pull the next unsent request; each submits synchronously.
-		next := make(chan serve.Request, *workers)
+		next := make(chan int, *workers)
 		for w := 0; w < *workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for req := range next {
-					submit(client, *addr, req, perTenant[req.Tenant])
+				for i := range next {
+					req := reqs[i]
+					base, ns := target(i)
+					submit(client, base, req, perTenant[req.Tenant], ns)
 				}
 			}()
 		}
-		for _, req := range reqs {
-			next <- req
+		for i := range reqs {
+			next <- i
 		}
 		close(next)
 	case "open":
@@ -165,15 +195,17 @@ func main() {
 		sem := make(chan struct{}, *workers)
 		tick := time.NewTicker(gap)
 		defer tick.Stop()
-		for _, req := range reqs {
+		for i := range reqs {
 			<-tick.C
 			sem <- struct{}{}
 			wg.Add(1)
-			go func(req serve.Request) {
+			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				submit(client, *addr, req, perTenant[req.Tenant])
-			}(req)
+				req := reqs[i]
+				base, ns := target(i)
+				submit(client, base, req, perTenant[req.Tenant], ns)
+			}(i)
 		}
 	default:
 		fatal(fmt.Errorf("unknown -mode %q", *mode))
@@ -200,6 +232,19 @@ func main() {
 	if wall > 0 {
 		rep.Throughput = float64(rep.OK) / wall.Seconds()
 	}
+	if len(addrs) > 1 {
+		for i, a := range addrs {
+			ns := perNode[i]
+			rep.Nodes = append(rep.Nodes, nodeReport{
+				Addr:     a,
+				OK:       ns.ok,
+				Rejected: ns.rejected,
+				Failed:   ns.failed,
+				P50Ms:    ms(ns.hist.P50()),
+				P99Ms:    ms(ns.hist.P99()),
+			})
+		}
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -214,17 +259,22 @@ func main() {
 			fmt.Printf("  tenant %d (w=%.2f): ok %d rej %d, p50 %.3fms p99 %.3fms max %.3fms\n",
 				tr.Tenant, tr.WriteFrac, tr.OK, tr.Rejected, tr.P50Ms, tr.P99Ms, tr.MaxMs)
 		}
+		for _, nr := range rep.Nodes {
+			fmt.Printf("  node %s: ok %d rej %d fail %d, p50 %.3fms p99 %.3fms\n",
+				nr.Addr, nr.OK, nr.Rejected, nr.Failed, nr.P50Ms, nr.P99Ms)
+		}
 	}
 	if rep.OK == 0 {
 		fatal(fmt.Errorf("no request succeeded"))
 	}
 }
 
-// submit POSTs one request and records its outcome. Reported latency is the
-// daemon's simulated response latency (queue wait included), not the HTTP
-// round trip, so percentiles describe the device under the configured
+// submit POSTs one request and records its outcome under both the tenant's
+// and the target node's accumulators. Reported latency is the daemon's
+// simulated response latency (queue wait included), not the HTTP round
+// trip, so percentiles describe the device under the configured
 // acceleration rather than loopback networking.
-func submit(client *http.Client, base string, req serve.Request, ts *tenantStats) {
+func submit(client *http.Client, base string, req serve.Request, ts, ns *tenantStats) {
 	var body string
 	if req.Key != 0 {
 		body = fmt.Sprintf(`{"tenant":%d,"op":"%s","offset":%d,"size":%d,"key":%d}`,
@@ -235,40 +285,59 @@ func submit(client *http.Client, base string, req serve.Request, ts *tenantStats
 	}
 	resp, err := client.Post(base+"/io", "application/json", strings.NewReader(body))
 	if err != nil {
-		ts.mu.Lock()
-		ts.failed++
-		ts.mu.Unlock()
+		recordFail(ts)
+		recordFail(ns)
 		return
 	}
 	defer resp.Body.Close()
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		var jr struct {
 			LatencyNS int64 `json:"latency_ns"`
 		}
 		if err := json.Unmarshal(data, &jr); err != nil {
-			ts.failed++
+			recordFail(ts)
+			recordFail(ns)
 			return
 		}
-		ts.ok++
-		if req.Op == trace.Write {
-			ts.writes++
-		}
 		lat := sim.Time(jr.LatencyNS)
-		ts.hist.Add(lat)
-		if lat > ts.maxLat {
-			ts.maxLat = lat
-		}
+		recordOK(ts, lat, req.Op == trace.Write)
+		recordOK(ns, lat, req.Op == trace.Write)
 	case resp.StatusCode == http.StatusTooManyRequests,
 		resp.StatusCode == http.StatusServiceUnavailable:
-		ts.rejected++
+		recordRej(ts)
+		recordRej(ns)
 	default:
-		ts.failed++
+		recordFail(ts)
+		recordFail(ns)
 	}
+}
+
+func recordOK(s *tenantStats, lat sim.Time, isWrite bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ok++
+	if isWrite {
+		s.writes++
+	}
+	s.hist.Add(lat)
+	if lat > s.maxLat {
+		s.maxLat = lat
+	}
+}
+
+func recordRej(s *tenantStats) {
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+}
+
+func recordFail(s *tenantStats) {
+	s.mu.Lock()
+	s.failed++
+	s.mu.Unlock()
 }
 
 func opName(op trace.Op) string {
@@ -305,6 +374,18 @@ func parseRatios(s string, tenants int) ([]float64, error) {
 		out[i] = v
 	}
 	return out, nil
+}
+
+// parseAddrs splits "-addr a,b,c" into trimmed base URLs.
+func parseAddrs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSuffix(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

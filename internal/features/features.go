@@ -119,6 +119,20 @@ func (c *Collector) Observe(r trace.Record) {
 // Count returns the number of requests observed in the current window.
 func (c *Collector) Count() uint64 { return c.total }
 
+// ClearTenant removes one tenant's contributions from the current window —
+// used when a tenant migrates off a device mid-window, so the next epoch's
+// vector does not adapt on a departed workload's features. Tenants outside
+// the per-tenant slots contributed only to the total, which cannot be
+// attributed back, so they are left alone.
+func (c *Collector) ClearTenant(tenant int) {
+	if tenant < 0 || tenant >= MaxTenants {
+		return
+	}
+	c.total -= c.reads[tenant] + c.writes[tenant]
+	c.reads[tenant] = 0
+	c.writes[tenant] = 0
+}
+
 // Reset starts a new window at the given time.
 func (c *Collector) Reset(at sim.Time) {
 	*c = Collector{SaturationIOPS: c.SaturationIOPS, start: at, now: at}

@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NodeStatus is one probe sweep's view of a node. CompletedByTenant and
+// P99ByTenant come from the node's /metrics; Ready from /readyz (which a
+// node holds false while draining or while a tenant handoff is in flight,
+// so the rebalancer never targets a node mid-migration).
+type NodeStatus struct {
+	Addr              string
+	Ready             bool
+	Err               error
+	CompletedByTenant map[int]uint64
+	P99ByTenant       map[int]float64 // seconds, reads and writes max'd
+	ProbedAt          time.Time
+}
+
+// Membership probes fleet nodes for readiness and load. Snapshots are
+// immutable copies; the prober is the only writer.
+type Membership struct {
+	addrs   []string
+	client  *http.Client
+	tenants int
+
+	mu     sync.RWMutex
+	status map[string]NodeStatus
+}
+
+// NewMembership builds a prober over the node base URLs.
+func NewMembership(addrs []string, tenants int, timeout time.Duration) *Membership {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	if tenants <= 0 {
+		tenants = 4
+	}
+	return &Membership{
+		addrs:   append([]string(nil), addrs...),
+		client:  &http.Client{Timeout: timeout},
+		tenants: tenants,
+		status:  map[string]NodeStatus{},
+	}
+}
+
+// Poll runs one probe sweep over all nodes (serially; fleets this layer
+// targets are small and the probes are cheap).
+func (m *Membership) Poll() {
+	for _, addr := range m.addrs {
+		st := m.probe(addr)
+		m.mu.Lock()
+		m.status[addr] = st
+		m.mu.Unlock()
+	}
+}
+
+// Run polls every interval until ctx ends.
+func (m *Membership) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	m.Poll()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.Poll()
+		}
+	}
+}
+
+// Snapshot returns a copy of the latest status for every probed node.
+func (m *Membership) Snapshot() []NodeStatus {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]NodeStatus, 0, len(m.addrs))
+	for _, addr := range m.addrs {
+		if st, ok := m.status[addr]; ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+func (m *Membership) probe(addr string) NodeStatus {
+	st := NodeStatus{
+		Addr:              addr,
+		CompletedByTenant: map[int]uint64{},
+		P99ByTenant:       map[int]float64{},
+		ProbedAt:          time.Now(),
+	}
+	resp, err := m.client.Get(addr + "/readyz")
+	if err != nil {
+		st.Err = err
+		return st
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	st.Ready = resp.StatusCode == http.StatusOK
+
+	mresp, err := m.client.Get(addr + "/metrics")
+	if err != nil {
+		st.Err = err
+		return st
+	}
+	body, err := io.ReadAll(io.LimitReader(mresp.Body, 8<<20))
+	mresp.Body.Close()
+	if err != nil {
+		st.Err = err
+		return st
+	}
+	for _, s := range promSamples(string(body), "ssdkeeper_completed_total") {
+		if t, ok := s.tenant(); ok {
+			st.CompletedByTenant[t] += uint64(s.value)
+		}
+	}
+	for _, s := range promSamples(string(body), "ssdkeeper_latency_seconds") {
+		if s.labels["quantile"] != "0.99" {
+			continue
+		}
+		if t, ok := s.tenant(); ok && s.value > st.P99ByTenant[t] {
+			st.P99ByTenant[t] = s.value
+		}
+	}
+	return st
+}
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	labels map[string]string
+	value  float64
+}
+
+func (s promSample) tenant() (int, bool) {
+	t, err := strconv.Atoi(s.labels["tenant"])
+	if err != nil {
+		return 0, false
+	}
+	return t, true
+}
+
+// promSamples extracts every sample of one metric from Prometheus text
+// exposition. It is a deliberately small parser — enough for the repo's own
+// /metrics output (no escaping inside label values beyond \" handling, no
+// exemplars), so the fleet stays dependency-free.
+func promSamples(text, name string) []promSample {
+	var out []promSample
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		// Reject longer names sharing the prefix (e.g. _count suffixes).
+		if len(rest) == 0 || (rest[0] != '{' && rest[0] != ' ') {
+			continue
+		}
+		labels := map[string]string{}
+		if rest[0] == '{' {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				continue
+			}
+			parseLabels(rest[1:end], labels)
+			rest = rest[end+1:]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, promSample{labels: labels, value: v})
+	}
+	return out
+}
+
+// parseLabels fills dst from `k="v",k2="v2"`.
+func parseLabels(s string, dst map[string]string) {
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return
+		}
+		s = s[1:]
+		var val strings.Builder
+		i := 0
+		for i < len(s) {
+			if s[i] == '\\' && i+1 < len(s) {
+				val.WriteByte(s[i+1])
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			val.WriteByte(s[i])
+			i++
+		}
+		dst[key] = val.String()
+		s = s[i:]
+		if len(s) > 0 && s[0] == '"' {
+			s = s[1:]
+		}
+		if len(s) > 0 && s[0] == ',' {
+			s = s[1:]
+		}
+	}
+}
+
+// String renders a one-line summary for logs.
+func (s NodeStatus) String() string {
+	ready := "ready"
+	if !s.Ready {
+		ready = "not-ready"
+	}
+	if s.Err != nil {
+		return fmt.Sprintf("%s %s (%v)", s.Addr, ready, s.Err)
+	}
+	var total uint64
+	for _, c := range s.CompletedByTenant {
+		total += c
+	}
+	return fmt.Sprintf("%s %s completed=%d", s.Addr, ready, total)
+}

@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Rebalancer is the fleet-level analogue of the keeper's online loop: where
+// the keeper re-binds channels inside one device when the workload mix
+// shifts, the rebalancer re-places tenants across devices when one node
+// runs hot. It watches per-node per-tenant completion rates from the
+// membership prober, and when a node's load exceeds the fleet mean by
+// HotFactor it migrates that node's hottest movable tenant to the
+// least-loaded ready node.
+type Rebalancer struct {
+	// HotFactor is the imbalance trigger: a node is hot when its
+	// completions-per-interval exceed HotFactor × the fleet mean (default
+	// 1.5). Values ≤ 1 would thrash; fillDefaults refuses them.
+	HotFactor float64
+	// MinLoad is the minimum per-interval completion count before a node
+	// can be considered hot (default 100) — an idle fleet never migrates.
+	MinLoad uint64
+	// Cooldown is the minimum time between migrations (default 10s), so
+	// one hot window cannot bounce a tenant back and forth.
+	Cooldown time.Duration
+	// Log, when set, receives one line per decision.
+	Log func(format string, args ...any)
+
+	router  *Router
+	members *Membership
+
+	last        map[string]map[int]uint64 // previous sweep's completed totals
+	lastMigrate time.Time
+}
+
+// NewRebalancer wires a rebalancer over a router and its membership prober.
+func NewRebalancer(r *Router, m *Membership) *Rebalancer {
+	return &Rebalancer{
+		HotFactor: 1.5,
+		MinLoad:   100,
+		Cooldown:  10 * time.Second,
+		router:    r,
+		members:   m,
+		last:      map[string]map[int]uint64{},
+	}
+}
+
+func (rb *Rebalancer) logf(format string, args ...any) {
+	if rb.Log != nil {
+		rb.Log(format, args...)
+	}
+}
+
+// Step runs one rebalancing decision over the latest membership snapshot.
+// It returns the migrated tenant and target, or tenant -1 when it chose not
+// to act. The first sweep only establishes the completion baseline.
+func (rb *Rebalancer) Step() (tenant int, target string, err error) {
+	statuses := rb.members.Snapshot()
+
+	// Per-node load this interval = sum of per-tenant completion deltas
+	// since the previous sweep, attributed by current ownership.
+	type nodeLoad struct {
+		addr    string
+		ready   bool
+		total   uint64
+		tenants map[int]uint64
+	}
+	loads := make([]nodeLoad, 0, len(statuses))
+	for _, st := range statuses {
+		nl := nodeLoad{addr: st.Addr, ready: st.Ready, tenants: map[int]uint64{}}
+		prev := rb.last[st.Addr]
+		cur := map[int]uint64{}
+		for t, c := range st.CompletedByTenant {
+			cur[t] = c
+			d := c - prev[t]
+			if c < prev[t] {
+				d = c // node restarted; counter reset
+			}
+			nl.tenants[t] = d
+			nl.total += d
+		}
+		rb.last[st.Addr] = cur
+		loads = append(loads, nl)
+	}
+	if len(loads) < 2 {
+		return -1, "", nil
+	}
+	if time.Since(rb.lastMigrate) < rb.Cooldown {
+		return -1, "", nil
+	}
+
+	var mean float64
+	for _, nl := range loads {
+		mean += float64(nl.total)
+	}
+	mean /= float64(len(loads))
+
+	// Hottest node first; deterministic order for equal loads.
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].total != loads[j].total {
+			return loads[i].total > loads[j].total
+		}
+		return loads[i].addr < loads[j].addr
+	})
+	hot := loads[0]
+	if hot.total < rb.MinLoad || float64(hot.total) <= rb.HotFactor*mean {
+		return -1, "", nil
+	}
+	// Need somewhere cooler and ready to put the tenant.
+	var cold *nodeLoad
+	for i := len(loads) - 1; i > 0; i-- {
+		if loads[i].ready {
+			cold = &loads[i]
+			break
+		}
+	}
+	if cold == nil || cold.addr == hot.addr {
+		return -1, "", nil
+	}
+
+	// Hottest tenant currently owned by the hot node — but not one that
+	// constitutes (almost) all of its load: moving the sole workload just
+	// relocates the hotspot.
+	best, bestLoad := -1, uint64(0)
+	for t, d := range hot.tenants {
+		if rb.router.Owner(t) != hot.addr {
+			continue
+		}
+		if d > bestLoad {
+			best, bestLoad = t, d
+		}
+	}
+	if best < 0 || bestLoad == hot.total {
+		// Single-tenant node: moving it only moves the problem, unless the
+		// cold node is truly idle and the hot node is overloaded enough
+		// that spreading still helps; keep it simple and stay put.
+		return -1, "", nil
+	}
+
+	rb.logf("fleet: node %s hot (%d vs mean %.0f): migrating tenant %d (load %d) → %s",
+		hot.addr, hot.total, mean, best, bestLoad, cold.addr)
+	if err := rb.router.Migrate(best, cold.addr); err != nil {
+		return -1, "", fmt.Errorf("fleet: rebalance migrate: %w", err)
+	}
+	rb.lastMigrate = time.Now()
+	return best, cold.addr, nil
+}
+
+// Run polls and steps every interval until ctx ends. Errors are logged, not
+// fatal: a failed migration aborts cleanly (the router rolls the tenant
+// back to its source) and the next interval retries from fresh state.
+func (rb *Rebalancer) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, _, err := rb.Step(); err != nil {
+				rb.logf("%v", err)
+			}
+		}
+	}
+}

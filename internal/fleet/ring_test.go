@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRingGolden pins tenant placement for a fixed node set: the ring must
+// be a pure function of the address set, so these assignments survive
+// process restarts, rebuilds, and Go version bumps. If this test breaks,
+// every deployed fleet's placement shifts on upgrade — change the hash only
+// with a migration story.
+func TestRingGolden(t *testing.T) {
+	r, err := NewRing([]string{"node-a", "node-b", "node-c"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{
+		0: "node-a",
+		1: "node-a",
+		2: "node-c",
+		3: "node-b",
+		4: "node-b",
+		5: "node-c",
+		6: "node-b",
+		7: "node-b",
+	}
+	for tenant, owner := range want {
+		if got := r.Owner(tenant); got != owner {
+			t.Errorf("Owner(%d) = %q, want %q", tenant, got, owner)
+		}
+	}
+}
+
+// TestRingGoldenURLs pins placement for the smoke topology (three localhost
+// nodes), so scripts/smoke_fleet.sh can rely on which node owns which
+// tenant.
+func TestRingGoldenURLs(t *testing.T) {
+	r, err := NewRing([]string{
+		"http://127.0.0.1:8081", "http://127.0.0.1:8082", "http://127.0.0.1:8083",
+	}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Note tenant 3 also lands on :8082 and :8083 starts empty — the smoke
+	// uses :8083 as the migration target for exactly that reason.
+	want := map[int]string{
+		0: "http://127.0.0.1:8082",
+		1: "http://127.0.0.1:8082",
+		2: "http://127.0.0.1:8081",
+		3: "http://127.0.0.1:8082",
+	}
+	for tenant, owner := range want {
+		if got := r.Owner(tenant); got != owner {
+			t.Errorf("Owner(%d) = %q, want %q", tenant, got, owner)
+		}
+	}
+}
+
+// TestRingOrderIndependent: any ordering (and duplication) of the same
+// address set builds an identical ring.
+func TestRingOrderIndependent(t *testing.T) {
+	base := []string{"node-a", "node-b", "node-c", "node-d"}
+	ref, err := NewRing(base, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		perm := append([]string(nil), base...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		perm = append(perm, perm[0]) // duplicates must not matter either
+		r, err := NewRing(perm, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tenant := 0; tenant < 64; tenant++ {
+			if got, want := r.Owner(tenant), ref.Owner(tenant); got != want {
+				t.Fatalf("trial %d: Owner(%d) = %q, want %q (order %v)", trial, tenant, got, want, perm)
+			}
+		}
+	}
+}
+
+// TestRingAddNodeMovesOnlyCaptured: growing the fleet by one node may move
+// a tenant only onto the new node — consistent hashing's whole point. Every
+// tenant not captured by the newcomer keeps its owner.
+func TestRingAddNodeMovesOnlyCaptured(t *testing.T) {
+	old, err := NewRing([]string{"node-a", "node-b", "node-c"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewRing([]string{"node-a", "node-b", "node-c", "node-d"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for tenant := 0; tenant < 256; tenant++ {
+		before, after := old.Owner(tenant), grown.Owner(tenant)
+		if after != before {
+			if after != "node-d" {
+				t.Errorf("tenant %d moved %q → %q, not to the new node", tenant, before, after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("new node captured no tenants out of 256")
+	}
+	if moved > 128 {
+		t.Errorf("new node captured %d/256 tenants; expected roughly a quarter", moved)
+	}
+}
+
+// TestRingSpread: virtual nodes keep the placement within sane bounds of
+// even for a small fleet.
+func TestRingSpread(t *testing.T) {
+	nodes := []string{"node-a", "node-b", "node-c"}
+	r, err := NewRing(nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const tenants = 3000
+	for tenant := 0; tenant < tenants; tenant++ {
+		counts[r.Owner(tenant)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / tenants
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.0f%% of tenants; spread too skewed: %v",
+				n, share*100, counts)
+		}
+	}
+}
+
+// TestRingRejectsEmpty guards the constructor contract.
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Error("empty node list accepted")
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	nodes := make([]string, 16)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	r, err := NewRing(nodes, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner(i & 1023)
+	}
+}

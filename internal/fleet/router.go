@@ -1,0 +1,547 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssdkeeper/internal/serve"
+)
+
+// Migration gate policies: what the router does with a migrating tenant's
+// requests while its handoff is in flight.
+const (
+	// GateQueue holds the request at the router until the migration
+	// completes (bounded by Config.GateWait), then forwards to the new
+	// owner. Clients see added latency, not errors.
+	GateQueue = "queue"
+	// GateReject answers 503 with Retry-After immediately — the documented
+	// migration window; clients retry and land on the new owner.
+	GateReject = "reject"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Nodes is the fleet's node base URLs (http://host:port). The ring is
+	// built over the set; order does not matter.
+	Nodes []string
+	// VNodes is the virtual-node count per node (default 64).
+	VNodes int
+	// Tenants is the tenant-ID space routed (default 4, matching the
+	// nodes' default).
+	Tenants int
+	// GatePolicy is GateQueue (default) or GateReject.
+	GatePolicy string
+	// GateWait bounds how long a queued request waits for a migration
+	// before giving up with 503 (default 15s).
+	GateWait time.Duration
+	// ReqTimeout bounds each proxied request (default 60s; batches ride
+	// the same budget).
+	ReqTimeout time.Duration
+	// Conns sizes the per-node connection pool (default 64).
+	Conns int
+}
+
+func (c *Config) fillDefaults() {
+	if c.VNodes == 0 {
+		c.VNodes = defaultVNodes
+	}
+	if c.Tenants == 0 {
+		c.Tenants = 4
+	}
+	if c.GatePolicy == "" {
+		c.GatePolicy = GateQueue
+	}
+	if c.GateWait == 0 {
+		c.GateWait = 15 * time.Second
+	}
+	if c.ReqTimeout == 0 {
+		c.ReqTimeout = 60 * time.Second
+	}
+	if c.Conns == 0 {
+		c.Conns = 64
+	}
+}
+
+// routeTable is the router's placement state, swapped whole through one
+// atomic pointer (copy-on-write): the proxy hot path does one load and no
+// locking; only the migration path (serialized by Router.migMu) publishes
+// new tables.
+type routeTable struct {
+	version   uint64
+	ring      *Ring
+	overrides map[int]string        // tenant → owner, where it differs from the ring
+	migrating map[int]chan struct{} // tenant → gate, closed when its migration ends
+}
+
+// owner resolves a tenant's current owner: explicit override first (the
+// migration history), ring placement otherwise.
+func (t *routeTable) owner(tenant int) string {
+	if addr, ok := t.overrides[tenant]; ok {
+		return addr
+	}
+	return t.ring.Owner(tenant)
+}
+
+// Router proxies client I/O to each tenant's owner node and executes
+// tenant migrations. It is the fleet's only writer of placement state;
+// nodes stay ignorant of each other.
+type Router struct {
+	cfg     Config
+	client  *http.Client
+	table   atomic.Pointer[routeTable]
+	met     metrics
+	members *Membership // optional; enriches /fleet/status and /metrics
+
+	// migMu serializes migrations: one tenant moves at a time, so the
+	// drain/handoff/flip sequence never interleaves with another move of
+	// the same (or any) tenant.
+	migMu sync.Mutex
+}
+
+// NewRouter builds a router over the given fleet. The ring is constructed
+// once; placement changes only through Migrate's overrides.
+func NewRouter(cfg Config) (*Router, error) {
+	cfg.fillDefaults()
+	ring, err := NewRing(cfg.Nodes, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.GatePolicy != GateQueue && cfg.GatePolicy != GateReject {
+		return nil, fmt.Errorf("fleet: unknown gate policy %q", cfg.GatePolicy)
+	}
+	r := &Router{
+		cfg: cfg,
+		client: &http.Client{
+			Timeout: cfg.ReqTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Conns * len(ring.Nodes()),
+				MaxIdleConnsPerHost: cfg.Conns,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	r.table.Store(&routeTable{
+		version:   1,
+		ring:      ring,
+		overrides: map[int]string{},
+		migrating: map[int]chan struct{}{},
+	})
+	return r, nil
+}
+
+// SetMembership attaches a prober whose snapshots enrich /fleet/status and
+// /metrics. Call before serving.
+func (r *Router) SetMembership(m *Membership) { r.members = m }
+
+// publish swaps in a new route table derived from the current one. Caller
+// must hold migMu (handlers only ever read the table).
+func (r *Router) publish(mutate func(*routeTable)) *routeTable {
+	cur := r.table.Load()
+	next := &routeTable{
+		version:   cur.version + 1,
+		ring:      cur.ring,
+		overrides: make(map[int]string, len(cur.overrides)),
+		migrating: make(map[int]chan struct{}, len(cur.migrating)),
+	}
+	for k, v := range cur.overrides {
+		next.overrides[k] = v
+	}
+	for k, v := range cur.migrating {
+		next.migrating[k] = v
+	}
+	mutate(next)
+	r.table.Store(next)
+	return next
+}
+
+// Owner returns the tenant's current owner node.
+func (r *Router) Owner(tenant int) string { return r.table.Load().owner(tenant) }
+
+// resolve returns the tenant's owner once any in-flight migration of that
+// tenant has been dealt with per the gate policy. A nil error with an empty
+// address never happens; a gate rejection returns errMigrating.
+var errMigrating = fmt.Errorf("fleet: tenant migrating")
+
+func (r *Router) resolve(tenant int) (string, error) {
+	deadline := time.Now().Add(r.cfg.GateWait)
+	for {
+		tab := r.table.Load()
+		gate, mig := tab.migrating[tenant]
+		if !mig {
+			return tab.owner(tenant), nil
+		}
+		if r.cfg.GatePolicy == GateReject {
+			r.met.gateRejects.Add(1)
+			return "", errMigrating
+		}
+		r.met.gateWaits.Add(1)
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			r.met.gateRejects.Add(1)
+			return "", errMigrating
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-gate:
+			t.Stop()
+			// Re-load the table: the migration published a new owner.
+		case <-t.C:
+			r.met.gateRejects.Add(1)
+			return "", errMigrating
+		}
+	}
+}
+
+// Handler returns the router's HTTP surface: the proxied data plane
+// (/io, /io/batch), the fleet control plane (/fleet/status, /fleet/migrate),
+// and the usual /metrics, /healthz, /readyz.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/io", r.handleIO)
+	mux.HandleFunc("/io/batch", r.handleBatch)
+	mux.HandleFunc("/fleet/status", r.handleStatus)
+	mux.HandleFunc("/fleet/migrate", r.handleMigrate)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WriteMetrics(w)
+	})
+	ok := func(w http.ResponseWriter, req *http.Request) { fmt.Fprintln(w, "ok") }
+	mux.HandleFunc("/healthz", ok)
+	// The router holds no device state; it is ready as soon as it routes.
+	mux.HandleFunc("/readyz", ok)
+	return mux
+}
+
+func writeGateReject(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "tenant migrating", http.StatusServiceUnavailable)
+}
+
+// handleIO proxies one JSON request to its tenant's owner. The body is
+// decoded only to learn the tenant, then forwarded verbatim. A 503
+// "migrating" answer from a node that gated the tenant under our feet is
+// retried through resolve (the request never reached a device, so the
+// retry cannot duplicate work).
+func (r *Router) handleIO(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sreq, err := serve.DecodeJSONRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if sreq.Tenant < 0 || sreq.Tenant >= r.cfg.Tenants {
+		http.Error(w, fmt.Sprintf("tenant %d outside [0,%d)", sreq.Tenant, r.cfg.Tenants), http.StatusBadRequest)
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		owner, err := r.resolve(sreq.Tenant)
+		if err != nil {
+			writeGateReject(w)
+			return
+		}
+		resp, err := r.client.Post(owner+"/io", "application/json", bytes.NewReader(body))
+		if err != nil {
+			r.met.proxyErrs.Add(1)
+			http.Error(w, fmt.Sprintf("upstream %s: %v", owner, err), http.StatusBadGateway)
+			return
+		}
+		respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		r.met.proxied.Add(1)
+		if resp.StatusCode == http.StatusServiceUnavailable &&
+			strings.Contains(string(respBody), "migrating") &&
+			r.cfg.GatePolicy == GateQueue && attempt < 4 {
+			// The node gated this tenant between our table load and the
+			// forward; wait the migration out and retry at the new owner.
+			continue
+		}
+		for _, h := range []string{"Content-Type", "Retry-After"} {
+			if v := resp.Header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(respBody)
+		return
+	}
+}
+
+// handleBatch proxies a line-protocol batch, splitting it by owner node.
+// Lines keep their positions: the batch is scattered into per-owner
+// sub-batches (preserving relative order, which fixes each sub-batch's
+// reply order), forwarded concurrently, and the replies are gathered back
+// into one response in the original line order.
+func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	type lineRoute struct {
+		line  string
+		owner string // "" for locally rejected lines
+		reply string
+	}
+	var lines []lineRoute
+	owners := map[string][]int{} // owner → indexes of its lines
+	sc := bufio.NewScanner(http.MaxBytesReader(w, req.Body, 4<<20))
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	for sc.Scan() {
+		raw := sc.Text()
+		if len(raw) == 0 {
+			continue
+		}
+		sreq, err := serve.DecodeLine(raw)
+		if err != nil {
+			lines = append(lines, lineRoute{line: raw, reply: "rej invalid"})
+			continue
+		}
+		if sreq.Tenant < 0 || sreq.Tenant >= r.cfg.Tenants {
+			lines = append(lines, lineRoute{line: raw, reply: "rej invalid"})
+			continue
+		}
+		owner, err := r.resolve(sreq.Tenant)
+		if err != nil {
+			r.met.gateRejects.Add(1)
+			lines = append(lines, lineRoute{line: raw, reply: "rej migrating"})
+			continue
+		}
+		idx := len(lines)
+		lines = append(lines, lineRoute{line: raw, owner: owner})
+		owners[owner] = append(owners[owner], idx)
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	var wg sync.WaitGroup
+	for owner, idxs := range owners {
+		wg.Add(1)
+		go func(owner string, idxs []int) {
+			defer wg.Done()
+			var sb strings.Builder
+			for _, i := range idxs {
+				sb.WriteString(lines[i].line)
+				sb.WriteByte('\n')
+			}
+			resp, err := r.client.Post(owner+"/io/batch", "text/plain", strings.NewReader(sb.String()))
+			if err != nil {
+				r.met.proxyErrs.Add(1)
+				for _, i := range idxs {
+					lines[i].reply = "rej upstream"
+				}
+				return
+			}
+			defer resp.Body.Close()
+			r.met.proxied.Add(uint64(len(idxs)))
+			if resp.StatusCode != http.StatusOK {
+				io.Copy(io.Discard, resp.Body)
+				for _, i := range idxs {
+					lines[i].reply = "rej upstream"
+				}
+				return
+			}
+			rs := bufio.NewScanner(resp.Body)
+			rs.Buffer(make([]byte, 64<<10), 64<<10)
+			at := 0
+			for rs.Scan() && at < len(idxs) {
+				lines[idxs[at]].reply = rs.Text()
+				at++
+			}
+			for ; at < len(idxs); at++ {
+				lines[idxs[at]].reply = "rej upstream"
+			}
+		}(owner, idxs)
+	}
+	wg.Wait()
+
+	w.Header().Set("Content-Type", "text/plain")
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	for i := range lines {
+		bw.WriteString(lines[i].reply)
+		bw.WriteByte('\n')
+	}
+}
+
+// statusReply is /fleet/status's JSON document.
+type statusReply struct {
+	Nodes       []string          `json:"nodes"`
+	RingVersion uint64            `json:"ring_version"`
+	Tenants     map[string]string `json:"tenants"` // tenant → owner
+	Migrating   []int             `json:"migrating,omitempty"`
+	Ready       map[string]bool   `json:"ready,omitempty"`
+	Migrations  map[string]uint64 `json:"migrations"`
+}
+
+func (r *Router) handleStatus(w http.ResponseWriter, req *http.Request) {
+	tab := r.table.Load()
+	st := statusReply{
+		Nodes:       tab.ring.Nodes(),
+		RingVersion: tab.version,
+		Tenants:     map[string]string{},
+		Migrations: map[string]uint64{
+			"started":   r.met.migStarted.Load(),
+			"completed": r.met.migCompleted.Load(),
+			"aborted":   r.met.migAborted.Load(),
+		},
+	}
+	for t := 0; t < r.cfg.Tenants; t++ {
+		st.Tenants[strconv.Itoa(t)] = tab.owner(t)
+	}
+	for t := range tab.migrating {
+		st.Migrating = append(st.Migrating, t)
+	}
+	if r.members != nil {
+		st.Ready = map[string]bool{}
+		for _, ns := range r.members.Snapshot() {
+			st.Ready[ns.Addr] = ns.Ready
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// handleMigrate is the fleet's admin lever: POST /fleet/migrate?tenant=N&to=URL
+// moves a tenant to an explicit node. The rebalancer uses Migrate directly.
+func (r *Router) handleMigrate(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	tenant, err := strconv.Atoi(req.URL.Query().Get("tenant"))
+	if err != nil || tenant < 0 || tenant >= r.cfg.Tenants {
+		http.Error(w, "tenant: integer in range required", http.StatusBadRequest)
+		return
+	}
+	target := req.URL.Query().Get("to")
+	if err := r.Migrate(tenant, target); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	fmt.Fprintf(w, "tenant %d → %s\n", tenant, target)
+}
+
+// Migrate moves one tenant to the target node, live:
+//
+//  1. gate — publish the tenant as MIGRATING; new requests queue at the
+//     router (or 503 per policy) while everything already admitted at the
+//     source completes normally;
+//  2. drain — POST source /tenant/drain quiesces the tenant's queues across
+//     the source's shards and returns its dispatched-record log;
+//  3. handoff — POST target /tenant/handoff replays the log there, so the
+//     tenant's device footprint exists on the target before traffic does;
+//  4. flip — publish the ring override and close the gate: queued requests
+//     proceed to the new owner;
+//  5. release — POST source /tenant/release reopens the source gate
+//     (harmless; nothing routes there anymore).
+//
+// The drain completes (never discards) admitted work and the replay
+// produces no client completions, so a migration loses nothing and
+// duplicates nothing — the property the migration race test and the fleet
+// smoke assert.
+func (r *Router) Migrate(tenant int, target string) error {
+	if tenant < 0 || tenant >= r.cfg.Tenants {
+		return fmt.Errorf("fleet: tenant %d outside [0,%d)", tenant, r.cfg.Tenants)
+	}
+	r.migMu.Lock()
+	defer r.migMu.Unlock()
+
+	tab := r.table.Load()
+	valid := false
+	for _, n := range tab.ring.Nodes() {
+		if n == target {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return fmt.Errorf("fleet: %q is not a fleet node", target)
+	}
+	source := tab.owner(tenant)
+	if source == target {
+		return nil
+	}
+
+	start := time.Now()
+	r.met.migStarted.Add(1)
+	gate := make(chan struct{})
+	r.publish(func(t *routeTable) { t.migrating[tenant] = gate })
+
+	abort := func(err error) error {
+		r.publish(func(t *routeTable) { delete(t.migrating, tenant) })
+		close(gate)
+		r.met.migAborted.Add(1)
+		return err
+	}
+
+	drainResp, err := r.client.Post(
+		fmt.Sprintf("%s/tenant/drain?tenant=%d", source, tenant), "", nil)
+	if err != nil {
+		return abort(fmt.Errorf("fleet: drain on %s: %w", source, err))
+	}
+	drainBody, _ := io.ReadAll(io.LimitReader(drainResp.Body, 1<<30))
+	drainResp.Body.Close()
+	if drainResp.StatusCode != http.StatusOK {
+		return abort(fmt.Errorf("fleet: drain on %s: %s: %s",
+			source, drainResp.Status, strings.TrimSpace(string(drainBody))))
+	}
+
+	handResp, err := r.client.Post(
+		fmt.Sprintf("%s/tenant/handoff?tenant=%d", target, tenant),
+		"application/json", bytes.NewReader(drainBody))
+	if err == nil {
+		io.Copy(io.Discard, io.LimitReader(handResp.Body, 1<<20))
+		handResp.Body.Close()
+		if handResp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("fleet: handoff on %s: %s", target, handResp.Status)
+		}
+	} else {
+		err = fmt.Errorf("fleet: handoff on %s: %w", target, err)
+	}
+	if err != nil {
+		// Roll back: reopen the source so the tenant keeps serving where
+		// its state still lives.
+		r.release(source, tenant)
+		return abort(err)
+	}
+
+	r.publish(func(t *routeTable) {
+		t.overrides[tenant] = target
+		delete(t.migrating, tenant)
+	})
+	close(gate)
+	// Best-effort: the source's gate no longer matters for routing, but an
+	// open gate keeps its /readyz honest.
+	r.release(source, tenant)
+	r.met.migCompleted.Add(1)
+	r.met.handoffNS.Add(time.Since(start).Nanoseconds())
+	return nil
+}
+
+// release reopens a node's tenant gate, best-effort.
+func (r *Router) release(node string, tenant int) {
+	resp, err := r.client.Post(
+		fmt.Sprintf("%s/tenant/release?tenant=%d", node, tenant), "", nil)
+	if err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}
+}

@@ -170,6 +170,18 @@ func (c *Controller) Observe(now sim.Time, r trace.Record) {
 // the controller so adaptation epochs track time, not just arrivals.
 func (c *Controller) Tick(now sim.Time) { c.advance(now) }
 
+// DetachTenant removes a departing tenant's contributions from the current
+// feature window: after a tenant-granular drain the workload is gone, and
+// the next adaptation epoch must not re-bind channels on its ghost
+// features. Subsequent Observes for other tenants proceed normally.
+func (c *Controller) DetachTenant(tenant int) { c.col.ClearTenant(tenant) }
+
+// AttachTenant (re)admits a tenant to feature collection after a handoff
+// replay seats it here. The collector counts whatever arrives, so attaching
+// only clears any stale window contributions — the tenant starts its life
+// on this device with a clean feature slate.
+func (c *Controller) AttachTenant(tenant int) { c.col.ClearTenant(tenant) }
+
 // Err returns the first prediction or re-binding failure; once set the
 // controller stops adapting and observing.
 func (c *Controller) Err() error { return c.err }

@@ -24,19 +24,30 @@ import (
 //	                "ok <latency_ns>" | "rej <reason>"
 //	POST /model/reload  hot-swap the active (or shadow) policy from the
 //	                checkpoint registry; see reload.go for the protocol
+//	POST /tenant/drain?tenant=N    quiesce one tenant; → 200 TenantDrain JSON
+//	POST /tenant/handoff?tenant=N  replay a TenantDrain's records here
+//	POST /tenant/release?tenant=N  reopen a parked tenant's gate
 //	GET  /metrics   Prometheus text exposition
-//	GET  /healthz   "ok" | 503 "draining"/device error
+//	GET  /healthz   liveness: "ok" | 503 "draining"/device error
+//	GET  /readyz    readiness: "ok" | 503 while draining, poisoned, or a
+//	                tenant handoff is in flight (fleet membership polls this)
 //	     /debug/pprof/*  standard profiles
 //
 // Backpressure: a full tenant queue answers 429 with a Retry-After hint; a
-// draining server answers 503. Each request runs under the server's request
-// timeout (Handler's reqTimeout), so a stalled pacer cannot strand clients.
+// draining server answers 503, and so does a migrating tenant (the fleet
+// router retries once the migration completes). Each request runs under the
+// server's request timeout (Handler's reqTimeout), so a stalled pacer
+// cannot strand clients.
 
 // maxBodyBytes bounds request bodies; a batch of maxBatchLines maximal
 // lines fits comfortably.
 const (
 	maxBodyBytes  = 4 << 20
 	maxBatchLines = 65536
+	// maxHandoffBytes bounds a tenant-handoff body; a record log is ~100
+	// bytes per dispatched request as JSON, so this covers long-lived
+	// tenants without letting a bad client exhaust memory.
+	maxHandoffBytes = 256 << 20
 )
 
 // retryAfterSeconds is the backoff hint sent with 429/503. One second spans
@@ -67,6 +78,21 @@ func (s *Server) Handler(reqTimeout time.Duration) http.Handler {
 			fmt.Fprintln(w, "ok")
 		}
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case s.Err() != nil:
+			http.Error(w, fmt.Sprintf("device error: %v", s.Err()), http.StatusServiceUnavailable)
+		case s.Draining():
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case !s.Ready():
+			http.Error(w, "tenant handoff in flight", http.StatusServiceUnavailable)
+		default:
+			fmt.Fprintln(w, "ok")
+		}
+	})
+	mux.HandleFunc("/tenant/drain", s.handleTenantDrain)
+	mux.HandleFunc("/tenant/handoff", s.handleTenantHandoff)
+	mux.HandleFunc("/tenant/release", s.handleTenantRelease)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -80,7 +106,7 @@ func rejectStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrTenantMigrating):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrCanceled):
 		return http.StatusGatewayTimeout
@@ -213,11 +239,100 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, reqTimeout 
 	}
 }
 
+// tenantParam parses the required ?tenant=N query parameter.
+func tenantParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return 0, false
+	}
+	t, err := strconv.Atoi(r.URL.Query().Get("tenant"))
+	if err != nil {
+		http.Error(w, "tenant: integer required", http.StatusBadRequest)
+		return 0, false
+	}
+	return t, true
+}
+
+// tenantErrStatus maps a tenant-lifecycle error onto an HTTP status: the
+// admission statuses where they apply, 409 for gate-state conflicts (already
+// migrating, not parked, log disabled) so the fleet router can tell a
+// retryable condition from a protocol misuse.
+func tenantErrStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrTenantMigrating), errors.Is(err, ErrNoTenantLog):
+		return http.StatusConflict
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusConflict
+	}
+}
+
+func (s *Server) handleTenantDrain(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := tenantParam(w, r)
+	if !ok {
+		return
+	}
+	td, err := s.DrainTenant(tenant)
+	if err != nil {
+		http.Error(w, err.Error(), tenantErrStatus(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(td)
+}
+
+// handoffReply reports how many records a handoff replayed.
+type handoffReply struct {
+	Tenant   int `json:"tenant"`
+	Replayed int `json:"replayed"`
+}
+
+func (s *Server) handleTenantHandoff(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := tenantParam(w, r)
+	if !ok {
+		return
+	}
+	// The body is a TenantDrain (as /tenant/drain produced it) or any JSON
+	// object with a "records" array.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxHandoffBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var td TenantDrain
+	if err := json.Unmarshal(body, &td); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	done, err := s.ReplayTenant(tenant, td.Records)
+	if err != nil {
+		http.Error(w, err.Error(), tenantErrStatus(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(handoffReply{Tenant: tenant, Replayed: done})
+}
+
+func (s *Server) handleTenantRelease(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := tenantParam(w, r)
+	if !ok {
+		return
+	}
+	if err := s.ReleaseTenant(tenant); err != nil {
+		http.Error(w, err.Error(), tenantErrStatus(err))
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
 // rejectReason renders the compact reason token of the line protocol.
 func rejectReason(err error) string {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return "queue_full"
+	case errors.Is(err, ErrTenantMigrating):
+		return "migrating"
 	case errors.Is(err, ErrDraining):
 		return "draining"
 	case errors.Is(err, ErrCanceled):

@@ -20,9 +20,9 @@ import (
 // inside its own goroutine (one mailbox round trip), handler-side counters
 // are atomics, and the writer — possibly a slow scraper — is fed entirely
 // from the copies. A stalled /metrics client can no longer stall admission.
-func (s *Server) WriteMetrics(w io.Writer) {
-	snaps := make([]*shardSnapshot, len(s.shards))
-	for i, sd := range s.shards {
+func (n *Node) WriteMetrics(w io.Writer) {
+	snaps := make([]*shardSnapshot, len(n.shards))
+	for i, sd := range n.shards {
 		if r, ok := sd.send(msgSnapshot); ok {
 			snaps[i] = r.snap
 		} else {
@@ -33,14 +33,14 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP ssdkeeper_up Whether the server is accepting requests.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_up gauge\n")
 	up := 1
-	if s.draining.Load() || s.Err() != nil {
+	if n.draining.Load() || n.Err() != nil {
 		up = 0
 	}
 	fmt.Fprintf(w, "ssdkeeper_up %d\n", up)
 
 	fmt.Fprintf(w, "# HELP ssdkeeper_shards Independent device shards serving.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_shards gauge\n")
-	fmt.Fprintf(w, "ssdkeeper_shards %d\n", len(s.shards))
+	fmt.Fprintf(w, "ssdkeeper_shards %d\n", len(n.shards))
 
 	var simNow sim.Time
 	for _, snap := range snaps {
@@ -53,9 +53,9 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "ssdkeeper_sim_seconds %g\n", float64(simNow)/1e9)
 	fmt.Fprintf(w, "# HELP ssdkeeper_accel Simulated nanoseconds per wall nanosecond.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_accel gauge\n")
-	fmt.Fprintf(w, "ssdkeeper_accel %g\n", s.cfg.Accel)
+	fmt.Fprintf(w, "ssdkeeper_accel %g\n", n.cfg.Accel)
 
-	if len(s.shards) > 1 {
+	if len(n.shards) > 1 {
 		fmt.Fprintf(w, "# HELP ssdkeeper_shard_sim_seconds Simulated time elapsed per shard.\n")
 		fmt.Fprintf(w, "# TYPE ssdkeeper_shard_sim_seconds gauge\n")
 		for i, snap := range snaps {
@@ -67,63 +67,78 @@ func (s *Server) WriteMetrics(w io.Writer) {
 
 	fmt.Fprintf(w, "# HELP ssdkeeper_admitted_total Requests admitted, by tenant and op.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_admitted_total counter\n")
-	for t := 0; t < s.cfg.Tenants; t++ {
+	for t := 0; t < n.cfg.Tenants; t++ {
 		for op, name := range ops {
-			var n uint64
-			for _, sd := range s.shards {
-				n += sd.tenants[t].admitted[op].Load()
+			var total uint64
+			for _, sd := range n.shards {
+				total += sd.tenants[t].admitted[op].Load()
 			}
-			fmt.Fprintf(w, "ssdkeeper_admitted_total{tenant=\"%d\",op=\"%s\"} %d\n", t, name, n)
+			fmt.Fprintf(w, "ssdkeeper_admitted_total{tenant=\"%d\",op=\"%s\"} %d\n", t, name, total)
 		}
 	}
 	fmt.Fprintf(w, "# HELP ssdkeeper_completed_total Requests completed, by tenant and op.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_completed_total counter\n")
-	for t := 0; t < s.cfg.Tenants; t++ {
+	for t := 0; t < n.cfg.Tenants; t++ {
 		for op, name := range ops {
-			var n uint64
+			var total uint64
 			for _, snap := range snaps {
-				n += snap.tenants[t].completed[op]
+				total += snap.tenants[t].completed[op]
 			}
-			fmt.Fprintf(w, "ssdkeeper_completed_total{tenant=\"%d\",op=\"%s\"} %d\n", t, name, n)
+			fmt.Fprintf(w, "ssdkeeper_completed_total{tenant=\"%d\",op=\"%s\"} %d\n", t, name, total)
 		}
 	}
 
 	fmt.Fprintf(w, "# HELP ssdkeeper_rejected_total Requests rejected, by reason.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_rejected_total counter\n")
 	var full, canceled uint64
-	for _, sd := range s.shards {
+	for _, sd := range n.shards {
 		for t := range sd.tenants {
 			full += sd.tenants[t].rejFull.Load()
 			canceled += sd.tenants[t].canceled.Load()
 		}
 	}
 	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"queue_full\"} %d\n", full)
-	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"draining\"} %d\n", s.rejDrain.Load())
-	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"invalid\"} %d\n", s.rejBad.Load())
+	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"draining\"} %d\n", n.rejDrain.Load())
+	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"invalid\"} %d\n", n.rejBad.Load())
 	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"canceled\"} %d\n", canceled)
+	fmt.Fprintf(w, "ssdkeeper_rejected_total{reason=\"migrating\"} %d\n", n.rejMigr.Load())
+
+	fmt.Fprintf(w, "# HELP ssdkeeper_tenants_parked Tenants whose admission gate is shut for drain/handoff.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_tenants_parked gauge\n")
+	fmt.Fprintf(w, "ssdkeeper_tenants_parked %d\n", n.parked.Load())
+
+	fmt.Fprintf(w, "# HELP ssdkeeper_replayed_total Handoff records re-dispatched into this node, by tenant.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_replayed_total counter\n")
+	for t := 0; t < n.cfg.Tenants; t++ {
+		var total uint64
+		for _, snap := range snaps {
+			total += snap.tenants[t].replayed
+		}
+		fmt.Fprintf(w, "ssdkeeper_replayed_total{tenant=\"%d\"} %d\n", t, total)
+	}
 
 	fmt.Fprintf(w, "# HELP ssdkeeper_queue_length Requests waiting for device capacity.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_queue_length gauge\n")
-	for t := 0; t < s.cfg.Tenants; t++ {
-		n := 0
+	for t := 0; t < n.cfg.Tenants; t++ {
+		total := 0
 		for _, snap := range snaps {
-			n += snap.tenants[t].queued
+			total += snap.tenants[t].queued
 		}
-		fmt.Fprintf(w, "ssdkeeper_queue_length{tenant=\"%d\"} %d\n", t, n)
+		fmt.Fprintf(w, "ssdkeeper_queue_length{tenant=\"%d\"} %d\n", t, total)
 	}
 	fmt.Fprintf(w, "# HELP ssdkeeper_inflight Requests inside the devices.\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_inflight gauge\n")
-	for t := 0; t < s.cfg.Tenants; t++ {
-		n := 0
+	for t := 0; t < n.cfg.Tenants; t++ {
+		total := 0
 		for _, snap := range snaps {
-			n += snap.tenants[t].inflight
+			total += snap.tenants[t].inflight
 		}
-		fmt.Fprintf(w, "ssdkeeper_inflight{tenant=\"%d\"} %d\n", t, n)
+		fmt.Fprintf(w, "ssdkeeper_inflight{tenant=\"%d\"} %d\n", t, total)
 	}
 
 	fmt.Fprintf(w, "# HELP ssdkeeper_latency_seconds Simulated response latency summary (queue wait included).\n")
 	fmt.Fprintf(w, "# TYPE ssdkeeper_latency_seconds summary\n")
-	for t := 0; t < s.cfg.Tenants; t++ {
+	for t := 0; t < n.cfg.Tenants; t++ {
 		for op, name := range ops {
 			var h stats.Histogram
 			for _, snap := range snaps {
@@ -148,7 +163,7 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		}
 	}
 
-	if s.shards[0].ctrl != nil {
+	if n.shards[0].ctrl != nil {
 		switches := 0
 		var last keeper.Switch
 		hasLast := false
@@ -168,8 +183,8 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		// follows at each shard's next adaptation epoch.
 		fmt.Fprintf(w, "# HELP ssdkeeper_model_info Published policy versions (value is always 1).\n")
 		fmt.Fprintf(w, "# TYPE ssdkeeper_model_info gauge\n")
-		fmt.Fprintf(w, "ssdkeeper_model_info{role=\"active\",version=%q} 1\n", s.ksrc.Active().Version())
-		if sh := s.ksrc.Shadow(); sh != nil {
+		fmt.Fprintf(w, "ssdkeeper_model_info{role=\"active\",version=%q} 1\n", n.ksrc.Active().Version())
+		if sh := n.ksrc.Shadow(); sh != nil {
 			fmt.Fprintf(w, "ssdkeeper_model_info{role=\"shadow\",version=%q} 1\n", sh.Version())
 		}
 		fmt.Fprintf(w, "# HELP ssdkeeper_shard_model_version Policy version applied at each shard's last adaptation epoch.\n")
@@ -193,7 +208,7 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP ssdkeeper_keeper_switches_total Online channel re-allocations performed (all shards).\n")
 		fmt.Fprintf(w, "# TYPE ssdkeeper_keeper_switches_total counter\n")
 		fmt.Fprintf(w, "ssdkeeper_keeper_switches_total %d\n", switches)
-		if len(s.shards) > 1 {
+		if len(n.shards) > 1 {
 			fmt.Fprintf(w, "# HELP ssdkeeper_shard_keeper_switches_total Online channel re-allocations per shard.\n")
 			fmt.Fprintf(w, "# TYPE ssdkeeper_shard_keeper_switches_total counter\n")
 			for i, snap := range snaps {
@@ -204,7 +219,7 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			fmt.Fprintf(w, "# HELP ssdkeeper_keeper_strategy Strategy index chosen by the last adaptation epoch.\n")
 			fmt.Fprintf(w, "# TYPE ssdkeeper_keeper_strategy gauge\n")
 			fmt.Fprintf(w, "ssdkeeper_keeper_strategy{name=%q} %d\n",
-				last.Strategy.Name(s.cfg.Device.Channels), last.Index)
+				last.Strategy.Name(n.cfg.Device.Channels), last.Index)
 			fmt.Fprintf(w, "# HELP ssdkeeper_keeper_last_switch_sim_seconds Simulated time of the last re-allocation.\n")
 			fmt.Fprintf(w, "# TYPE ssdkeeper_keeper_last_switch_sim_seconds gauge\n")
 			fmt.Fprintf(w, "ssdkeeper_keeper_last_switch_sim_seconds %g\n", float64(last.At)/1e9)

@@ -1,12 +1,12 @@
 // Package serve is the serving layer: a long-running multi-tenant SSD
-// service sharded over independent simulated devices. Tenants submit I/O
-// over HTTP (JSON, or a compact line protocol for load generators);
-// requests route to a shard by stable hash, are admitted through bounded
-// per-tenant queues into that shard's device, whose clock is paced against
-// wall time by a configurable acceleration factor; and the keeper runs
-// online per shard — a sliding-window feature collector fed by live
-// arrivals drives periodic ANN inference and epoch-based channel
-// reallocation on each shard's device independently.
+// service sharded over independent simulated devices. It is split into two
+// layers. The transport-free node core (Node, node.go) owns the shard set,
+// admission, the online keeper controllers, and the per-tenant lifecycle —
+// including tenant-granular drain and handoff replay, the primitives the
+// fleet tier (internal/fleet) composes into live migration. The thin front
+// end (Server, http.go) binds a node to HTTP: tenants submit I/O as JSON or
+// a compact line protocol, and the same binding lets another process (a
+// fleet router, a load generator) drive the node remotely.
 //
 // Concurrency model: a simulation engine is single-goroutine by design, so
 // each shard runs one goroutine that owns its engine, device, controller,
@@ -35,14 +35,11 @@ import (
 	"sync/atomic"
 	"time"
 
-	"ssdkeeper/internal/ftl"
 	"ssdkeeper/internal/keeper"
 	"ssdkeeper/internal/nand"
-	"ssdkeeper/internal/policy"
 	"ssdkeeper/internal/sim"
 	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
-	"ssdkeeper/internal/stats"
 )
 
 // Admission and lifecycle errors, mapped onto HTTP statuses by the handler
@@ -55,9 +52,14 @@ var (
 	ErrDraining = errors.New("serve: draining")
 	// ErrCanceled means the client gave up before completion.
 	ErrCanceled = errors.New("serve: request canceled")
+	// ErrTenantMigrating means the tenant's admission gate is closed for a
+	// drain/handoff: the tenant is being (or has been) migrated off this
+	// node. Clients should retry against the fleet router, which re-routes
+	// once the migration completes.
+	ErrTenantMigrating = errors.New("serve: tenant migrating")
 )
 
-// Config parameterizes a Server.
+// Config parameterizes a Node (and the Server wrapping it).
 type Config struct {
 	Device  nand.Config
 	Options ssd.Options
@@ -98,6 +100,12 @@ type Config struct {
 	// Now is the wall clock (default time.Now); tests inject a manual
 	// clock to make pacing deterministic.
 	Now func() time.Time
+	// DisableTenantLog turns off the per-tenant dispatched-record log.
+	// The log is what DrainTenant hands to a migration target (and what
+	// the drain==batch-replay invariant replays), so it is on by default;
+	// a standalone node that will never migrate tenants can disable it to
+	// cap memory at the cost of tenant-granular drain.
+	DisableTenantLog bool
 }
 
 func (c *Config) fillDefaults() {
@@ -175,180 +183,12 @@ type Pending struct {
 	done    chan outcome // buffered 1; filled exactly once
 }
 
-// Server is the serving core: a stable-hash router over ShardCount
-// independent shards. Build one with New, start pacing with Start, submit
-// with Submit (or the HTTP layer in http.go), and stop it with Drain.
-type Server struct {
-	cfg    Config
-	epoch  time.Time // wall anchor of sim time zero, shared by all shards
-	shards []*shard
-
-	started atomic.Bool
-	startc  chan struct{} // closed by Start; shards arm their pacers on it
-
-	draining atomic.Bool
-	rejBad   atomic.Uint64
-	rejDrain atomic.Uint64
-
-	// ksrc is the keeper's policy source (nil without a keeper): /metrics
-	// reads the published active/shadow versions from it, and the reload
-	// surface swaps providers through it.
-	ksrc     *policy.Source
-	reloadMu sync.Mutex
-	reloader Reloader
-
-	errMu     sync.Mutex
-	submitErr error // first device submit failure; poisons the server
-
-	drainMu  sync.Mutex
-	drained  bool
-	perShard []ssd.Result
-	merged   ssd.Result
-}
-
-// New builds a server over ShardCount fresh seasoned shards. k (may be nil)
-// enables the online keeper — one controller per shard over the shared
-// model; its device geometry must match cfg.Device so channel strategies
-// bind onto the same channel count.
-func New(cfg Config, k *keeper.Keeper) (*Server, error) {
-	cfg.fillDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if k != nil && k.Config().Device != cfg.Device {
-		return nil, fmt.Errorf("serve: keeper geometry %+v differs from server geometry %+v",
-			k.Config().Device, cfg.Device)
-	}
-	s := &Server{
-		cfg:    cfg,
-		epoch:  cfg.Now(), // sim time zero is the construction instant
-		startc: make(chan struct{}),
-	}
-	if k != nil {
-		s.ksrc = k.Source()
-	}
-	for i := 0; i < cfg.ShardCount; i++ {
-		sd, err := newShard(i, s, k)
-		if err != nil {
-			for _, prev := range s.shards {
-				prev.sendMu.Lock()
-				prev.closed = true
-				prev.sendMu.Unlock()
-				close(prev.stop)
-				<-prev.done
-			}
-			return nil, err
-		}
-		s.shards = append(s.shards, sd)
-	}
-	return s, nil
-}
-
-// Start arms the shard pacers. (Simulated time zero was anchored when the
-// server was built; an un-started server still paces correctly on every
-// entry point, it just never advances between requests on its own.)
-func (s *Server) Start() {
-	if s.started.CompareAndSwap(false, true) {
-		close(s.startc)
-	}
-}
-
-// wallSim maps a wall instant to its simulated time under the pacing model.
-func (s *Server) wallSim(t time.Time) sim.Time {
-	d := t.Sub(s.epoch)
-	if d < 0 {
-		return 0
-	}
-	return sim.Time(float64(d) * s.cfg.Accel)
-}
-
-// wallTarget is the simulated time the clock should be advanced to now.
-func (s *Server) wallTarget() sim.Time { return s.wallSim(s.cfg.Now()) }
-
-// wallUntil returns how far in the future (wall) the simulated instant at
-// is due; non-positive means already due.
-func (s *Server) wallUntil(at sim.Time) time.Duration {
-	due := s.epoch.Add(time.Duration(float64(at) / s.cfg.Accel))
-	return due.Sub(s.cfg.Now())
-}
-
-// poison records the first device submit failure for /healthz.
-func (s *Server) poison(err error) {
-	s.errMu.Lock()
-	if s.submitErr == nil {
-		s.submitErr = err
-	}
-	s.errMu.Unlock()
-}
-
-// ShardCount returns the number of shards serving.
-func (s *Server) ShardCount() int { return len(s.shards) }
-
-// ShardFor returns the shard index the request routes to: stable hash of
-// the tenant, mixed with the request key when one is set.
-func (s *Server) ShardFor(req Request) int {
-	return shardIndex(req.Tenant, req.Key, len(s.shards))
-}
-
-// SubmitAsync validates and admits a request, returning a handle to wait
-// on. Admission stamps the request with the current wall-derived simulated
-// time — it arrives "now" regardless of mailbox lag. Rejections
-// (validation, backpressure, draining) are synchronous errors: the bounded
-// slot is reserved with one atomic before the mailbox, so ErrQueueFull
-// never needs a shard round trip.
-func (s *Server) SubmitAsync(req Request) (*Pending, error) {
-	if err := req.Validate(s.cfg.Tenants, s.cfg.MaxBytes); err != nil {
-		s.rejBad.Add(1)
-		return nil, fmt.Errorf("serve: invalid request: %w", err)
-	}
-	if s.draining.Load() {
-		s.rejDrain.Add(1)
-		return nil, ErrDraining
-	}
-	s.errMu.Lock()
-	err := s.submitErr
-	s.errMu.Unlock()
-	if err != nil {
-		return nil, err
-	}
-	sd := s.shards[shardIndex(req.Tenant, req.Key, len(s.shards))]
-	ts := &sd.tenants[req.Tenant]
-	bound := int64(s.cfg.QueueDepth + s.cfg.QueueLen)
-	for {
-		n := ts.occupancy.Load()
-		if n >= bound {
-			ts.rejFull.Add(1)
-			return nil, ErrQueueFull
-		}
-		if ts.occupancy.CompareAndSwap(n, n+1) {
-			break
-		}
-	}
-	p := &Pending{
-		req:   req,
-		shard: sd,
-		stamp: s.wallTarget(),
-		done:  make(chan outcome, 1),
-	}
-	ts.admitted[req.Op].Add(1)
-	if !sd.enter() {
-		// The shard closed between the draining check and here.
-		ts.occupancy.Add(-1)
-		ts.admitted[req.Op].Add(^uint64(0))
-		s.rejDrain.Add(1)
-		return nil, ErrDraining
-	}
-	sd.mailbox <- shardMsg{kind: msgSubmit, p: p}
-	sd.leave()
-	return p, nil
-}
-
-// Wait blocks until the request completes, the server drains, or ctx ends.
+// Wait blocks until the request completes, the node drains, or ctx ends.
 // A context cancellation while the request is still queued frees its queue
 // slot synchronously; once in the device the simulated work always
 // completes (there is no abort in the device model) but the response is
 // abandoned.
-func (s *Server) Wait(ctx context.Context, p *Pending) (Response, error) {
+func (n *Node) Wait(ctx context.Context, p *Pending) (Response, error) {
 	select {
 	case out := <-p.done:
 		return out.resp, out.err
@@ -381,170 +221,30 @@ func (s *Server) Wait(ctx context.Context, p *Pending) (Response, error) {
 }
 
 // Submit admits a request and waits for its completion.
-func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
-	p, err := s.SubmitAsync(req)
+func (n *Node) Submit(ctx context.Context, req Request) (Response, error) {
+	p, err := n.SubmitAsync(req)
 	if err != nil {
 		return Response{}, err
 	}
-	return s.Wait(ctx, p)
+	return n.Wait(ctx, p)
 }
 
-// Drain stops admission, rejects everything still queued, completes all
-// in-flight device work on every shard (each shard's simulated time jumps
-// to its last completion), and stops the shard goroutines. It returns the
-// merged final device result; calling it twice returns the same snapshot.
-// The guarantee holds per shard: after Drain, every dispatched request has
-// been answered, every queued one was rejected with ErrDraining, and each
-// shard's device counters equal those of a batch replay of its dispatched
-// records (see DrainResults).
-func (s *Server) Drain() ssd.Result {
-	s.drainMu.Lock()
-	defer s.drainMu.Unlock()
-	if !s.drained {
-		s.draining.Store(true)
-		s.perShard = make([]ssd.Result, len(s.shards))
-		// The drain message queues FIFO behind in-flight submissions, so
-		// every admitted request is either dispatched or drain-rejected —
-		// never lost.
-		for i, sd := range s.shards {
-			if r, ok := sd.send(msgDrain); ok {
-				s.perShard[i] = r.res
-			}
-		}
-		for _, sd := range s.shards {
-			sd.sendMu.Lock()
-			sd.closed = true
-			sd.sendMu.Unlock()
-			close(sd.stop)
-			<-sd.done
-		}
-		s.merged = mergeResults(s.perShard)
-		s.drained = true
-	}
-	return s.merged
+// Server is the HTTP front end over a node core: the node plus the wire
+// surface (Handler) and the model-reload hook. Everything transport-free
+// lives on the embedded Node; Server adds only what binds it to clients.
+type Server struct {
+	*Node
+
+	reloadMu sync.Mutex
+	reloader Reloader
 }
 
-// DrainResults drains (if not already drained) and returns the per-shard
-// final results, indexed by shard. Shard i's result equals a batch replay
-// of the records ShardFor routed to it that reached its device.
-func (s *Server) DrainResults() []ssd.Result {
-	s.Drain()
-	s.drainMu.Lock()
-	defer s.drainMu.Unlock()
-	return append([]ssd.Result(nil), s.perShard...)
-}
-
-// mergeResults folds per-shard results into one serving-level summary:
-// counters and latency accumulators sum, makespan is the max (shards run
-// concurrently in wall time), bus/die stats concatenate in shard order, and
-// fairness is recomputed as Jain's index over the merged per-tenant totals.
-func mergeResults(rs []ssd.Result) ssd.Result {
-	if len(rs) == 0 {
-		return ssd.Result{}
+// New builds a server: a fresh node core wrapped in the HTTP front end.
+// See NewNode for the core's semantics.
+func New(cfg Config, k *keeper.Keeper) (*Server, error) {
+	n, err := NewNode(cfg, k)
+	if err != nil {
+		return nil, err
 	}
-	if len(rs) == 1 {
-		return rs[0]
-	}
-	var m ssd.Result
-	m.PerTenant = make(map[int]stats.Latency)
-	for _, r := range rs {
-		if r.Makespan > m.Makespan {
-			m.Makespan = r.Makespan
-		}
-		m.Requests += r.Requests
-		m.Device.Merge(r.Device)
-		for t, l := range r.PerTenant {
-			cur := m.PerTenant[t]
-			cur.Merge(l)
-			m.PerTenant[t] = cur
-		}
-		m.BusStats = append(m.BusStats, r.BusStats...)
-		m.DieStats = append(m.DieStats, r.DieStats...)
-		m.FTL = addFTL(m.FTL, r.FTL)
-		m.Conflicts += r.Conflicts
-		m.ConflictWait += r.ConflictWait
-	}
-	m.Fairness = jainFairness(m.PerTenant)
-	return m
-}
-
-func addFTL(a, b ftl.Counters) ftl.Counters {
-	a.Writes += b.Writes
-	a.Preloads += b.Preloads
-	a.Invalidations += b.Invalidations
-	a.GCRuns += b.GCRuns
-	a.GCMovedPages += b.GCMovedPages
-	a.GCErases += b.GCErases
-	a.WLRuns += b.WLRuns
-	a.WLMovedPages += b.WLMovedPages
-	a.Mapped += b.Mapped
-	return a
-}
-
-// jainFairness is Jain's index over the tenants' total latencies, the same
-// definition the device collector uses for a single shard.
-func jainFairness(per map[int]stats.Latency) float64 {
-	var sum, sumsq float64
-	n := 0
-	for _, l := range per {
-		x := float64(l.Read.Sum + l.Write.Sum)
-		sum += x
-		sumsq += x * x
-		n++
-	}
-	if n == 0 || sumsq == 0 {
-		return 1
-	}
-	return sum * sum / (float64(n) * sumsq)
-}
-
-// Draining reports whether Drain has begun.
-func (s *Server) Draining() bool { return s.draining.Load() }
-
-// Err returns the first device submit failure, if any (surfaced by
-// /healthz so orchestrators restart a poisoned server).
-func (s *Server) Err() error {
-	s.errMu.Lock()
-	defer s.errMu.Unlock()
-	return s.submitErr
-}
-
-// Device exposes shard 0's device for tests that inspect FTL state.
-func (s *Server) Device() *ssd.Device { return s.shards[0].dev }
-
-// Controller exposes shard 0's online keeper controller (nil without a
-// keeper). Tests drive a single-shard server through it; multi-shard
-// observability goes through the metrics snapshot.
-func (s *Server) Controller() *keeper.Controller { return s.shards[0].ctrl }
-
-// KeeperSwitches sums the online re-allocations across shards. Safe at any
-// time; after Drain it reads the frozen final snapshots.
-func (s *Server) KeeperSwitches() int {
-	total := 0
-	for _, sd := range s.shards {
-		if r, ok := sd.send(msgSnapshot); ok {
-			total += r.snap.switches
-		} else if sd.final != nil {
-			total += sd.final.switches
-		}
-	}
-	return total
-}
-
-// SimNow returns the current simulated time — the max across shards —
-// advancing each shard to the wall target first. The mailbox round trip
-// doubles as a barrier: every submission enqueued before this call has been
-// processed when it returns.
-func (s *Server) SimNow() sim.Time {
-	var now sim.Time
-	for _, sd := range s.shards {
-		r, ok := sd.send(msgAdvance)
-		if !ok {
-			r = shardReply{now: sd.final.simNow}
-		}
-		if r.now > now {
-			now = r.now
-		}
-	}
-	return now
+	return &Server{Node: n}, nil
 }

@@ -10,6 +10,7 @@ import (
 	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
 	"ssdkeeper/internal/stats"
+	"ssdkeeper/internal/trace"
 )
 
 // Per-shard actor model: each shard owns a complete serving stack — a
@@ -34,28 +35,48 @@ const (
 	stateResolved                // outcome delivered (or abandoned by cancel)
 )
 
+// Tenant gate states (Node.gates): the per-tenant admission lifecycle.
+// Draining marks a DrainTenant in progress; Parked means the tenant's
+// record log has been handed off and the gate stays shut until an explicit
+// release (or the tenant is re-seated here by a handoff replay).
+const (
+	tenantActive int32 = iota
+	tenantDraining
+	tenantParked
+)
+
 type msgKind uint8
 
 const (
-	msgSubmit   msgKind = iota // p: an admitted request
-	msgAdvance                 // advance to the wall target; reply sim now
-	msgSnapshot                // advance and reply a metrics snapshot
-	msgReap                    // p: canceled while queued; free its slot
-	msgDrain                   // reject queued, run dry, reply final result
+	msgSubmit        msgKind = iota // p: an admitted request
+	msgAdvance                      // advance to the wall target; reply sim now
+	msgSnapshot                     // advance and reply a metrics snapshot
+	msgReap                         // p: canceled while queued; free its slot
+	msgDrain                        // reject queued, run dry, reply final result
+	msgDrainTenant                  // quiesce one tenant; reply its record log
+	msgReplayTenant                 // replay a handoff record log for one tenant
+	msgReleaseTenant                // reopen one tenant's shard-side gate
 )
 
 // shardMsg is one mailbox entry. Submissions carry only p; control messages
-// carry a kind and a buffered reply channel.
+// carry a kind and a buffered reply channel; tenant-lifecycle messages add
+// the tenant (and, for replay, the handoff records).
 type shardMsg struct {
-	kind  msgKind
-	p     *Pending
-	reply chan shardReply
+	kind    msgKind
+	p       *Pending
+	tenant  int
+	records []trace.Record
+	reply   chan shardReply
 }
 
 type shardReply struct {
-	now  sim.Time
-	snap *shardSnapshot
-	res  ssd.Result
+	now      sim.Time
+	snap     *shardSnapshot
+	res      ssd.Result
+	records  []trace.Record
+	tenant   tenantSummary
+	replayed int
+	err      error
 }
 
 // tenantState is one tenant's serving state on one shard. The first group
@@ -74,13 +95,30 @@ type tenantState struct {
 	inflight  int
 	completed [2]uint64
 	hist      [2]stats.Histogram // sim response latency by op
+
+	// records is the tenant's dispatched-record log: every record that
+	// reached the device, at its admission-time arrival stamp, in dispatch
+	// order. It is what DrainTenant hands to a migration target, and what
+	// a batch replay consumes to reproduce this tenant's device footprint.
+	// Nil when Config.DisableTenantLog is set. Replayed handoff records
+	// are logged too (at their replay arrivals), so a re-migration carries
+	// the tenant's full history.
+	records []trace.Record
+	// replayed counts handoff records re-dispatched here; they are logged
+	// and counted as device requests but excluded from the serving
+	// latency histograms (their latency is replay mechanics, not service).
+	replayed uint64
+	// gated mirrors the node-level tenant gate inside the shard goroutine:
+	// set by drainTenant so any submission that raced past the handler's
+	// gate check is rejected, cleared by release/replay.
+	gated bool
 }
 
 // shard is one independent serving slice: device, engine, controller,
 // queues, goroutine.
 type shard struct {
-	id  int
-	srv *Server
+	id   int
+	node *Node
 
 	runner *simrun.Runner
 	dev    *ssd.Device
@@ -106,12 +144,12 @@ type shard struct {
 	finalRes   ssd.Result
 }
 
-func newShard(id int, srv *Server, k *keeper.Keeper) (*shard, error) {
-	runner := simrun.NewInstrumentedRunner(srv.cfg.Device)
+func newShard(id int, n *Node, k *keeper.Keeper) (*shard, error) {
+	runner := simrun.NewInstrumentedRunner(n.cfg.Device)
 	// Empty traits leave the device unbound — every tenant on all channels
 	// with static allocation — the state the online keeper adapts from.
 	sess, err := runner.NewSession(simrun.Config{
-		Device: srv.cfg.Device, Options: srv.cfg.Options, Season: srv.cfg.Season,
+		Device: n.cfg.Device, Options: n.cfg.Options, Season: n.cfg.Season,
 	})
 	if err != nil {
 		return nil, err
@@ -119,12 +157,12 @@ func newShard(id int, srv *Server, k *keeper.Keeper) (*shard, error) {
 	dev := sess.Device()
 	sd := &shard{
 		id:      id,
-		srv:     srv,
+		node:    n,
 		runner:  runner,
 		dev:     dev,
 		eng:     dev.Engine(),
-		tenants: make([]tenantState, srv.cfg.Tenants),
-		mailbox: make(chan shardMsg, srv.cfg.MailboxLen),
+		tenants: make([]tenantState, n.cfg.Tenants),
+		mailbox: make(chan shardMsg, n.cfg.MailboxLen),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -154,13 +192,19 @@ func (sd *shard) leave() { sd.sendMu.RUnlock() }
 // send delivers a control message and waits for the reply. ok is false when
 // the shard is already closed (post-drain).
 func (sd *shard) send(kind msgKind) (shardReply, bool) {
+	return sd.sendMsg(shardMsg{kind: kind})
+}
+
+// sendMsg delivers an arbitrary control message (filling in the reply
+// channel) and waits for the reply.
+func (sd *shard) sendMsg(msg shardMsg) (shardReply, bool) {
 	if !sd.enter() {
 		return shardReply{}, false
 	}
-	reply := make(chan shardReply, 1)
-	sd.mailbox <- shardMsg{kind: kind, reply: reply}
+	msg.reply = make(chan shardReply, 1)
+	sd.mailbox <- msg
 	sd.leave()
-	return <-reply, true
+	return <-msg.reply, true
 }
 
 // minWake floors the pacing timer so float rounding near a due event cannot
@@ -179,7 +223,7 @@ func (sd *shard) loop() {
 	// Pacing arms only once Start is called: an un-started server advances
 	// purely on messages, which keeps fake-clock tests deterministic.
 	paced := false
-	startc := sd.srv.startc
+	startc := sd.node.startc
 	for {
 		select {
 		case msg := <-sd.mailbox:
@@ -190,7 +234,7 @@ func (sd *shard) loop() {
 			paced = true
 		case <-timer.C:
 			if !sd.draining {
-				sd.advanceTo(sd.srv.wallTarget())
+				sd.advanceTo(sd.node.wallTarget())
 			}
 		case <-sd.stop:
 			sd.sweepMailbox()
@@ -205,7 +249,7 @@ func (sd *shard) loop() {
 // drainMailbox batches: having woken for one message, consume whatever else
 // is already queued (up to BatchMax) before going back to sleep.
 func (sd *shard) drainMailbox() {
-	for i := 1; i < sd.srv.cfg.BatchMax; i++ {
+	for i := 1; i < sd.node.cfg.BatchMax; i++ {
 		select {
 		case msg := <-sd.mailbox:
 			sd.handle(msg)
@@ -233,9 +277,9 @@ func (sd *shard) sweepMailbox() {
 // time and one pacer tick (keeper epoch boundaries are not engine events,
 // so the tick cap keeps adaptation tracking time across idle gaps).
 func (sd *shard) nextWake() time.Duration {
-	d := sd.srv.cfg.TickEvery
+	d := sd.node.cfg.TickEvery
 	if at, ok := sd.eng.NextAt(); ok {
-		if w := sd.srv.wallUntil(at); w < d {
+		if w := sd.node.wallUntil(at); w < d {
 			d = w
 		}
 	}
@@ -251,12 +295,12 @@ func (sd *shard) handle(msg shardMsg) {
 		sd.admit(msg.p)
 	case msgAdvance:
 		if !sd.draining {
-			sd.advanceTo(sd.srv.wallTarget())
+			sd.advanceTo(sd.node.wallTarget())
 		}
 		msg.reply <- shardReply{now: sd.eng.Now()}
 	case msgSnapshot:
 		if !sd.draining {
-			sd.advanceTo(sd.srv.wallTarget())
+			sd.advanceTo(sd.node.wallTarget())
 		}
 		msg.reply <- shardReply{now: sd.eng.Now(), snap: sd.snapshot()}
 	case msgReap:
@@ -264,6 +308,19 @@ func (sd *shard) handle(msg shardMsg) {
 		msg.reply <- shardReply{}
 	case msgDrain:
 		msg.reply <- shardReply{res: sd.drainNow()}
+	case msgDrainTenant:
+		recs, sum := sd.drainTenant(msg.tenant)
+		msg.reply <- shardReply{now: sd.eng.Now(), records: recs, tenant: sum}
+	case msgReplayTenant:
+		done, err := sd.replayTenant(msg.tenant, msg.records)
+		msg.reply <- shardReply{now: sd.eng.Now(), replayed: done, err: err}
+	case msgReleaseTenant:
+		ts := &sd.tenants[msg.tenant]
+		ts.gated = false
+		if sd.ctrl != nil {
+			sd.ctrl.AttachTenant(msg.tenant)
+		}
+		msg.reply <- shardReply{}
 	}
 }
 
@@ -283,13 +340,19 @@ func (sd *shard) advanceTo(target sim.Time) {
 // the fake-clock tests rest on.
 func (sd *shard) admit(p *Pending) {
 	ts := &sd.tenants[p.req.Tenant]
-	if sd.draining {
-		// Raced past the handler's draining check; undo the optimistic
+	if sd.draining || ts.gated {
+		// Raced past the handler's draining/gate check; undo the optimistic
 		// admission accounting and reject.
 		ts.admitted[p.req.Op].Add(^uint64(0))
-		sd.srv.rejDrain.Add(1)
+		rejErr := ErrDraining
+		if !sd.draining {
+			rejErr = ErrTenantMigrating
+			sd.node.rejMigr.Add(1)
+		} else {
+			sd.node.rejDrain.Add(1)
+		}
 		if p.state.CompareAndSwap(stateQueued, stateResolved) {
-			p.done <- outcome{err: ErrDraining}
+			p.done <- outcome{err: rejErr}
 		}
 		sd.freeSlot(p, ts)
 		return
@@ -307,7 +370,7 @@ func (sd *shard) admit(p *Pending) {
 	if sd.ctrl != nil {
 		sd.ctrl.Observe(p.arrival, p.req.Record(p.arrival))
 	}
-	if ts.inflight < sd.srv.cfg.QueueDepth {
+	if ts.inflight < sd.node.cfg.QueueDepth {
 		sd.dispatch(p, ts)
 	} else {
 		ts.queued = append(ts.queued, p)
@@ -323,7 +386,8 @@ func (sd *shard) dispatch(p *Pending, ts *tenantState) {
 		return
 	}
 	ts.inflight++
-	err := sd.dev.SubmitAt(p.req.Record(p.arrival), p.arrival, func(lat sim.Time) {
+	rec := p.req.Record(p.arrival)
+	err := sd.dev.SubmitAt(rec, p.arrival, func(lat sim.Time) {
 		ts.inflight--
 		ts.occupancy.Add(-1)
 		ts.completed[p.req.Op]++
@@ -338,20 +402,23 @@ func (sd *shard) dispatch(p *Pending, ts *tenantState) {
 		// fail this request and remember the first error for /healthz.
 		ts.inflight--
 		ts.occupancy.Add(-1)
-		sd.srv.poison(err)
+		sd.node.poison(err)
 		if p.state.CompareAndSwap(stateDispatched, stateResolved) {
 			p.done <- outcome{err: err}
 		}
 		return
 	}
 	sd.dispatched++
+	if !sd.node.cfg.DisableTenantLog {
+		ts.records = append(ts.records, rec)
+	}
 }
 
 // dispatchQueued moves queued requests into the device while the tenant has
 // capacity. A queued request's arrival stays its admission time, so the
 // recorded latency includes the time spent waiting for capacity.
 func (sd *shard) dispatchQueued(ts *tenantState) {
-	for ts.inflight < sd.srv.cfg.QueueDepth && len(ts.queued) > 0 {
+	for ts.inflight < sd.node.cfg.QueueDepth && len(ts.queued) > 0 {
 		p := ts.queued[0]
 		ts.queued = ts.queued[1:]
 		sd.dispatch(p, ts)
@@ -380,6 +447,105 @@ func (sd *shard) reap(p *Pending) {
 	sd.freeSlot(p, ts)
 }
 
+// drainTenant quiesces exactly one tenant on this shard: everything already
+// admitted — queued or in flight — is dispatched and completed through the
+// normal engine path (the engine steps forward event by event, which may
+// surface other tenants' completions early relative to wall time; their
+// sim-time latencies are unaffected). It then gates the tenant inside the
+// shard, detaches it from the keeper's feature window, and returns a copy
+// of its dispatched-record log plus a summary. The log replayed as a batch
+// reproduces the tenant's device footprint — the tenant-granular face of
+// the drain==batch-replay invariant.
+func (sd *shard) drainTenant(tenant int) ([]trace.Record, tenantSummary) {
+	ts := &sd.tenants[tenant]
+	if sd.draining {
+		return nil, tenantSummary{}
+	}
+	// Catch up to wall first so the quiesce starts from the paced present.
+	sd.advanceTo(sd.node.wallTarget())
+	for {
+		sd.dispatchQueued(ts)
+		if ts.inflight == 0 && len(ts.queued) == 0 {
+			break
+		}
+		if !sd.eng.Step() {
+			break // canceled stragglers: queue holds only resolved entries
+		}
+	}
+	// Sweep canceled-but-unreaped stragglers so the queue is truly empty.
+	for _, p := range ts.queued {
+		sd.freeSlot(p, ts)
+	}
+	ts.queued = nil
+	ts.gated = true
+	if sd.ctrl != nil {
+		sd.ctrl.Tick(sd.eng.Now())
+		sd.ctrl.DetachTenant(tenant)
+	}
+	recs := append([]trace.Record(nil), ts.records...)
+	return recs, sd.summarize(ts)
+}
+
+// replayTenant re-dispatches a handoff record log into this shard's device
+// for one tenant, at the current simulated instant (arrival order
+// preserved, original timestamps discarded: the target's own admission
+// times are what its invariant replays). Replayed records share the
+// tenant's in-device capacity with live traffic but bypass the admission
+// queue bound — a handoff is state transfer, not client load — and they do
+// not feed the keeper's feature window or the serving histograms. The call
+// returns once every replayed record has completed, so the tenant's
+// footprint is fully materialized before the router flips traffic over.
+func (sd *shard) replayTenant(tenant int, recs []trace.Record) (int, error) {
+	ts := &sd.tenants[tenant]
+	if sd.draining {
+		return 0, ErrDraining
+	}
+	ts.gated = false
+	sd.advanceTo(sd.node.wallTarget())
+	replayed := 0
+	for _, r := range recs {
+		for ts.inflight >= sd.node.cfg.QueueDepth {
+			if !sd.eng.Step() {
+				break
+			}
+		}
+		r.Time = sd.eng.Now()
+		r.Tenant = tenant
+		err := sd.dev.SubmitAt(r, r.Time, func(lat sim.Time) {
+			ts.inflight--
+			ts.replayed++
+			sd.dispatchQueued(ts)
+		})
+		if err != nil {
+			sd.node.poison(err)
+			return replayed, err
+		}
+		ts.inflight++
+		sd.dispatched++
+		if !sd.node.cfg.DisableTenantLog {
+			ts.records = append(ts.records, r)
+		}
+		replayed++
+	}
+	for ts.inflight > 0 && sd.eng.Step() {
+	}
+	if sd.ctrl != nil {
+		sd.ctrl.AttachTenant(tenant)
+	}
+	return replayed, nil
+}
+
+// summarize copies one tenant's device-state summary (shard-goroutine
+// context).
+func (sd *shard) summarize(ts *tenantState) tenantSummary {
+	return tenantSummary{
+		Completed: ts.completed,
+		Hist:      ts.hist,
+		Replayed:  ts.replayed,
+		Records:   len(ts.records),
+	}
+}
+
 // drainNow rejects everything queued, runs the engine dry so every
 // dispatched request completes, and freezes the final result and metrics
 // snapshot. Idempotent within the shard goroutine.
@@ -392,7 +558,7 @@ func (sd *shard) drainNow() ssd.Result {
 		ts := &sd.tenants[ti]
 		for _, p := range ts.queued {
 			if p.state.CompareAndSwap(stateQueued, stateResolved) {
-				sd.srv.rejDrain.Add(1)
+				sd.node.rejDrain.Add(1)
 				p.done <- outcome{err: ErrDraining}
 			}
 			sd.freeSlot(p, ts)
@@ -412,6 +578,7 @@ type tenantSnapshot struct {
 	queued    int
 	inflight  int
 	completed [2]uint64
+	replayed  uint64
 	hist      [2]stats.Histogram
 }
 
@@ -442,6 +609,7 @@ func (sd *shard) snapshot() *shardSnapshot {
 			queued:    len(ts.queued),
 			inflight:  ts.inflight,
 			completed: ts.completed,
+			replayed:  ts.replayed,
 			hist:      ts.hist, // value copy: Histogram is a plain array struct
 		}
 	}
@@ -454,8 +622,8 @@ func (sd *shard) snapshot() *shardSnapshot {
 	if cs := sd.runner.Counters(); cs != nil {
 		snap.counterNames = cs.Names()
 		snap.counterVals = make([]int64, len(snap.counterNames))
-		for i, n := range snap.counterNames {
-			snap.counterVals[i] = cs.Get(n)
+		for i, name := range snap.counterNames {
+			snap.counterVals[i] = cs.Get(name)
 		}
 	}
 	return snap

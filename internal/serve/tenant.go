@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ssdkeeper/internal/stats"
+	"ssdkeeper/internal/trace"
+)
+
+// Per-tenant lifecycle: the node-side half of a fleet migration. DrainTenant
+// quiesces one tenant and hands back its dispatched-record log;
+// ReplayTenant seats that log on a target node; ReleaseTenant reopens a
+// parked tenant's gate. The fleet router (internal/fleet) sequences these
+// across two nodes — gate at the router, drain on the source, replay on the
+// target, flip the ring override, release — but each primitive is also
+// usable standalone over HTTP (/tenant/drain, /tenant/handoff,
+// /tenant/release).
+
+// ErrNoTenantLog means DrainTenant was called on a node built with
+// DisableTenantLog: there is no record log to hand off.
+var ErrNoTenantLog = errors.New("serve: tenant record log disabled")
+
+// tenantSummary is one shard's view of a tenant's serving state, copied
+// inside the shard goroutine at drain time.
+type tenantSummary struct {
+	Completed [2]uint64
+	Hist      [2]stats.Histogram
+	Replayed  uint64
+	Records   int
+}
+
+// TenantDrain is the handoff package DrainTenant returns: the tenant's
+// merged dispatched-record log (time-ordered across shards) plus a summary
+// of the device state it represents. It round-trips as JSON over
+// /tenant/drain → /tenant/handoff.
+type TenantDrain struct {
+	Tenant  int            `json:"tenant"`
+	Records []trace.Record `json:"records"`
+
+	// CompletedReads/Writes count client requests this node answered for
+	// the tenant; Replayed counts handoff records re-dispatched here by a
+	// previous migration (device footprint, not client completions).
+	CompletedReads  uint64 `json:"completed_reads"`
+	CompletedWrites uint64 `json:"completed_writes"`
+	Replayed        uint64 `json:"replayed"`
+
+	// P50NS/P99NS summarize the tenant's simulated response latency on
+	// this node (reads and writes merged), for rebalancer decisions.
+	P50NS int64 `json:"p50_ns"`
+	P99NS int64 `json:"p99_ns"`
+
+	// SimNS is the source node's simulated time when the drain completed.
+	SimNS int64 `json:"sim_ns"`
+}
+
+// DrainTenant quiesces exactly one tenant across the node's shards:
+// everything the tenant has admitted — queued or in flight — completes
+// through the normal engine path, the tenant's admission gate closes
+// (subsequent submissions reject with ErrTenantMigrating), its feature
+// contributions detach from the keeper windows, and its dispatched-record
+// log is returned. Other tenants are untouched. After DrainTenant the
+// tenant is parked: the node reports not-ready until ReleaseTenant (or a
+// ReplayTenant re-seating it) reopens the gate.
+//
+// The tenant-granular invariant mirrors the whole-node one: the returned
+// log, replayed as a batch at its recorded arrival times, reproduces the
+// tenant's footprint on this node's devices (see TestDrainTenantMatchesBatchReplay).
+func (n *Node) DrainTenant(tenant int) (*TenantDrain, error) {
+	if tenant < 0 || tenant >= n.cfg.Tenants {
+		return nil, fmt.Errorf("serve: tenant %d out of range [0,%d)", tenant, n.cfg.Tenants)
+	}
+	if n.cfg.DisableTenantLog {
+		return nil, ErrNoTenantLog
+	}
+	if n.draining.Load() {
+		return nil, ErrDraining
+	}
+	// The gate flip is the linearization point: from here on SubmitAsync
+	// rejects the tenant, so the quiesce below sees a finite workload.
+	// (A submission that raced past the gate check lands in a shard
+	// mailbox behind msgDrainTenant and is rejected by the shard-local
+	// gate instead.)
+	if !n.gates[tenant].CompareAndSwap(tenantActive, tenantDraining) {
+		return nil, ErrTenantMigrating
+	}
+	n.parked.Add(1)
+
+	td := &TenantDrain{Tenant: tenant}
+	var hist stats.Histogram
+	for _, sd := range n.shards {
+		r, ok := sd.sendMsg(shardMsg{kind: msgDrainTenant, tenant: tenant})
+		if !ok {
+			continue // shard closed under a concurrent whole-node drain
+		}
+		td.Records = append(td.Records, r.records...)
+		td.CompletedReads += r.tenant.Completed[trace.Read]
+		td.CompletedWrites += r.tenant.Completed[trace.Write]
+		td.Replayed += r.tenant.Replayed
+		hist.Merge(&r.tenant.Hist[trace.Read])
+		hist.Merge(&r.tenant.Hist[trace.Write])
+		if int64(r.now) > td.SimNS {
+			td.SimNS = int64(r.now)
+		}
+	}
+	// Shard logs are each dispatch-ordered; a stable merge by arrival time
+	// yields one fleet-wide order a target can replay directly.
+	sort.SliceStable(td.Records, func(i, j int) bool {
+		return td.Records[i].Time < td.Records[j].Time
+	})
+	if hist.Count() > 0 {
+		td.P50NS = int64(hist.P50())
+		td.P99NS = int64(hist.P99())
+	}
+	n.gates[tenant].Store(tenantParked)
+	return td, nil
+}
+
+// ReplayTenant seats a handoff record log on this node: the records are
+// re-dispatched into the tenant's home shard at the current simulated
+// instant, order preserved, so the tenant's device footprint (FTL mappings,
+// wear, feature-relevant state) is materialized here before the router
+// flips traffic over. Replay is state transfer: it produces no client
+// completions and feeds no keeper features, so completions are neither
+// lost nor duplicated across a migration. The tenant's gate is (re)opened
+// on success.
+//
+// Spread keys collapse on replay: a tenant that spread across the source's
+// shards via per-request keys is replayed onto its single home shard here,
+// a documented simplification (the footprint is preserved; the spreading
+// re-establishes itself as live traffic arrives).
+func (n *Node) ReplayTenant(tenant int, records []trace.Record) (int, error) {
+	if tenant < 0 || tenant >= n.cfg.Tenants {
+		return 0, fmt.Errorf("serve: tenant %d out of range [0,%d)", tenant, n.cfg.Tenants)
+	}
+	if n.draining.Load() {
+		return 0, ErrDraining
+	}
+	// Accept the handoff whether the tenant is live here (fresh target) or
+	// parked (returning to a node it once drained from). Either way the
+	// gate holds tenantDraining for the duration, so the node reports
+	// not-ready while the handoff is in flight.
+	wasActive := n.gates[tenant].CompareAndSwap(tenantActive, tenantDraining)
+	if !wasActive && !n.gates[tenant].CompareAndSwap(tenantParked, tenantDraining) {
+		return 0, ErrTenantMigrating
+	}
+	if wasActive {
+		n.parked.Add(1)
+	}
+	home := shardIndex(tenant, 0, len(n.shards))
+	r, ok := n.shards[home].sendMsg(shardMsg{
+		kind: msgReplayTenant, tenant: tenant, records: records,
+	})
+	if !ok {
+		n.gates[tenant].Store(tenantParked)
+		return 0, ErrDraining
+	}
+	if r.err != nil {
+		n.gates[tenant].Store(tenantParked)
+		return r.replayed, r.err
+	}
+	// Clear any residual shard-local gates (the home shard's was cleared
+	// by the replay handler; others matter only for a returning tenant
+	// that had spread across shards before draining).
+	for i, sd := range n.shards {
+		if i == home {
+			continue
+		}
+		sd.sendMsg(shardMsg{kind: msgReleaseTenant, tenant: tenant})
+	}
+	n.gates[tenant].Store(tenantActive)
+	n.parked.Add(-1)
+	return r.replayed, nil
+}
+
+// ReleaseTenant reopens a parked tenant's admission gate — the final step
+// of a migration on the source (harmless there: the router no longer
+// routes the tenant here) and the rollback step of an aborted one.
+func (n *Node) ReleaseTenant(tenant int) error {
+	if tenant < 0 || tenant >= n.cfg.Tenants {
+		return fmt.Errorf("serve: tenant %d out of range [0,%d)", tenant, n.cfg.Tenants)
+	}
+	if !n.gates[tenant].CompareAndSwap(tenantParked, tenantActive) {
+		return fmt.Errorf("serve: tenant %d is not parked", tenant)
+	}
+	for _, sd := range n.shards {
+		sd.sendMsg(shardMsg{kind: msgReleaseTenant, tenant: tenant})
+	}
+	n.parked.Add(-1)
+	return nil
+}
+
+// TenantParked reports whether the tenant's gate is shut post-drain.
+func (n *Node) TenantParked(tenant int) bool {
+	return tenant >= 0 && tenant < n.cfg.Tenants &&
+		n.gates[tenant].Load() == tenantParked
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"ssdkeeper/internal/simrun"
+	"ssdkeeper/internal/trace"
+)
+
+// TestDrainTenantMatchesBatchReplay is the tenant-granular face of the
+// drain-equivalence guarantee: after DrainTenant, the returned record log,
+// replayed as a batch at its recorded arrival times on an identically
+// seasoned fresh device, reproduces the tenant's device footprint. With a
+// single active tenant the whole node's final drain state must therefore
+// equal the batch replay of exactly the handoff log.
+func TestDrainTenantMatchesBatchReplay(t *testing.T) {
+	clk := newFakeClock()
+	cfg := testConfig(clk)
+	cfg.QueueDepth = 4
+	cfg.QueueLen = 8
+	cfg.Season = simrun.DefaultSeasoning()
+	s := testServer(t, cfg, nil)
+
+	reqs := []Request{readReq(1, 0), writeReq(1, 1), writeReq(1, 2), readReq(1, 3)}
+	var handles []*Pending
+	for _, req := range reqs {
+		p, err := s.SubmitAsync(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, p)
+	}
+
+	td, err := s.DrainTenant(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The quiesce completes everything admitted: no waiter may see an error.
+	ctx := context.Background()
+	for i, p := range handles {
+		if _, err := s.Wait(ctx, p); err != nil {
+			t.Errorf("request %d failed across tenant drain: %v", i, err)
+		}
+	}
+	if got := len(td.Records); got != len(reqs) {
+		t.Fatalf("handoff log has %d records, want %d", got, len(reqs))
+	}
+	for i, rec := range td.Records {
+		want := reqs[i].Record(rec.Time)
+		if rec != want {
+			t.Errorf("record %d = %+v, want %+v", i, rec, want)
+		}
+	}
+	if td.CompletedReads != 2 || td.CompletedWrites != 2 {
+		t.Errorf("completed %d reads / %d writes, want 2/2", td.CompletedReads, td.CompletedWrites)
+	}
+	if td.Replayed != 0 {
+		t.Errorf("replayed = %d on a never-migrated tenant", td.Replayed)
+	}
+
+	// Tenant 1 only ever touched the device, so the node's whole-drain
+	// state must equal a batch replay of the handoff log alone.
+	drainRes := s.Drain()
+	runner := simrun.NewRunner(simrun.WithProbe(simrun.NewCounterProbe(cfg.Device)))
+	sess, err := runner.NewSession(simrun.Config{
+		Device: cfg.Device, Options: cfg.Options, Season: cfg.Season,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayRes, err := sess.Run(context.Background(), trace.Trace(td.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drainRes.Makespan != replayRes.Makespan {
+		t.Errorf("makespan %v != replay %v", drainRes.Makespan, replayRes.Makespan)
+	}
+	if drainRes.FTL != replayRes.FTL {
+		t.Errorf("FTL counters %+v != replay %+v", drainRes.FTL, replayRes.FTL)
+	}
+	if !reflect.DeepEqual(drainRes.Device, replayRes.Device) {
+		t.Errorf("device latency %+v != replay %+v", drainRes.Device, replayRes.Device)
+	}
+	if drainRes.Conflicts != replayRes.Conflicts {
+		t.Errorf("conflicts %d != replay %d", drainRes.Conflicts, replayRes.Conflicts)
+	}
+}
+
+// TestDrainTenantIsolatesTenant: draining tenant 1 gates exactly tenant 1 —
+// its submissions reject with ErrTenantMigrating, other tenants keep
+// serving, readiness reflects the parked tenant, and ReleaseTenant restores
+// everything.
+func TestDrainTenantIsolatesTenant(t *testing.T) {
+	clk := newFakeClock()
+	s := testServer(t, testConfig(clk), nil)
+	defer s.Drain()
+
+	if !s.Ready() {
+		t.Fatal("fresh node not ready")
+	}
+	if _, err := s.SubmitAsync(readReq(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	td, err := s.DrainTenant(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Records) != 1 {
+		t.Fatalf("handoff log has %d records, want 1", len(td.Records))
+	}
+	if !s.TenantParked(1) {
+		t.Error("tenant 1 not parked after DrainTenant")
+	}
+	if s.Ready() {
+		t.Error("node ready with a parked tenant")
+	}
+	if _, err := s.SubmitAsync(readReq(1, 1)); !errors.Is(err, ErrTenantMigrating) {
+		t.Errorf("parked tenant admission error = %v, want ErrTenantMigrating", err)
+	}
+	if _, err := s.DrainTenant(1); !errors.Is(err, ErrTenantMigrating) {
+		t.Errorf("second DrainTenant error = %v, want ErrTenantMigrating", err)
+	}
+	// Unrelated tenants are untouched.
+	p, err := s.SubmitAsync(readReq(0, 0))
+	if err != nil {
+		t.Fatalf("tenant 0 rejected during tenant 1 drain: %v", err)
+	}
+	_ = p
+
+	if err := s.ReleaseTenant(1); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Ready() {
+		t.Error("node not ready after release")
+	}
+	if _, err := s.SubmitAsync(readReq(1, 2)); err != nil {
+		t.Errorf("released tenant rejected: %v", err)
+	}
+	if err := s.ReleaseTenant(1); err == nil {
+		t.Error("releasing a non-parked tenant succeeded")
+	}
+}
+
+// TestDrainTenantRequiresLog: a node built with DisableTenantLog cannot
+// hand off tenants.
+func TestDrainTenantRequiresLog(t *testing.T) {
+	clk := newFakeClock()
+	cfg := testConfig(clk)
+	cfg.DisableTenantLog = true
+	s := testServer(t, cfg, nil)
+	defer s.Drain()
+	if _, err := s.DrainTenant(0); !errors.Is(err, ErrNoTenantLog) {
+		t.Errorf("DrainTenant with log disabled = %v, want ErrNoTenantLog", err)
+	}
+}
+
+// TestTenantHandoffPreservesReplayInvariant walks the full migration data
+// path: drain on a source node, replay on a target node, serve live traffic
+// on the target, then verify the invariant holds on the target too — its
+// final drain state equals a batch replay of its own per-tenant log (the
+// replayed handoff records at their replay arrivals plus the live ones).
+func TestTenantHandoffPreservesReplayInvariant(t *testing.T) {
+	clk := newFakeClock()
+	cfg := testConfig(clk)
+	cfg.QueueDepth = 4
+	cfg.QueueLen = 8
+	cfg.Season = simrun.DefaultSeasoning()
+
+	source := testServer(t, cfg, nil)
+	for _, req := range []Request{writeReq(1, 0), readReq(1, 1), writeReq(1, 2)} {
+		if _, err := source.SubmitAsync(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	td, err := source.DrainTenant(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source.Drain()
+
+	target := testServer(t, cfg, nil)
+	done, err := target.ReplayTenant(1, td.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != len(td.Records) {
+		t.Fatalf("replayed %d of %d records", done, len(td.Records))
+	}
+	if !target.Ready() {
+		t.Error("target not ready after handoff completed")
+	}
+
+	// Live traffic lands on the migrated tenant's new home.
+	live := []Request{readReq(1, 3), writeReq(1, 4)}
+	ctx := context.Background()
+	for _, req := range live {
+		p, err := target.SubmitAsync(req)
+		if err != nil {
+			t.Fatalf("live submission after handoff: %v", err)
+		}
+		_ = p
+		_ = ctx
+	}
+
+	td2, err := target.DrainTenant(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(td2.Records), len(td.Records)+len(live); got != want {
+		t.Fatalf("target log has %d records, want %d (replayed + live)", got, want)
+	}
+	if td2.Replayed != uint64(len(td.Records)) {
+		t.Errorf("target replayed = %d, want %d", td2.Replayed, len(td.Records))
+	}
+	// Client completions on the target count only the live requests: the
+	// replay produced none, so nothing is double-counted across nodes.
+	if got := td2.CompletedReads + td2.CompletedWrites; got != uint64(len(live)) {
+		t.Errorf("target completed %d client requests, want %d", got, len(live))
+	}
+
+	drainRes := target.Drain()
+	runner := simrun.NewRunner(simrun.WithProbe(simrun.NewCounterProbe(cfg.Device)))
+	sess, err := runner.NewSession(simrun.Config{
+		Device: cfg.Device, Options: cfg.Options, Season: cfg.Season,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayRes, err := sess.Run(context.Background(), trace.Trace(td2.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drainRes.Makespan != replayRes.Makespan {
+		t.Errorf("makespan %v != replay %v", drainRes.Makespan, replayRes.Makespan)
+	}
+	if drainRes.FTL != replayRes.FTL {
+		t.Errorf("FTL counters %+v != replay %+v", drainRes.FTL, replayRes.FTL)
+	}
+	if !reflect.DeepEqual(drainRes.Device, replayRes.Device) {
+		t.Errorf("device latency %+v != replay %+v", drainRes.Device, replayRes.Device)
+	}
+	if drainRes.Conflicts != replayRes.Conflicts {
+		t.Errorf("conflicts %d != replay %d", drainRes.Conflicts, replayRes.Conflicts)
+	}
+}

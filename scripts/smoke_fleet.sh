@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# smoke_fleet.sh — end-to-end smoke test of the fleet tier.
+#
+# Topology: three ssdkeeperd nodes on 127.0.0.1:8081-8083 plus one
+# keeperfleet router. The node ports are load-bearing: the consistent-hash
+# ring is a pure function of the node URLs (pinned by TestRingGoldenURLs),
+# which places tenants 0, 1, 3 on :8082, tenant 2 on :8081, and leaves
+# :8083 empty — the natural migration target.
+#
+# The script boots the fleet, drives keeperload through the router, and
+# mid-load force-migrates hot tenant 0 from :8082 to :8083. It asserts:
+#   - every request is answered (ok + rejected == sent, zero failed; the
+#     documented 503 window during a handoff counts as answered),
+#   - the router reports the migration completed and the new placement,
+#   - the target node replayed the handoff batch and serves tenant 0,
+#   - the source node is ready again after the release,
+#   - router and nodes all shut down cleanly on SIGTERM.
+#
+# Usage: scripts/smoke_fleet.sh [router-port]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+NODES=(127.0.0.1:8081 127.0.0.1:8082 127.0.0.1:8083)
+RPORT="${1:-8090}"
+ROUTER="http://127.0.0.1:$RPORT"
+SRC="http://127.0.0.1:8082"    # owns tenants 0, 1, 3 per the ring golden
+DST="http://127.0.0.1:8083"    # starts empty
+BIN="$(mktemp -d)"
+trap 'jobs -p | xargs -r kill 2>/dev/null; rm -rf "$BIN"' EXIT
+
+echo "building..." >&2
+go build -o "$BIN/ssdkeeperd" ./cmd/ssdkeeperd
+go build -o "$BIN/keeperfleet" ./cmd/keeperfleet
+go build -o "$BIN/keeperload" ./cmd/keeperload
+
+wait_ready() { # wait_ready <base-url> <log>
+  for _ in $(seq 1 200); do
+    curl -sf "$1/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.3
+  done
+  echo "smoke_fleet.sh: $1 never became ready" >&2
+  cat "$2" >&2
+  return 1
+}
+
+metric() { # metric <base-url> <series-prefix>
+  curl -sf "$1/metrics" \
+    | awk -v p="$2" 'index($0, p) == 1 && !seen {print $NF; seen = 1}'
+}
+
+json_count() { # json_count <key> <file>
+  awk -v k="\"$1\":" '$1 == k && !seen {gsub(",", "", $2); print $2; seen = 1}' "$2"
+}
+
+fail() {
+  echo "smoke_fleet.sh: $1" >&2
+  for log in "$BIN"/*.log; do
+    echo "--- $log" >&2
+    cat "$log" >&2
+  done
+  exit 1
+}
+
+echo "booting 3 nodes + router..." >&2
+NPIDS=()
+NODE_URLS=""
+for addr in "${NODES[@]}"; do
+  "$BIN/ssdkeeperd" -addr "$addr" -accel 20 -no-keeper 2>"$BIN/node-${addr##*:}.log" &
+  NPIDS+=($!)
+  NODE_URLS="$NODE_URLS,http://$addr"
+done
+NODE_URLS="${NODE_URLS#,}"
+for addr in "${NODES[@]}"; do
+  wait_ready "http://$addr" "$BIN/node-${addr##*:}.log"
+done
+
+"$BIN/keeperfleet" -addr "127.0.0.1:$RPORT" -nodes "$NODE_URLS" 2>"$BIN/router.log" &
+RPID=$!
+wait_ready "$ROUTER" "$BIN/router.log"
+
+# Placement sanity before any migration: the golden topology.
+curl -sf "$ROUTER/fleet/status" > "$BIN/status0.json"
+grep -q "\"0\":\"$SRC\"" "$BIN/status0.json" \
+  || fail "tenant 0 not on $SRC at boot: $(cat "$BIN/status0.json")"
+grep -q "$DST" "$BIN/status0.json" || fail "$DST missing from status"
+
+echo "driving load through the router, migrating tenant 0 mid-flight..." >&2
+"$BIN/keeperload" -addr "$ROUTER" -n 3000 -concurrency 32 \
+  -write-ratios 0.9,0.1,0.8,0.2 -json > "$BIN/load.json" &
+LPID=$!
+sleep 1
+
+curl -sf -X POST "$ROUTER/fleet/migrate?tenant=0&to=$DST" > "$BIN/migrate.json" \
+  || fail "POST /fleet/migrate failed: $(cat "$BIN/migrate.json" 2>/dev/null)"
+
+wait "$LPID" || fail "load generator failed across the migration"
+ok=$(json_count ok "$BIN/load.json")
+rejected=$(json_count rejected "$BIN/load.json")
+failed=$(json_count failed "$BIN/load.json")
+[ "$failed" = "0" ] || fail "$failed requests failed outright"
+[ $((ok + rejected)) -eq 3000 ] \
+  || fail "answered $ok ok + $rejected rejected of 3000 sent"
+
+# The router saw the migration through: counters, placement, info series.
+done_migs=$(metric "$ROUTER" 'ssdkeeper_migrations_total{outcome="completed"}')
+[ -n "$done_migs" ] && [ "$done_migs" -ge 1 ] \
+  || fail "migrations completed counter is '$done_migs'"
+aborted=$(metric "$ROUTER" 'ssdkeeper_migrations_total{outcome="aborted"}')
+[ "$aborted" = "0" ] || fail "migration aborted counter is '$aborted'"
+curl -sf "$ROUTER/fleet/status" > "$BIN/status1.json"
+grep -q "\"0\":\"$DST\"" "$BIN/status1.json" \
+  || fail "tenant 0 not on $DST after migrate: $(cat "$BIN/status1.json")"
+curl -sf "$ROUTER/metrics" | grep 'ssdkeeper_tenant_node{tenant="0"' \
+  | grep -q '8083' || fail "tenant_node info series does not show :8083"
+
+# The target replayed the handoff batch and now serves tenant 0 live.
+replayed=$(metric "$DST" 'ssdkeeper_replayed_total{tenant="0"}')
+[ -n "$replayed" ] && [ "$replayed" -ge 1 ] \
+  || fail "target replayed counter is '$replayed'"
+echo '{"tenant":0,"op":"read","offset":0,"size":16384}' \
+  | curl -sf -X POST --data-binary @- "$ROUTER/io" > "$BIN/post.json" \
+  || fail "post-migration /io through router failed"
+grep -q '"latency_ns"' "$BIN/post.json" || fail "bad /io reply: $(cat "$BIN/post.json")"
+post=$(metric "$DST" 'ssdkeeper_completed_total{tenant="0"')
+[ -n "$post" ] && [ "$post" -ge 1 ] \
+  || fail "target completed nothing for tenant 0 after the flip"
+
+# The source released the parked tenant and is ready again.
+curl -sf "$SRC/readyz" >/dev/null || fail "source not ready after release"
+
+echo "shutting down..." >&2
+kill -TERM "$RPID"
+wait "$RPID" || fail "router exited non-zero on SIGTERM"
+for i in "${!NPIDS[@]}"; do
+  kill -TERM "${NPIDS[$i]}"
+  wait "${NPIDS[$i]}" || fail "node ${NODES[$i]} exited non-zero on SIGTERM"
+  grep -q "drained clean" "$BIN/node-${NODES[$i]##*:}.log" \
+    || fail "node ${NODES[$i]}: no clean-drain report in log"
+done
+
+echo "smoke_fleet.sh: all checks passed ($ok ok, $rejected rejected in the handoff window, $done_migs migration)" >&2

@@ -37,12 +37,14 @@ go build -o "$BIN/ssdkeeperd" ./cmd/ssdkeeperd
 go build -o "$BIN/keeperload" ./cmd/keeperload
 go build -o "$BIN/keeper-train" ./cmd/keeper-train
 
-wait_healthy() {
+# Readiness, not liveness: /readyz also covers tenant handoffs, so waiting
+# on it keeps this helper honest if a smoke ever starts mid-migration.
+wait_ready() {
   for _ in $(seq 1 200); do
-    curl -sf "$URL/healthz" >/dev/null 2>&1 && return 0
+    curl -sf "$URL/readyz" >/dev/null 2>&1 && return 0
     sleep 0.3
   done
-  echo "smoke_server.sh: daemon never became healthy" >&2
+  echo "smoke_server.sh: daemon never became ready" >&2
   cat "$LOG" >&2
   return 1
 }
@@ -68,7 +70,7 @@ echo "phase 1: online adaptation under load (accel 20)..." >&2
 "$BIN/ssdkeeperd" -addr "$ADDR" -accel 20 -window 50ms -adapt-every 50ms \
   -train-workloads 8 2>"$LOG" &
 DPID=$!
-wait_healthy
+wait_ready
 
 "$BIN/keeperload" -addr "$URL" -n 1000 -concurrency 32 \
   -write-ratios 0.9,0.1,0.8,0.2 -json > "$BIN/load1.json"
@@ -94,7 +96,7 @@ echo "phase 2: backpressure under overload (accel 0.02)..." >&2
 "$BIN/ssdkeeperd" -addr "$ADDR" -accel 0.02 -no-keeper \
   -queue-len 4 -queue-depth 4 -timeout 30s 2>"$LOG" &
 DPID=$!
-wait_healthy
+wait_ready
 
 # One tenant, 32 closed-loop workers against 4+4 slots: must produce 429s.
 "$BIN/keeperload" -addr "$URL" -n 200 -concurrency 32 -tenants 1 \
@@ -125,7 +127,7 @@ mkdir -p "$MODELS" "$STAGE"
 "$BIN/ssdkeeperd" -addr "$ADDR" -accel 20 -window 50ms -adapt-every 50ms \
   -model-dir "$MODELS" 2>"$LOG" &
 DPID=$!
-wait_healthy
+wait_ready
 # `grep -q` straight off curl would SIGPIPE it under pipefail; snapshot first.
 scrape() { curl -sf "$URL/metrics" > "$BIN/metrics.txt"; }
 scrape
