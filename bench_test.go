@@ -22,6 +22,7 @@ import (
 	"ssdkeeper/internal/keeper"
 	"ssdkeeper/internal/nand"
 	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/policy"
 	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
 	"ssdkeeper/internal/trace"
@@ -245,6 +246,65 @@ func BenchmarkPredictParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPredict compares the serving kernels on the deployed network
+// shape (9-64-42) under the full Keeper.Predict path: float64 and int8,
+// each per-call and batched. The batched loops advance b.N by the batch
+// size, so every variant reports ns per DECISION and the sub-benchmarks are
+// directly comparable. int8/batch is the serving configuration the bench
+// gate holds to >= 2x over float64/call.
+func BenchmarkPredict(b *testing.B) {
+	env, _ := quickEnvScale()
+	net, err := nn.NewMLP([]int{features.Dim, 64, len(env.Strategies)}, nn.Logistic{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	vs := make([]features.Vector, batch)
+	for i := range vs {
+		vs[i] = features.Vector{
+			Intensity: i % features.Levels,
+			ReadChar:  [4]bool{i%2 == 0, i%3 == 0, i%5 == 0, i%7 == 0},
+			Prop:      [4]float64{0.4, 0.3, 0.2, 0.1},
+		}
+	}
+	newKeeper := func(b *testing.B, p nn.Precision) *keeper.Keeper {
+		b.Helper()
+		m, err := policy.NewModelPrecision("bench", net, env.Strategies, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k, err := keeper.NewWithProvider(keeper.Config{
+			Device: env.Device, Options: env.Options, Strategies: env.Strategies,
+			SaturationIOPS: env.SaturationIOPS, Window: 100 * Millisecond,
+			Season: env.Season,
+		}, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return k
+	}
+	for _, p := range []nn.Precision{nn.Float64, nn.Int8} {
+		k := newKeeper(b, p)
+		b.Run(p.String()+"/call", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := k.Predict(vs[i%batch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(p.String()+"/batch64", func(b *testing.B) {
+			b.ReportAllocs()
+			out := make([]alloc.Strategy, batch)
+			for i := 0; i < b.N; i += batch {
+				if err := k.PredictBatch(vs, out, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkNNTrainingEpoch measures one epoch of minibatch training on the

@@ -39,6 +39,7 @@ import (
 	"ssdkeeper/internal/dataset"
 	"ssdkeeper/internal/experiments"
 	"ssdkeeper/internal/keeper"
+	"ssdkeeper/internal/nn"
 	"ssdkeeper/internal/policy"
 	"ssdkeeper/internal/serve"
 	"ssdkeeper/internal/sim"
@@ -63,6 +64,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request completion deadline (wall)")
 		fresh      = flag.Bool("fresh", false, "skip device seasoning (no GC pressure)")
 		trainWork  = flag.Int("train-workloads", 12, "workloads to label when self-training")
+		quantize   = flag.Bool("quantize", false, "serve ANN decisions through the int8 fixed-point kernel (batched, allocation-free); float weights are quantized at load and on every reload")
 		quiet      = flag.Bool("q", false, "suppress startup progress output")
 	)
 	flag.Parse()
@@ -78,12 +80,13 @@ func main() {
 	var k *keeper.Keeper
 	var reg *policy.Registry
 	var modelVersion string
+	var modelPrecision nn.Precision
 	if !*noKeeper {
-		prov, r, err := loadProvider(ctx, env, *modelDir, *modelPath, *trainWork, *quiet)
+		prov, r, err := loadProvider(ctx, env, *modelDir, *modelPath, *trainWork, *quantize, *quiet)
 		if err != nil {
 			fatal(err)
 		}
-		reg, modelVersion = r, prov.Version()
+		reg, modelVersion, modelPrecision = r, prov.Version(), prov.Precision()
 		k, err = keeper.NewWithProvider(keeper.Config{
 			Device:         env.Device,
 			Options:        env.Options,
@@ -116,7 +119,7 @@ func main() {
 	s.Start()
 
 	if k != nil && reg != nil {
-		s.SetReloader(registryReloader(reg, k.Source()))
+		s.SetReloader(registryReloader(reg, k.Source(), *quantize))
 		hup := make(chan os.Signal, 1)
 		signal.Notify(hup, syscall.SIGHUP)
 		defer signal.Stop(hup)
@@ -144,7 +147,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ssdkeeperd: serving on %s (accel %g, shards %d, keeper %v",
 			*addr, *accel, s.ShardCount(), k != nil)
 		if modelVersion != "" {
-			fmt.Fprintf(os.Stderr, ", model %s", modelVersion)
+			fmt.Fprintf(os.Stderr, ", model %s, precision %s", modelVersion, modelPrecision)
 		}
 		fmt.Fprintln(os.Stderr, ")")
 	}
@@ -181,8 +184,9 @@ func main() {
 // -model checkpoint file, or a quick self-training run so the daemon is
 // usable out of the box (smoke tests and demos; real deployments train with
 // keeper-train). The registry (non-nil only with -model-dir) also backs the
-// hot-reload endpoint.
-func loadProvider(ctx context.Context, env experiments.Env, dir, path string, workloads int, quiet bool) (policy.Provider, *policy.Registry, error) {
+// hot-reload endpoint. Checkpoints carry their own deployment precision;
+// quantize forces the int8 kernel regardless of what the artifact declares.
+func loadProvider(ctx context.Context, env experiments.Env, dir, path string, workloads int, quantize, quiet bool) (*policy.Model, *policy.Registry, error) {
 	if dir != "" {
 		reg, err := policy.NewRegistry(dir, env.Device.Channels, env.Strategies)
 		if err != nil {
@@ -192,8 +196,14 @@ func loadProvider(ctx context.Context, env experiments.Env, dir, path string, wo
 		if err != nil {
 			return nil, nil, err
 		}
+		if quantize {
+			if m, err = m.WithPrecision(nn.Int8); err != nil {
+				return nil, nil, err
+			}
+		}
 		if !quiet {
-			fmt.Fprintf(os.Stderr, "ssdkeeperd: loaded model %s from %s\n", m.Version(), dir)
+			fmt.Fprintf(os.Stderr, "ssdkeeperd: loaded model %s from %s (precision %s)\n",
+				m.Version(), dir, m.Precision())
 		}
 		return m, reg, nil
 	}
@@ -203,11 +213,14 @@ func loadProvider(ctx context.Context, env experiments.Env, dir, path string, wo
 			return nil, nil, err
 		}
 		defer f.Close()
-		net, _, err := policy.LoadCheckpoint(f, env.Device.Channels, env.Strategies)
+		net, _, prec, err := policy.LoadCheckpointPrecision(f, env.Device.Channels, env.Strategies)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
-		m, err := policy.NewModel(filepath.Base(path), net, env.Strategies)
+		if quantize {
+			prec = nn.Int8
+		}
+		m, err := policy.NewModelPrecision(filepath.Base(path), net, env.Strategies, prec)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -239,7 +252,11 @@ func loadProvider(ctx context.Context, env experiments.Env, dir, path string, wo
 		fmt.Fprintf(os.Stderr, "ssdkeeperd: self-trained model: loss %.3f, test accuracy %.1f%%\n",
 			res.History.FinalLoss, 100*res.History.FinalAcc)
 	}
-	m, err := policy.NewModel("self-trained", res.Model, env.Strategies)
+	prec := nn.Float64
+	if quantize {
+		prec = nn.Int8
+	}
+	m, err := policy.NewModelPrecision("self-trained", res.Model, env.Strategies, prec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -249,7 +266,10 @@ func loadProvider(ctx context.Context, env experiments.Env, dir, path string, wo
 // registryReloader maps the /model/reload protocol onto the checkpoint
 // registry and the keeper's policy source. version "" resolves to the
 // registry's latest; role=shadow with version "none" clears the candidate.
-func registryReloader(reg *policy.Registry, src *policy.Source) serve.Reloader {
+// With quantize set, every model a reload publishes is forced onto the int8
+// kernel, so a daemon started with -quantize keeps serving quantized across
+// hot swaps.
+func registryReloader(reg *policy.Registry, src *policy.Source, quantize bool) serve.Reloader {
 	return func(role, version string) (serve.ReloadStatus, error) {
 		if role == "shadow" && version == "none" {
 			st := serve.ReloadStatus{Role: role}
@@ -267,6 +287,11 @@ func registryReloader(reg *policy.Registry, src *policy.Source) serve.Reloader {
 		}
 		if err != nil {
 			return serve.ReloadStatus{}, err
+		}
+		if quantize {
+			if m, err = m.WithPrecision(nn.Int8); err != nil {
+				return serve.ReloadStatus{}, err
+			}
 		}
 		st := serve.ReloadStatus{Role: role, Version: m.Version()}
 		if role == "shadow" {

@@ -48,17 +48,22 @@ func (v Vector) String() string {
 // Input converts the vector to the network's 9 inputs. Intensity is
 // normalized to [0,1]; characteristics are 0/1; proportions pass through.
 func (v Vector) Input() []float64 {
-	in := make([]float64, 0, Dim)
-	in = append(in, float64(v.Intensity)/float64(Levels-1))
+	return v.AppendInput(make([]float64, 0, Dim))
+}
+
+// AppendInput appends the network's Dim inputs to dst and returns the
+// extended slice — the allocation-free form of Input for serving hot paths
+// that reuse an encoding buffer across decisions.
+func (v Vector) AppendInput(dst []float64) []float64 {
+	dst = append(dst, float64(v.Intensity)/float64(Levels-1))
 	for _, r := range v.ReadChar {
 		if r {
-			in = append(in, 1)
+			dst = append(dst, 1)
 		} else {
-			in = append(in, 0)
+			dst = append(dst, 0)
 		}
 	}
-	in = append(in, v.Prop[:]...)
-	return in
+	return append(dst, v.Prop[:]...)
 }
 
 // Traits converts the observed characteristics into strategy-binding traits.

@@ -1,0 +1,89 @@
+package keeper
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssdkeeper/internal/alloc"
+	"ssdkeeper/internal/dataset"
+	"ssdkeeper/internal/features"
+	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/policy"
+)
+
+// batchVectors returns a deterministic spread of feature vectors.
+func batchVectors(n int) []features.Vector {
+	rng := rand.New(rand.NewSource(99))
+	vs := make([]features.Vector, n)
+	for i := range vs {
+		v := features.Vector{Intensity: rng.Intn(features.Levels)}
+		for t := 0; t < features.MaxTenants; t++ {
+			v.ReadChar[t] = rng.Intn(2) == 1
+			v.Prop[t] = rng.Float64()
+		}
+		vs[i] = v
+	}
+	return vs
+}
+
+// TestPredictBatchMatchesPredict: the batched prediction path must agree
+// with per-vector Predict for the float64 kernel, the int8 kernel, and a
+// provider whose policy has no batch form (the per-vector fallback).
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	cfg := testConfig()
+	vs := batchVectors(29)
+	net := testModel(t, len(cfg.Strategies))
+
+	float64Model, err := policy.NewModel("f64", net, cfg.Strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	int8Model, err := policy.NewModelPrecision("i8", net, cfg.Strategies, nn.Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := policy.NewOracle([]dataset.Sample{
+		{Vector: vs[0], Label: 1},
+		{Vector: vs[1], Label: 2},
+	}, cfg.Strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	providers := map[string]policy.Provider{
+		"float64":  float64Model,
+		"int8":     int8Model,
+		"no-batch": policy.OracleProvider{Oracle: oracle}, // lacks DecideBatch
+	}
+	for name, prov := range providers {
+		k, err := NewWithProvider(cfg, prov)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := make([]alloc.Strategy, len(vs))
+		idx := make([]int, len(vs))
+		if err := k.PredictBatch(vs, out, idx); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, v := range vs {
+			want, wantIdx, err := k.Predict(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !alloc.Equal(out[i], want) || idx[i] != wantIdx {
+				t.Fatalf("%s vector %d: batch (%v, %d), Predict (%v, %d)",
+					name, i, out[i], idx[i], want, wantIdx)
+			}
+		}
+		// idx is optional; out length is not.
+		if err := k.PredictBatch(vs, out, nil); err != nil {
+			t.Fatalf("%s without idx: %v", name, err)
+		}
+		if err := k.PredictBatch(vs, out[:3], nil); err == nil {
+			t.Errorf("%s: short out accepted", name)
+		}
+		if err := k.PredictBatch(vs, out, idx[:3]); err == nil {
+			t.Errorf("%s: short idx accepted", name)
+		}
+	}
+}

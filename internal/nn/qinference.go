@@ -1,0 +1,459 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the deployed counterpart of quantize.go. Quantized (there)
+// simulates a storage precision by rounding weights onto its grid while
+// keeping float64 arithmetic, so accuracy cost can be measured with the
+// regular evaluation path. QuantizeInt8 (here) builds the artifact that is
+// actually served: weights stored as int8 with one scale per tensor, and a
+// forward kernel whose inner loop is an int32 multiply-accumulate over int8
+// operands (AVX2 VPMADDWD where available, a scalar loop elsewhere — both
+// compute identical sums; see simd.go).
+//
+// The numerical contract ties the two files together: an int8 weight w8 with
+// scale s represents exactly the float64 value float64(w8)*s, and s is the
+// same int8Scale used by Quantized(Int8). Activations are quantized to int8
+// per sample; logits differ from the simulated path only by that activation
+// quantization. Three serving-side choices buy the speedup:
+//
+//   - weight rows are zero-padded to a multiple of 32 bytes so the integer
+//     kernel needs no tail handling (padding contributes nothing to a dot);
+//   - a logistic hidden layer's activations are produced directly as int8
+//     levels round(127*sigmoid(z)) through a lookup table with the fixed
+//     codomain scale 1/127 — no float activation plane, no math.Exp, no
+//     re-quantization scan. The table has 1/128-of-a-unit z resolution, so
+//     a level can be off by one only when z sits within a table step of a
+//     rounding boundary. Non-logistic hidden layers keep the generic path:
+//     float activations, then a dynamic symmetric re-quantization;
+//   - Predict/PredictBatch rank classes on final-layer pre-activations when
+//     the output activation is strictly increasing (logistic, tanh,
+//     identity — argmax is invariant under them). This skips the output
+//     activation entirely and ranks at full float resolution where a
+//     saturated activation would collapse near-ties onto the same value.
+
+// QuantizedNet is an immutable int8 deployment artifact built from a trained
+// Network. It is shared read-only across any number of QuantizedInference
+// instances; per-caller scratch lives in the inference handle, mirroring
+// Network/Inference.
+type QuantizedNet struct {
+	layers []qlayer
+}
+
+// qlayer is one dense layer in deployed form. Biases stay float64: they are
+// added once per output after the integer dot product is dequantized, so
+// quantizing them buys nothing and costs accuracy.
+type qlayer struct {
+	in, out int
+	inPad   int    // in rounded up to a multiple of 32 (kernel row stride)
+	w       []int8 // row-major, stride inPad; float weight == float64(w[o*inPad+i]) * wScale
+	wScale  float64
+	b       []float64
+	act     Activation
+}
+
+// QuantizeInt8 converts the network to its int8 deployment form using the
+// same per-tensor affine scale as Quantized(Int8): scale = maxAbs/127,
+// weight w maps to round(w/scale). The conversion is deterministic, so the
+// same checkpoint always yields the same served decisions.
+func (n *Network) QuantizeInt8() *QuantizedNet {
+	q := &QuantizedNet{layers: make([]qlayer, 0, len(n.Layers))}
+	for _, l := range n.Layers {
+		scale := int8Scale(l.W)
+		inPad := (l.In + 31) &^ 31
+		ql := qlayer{
+			in: l.In, out: l.Out, inPad: inPad,
+			w:      make([]int8, l.Out*inPad),
+			wScale: scale,
+			b:      append([]float64(nil), l.B...),
+			act:    l.Act,
+		}
+		if scale != 0 {
+			for o := 0; o < l.Out; o++ {
+				for i := 0; i < l.In; i++ {
+					v := math.Round(l.W[o*l.In+i] / scale)
+					if v > 127 {
+						v = 127
+					}
+					if v < -127 {
+						v = -127
+					}
+					ql.w[o*inPad+i] = int8(v)
+				}
+			}
+		}
+		q.layers = append(q.layers, ql)
+	}
+	return q
+}
+
+// InputDim returns the expected input width.
+func (q *QuantizedNet) InputDim() int { return q.layers[0].in }
+
+// OutputDim returns the number of classes.
+func (q *QuantizedNet) OutputDim() int { return q.layers[len(q.layers)-1].out }
+
+// StorageBytes returns the deployed parameter footprint: one byte per
+// weight, eight per (float64) bias, plus one scale per tensor. Kernel row
+// padding is a runtime layout choice, not a deployed parameter, so it does
+// not count.
+func (q *QuantizedNet) StorageBytes() int {
+	total := 0
+	for _, l := range q.layers {
+		total += l.in*l.out + 8*len(l.b) + 8
+	}
+	return total
+}
+
+// The logistic level table: sigLevel(z) equals round(127*sigmoid(z)) up to
+// the table's z resolution of 1/128. Outside [sigLUTMin, sigLUTMax] the
+// exact level is already pinned at 0 or 127, so clamping there is exact.
+const (
+	sigLUTMin = -6.5
+	sigLUTMax = 6.5
+	sigLUTRes = 128 // table buckets per unit of z
+	// invLevels is the fixed activation scale of a LUT-quantized layer
+	// output: level 127 represents activation 1.0.
+	invLevels = 1.0 / 127
+)
+
+var sigLevelLUT = buildSigLevelLUT()
+
+func buildSigLevelLUT() []int8 {
+	t := make([]int8, int((sigLUTMax-sigLUTMin)*sigLUTRes))
+	for i := range t {
+		z := sigLUTMin + (float64(i)+0.5)/sigLUTRes
+		t[i] = int8(math.Round(127 / (1 + math.Exp(-z))))
+	}
+	return t
+}
+
+// sigLevel returns the int8 activation level of sigmoid(z) under the fixed
+// 1/127 codomain scale.
+func sigLevel(z float64) int8 {
+	if z <= sigLUTMin {
+		return 0
+	}
+	if z >= sigLUTMax {
+		return 127
+	}
+	return sigLevelLUT[int((z-sigLUTMin)*sigLUTRes)]
+}
+
+// argmaxInvariant reports whether act is strictly increasing, i.e. whether
+// ranking pre-activations picks the same class as ranking activations. ReLU
+// is excluded: it collapses every negative pre-activation to 0, which can
+// move a first-on-ties argmax.
+func argmaxInvariant(act Activation) bool {
+	switch act.(type) {
+	case Logistic, Tanh, Identity:
+		return true
+	}
+	return false
+}
+
+// QuantizedInference is a per-caller forward-pass arena over a shared
+// QuantizedNet, mirroring CloneForInference: the int8 weights are shared
+// read-only, while the activation planes and accumulator scratch are
+// private. Any number of handles run concurrently over one QuantizedNet; a
+// single handle is NOT safe for concurrent use with itself.
+type QuantizedInference struct {
+	net *QuantizedNet
+
+	maxInPad int // widest kernel row stride across layers
+	maxOut   int // widest layer output
+
+	// Single-sample scratch: two int8 activation planes (current layer
+	// input / next layer input), the int32 accumulators, a float scratch
+	// row for non-LUT activations, and the logits row Forward returns.
+	qx, qnext []int8
+	accs      []int32
+	fa        []float64
+	logits    []float64
+
+	// Batch scratch, grown on demand and reused across calls: the same
+	// planes with one row per sample (int8 planes at stride maxInPad,
+	// accumulators at the layer's output width), per-sample activation
+	// scales, the batch logits plane and the row headers ForwardBatch
+	// returns.
+	batchQX, batchNext []int8
+	batchAccs          []int32
+	scales             []float64
+	logitsPlane        []float64
+	rows               [][]float64
+}
+
+// CloneForInference returns an inference handle sharing the quantized
+// weights with private scratch. Clone once per goroutine.
+func (q *QuantizedNet) CloneForInference() *QuantizedInference {
+	inf := &QuantizedInference{net: q}
+	for _, l := range q.layers {
+		if l.inPad > inf.maxInPad {
+			inf.maxInPad = l.inPad
+		}
+		if l.out > inf.maxOut {
+			inf.maxOut = l.out
+		}
+	}
+	inf.qx = make([]int8, inf.maxInPad)
+	inf.qnext = make([]int8, inf.maxInPad)
+	inf.accs = make([]int32, inf.maxOut)
+	inf.fa = make([]float64, inf.maxOut)
+	inf.logits = make([]float64, q.OutputDim())
+	return inf
+}
+
+// InputDim returns the expected input width.
+func (inf *QuantizedInference) InputDim() int { return inf.net.InputDim() }
+
+// OutputDim returns the number of classes.
+func (inf *QuantizedInference) OutputDim() int { return inf.net.OutputDim() }
+
+// quantizeInput fills dst[:in] with round(x/scale) under the dynamic
+// symmetric scale mapping the sample's max magnitude onto 127, and zeroes
+// the kernel padding dst[in:inPad]. A zero input yields scale 0 and an
+// all-zero dst; the caller multiplies by the scale afterwards, so the layer
+// degenerates to its biases, matching quantizeValue's convention.
+func quantizeInput(dst []int8, x []float64, in, inPad int) (scale float64) {
+	scale = quantizeActivations(dst[:in], x)
+	for i := in; i < inPad; i++ {
+		dst[i] = 0
+	}
+	return scale
+}
+
+// quantizeActivations fills dst with round(x/scale) where scale maps the
+// sample's max magnitude onto 127 (symmetric, dynamic).
+func quantizeActivations(dst []int8, x []float64) (scale float64) {
+	maxAbs := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		for i := range x {
+			dst[i] = 0
+		}
+		return 0
+	}
+	scale = maxAbs / 127
+	inv := 1 / scale
+	for i, v := range x {
+		dst[i] = int8(math.Round(v * inv))
+	}
+	return scale
+}
+
+// activateQuantize turns one hidden layer's integer accumulators into the
+// next layer's int8 input row dst (padded to padTo) and returns that row's
+// activation scale. Logistic layers go straight to int8 levels through the
+// LUT at the fixed codomain scale; anything else computes float activations
+// into fa and re-quantizes dynamically. Both the single and the batched
+// forward pass each sample through this one function, which is what makes
+// them bit-identical.
+func activateQuantize(l *qlayer, accs []int32, deq float64, dst []int8, fa []float64, padTo int) float64 {
+	if _, ok := l.act.(Logistic); ok {
+		for o, a := range accs {
+			dst[o] = sigLevel(float64(a)*deq + l.b[o])
+		}
+		for i := len(accs); i < padTo; i++ {
+			dst[i] = 0
+		}
+		return invLevels
+	}
+	fa = fa[:len(accs)]
+	for o, a := range accs {
+		fa[o] = l.act.F(float64(a)*deq + l.b[o])
+	}
+	scale := quantizeActivations(dst[:len(accs)], fa)
+	for i := len(accs); i < padTo; i++ {
+		dst[i] = 0
+	}
+	return scale
+}
+
+// run drives one sample through every layer's integer kernel and returns
+// the final layer's accumulators plus their dequantization factor. The
+// caller turns them into logits (Forward) or a class (Predict).
+func (inf *QuantizedInference) run(x []float64) (accs []int32, deq float64) {
+	layers := inf.net.layers
+	cur, nxt := inf.qx, inf.qnext
+	sx := quantizeInput(cur, x, layers[0].in, layers[0].inPad)
+	for li := range layers {
+		l := &layers[li]
+		accs = inf.accs[:l.out]
+		matvecInt8(l.w, cur, accs, l.inPad, l.out)
+		deq = l.wScale * sx
+		if li == len(layers)-1 {
+			break
+		}
+		sx = activateQuantize(l, accs, deq, nxt, inf.fa, layers[li+1].inPad)
+		cur, nxt = nxt, cur
+	}
+	return accs, deq
+}
+
+// Forward computes logits for one input. The returned slice is scratch owned
+// by this handle: copy it before the next call if you need to keep it.
+func (inf *QuantizedInference) Forward(x []float64) ([]float64, error) {
+	if len(x) != inf.net.InputDim() {
+		return nil, fmt.Errorf("nn: input dim %d, want %d", len(x), inf.net.InputDim())
+	}
+	accs, deq := inf.run(x)
+	l := &inf.net.layers[len(inf.net.layers)-1]
+	logits := inf.logits[:l.out]
+	for o, a := range accs {
+		logits[o] = l.act.F(float64(a)*deq + l.b[o])
+	}
+	return logits, nil
+}
+
+// argmaxPreact ranks the final layer's classes from its integer
+// accumulators: directly on pre-activations when the output activation is
+// strictly increasing, through act.F otherwise.
+func argmaxPreact(l *qlayer, accs []int32, deq float64) int {
+	skip := argmaxInvariant(l.act)
+	best := 0
+	bv := float64(accs[0])*deq + l.b[0]
+	if !skip {
+		bv = l.act.F(bv)
+	}
+	for o := 1; o < len(accs); o++ {
+		v := float64(accs[o])*deq + l.b[o]
+		if !skip {
+			v = l.act.F(v)
+		}
+		if v > bv {
+			best, bv = o, v
+		}
+	}
+	return best
+}
+
+// Predict returns the argmax class for one input.
+func (inf *QuantizedInference) Predict(x []float64) (int, error) {
+	if len(x) != inf.net.InputDim() {
+		return 0, fmt.Errorf("nn: input dim %d, want %d", len(x), inf.net.InputDim())
+	}
+	accs, deq := inf.run(x)
+	return argmaxPreact(&inf.net.layers[len(inf.net.layers)-1], accs, deq), nil
+}
+
+// growBatch sizes the batch scratch for n samples. Planes are reused across
+// calls, so a steady batch size allocates only once.
+func (inf *QuantizedInference) growBatch(n int) {
+	if cap(inf.batchQX) < n*inf.maxInPad {
+		inf.batchQX = make([]int8, n*inf.maxInPad)
+		inf.batchNext = make([]int8, n*inf.maxInPad)
+	}
+	if cap(inf.batchAccs) < n*inf.maxOut {
+		inf.batchAccs = make([]int32, n*inf.maxOut)
+	}
+	if cap(inf.scales) < n {
+		inf.scales = make([]float64, n)
+	}
+	if cap(inf.logitsPlane) < n*inf.net.OutputDim() {
+		inf.logitsPlane = make([]float64, n*inf.net.OutputDim())
+	}
+	if cap(inf.rows) < n {
+		inf.rows = make([][]float64, n)
+	}
+}
+
+// checkBatch validates a batch's input dimensions.
+func (inf *QuantizedInference) checkBatch(xs [][]float64) error {
+	dim := inf.net.InputDim()
+	for s, x := range xs {
+		if len(x) != dim {
+			return fmt.Errorf("nn: batch input %d dim %d, want %d", s, len(x), dim)
+		}
+	}
+	return nil
+}
+
+// runBatch drives every sample through the layer kernels in one pass over
+// the weight matrices and leaves the final layer's accumulators in
+// batchAccs (stride OutputDim) with the final per-sample input scales in
+// scales. The per-sample arithmetic goes through the same helpers as run,
+// so results are bit-identical to standalone single-sample calls.
+func (inf *QuantizedInference) runBatch(xs [][]float64) {
+	n := len(xs)
+	inf.growBatch(n)
+	layers := inf.net.layers
+	stride := inf.maxInPad
+	cur, nxt := inf.batchQX, inf.batchNext
+	scales := inf.scales[:n]
+	for s, x := range xs {
+		scales[s] = quantizeInput(cur[s*stride:(s+1)*stride], x, layers[0].in, layers[0].inPad)
+	}
+	for li := range layers {
+		l := &layers[li]
+		for s := 0; s < n; s++ {
+			matvecInt8(l.w, cur[s*stride:], inf.batchAccs[s*l.out:s*l.out+l.out], l.inPad, l.out)
+		}
+		if li == len(layers)-1 {
+			return
+		}
+		padTo := layers[li+1].inPad
+		for s := 0; s < n; s++ {
+			accs := inf.batchAccs[s*l.out : s*l.out+l.out]
+			scales[s] = activateQuantize(l, accs, l.wScale*scales[s], nxt[s*stride:], inf.fa, padTo)
+		}
+		cur, nxt = nxt, cur
+	}
+}
+
+// ForwardBatch computes logits for every input in one pass over the weight
+// matrices, amortizing scratch management, kernel dispatch and loop control
+// across samples. Each returned row is bit-identical to a standalone
+// Forward of the same input. Returned rows are scratch owned by this
+// handle.
+func (inf *QuantizedInference) ForwardBatch(xs [][]float64) ([][]float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, nil
+	}
+	if err := inf.checkBatch(xs); err != nil {
+		return nil, err
+	}
+	inf.runBatch(xs)
+	l := &inf.net.layers[len(inf.net.layers)-1]
+	rows := inf.rows[:n]
+	plane := inf.logitsPlane[:n*l.out]
+	for s := 0; s < n; s++ {
+		deq := l.wScale * inf.scales[s]
+		accs := inf.batchAccs[s*l.out : s*l.out+l.out]
+		row := plane[s*l.out : (s+1)*l.out]
+		for o, a := range accs {
+			row[o] = l.act.F(float64(a)*deq + l.b[o])
+		}
+		rows[s] = row
+	}
+	return rows, nil
+}
+
+// PredictBatch writes the argmax class of each input into classes, deciding
+// for the whole batch in one pass over the weight matrices without ever
+// materializing float logits. classes must have len(xs) entries.
+func (inf *QuantizedInference) PredictBatch(xs [][]float64, classes []int) error {
+	if len(classes) != len(xs) {
+		return fmt.Errorf("nn: %d class slots for %d inputs", len(classes), len(xs))
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	if err := inf.checkBatch(xs); err != nil {
+		return err
+	}
+	inf.runBatch(xs)
+	l := &inf.net.layers[len(inf.net.layers)-1]
+	for s := range xs {
+		accs := inf.batchAccs[s*l.out : s*l.out+l.out]
+		classes[s] = argmaxPreact(l, accs, l.wScale*inf.scales[s])
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randInputs draws n inputs shaped like feature vectors (entries in [0,1],
+// the range every layer input actually sees under logistic hiddens).
+func randInputs(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, n)
+	for i := range xs {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+// trainedNet fits a small classifier well enough that argmax decisions are
+// meaningful rather than coin flips.
+func trainedNet(t *testing.T, sizes []int) *Network {
+	t.Helper()
+	net, err := NewMLP(sizes, Logistic{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := toyDataset(300, 1)
+	if _, err := Train(net, train, Dataset{}, TrainConfig{
+		Iterations: 20, BatchSize: 16, Optimizer: NewAdam(0), Seed: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestQuantizedInferenceMatchesSimulatedInt8 ties the deployed kernel to the
+// simulated one: with activation quantization error bounded by the dynamic
+// scale, int8 logits must stay within a small tolerance of the float64
+// forward over the weight-rounded network (Quantized(Int8)), and the weight
+// grids must agree exactly.
+func TestQuantizedInferenceMatchesSimulatedInt8(t *testing.T) {
+	net, err := NewMLP([]int{4, 16, 3}, Logistic{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := net.Quantized(Int8) // float64 arithmetic over the int8 weight grid
+	q := net.QuantizeInt8()
+	for li := range q.layers {
+		ql := &q.layers[li]
+		for o := 0; o < ql.out; o++ {
+			for i := 0; i < ql.in; i++ {
+				got := float64(ql.w[o*ql.inPad+i]) * ql.wScale
+				want := sim.Layers[li].W[o*ql.in+i]
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("layer %d weight (%d,%d): deployed grid %v != simulated grid %v", li, o, i, got, want)
+				}
+			}
+			for i := ql.in; i < ql.inPad; i++ {
+				if ql.w[o*ql.inPad+i] != 0 {
+					t.Fatalf("layer %d row %d: kernel padding byte %d not zero", li, o, i)
+				}
+			}
+		}
+	}
+	inf := q.CloneForInference()
+	for i, x := range randInputs(100, 4, 11) {
+		want, err := sim.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := inf.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			// Activation quantization error: each layer rounds
+			// activations onto a 1/254-of-range grid; through two small
+			// layers a few percent absolute is the expected envelope.
+			if math.Abs(got[j]-want[j]) > 0.05 {
+				t.Fatalf("input %d logit %d: int8 kernel %v vs simulated %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestQuantizedForwardBatchBitParity pins the batched kernel to the
+// single-sample one, bit for bit, across batch sizes (including odd sizes
+// and a batch larger than any scratch grown so far).
+func TestQuantizedForwardBatchBitParity(t *testing.T) {
+	net := trainedNet(t, []int{4, 16, 3})
+	q := net.QuantizeInt8()
+	inf := q.CloneForInference()
+	ref := q.CloneForInference()
+	for _, n := range []int{1, 3, 8, 64, 7} {
+		xs := randInputs(n, 4, int64(100+n))
+		got, err := inf.ForwardBatch(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range xs {
+			want, err := ref.Forward(xs[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if got[s][j] != want[j] {
+					t.Fatalf("batch %d sample %d logit %d: %v != %v", n, s, j, got[s][j], want[j])
+				}
+			}
+		}
+		classes := make([]int, n)
+		if err := inf.PredictBatch(xs, classes); err != nil {
+			t.Fatal(err)
+		}
+		for s := range xs {
+			want, err := ref.Predict(xs[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if classes[s] != want {
+				t.Fatalf("batch %d sample %d: class %d != %d", n, s, classes[s], want)
+			}
+		}
+	}
+}
+
+// TestFloatForwardBatchBitParity is the float64 half of the per-precision
+// batch-parity contract: Inference.ForwardBatch must reproduce N standalone
+// Forwards exactly.
+func TestFloatForwardBatchBitParity(t *testing.T) {
+	net := trainedNet(t, []int{4, 16, 3})
+	inf := net.CloneForInference()
+	ref := net.CloneForInference()
+	for _, n := range []int{1, 3, 8, 64, 7} {
+		xs := randInputs(n, 4, int64(200+n))
+		got, err := inf.ForwardBatch(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range xs {
+			want, err := ref.Forward(xs[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if got[s][j] != want[j] {
+					t.Fatalf("batch %d sample %d logit %d: %v != %v", n, s, j, got[s][j], want[j])
+				}
+			}
+		}
+		classes := make([]int, n)
+		if err := inf.PredictBatch(xs, classes); err != nil {
+			t.Fatal(err)
+		}
+		for s := range xs {
+			want, err := ref.Predict(xs[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if classes[s] != want {
+				t.Fatalf("batch %d sample %d: class %d != %d", n, s, classes[s], want)
+			}
+		}
+	}
+}
+
+// TestQuantizedInferenceConcurrent runs many handles over one QuantizedNet
+// at once, mixing single and batched calls; under -race this pins that the
+// shared artifact is read-only and every mutable buffer is per-handle.
+func TestQuantizedInferenceConcurrent(t *testing.T) {
+	net := trainedNet(t, []int{4, 16, 3})
+	q := net.QuantizeInt8()
+	xs := randInputs(32, 4, 5)
+	want := make([]int, len(xs))
+	refInf := q.CloneForInference()
+	for i, x := range xs {
+		c, err := refInf.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = c
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			inf := q.CloneForInference()
+			classes := make([]int, len(xs))
+			for iter := 0; iter < 50; iter++ {
+				if g%2 == 0 {
+					if err := inf.PredictBatch(xs, classes); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					for i, x := range xs {
+						c, err := inf.Predict(x)
+						if err != nil {
+							errs <- err
+							return
+						}
+						classes[i] = c
+					}
+				}
+				for i := range classes {
+					if classes[i] != want[i] {
+						t.Errorf("goroutine %d iter %d: sample %d class %d, want %d",
+							g, iter, i, classes[i], want[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantizedInferenceErrors covers the dimension and geometry guards.
+func TestQuantizedInferenceErrors(t *testing.T) {
+	net, _ := NewMLP([]int{4, 8, 3}, Logistic{}, 1)
+	inf := net.QuantizeInt8().CloneForInference()
+	if inf.InputDim() != 4 || inf.OutputDim() != 3 {
+		t.Fatalf("dims %d/%d", inf.InputDim(), inf.OutputDim())
+	}
+	if _, err := inf.Forward(make([]float64, 2)); err == nil {
+		t.Error("wrong single dim accepted")
+	}
+	if _, err := inf.ForwardBatch([][]float64{make([]float64, 4), make([]float64, 5)}); err == nil {
+		t.Error("wrong batch dim accepted")
+	}
+	if err := inf.PredictBatch(make([][]float64, 3), make([]int, 2)); err == nil {
+		t.Error("mismatched class slots accepted")
+	}
+	if out, err := inf.ForwardBatch(nil); err != nil || out != nil {
+		t.Errorf("empty batch: %v %v", out, err)
+	}
+	// A zero input must degenerate to the bias path, not divide by zero.
+	if _, err := inf.Forward(make([]float64, 4)); err != nil {
+		t.Errorf("zero input: %v", err)
+	}
+}
+
+// TestQuantizedNetStorage sanity-checks the deployed footprint accounting:
+// int8 weights shrink the paper's 9-64-42 model roughly 8x on the weight
+// tensors.
+func TestQuantizedNetStorage(t *testing.T) {
+	net, _ := NewMLP([]int{9, 64, 42}, Logistic{}, 1)
+	q := net.QuantizeInt8()
+	weights := 9*64 + 64*42
+	biases := 64 + 42
+	want := weights + 8*biases + 2*8
+	if got := q.StorageBytes(); got != want {
+		t.Errorf("storage %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,29 @@
+package nn
+
+// matvecInt8Generic is the portable integer layer kernel: a scalar int32
+// multiply-accumulate over int8 operands, one weight row at a time. It is
+// the semantic reference for matvecInt8AVX2 — integer addition is
+// associative, so both orderings produce identical sums.
+func matvecInt8Generic(w, x []int8, out []int32, inPad, rows int) {
+	x = x[:inPad]
+	for o := 0; o < rows; o++ {
+		out[o] = dotInt8(w[o*inPad:o*inPad+inPad], x)
+	}
+}
+
+// dotInt8 is the scalar inner loop: an int32 accumulate of int8 products.
+// Two accumulator chains hide the add latency; the reslice of qx lets the
+// compiler drop its bounds checks.
+func dotInt8(row, qx []int8) int32 {
+	var acc0, acc1 int32
+	qx = qx[:len(row)]
+	n := len(row) &^ 1
+	for i := 0; i < n; i += 2 {
+		acc0 += int32(row[i]) * int32(qx[i])
+		acc1 += int32(row[i+1]) * int32(qx[i+1])
+	}
+	if len(row)&1 != 0 {
+		acc0 += int32(row[n]) * int32(qx[n])
+	}
+	return acc0 + acc1
+}

@@ -1,0 +1,66 @@
+//go:build amd64
+
+package nn
+
+// AVX2 path for the int8 serving kernel. The assembly routine computes one
+// dense layer (rows x inPad int8 matrix times an int8 vector) with
+// VPMOVSXBW + VPMADDWD: 16 widening int16 multiplies per instruction,
+// pairwise-summed into int32 lanes. Integer addition is associative, so the
+// result is bit-identical to the scalar loop in simd.go — the fallback and
+// the SIMD path are interchangeable, never approximations of each other.
+//
+// Rows must be padded to a multiple of 32 bytes (qlayer.inPad) with zeros;
+// zero operands contribute nothing to the dot products, and the padding
+// keeps the inner loop free of tail handling.
+
+// matvecInt8AVX2 computes out[o] = sum_i w[o*inPad+i]*x[i] for o < rows.
+// Implemented in simd_amd64.s. inPad must be a positive multiple of 32;
+// w must hold rows*inPad bytes and x inPad bytes.
+//
+//go:noescape
+func matvecInt8AVX2(w, x *int8, out *int32, inPad, rows int)
+
+// cpuid executes the CPUID instruction (simd_amd64.s).
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (simd_amd64.s).
+func xgetbv0() (eax, edx uint32)
+
+// useAVX2 gates the assembly kernel. A variable rather than a constant so
+// tests can force the scalar path and compare the two.
+var useAVX2 = detectAVX2()
+
+// detectAVX2 reports whether the CPU and OS support AVX2: the feature bit
+// itself (leaf 7 EBX[5]), OSXSAVE (leaf 1 ECX[27]), and YMM state enabled in
+// XCR0 (bits 1 and 2).
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	if ecx1&osxsave == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 { // SSE and AVX state saved by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// matvecInt8 dispatches one layer's integer matrix-vector product to the
+// best available kernel.
+func matvecInt8(w, x []int8, out []int32, inPad, rows int) {
+	if rows == 0 {
+		return
+	}
+	if useAVX2 {
+		matvecInt8AVX2(&w[0], &x[0], &out[0], inPad, rows)
+		return
+	}
+	matvecInt8Generic(w, x, out, inPad, rows)
+}

@@ -1,0 +1,71 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func matvecInt8AVX2(w, x *int8, out *int32, inPad, rows int)
+//
+// For each of `rows` weight rows (stride inPad bytes, inPad a positive
+// multiple of 32): widen 16 int8 to int16 (VPMOVSXBW), multiply pairwise
+// against the widened input and sum adjacent products into int32 lanes
+// (VPMADDWD), accumulate, then reduce the 8 int32 lanes to out[o].
+// |w|,|x| <= 127, so each VPMADDWD lane is at most 2*127*127 and the int32
+// accumulator cannot overflow for any realistic layer width.
+TEXT ·matvecInt8AVX2(SB), NOSPLIT, $0-40
+	MOVQ w+0(FP), SI
+	MOVQ x+8(FP), DX
+	MOVQ out+16(FP), DI
+	MOVQ inPad+24(FP), CX
+	MOVQ rows+32(FP), BX
+
+rowloop:
+	VPXOR Y0, Y0, Y0 // acc
+	MOVQ  CX, R9     // bytes left in this row
+	MOVQ  DX, R10    // input cursor (rewinds every row)
+
+inner:
+	VPMOVSXBW (SI), Y1
+	VPMOVSXBW (R10), Y2
+	VPMADDWD  Y2, Y1, Y1
+	VPADDD    Y1, Y0, Y0
+	VPMOVSXBW 16(SI), Y1
+	VPMOVSXBW 16(R10), Y2
+	VPMADDWD  Y2, Y1, Y1
+	VPADDD    Y1, Y0, Y0
+	ADDQ      $32, SI
+	ADDQ      $32, R10
+	SUBQ      $32, R9
+	JNE       inner
+
+	// Horizontal sum of the 8 int32 lanes of Y0.
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0x4E, X0, X1 // high qword -> low
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0xB1, X0, X1 // odd dword -> even
+	VPADDD       X1, X0, X0
+	VMOVD        X0, (DI)
+	ADDQ         $4, DI
+	DECQ         BX
+	JNE          rowloop
+
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package nn
+
+// Portable dispatch: every architecture without a SIMD kernel serves int8
+// through the scalar loop. The scalar and SIMD kernels compute identical
+// int32 sums, so precision-sensitive callers see no difference.
+
+func matvecInt8(w, x []int8, out []int32, inPad, rows int) {
+	matvecInt8Generic(w, x, out, inPad, rows)
+}

@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMatvecInt8KernelMatchesGeneric pins the dispatched kernel (SIMD where
+// the host supports it) to the scalar reference over random shapes and
+// full-range int8 values, including negative extremes. Integer addition is
+// associative, so the two must agree exactly, not approximately.
+func TestMatvecInt8KernelMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct{ inPad, rows int }{
+		{32, 1}, {32, 64}, {64, 42}, {96, 7}, {128, 130}, {32, 0},
+	} {
+		w := make([]int8, tc.rows*tc.inPad)
+		x := make([]int8, tc.inPad)
+		for i := range w {
+			w[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range x {
+			x[i] = int8(rng.Intn(255) - 127)
+		}
+		got := make([]int32, tc.rows)
+		want := make([]int32, tc.rows)
+		matvecInt8(w, x, got, tc.inPad, tc.rows)
+		matvecInt8Generic(w, x, want, tc.inPad, tc.rows)
+		for o := range want {
+			if got[o] != want[o] {
+				t.Fatalf("inPad=%d rows=%d: out[%d] = %d, scalar reference %d",
+					tc.inPad, tc.rows, o, got[o], want[o])
+			}
+		}
+	}
+}
+
+// TestSigLevelMatchesLogistic bounds the LUT against the exact level
+// round(127*sigmoid(z)): at the table's 1/128 z resolution the level may be
+// off by one only near a rounding boundary, never more, and the saturated
+// clamps must be exact.
+func TestSigLevelMatchesLogistic(t *testing.T) {
+	for z := -10.0; z <= 10.0; z += 0.003 {
+		exact := math.Round(127 / (1 + math.Exp(-z)))
+		got := float64(sigLevel(z))
+		if math.Abs(got-exact) > 1 {
+			t.Fatalf("sigLevel(%v) = %v, exact level %v", z, got, exact)
+		}
+	}
+	if sigLevel(-100) != 0 || sigLevel(100) != 127 {
+		t.Fatalf("saturation clamps wrong: %d, %d", sigLevel(-100), sigLevel(100))
+	}
+}
+
+// TestArgmaxInvariant pins which activations allow ranking on
+// pre-activations.
+func TestArgmaxInvariant(t *testing.T) {
+	for _, tc := range []struct {
+		act  Activation
+		want bool
+	}{
+		{Logistic{}, true}, {Tanh{}, true}, {Identity{}, true}, {ReLU{}, false},
+	} {
+		if got := argmaxInvariant(tc.act); got != tc.want {
+			t.Errorf("argmaxInvariant(%s) = %v, want %v", tc.act.Name(), got, tc.want)
+		}
+	}
+}
+
+// BenchmarkMatvecInt8 measures the layer kernel alone at the paper model's
+// two layer shapes.
+func BenchmarkMatvecInt8(b *testing.B) {
+	for _, tc := range []struct {
+		name        string
+		inPad, rows int
+	}{
+		{"9x64", 32, 64}, {"64x42", 64, 42},
+	} {
+		w := make([]int8, tc.rows*tc.inPad)
+		x := make([]int8, tc.inPad)
+		rng := rand.New(rand.NewSource(1))
+		for i := range w {
+			w[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range x {
+			x[i] = int8(rng.Intn(255) - 127)
+		}
+		out := make([]int32, tc.rows)
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matvecInt8(w, x, out, tc.inPad, tc.rows)
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@ import (
 //	  "format_version": 2,
 //	  "feature_schema_hash": "…",   // binds the file to the feature/strategy schema
 //	  "model_sha256": "…",          // content checksum over the embedded model
+//	  "precision": "int8",          // deployment precision (absent ⇒ float64)
 //	  "meta": { … },                // training provenance
 //	  "model": { "version":1, "layers":[…] }   // the nn serialization, verbatim
 //	}
@@ -50,11 +51,15 @@ type Meta struct {
 
 // envelope is the on-disk checkpoint schema.
 type envelope struct {
-	FormatVersion int             `json:"format_version"`
-	SchemaHash    string          `json:"feature_schema_hash"`
-	Checksum      string          `json:"model_sha256"`
-	Meta          Meta            `json:"meta"`
-	Model         json.RawMessage `json:"model"`
+	FormatVersion int    `json:"format_version"`
+	SchemaHash    string `json:"feature_schema_hash"`
+	Checksum      string `json:"model_sha256"`
+	// Precision is the deployment precision the model was validated for
+	// ("int8", ...). Absent or empty means float64, so files written
+	// before the field existed load unchanged.
+	Precision string          `json:"precision,omitempty"`
+	Meta      Meta            `json:"meta"`
+	Model     json.RawMessage `json:"model"`
 
 	// Layers is only probed to recognize a pre-envelope bare model file.
 	Layers json.RawMessage `json:"layers,omitempty"`
@@ -81,6 +86,16 @@ func SchemaHash(channels int, strategies []alloc.Strategy) string {
 // SaveCheckpoint writes net wrapped in the versioned envelope. channels and
 // strategies describe the schema the model was trained against.
 func SaveCheckpoint(w io.Writer, net *nn.Network, meta Meta, channels int, strategies []alloc.Strategy) error {
+	return SaveCheckpointPrecision(w, net, meta, channels, strategies, nn.Float64)
+}
+
+// SaveCheckpointPrecision is SaveCheckpoint with an explicit deployment
+// precision recorded in the envelope. The model weights are stored as
+// trained (full float64, checksummed verbatim); the precision field declares
+// which inference kernel consumers must deploy them with. Float64 writes the
+// same bytes SaveCheckpoint always has, so the format stays compatible in
+// both directions.
+func SaveCheckpointPrecision(w io.Writer, net *nn.Network, meta Meta, channels int, strategies []alloc.Strategy, p nn.Precision) error {
 	if err := checkGeometry(net, strategies); err != nil {
 		return err
 	}
@@ -90,11 +105,16 @@ func SaveCheckpoint(w io.Writer, net *nn.Network, meta Meta, channels int, strat
 	}
 	model := bytes.TrimSpace(buf.Bytes())
 	sum := sha256.Sum256(model)
+	precision := ""
+	if p != nn.Float64 {
+		precision = p.String()
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(envelope{
 		FormatVersion: FormatVersion,
 		SchemaHash:    SchemaHash(channels, strategies),
 		Checksum:      hex.EncodeToString(sum[:]),
+		Precision:     precision,
 		Meta:          meta,
 		Model:         model,
 	})
@@ -105,32 +125,60 @@ func SaveCheckpoint(w io.Writer, net *nn.Network, meta Meta, channels int, strat
 // schema, the content checksum, and the network geometry. A pre-envelope
 // bare model file (nn.Save output) is accepted with geometry validation
 // only.
+//
+// LoadCheckpoint is the float-only entry point: a checkpoint that declares a
+// non-float64 deployment precision is refused with a clear error, because
+// running it through the float64 kernel would silently serve decisions the
+// model was never validated for. Precision-aware consumers (the registry,
+// ssdkeeperd, keeper-train -inspect) use LoadCheckpointPrecision.
 func LoadCheckpoint(r io.Reader, channels int, strategies []alloc.Strategy) (*nn.Network, Meta, error) {
+	net, meta, p, err := LoadCheckpointPrecision(r, channels, strategies)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if p != nn.Float64 {
+		return nil, Meta{}, fmt.Errorf(
+			"policy: checkpoint declares %s deployment precision but this consumer only runs the float64 path: "+
+				"load it through a precision-aware consumer (ssdkeeperd serves it quantized automatically) "+
+				"or re-export the model without -quantize", p)
+	}
+	return net, meta, nil
+}
+
+// LoadCheckpointPrecision is LoadCheckpoint for precision-aware consumers:
+// it additionally returns the deployment precision declared in the envelope
+// (Float64 when the field is absent, including for every pre-precision and
+// pre-envelope file).
+func LoadCheckpointPrecision(r io.Reader, channels int, strategies []alloc.Strategy) (*nn.Network, Meta, nn.Precision, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
-		return nil, Meta{}, fmt.Errorf("policy: read checkpoint: %w", err)
+		return nil, Meta{}, nn.Float64, fmt.Errorf("policy: read checkpoint: %w", err)
 	}
 	var env envelope
 	if err := json.Unmarshal(raw, &env); err != nil {
-		return nil, Meta{}, fmt.Errorf("policy: decode checkpoint: %w", err)
+		return nil, Meta{}, nn.Float64, fmt.Errorf("policy: decode checkpoint: %w", err)
 	}
 	if env.FormatVersion == 0 && len(env.Layers) > 0 {
 		// Pre-envelope bare model file.
 		net, err := nn.Load(bytes.NewReader(raw))
 		if err != nil {
-			return nil, Meta{}, err
+			return nil, Meta{}, nn.Float64, err
 		}
 		if err := checkGeometry(net, strategies); err != nil {
-			return nil, Meta{}, err
+			return nil, Meta{}, nn.Float64, err
 		}
-		return net, Meta{Name: "legacy"}, nil
+		return net, Meta{Name: "legacy"}, nn.Float64, nil
 	}
 	if env.FormatVersion != FormatVersion {
-		return nil, Meta{}, fmt.Errorf("policy: checkpoint format version %d, this binary reads %d",
+		return nil, Meta{}, nn.Float64, fmt.Errorf("policy: checkpoint format version %d, this binary reads %d",
 			env.FormatVersion, FormatVersion)
 	}
+	precision, err := nn.ParsePrecision(env.Precision)
+	if err != nil {
+		return nil, Meta{}, nn.Float64, fmt.Errorf("policy: checkpoint %w (written by a newer binary?)", err)
+	}
 	if want := SchemaHash(channels, strategies); env.SchemaHash != want {
-		return nil, Meta{}, fmt.Errorf(
+		return nil, Meta{}, nn.Float64, fmt.Errorf(
 			"policy: checkpoint feature-schema hash %s does not match this binary's schema %s "+
 				"(dim=%d, %d strategies over %d channels): retrain the model against the current schema",
 			env.SchemaHash, want, features.Dim, len(strategies), channels)
@@ -138,15 +186,15 @@ func LoadCheckpoint(r io.Reader, channels int, strategies []alloc.Strategy) (*nn
 	model := bytes.TrimSpace(env.Model)
 	sum := sha256.Sum256(model)
 	if got := hex.EncodeToString(sum[:]); got != env.Checksum {
-		return nil, Meta{}, fmt.Errorf("policy: checkpoint checksum mismatch: file says %s, content hashes to %s (corrupt or hand-edited model)",
+		return nil, Meta{}, nn.Float64, fmt.Errorf("policy: checkpoint checksum mismatch: file says %s, content hashes to %s (corrupt or hand-edited model)",
 			env.Checksum, got)
 	}
 	net, err := nn.Load(bytes.NewReader(model))
 	if err != nil {
-		return nil, Meta{}, err
+		return nil, Meta{}, nn.Float64, err
 	}
 	if err := checkGeometry(net, strategies); err != nil {
-		return nil, Meta{}, err
+		return nil, Meta{}, nn.Float64, err
 	}
-	return net, env.Meta, nil
+	return net, env.Meta, precision, nil
 }

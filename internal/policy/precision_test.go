@@ -1,0 +1,210 @@
+package policy
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssdkeeper/internal/alloc"
+	"ssdkeeper/internal/nn"
+)
+
+// TestCheckpointPrecisionRoundTrip: the precision marker survives save/load,
+// and a float64 save is byte-identical to the pre-precision format (the
+// field is omitted), so existing artifacts and their checksums are
+// untouched.
+func TestCheckpointPrecisionRoundTrip(t *testing.T) {
+	strategies := testStrategies()
+	net := testNet(t, len(strategies), 7)
+
+	var legacy, f64, i8 bytes.Buffer
+	if err := SaveCheckpoint(&legacy, net, Meta{Name: "p"}, testChannels, strategies); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpointPrecision(&f64, net, Meta{Name: "p"}, testChannels, strategies, nn.Float64); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpointPrecision(&i8, net, Meta{Name: "p"}, testChannels, strategies, nn.Int8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacy.Bytes(), f64.Bytes()) {
+		t.Error("float64 SaveCheckpointPrecision output differs from SaveCheckpoint (format drift)")
+	}
+
+	_, _, p, err := LoadCheckpointPrecision(bytes.NewReader(f64.Bytes()), testChannels, strategies)
+	if err != nil || p != nn.Float64 {
+		t.Fatalf("float64 checkpoint: precision %v, err %v", p, err)
+	}
+	loaded, meta, p, err := LoadCheckpointPrecision(bytes.NewReader(i8.Bytes()), testChannels, strategies)
+	if err != nil || p != nn.Int8 {
+		t.Fatalf("int8 checkpoint: precision %v, err %v", p, err)
+	}
+	if meta.Name != "p" {
+		t.Errorf("meta lost: %+v", meta)
+	}
+	// Weights are stored at full precision regardless of the marker.
+	x := pinnedVectors(1)[0].Input()
+	want, _ := net.Forward(x)
+	wantCopy := append([]float64(nil), want...)
+	got, _ := loaded.Forward(x)
+	for j := range wantCopy {
+		if got[j] != wantCopy[j] {
+			t.Fatalf("int8-marked checkpoint altered stored weights (logit %d: %v != %v)",
+				j, got[j], wantCopy[j])
+		}
+	}
+}
+
+// TestLoadCheckpointRefusesInt8: the float-only loader must not silently
+// serve a model that was validated for int8 deployment at a different
+// numerics; the error tells the operator where to take it.
+func TestLoadCheckpointRefusesInt8(t *testing.T) {
+	strategies := testStrategies()
+	net := testNet(t, len(strategies), 7)
+	var buf bytes.Buffer
+	if err := SaveCheckpointPrecision(&buf, net, Meta{}, testChannels, strategies, nn.Int8); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), testChannels, strategies)
+	if err == nil {
+		t.Fatal("float-only LoadCheckpoint accepted an int8 checkpoint")
+	}
+	if !strings.Contains(err.Error(), "precision-aware") {
+		t.Errorf("refusal error %q does not point at a precision-aware consumer", err)
+	}
+}
+
+// TestLoadCheckpointUnknownPrecision: a precision string this binary does
+// not know is a hard error, not a silent float64 fallback.
+func TestLoadCheckpointUnknownPrecision(t *testing.T) {
+	strategies := testStrategies()
+	net := testNet(t, len(strategies), 7)
+	var buf bytes.Buffer
+	if err := SaveCheckpointPrecision(&buf, net, Meta{}, testChannels, strategies, nn.Int8); err != nil {
+		t.Fatal(err)
+	}
+	mangled := bytes.Replace(buf.Bytes(), []byte(`"int8"`), []byte(`"int4"`), 1)
+	if bytes.Equal(mangled, buf.Bytes()) {
+		t.Fatal("fixture: precision marker not found in envelope")
+	}
+	_, _, _, err := LoadCheckpointPrecision(bytes.NewReader(mangled), testChannels, strategies)
+	if err == nil {
+		t.Fatal("unknown precision accepted")
+	}
+	if !strings.Contains(err.Error(), "newer binary") {
+		t.Errorf("unknown-precision error %q does not hint at a version skew", err)
+	}
+}
+
+// TestRegistryLoadsInt8Checkpoint: an int8 artifact dropped into a registry
+// directory serves quantized with no extra flags.
+func TestRegistryLoadsInt8Checkpoint(t *testing.T) {
+	strategies := testStrategies()
+	net := testNet(t, len(strategies), 7)
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "v001.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpointPrecision(f, net, Meta{}, testChannels, strategies, nn.Int8); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reg, err := NewRegistry(dir, testChannels, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := reg.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision() != nn.Int8 {
+		t.Fatalf("registry model precision = %v, want int8", m.Precision())
+	}
+	pol := m.NewPolicy()
+	for _, v := range pinnedVectors(16) {
+		if _, err := pol.Decide(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestModelWithPrecision covers the daemon's -quantize path: same version,
+// same metadata, swapped kernel; unsupported deploy precisions are refused.
+func TestModelWithPrecision(t *testing.T) {
+	strategies := testStrategies()
+	net := testNet(t, len(strategies), 7)
+	m, err := NewModel("v1", net, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision() != nn.Float64 {
+		t.Fatalf("default precision = %v", m.Precision())
+	}
+	q, err := m.WithPrecision(nn.Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Version() != "v1" || q.Precision() != nn.Int8 {
+		t.Fatalf("WithPrecision: version %q precision %v", q.Version(), q.Precision())
+	}
+	if same, err := q.WithPrecision(nn.Int8); err != nil || same != q {
+		t.Errorf("WithPrecision to the same precision should return the receiver")
+	}
+	if _, err := m.WithPrecision(nn.Float16); err == nil {
+		t.Error("float16 deployment accepted (no kernel exists)")
+	}
+	if _, err := NewModelPrecision("v1", net, strategies, nn.Float32); err == nil {
+		t.Error("float32 deployment accepted (no kernel exists)")
+	}
+}
+
+// TestDecideBatchMatchesDecide: for both kernels, the batched decision path
+// must choose exactly what per-vector Decide chooses.
+func TestDecideBatchMatchesDecide(t *testing.T) {
+	strategies := testStrategies()
+	net := testNet(t, len(strategies), 7)
+	vs := pinnedVectors(33)
+
+	for _, prec := range []nn.Precision{nn.Float64, nn.Int8} {
+		m, err := NewModelPrecision("v1", net, strategies, prec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol := m.NewPolicy().(*ANNPolicy)
+		out := make([]alloc.Strategy, len(vs))
+		if err := pol.DecideBatch(vs, out); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vs {
+			want, err := pol.Decide(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !alloc.Equal(out[i], want) {
+				t.Fatalf("%s vector %d: batch chose %+v, Decide chose %+v", prec, i, out[i], want)
+			}
+		}
+		if err := pol.DecideBatch(vs, out[:1]); err == nil {
+			t.Error("mismatched out length accepted")
+		}
+		if err := pol.DecideBatch(nil, nil); err != nil {
+			t.Errorf("empty batch: %v", err)
+		}
+	}
+
+	// StaticPolicy's batch form fills the pinned strategy.
+	st := StaticPolicy{Strategy: strategies[2]}
+	out := make([]alloc.Strategy, 4)
+	if err := st.DecideBatch(vs[:4], out); err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range out {
+		if !alloc.Equal(got, strategies[2]) {
+			t.Fatalf("static batch = %+v", got)
+		}
+	}
+}

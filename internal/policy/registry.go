@@ -56,7 +56,10 @@ func (r *Registry) Versions() ([]string, error) {
 	return versions, nil
 }
 
-// Load reads, verifies, and wraps one version as a provider.
+// Load reads, verifies, and wraps one version as a provider. The registry is
+// precision-aware: a checkpoint that declares int8 deployment precision
+// comes back as an int8-serving model, so quantized artifacts flow through
+// -model-dir and /model/reload with no extra flags.
 func (r *Registry) Load(version string) (*Model, error) {
 	if err := checkVersionName(version); err != nil {
 		return nil, err
@@ -66,11 +69,11 @@ func (r *Registry) Load(version string) (*Model, error) {
 		return nil, fmt.Errorf("policy: version %q: %w", version, err)
 	}
 	defer f.Close()
-	net, meta, err := LoadCheckpoint(f, r.channels, r.strategies)
+	net, meta, precision, err := LoadCheckpointPrecision(f, r.channels, r.strategies)
 	if err != nil {
 		return nil, fmt.Errorf("policy: version %q: %w", version, err)
 	}
-	m, err := NewModel(version, net, r.strategies)
+	m, err := NewModelPrecision(version, net, r.strategies, precision)
 	if err != nil {
 		return nil, err
 	}

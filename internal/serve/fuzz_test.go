@@ -33,6 +33,17 @@ func FuzzDecode(f *testing.F) {
 	f.Add(`{"tenant":0,"op":"read","offset":0,"size":1,"extra":true}`)
 	f.Add(`{"tenant":`)
 	f.Add(`[]`)
+	// Shapes aimed at the hand-rolled scanner's edges: null fields, leading
+	// zeros, case-folded and duplicate keys, escapes, trailing data.
+	f.Add(`{"tenant":null,"op":"read","offset":null,"size":4}`)
+	f.Add(`{"tenant":01,"op":"r","offset":0,"size":1}`)
+	f.Add(`{"Tenant":1,"OP":"w","offset":0,"size":1}`)
+	f.Add(`{"op":"read","op":"write","offset":0,"size":1}`)
+	f.Add(`{"op":"read","tenant":0,"offset":0,"size":1}`)
+	f.Add(`{"op":"read\n","tenant":0,"offset":0,"size":1}`)
+	f.Add(`{"op":"r","offset":-9223372036854775808,"size":1} tail`)
+	f.Add(`{"key":18446744073709551615,"op":"r","offset":0,"size":1}`)
+	f.Add(`{"tenant":1e3,"op":"r","offset":0,"size":1}`)
 
 	f.Fuzz(func(t *testing.T, in string) {
 		if req, err := DecodeLine(in); err == nil {
@@ -47,11 +58,25 @@ func FuzzDecode(f *testing.F) {
 			// Validation must classify, never panic, whatever was decoded.
 			_ = req.Validate(4, 64<<20)
 		}
-		if req, err := DecodeJSONRequest([]byte(in)); err == nil {
+		// Differential check of the hand-rolled JSON scanner against the
+		// encoding/json reference, per the contract in jsonfast.go: a fast
+		// accept must be a stdlib accept with an identical Request, and on
+		// all-ASCII escape-free inputs a stdlib accept must be a fast accept.
+		req, err := DecodeJSONRequest([]byte(in))
+		std, stdErr := decodeJSONRequestStd([]byte(in))
+		if err == nil {
+			if stdErr != nil {
+				t.Fatalf("fast JSON decoder accepted %q as %+v but stdlib rejects: %v", in, req, stdErr)
+			}
+			if req != std {
+				t.Fatalf("JSON decoders disagree on %q: fast %+v, stdlib %+v", in, req, std)
+			}
 			if req.Op != 0 && req.Op != 1 {
 				t.Fatalf("JSON decoder produced op %d from %q", req.Op, in)
 			}
 			_ = req.Validate(4, 64<<20)
+		} else if stdErr == nil && asciiNoBackslash(in) {
+			t.Fatalf("stdlib accepted %q as %+v but fast JSON decoder rejects: %v", in, std, err)
 		}
 	})
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -123,17 +124,42 @@ func writeReject(w http.ResponseWriter, err error) {
 	http.Error(w, err.Error(), status)
 }
 
+// bodyBufPool recycles /io request-body buffers, and ioRespPool the rendered
+// response bytes: with the hand-rolled decoder and renderer, the /io JSON
+// hot path performs no per-request allocations of its own (what remains is
+// net/http's).
+var (
+	bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	ioRespPool  = sync.Pool{New: func() any {
+		b := make([]byte, 0, 64)
+		return &b
+	}}
+)
+
+// appendIOResponse renders the /io completion without reflection. The byte
+// form (including the trailing newline) is identical to what
+// json.Encoder.Encode produced for jsonResponse, so clients see no change.
+func appendIOResponse(dst []byte, latencyNS, simNS int64) []byte {
+	dst = append(dst, `{"latency_ns":`...)
+	dst = strconv.AppendInt(dst, latencyNS, 10)
+	dst = append(dst, `,"sim_ns":`...)
+	dst = strconv.AppendInt(dst, simNS, 10)
+	return append(dst, '}', '\n')
+}
+
 func (s *Server) handleIO(w http.ResponseWriter, r *http.Request, reqTimeout time.Duration) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err != nil {
+	body := bodyBufPool.Get().(*bytes.Buffer)
+	body.Reset()
+	defer bodyBufPool.Put(body)
+	if _, err := body.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	req, err := DecodeJSONRequest(body)
+	req, err := DecodeJSONRequest(body.Bytes())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -145,10 +171,12 @@ func (s *Server) handleIO(w http.ResponseWriter, r *http.Request, reqTimeout tim
 		writeReject(w, err)
 		return
 	}
+	bp := ioRespPool.Get().(*[]byte)
+	out := appendIOResponse((*bp)[:0], int64(resp.Latency), int64(resp.At))
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(jsonResponse{
-		LatencyNS: int64(resp.Latency), SimNS: int64(resp.At),
-	})
+	w.Write(out)
+	*bp = out[:0]
+	ioRespPool.Put(bp)
 }
 
 // batchResult is one line's outcome: a handle to wait on, or an immediate
@@ -170,7 +198,39 @@ var (
 		b := make([]byte, 64<<10)
 		return &b
 	}}
+	batchWriterPool = sync.Pool{New: func() any {
+		return bufio.NewWriterSize(nil, 32<<10)
+	}}
 )
+
+// jsonEnc pairs a growth buffer with a json.Encoder bound to it, so the
+// status endpoints (/model/reload, /tenant/*) render through a pooled
+// encoder instead of allocating one per response.
+type jsonEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonEncPool = sync.Pool{New: func() any {
+	e := &jsonEnc{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// writeJSON renders v through a pooled encoder and writes it as one JSON
+// response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	e := jsonEncPool.Get().(*jsonEnc)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		jsonEncPool.Put(e)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(e.buf.Bytes())
+	jsonEncPool.Put(e)
+}
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, reqTimeout time.Duration) {
 	if r.Method != http.MethodPost {
@@ -216,8 +276,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, reqTimeout 
 	ctx, cancel := context.WithTimeout(r.Context(), reqTimeout)
 	defer cancel()
 	w.Header().Set("Content-Type", "text/plain")
-	bw := bufio.NewWriter(w)
-	defer bw.Flush()
+	bw := batchWriterPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	defer func() {
+		bw.Flush()
+		bw.Reset(nil) // drop the ResponseWriter so the pool doesn't pin it
+		batchWriterPool.Put(bw)
+	}()
 	var num [20]byte
 	for _, res := range results {
 		if res.err != nil {
@@ -278,8 +343,7 @@ func (s *Server) handleTenantDrain(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), tenantErrStatus(err))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(td)
+	writeJSON(w, td)
 }
 
 // handoffReply reports how many records a handoff replayed.
@@ -310,8 +374,7 @@ func (s *Server) handleTenantHandoff(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), tenantErrStatus(err))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(handoffReply{Tenant: tenant, Replayed: done})
+	writeJSON(w, handoffReply{Tenant: tenant, Replayed: done})
 }
 
 func (s *Server) handleTenantRelease(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,450 @@
+package serve
+
+import (
+	"fmt"
+
+	"ssdkeeper/internal/trace"
+)
+
+// Hand-rolled JSON request parser for the /io hot path. encoding/json costs
+// one Decoder allocation plus reflection per request; this scanner decodes
+// the five known fields of a jsonRequest with zero allocations on every
+// accepted input and on all error paths that matter.
+//
+// Compatibility contract with encoding/json (checked by unit tests and a
+// differential fuzz target against decodeJSONRequestStd):
+//
+//   - any input this parser ACCEPTS, the stdlib decoder accepts with an
+//     identical Request — always;
+//   - any all-ASCII, escape-free input the stdlib accepts, this parser
+//     accepts too. Inputs using backslash escapes in object keys, or
+//     non-ASCII key spellings that only match under Unicode case folding,
+//     may be rejected here even though the stdlib tolerates them; the fuzz
+//     target carves exactly that set out.
+//
+// Matched stdlib behaviors: unknown fields rejected (DisallowUnknownFields),
+// ASCII case-insensitive key matching, null as a field no-op, last-wins
+// duplicate keys, JSON number grammar (leading zeros rejected, '+' sign
+// rejected, fraction/exponent rejected for integer fields), escape decoding
+// inside the op string, and trailing bytes after the closing brace ignored.
+
+// jsonScanner walks one JSON object without allocating. strBuf backs escape
+// decoding for the op value; escape-free strings are sliced from the input.
+type jsonScanner struct {
+	b      []byte
+	i      int
+	strBuf [16]byte
+}
+
+// DecodeJSONRequest parses one JSON-encoded request. Unknown fields are
+// rejected so client typos fail loudly instead of silently defaulting. The
+// decode allocates nothing: this is the /io admission hot path.
+func DecodeJSONRequest(data []byte) (Request, error) {
+	var s jsonScanner
+	s.b = data
+	s.skipWS()
+	if !s.consume('{') {
+		return Request{}, s.errHere("expected '{'")
+	}
+	var req Request
+	var opBytes []byte
+	s.skipWS()
+	if !s.consume('}') {
+		for {
+			s.skipWS()
+			key, err := s.scanKey()
+			if err != nil {
+				return Request{}, err
+			}
+			s.skipWS()
+			if !s.consume(':') {
+				return Request{}, s.errHere("expected ':' after object key")
+			}
+			s.skipWS()
+			switch {
+			case keyFold(key, "tenant"):
+				n, null, err := s.scanInt()
+				if err != nil {
+					return Request{}, err
+				}
+				if !null {
+					req.Tenant = int(n)
+				}
+			case keyFold(key, "op"):
+				ob, null, err := s.scanString()
+				if err != nil {
+					return Request{}, err
+				}
+				if !null {
+					opBytes = ob
+				}
+			case keyFold(key, "offset"):
+				n, null, err := s.scanInt()
+				if err != nil {
+					return Request{}, err
+				}
+				if !null {
+					req.Offset = n
+				}
+			case keyFold(key, "size"):
+				n, null, err := s.scanInt()
+				if err != nil {
+					return Request{}, err
+				}
+				if !null {
+					req.Size = int(n)
+				}
+			case keyFold(key, "key"):
+				u, null, err := s.scanUint()
+				if err != nil {
+					return Request{}, err
+				}
+				if !null {
+					req.Key = u
+				}
+			default:
+				return Request{}, fmt.Errorf("serve: bad JSON request: json: unknown field %q", string(key))
+			}
+			s.skipWS()
+			if s.consume(',') {
+				continue
+			}
+			if s.consume('}') {
+				break
+			}
+			return Request{}, s.errHere("expected ',' or '}' after object value")
+		}
+	}
+	// Trailing bytes after the object are ignored, as json.Decoder.Decode
+	// ignores them (it reads exactly one value from the stream).
+	op, ok := opFromBytes(opBytes)
+	if !ok {
+		return Request{}, fmt.Errorf("serve: bad JSON request: unknown op %q", string(opBytes))
+	}
+	req.Op = op
+	return req, nil
+}
+
+// skipWS advances past JSON insignificant whitespace.
+func (s *jsonScanner) skipWS() {
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case ' ', '\t', '\n', '\r':
+			s.i++
+		default:
+			return
+		}
+	}
+}
+
+// consume advances past c if it is the next byte.
+func (s *jsonScanner) consume(c byte) bool {
+	if s.i < len(s.b) && s.b[s.i] == c {
+		s.i++
+		return true
+	}
+	return false
+}
+
+// lit advances past the literal token if it is next.
+func (s *jsonScanner) lit(tok string) bool {
+	if len(s.b)-s.i < len(tok) || string(s.b[s.i:s.i+len(tok)]) != tok {
+		return false
+	}
+	s.i += len(tok)
+	return true
+}
+
+// errHere reports a parse failure at the current offset.
+func (s *jsonScanner) errHere(msg string) error {
+	return fmt.Errorf("serve: bad JSON request: %s at offset %d", msg, s.i)
+}
+
+// scanKey scans an object key and returns it as a slice of the input.
+// Escaped keys are rejected (the documented stdlib divergence): every key
+// this decoder knows is plain ASCII, so escapes only spell unknown or
+// pathological keys.
+func (s *jsonScanner) scanKey() ([]byte, error) {
+	if !s.consume('"') {
+		return nil, s.errHere("expected object key")
+	}
+	start := s.i
+	for s.i < len(s.b) {
+		c := s.b[s.i]
+		switch {
+		case c == '"':
+			key := s.b[start:s.i]
+			s.i++
+			return key, nil
+		case c == '\\':
+			return nil, s.errHere("escape sequences in object keys are not supported")
+		case c < 0x20:
+			return nil, s.errHere("control character in string")
+		}
+		s.i++
+	}
+	return nil, s.errHere("unterminated string")
+}
+
+// scanString scans a JSON string value (or null, reported via the second
+// return). Escape-free strings are returned as a slice of the input; strings
+// with escapes are decoded into the scanner's fixed buffer. A decoded value
+// longer than that buffer cannot be a valid op spelling, so overflow is an
+// error rather than an allocation.
+func (s *jsonScanner) scanString() (_ []byte, isNull bool, _ error) {
+	if s.lit("null") {
+		return nil, true, nil
+	}
+	if !s.consume('"') {
+		return nil, false, s.errHere("expected string")
+	}
+	start := s.i
+	for s.i < len(s.b) {
+		c := s.b[s.i]
+		switch {
+		case c == '"':
+			v := s.b[start:s.i]
+			s.i++
+			return v, false, nil
+		case c == '\\':
+			return s.scanStringSlow(start)
+		case c < 0x20:
+			return nil, false, s.errHere("control character in string")
+		}
+		s.i++
+	}
+	return nil, false, s.errHere("unterminated string")
+}
+
+// scanStringSlow finishes a string that contains escapes, decoding into
+// strBuf. s.i points at the first backslash; start is the opening content
+// offset.
+func (s *jsonScanner) scanStringSlow(start int) ([]byte, bool, error) {
+	buf := s.strBuf[:0]
+	if s.i-start > len(s.strBuf) {
+		return nil, false, s.errHere("string too long for an op")
+	}
+	buf = append(buf, s.b[start:s.i]...)
+	for s.i < len(s.b) {
+		c := s.b[s.i]
+		switch {
+		case c == '"':
+			s.i++
+			return buf, false, nil
+		case c == '\\':
+			s.i++
+			dec, err := s.scanEscape()
+			if err != nil {
+				return nil, false, err
+			}
+			var enc [4]byte
+			n := encodeRune(enc[:], dec)
+			if len(buf)+n > len(s.strBuf) {
+				return nil, false, s.errHere("string too long for an op")
+			}
+			buf = append(buf, enc[:n]...)
+		case c < 0x20:
+			return nil, false, s.errHere("control character in string")
+		default:
+			if len(buf) >= len(s.strBuf) {
+				return nil, false, s.errHere("string too long for an op")
+			}
+			buf = append(buf, c)
+			s.i++
+		}
+	}
+	return nil, false, s.errHere("unterminated string")
+}
+
+// scanEscape decodes one escape sequence; s.i points past the backslash.
+func (s *jsonScanner) scanEscape() (rune, error) {
+	if s.i >= len(s.b) {
+		return 0, s.errHere("unterminated escape")
+	}
+	c := s.b[s.i]
+	s.i++
+	switch c {
+	case '"', '\\', '/':
+		return rune(c), nil
+	case 'b':
+		return '\b', nil
+	case 'f':
+		return '\f', nil
+	case 'n':
+		return '\n', nil
+	case 'r':
+		return '\r', nil
+	case 't':
+		return '\t', nil
+	case 'u':
+		if len(s.b)-s.i < 4 {
+			return 0, s.errHere("truncated \\u escape")
+		}
+		var r rune
+		for k := 0; k < 4; k++ {
+			h := hexVal(s.b[s.i+k])
+			if h < 0 {
+				return 0, s.errHere("bad hex digit in \\u escape")
+			}
+			r = r<<4 | rune(h)
+		}
+		s.i += 4
+		return r, nil
+	}
+	return 0, s.errHere("unknown escape character")
+}
+
+// hexVal returns the value of one hex digit, or -1.
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// encodeRune is utf8.EncodeRune with the same out-of-range and surrogate
+// handling (U+FFFD), inlined so the decode path stays dependency-light. Ops
+// are ASCII, so any multi-byte result merely spells an op that will be
+// rejected — exactly as the stdlib path rejects it.
+func encodeRune(dst []byte, r rune) int {
+	switch {
+	case r < 0x80:
+		dst[0] = byte(r)
+		return 1
+	case r < 0x800:
+		dst[0] = 0xC0 | byte(r>>6)
+		dst[1] = 0x80 | byte(r)&0x3F
+		return 2
+	case r >= 0xD800 && r <= 0xDFFF:
+		// Unpaired surrogate half: U+FFFD, as encoding/json produces.
+		dst[0], dst[1], dst[2] = 0xEF, 0xBF, 0xBD
+		return 3
+	default:
+		dst[0] = 0xE0 | byte(r>>12)
+		dst[1] = 0x80 | byte(r>>6)&0x3F
+		dst[2] = 0x80 | byte(r)&0x3F
+		return 3
+	}
+}
+
+// scanInt scans a JSON integer (or null). The full JSON number grammar is
+// enforced — no leading zeros, no '+' — and fraction or exponent forms are
+// rejected the way encoding/json rejects them for integer struct fields.
+func (s *jsonScanner) scanInt() (v int64, isNull bool, _ error) {
+	if s.lit("null") {
+		return 0, true, nil
+	}
+	neg := false
+	if s.consume('-') {
+		neg = true
+	}
+	// Accumulate negated so int64 min parses (mirrors parseIntBytes).
+	var n int64
+	digits, err := s.scanDigits(func(d int64) bool {
+		if n < (minInt64+d)/10 {
+			return false
+		}
+		n = n*10 - d
+		return true
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	if digits == 0 {
+		return 0, false, s.errHere("invalid number")
+	}
+	if neg {
+		return n, false, nil
+	}
+	if n == minInt64 {
+		return 0, false, s.errHere("number overflows int64")
+	}
+	return -n, false, nil
+}
+
+// scanUint scans a JSON non-negative integer (or null) for the uint64 key
+// field; a '-' sign is rejected as encoding/json rejects negatives for
+// unsigned fields.
+func (s *jsonScanner) scanUint() (v uint64, isNull bool, _ error) {
+	if s.lit("null") {
+		return 0, true, nil
+	}
+	var n uint64
+	digits, err := s.scanDigits(func(d int64) bool {
+		if n > (^uint64(0)-uint64(d))/10 {
+			return false
+		}
+		n = n*10 + uint64(d)
+		return true
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	if digits == 0 {
+		return 0, false, s.errHere("invalid number")
+	}
+	return n, false, nil
+}
+
+// scanDigits consumes the digit run of a number token, feeding each digit to
+// acc (which reports overflow by returning false), and rejects leading zeros
+// and fraction/exponent continuations.
+func (s *jsonScanner) scanDigits(acc func(d int64) bool) (int, error) {
+	start := s.i
+	for s.i < len(s.b) && s.b[s.i] >= '0' && s.b[s.i] <= '9' {
+		if !acc(int64(s.b[s.i] - '0')) {
+			return 0, s.errHere("number overflows")
+		}
+		s.i++
+	}
+	digits := s.i - start
+	if digits > 1 && s.b[start] == '0' {
+		return 0, s.errHere("leading zeros are not valid JSON")
+	}
+	if s.i < len(s.b) {
+		switch s.b[s.i] {
+		case '.', 'e', 'E':
+			return 0, s.errHere("non-integer number for integer field")
+		}
+	}
+	return digits, nil
+}
+
+// keyFold reports whether key matches the lowercase field name under ASCII
+// case folding — the same liberal key matching encoding/json applies.
+func keyFold(key []byte, name string) bool {
+	if len(key) != len(name) {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := key[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != name[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// opFromBytes is parseOpBytes without error construction, so op bytes
+// decoded into the scanner's fixed buffer never escape to the heap.
+func opFromBytes(b []byte) (trace.Op, bool) {
+	switch {
+	case len(b) == 1 && (b[0] == 'R' || b[0] == 'r'):
+		return trace.Read, true
+	case len(b) == 1 && (b[0] == 'W' || b[0] == 'w'):
+		return trace.Write, true
+	case string(b) == "read" || string(b) == "Read" || string(b) == "READ":
+		return trace.Read, true
+	case string(b) == "write" || string(b) == "Write" || string(b) == "WRITE":
+		return trace.Write, true
+	}
+	return 0, false
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"ssdkeeper/internal/trace"
+)
+
+// TestDecodeJSONRequestMatchesStd drives both decoders over inputs chosen to
+// probe every compatibility clause in the jsonfast.go contract: both must
+// agree on accept/reject, and on accepted inputs the Requests must be equal.
+func TestDecodeJSONRequestMatchesStd(t *testing.T) {
+	inputs := []string{
+		// Plain accepted forms.
+		`{"tenant":2,"op":"write","offset":8192,"size":4096}`,
+		`{"tenant":1,"op":"read","offset":0,"size":512,"key":5}`,
+		`{"tenant":0,"op":"R","offset":0,"size":1}`,
+		`{"tenant":0,"op":"WRITE","offset":0,"size":1}`,
+		"\t {\n\"tenant\" : 3 ,\n\"op\" : \"w\" ,\n\"offset\" : 1 ,\n\"size\" : 2\n} ",
+		// Case-insensitive keys (stdlib matches struct fields liberally).
+		`{"Tenant":2,"OP":"read","Offset":1,"SIZE":2}`,
+		// Duplicate keys: last wins.
+		`{"op":"read","op":"write","tenant":1,"offset":0,"size":8}`,
+		// null is a no-op for any known field.
+		`{"tenant":null,"op":"read","offset":null,"size":4,"key":null}`,
+		// Escapes inside the op string decode before matching.
+		`{"op":"read","tenant":0,"offset":0,"size":1}`,
+		`{"op":"W","tenant":0,"offset":0,"size":1}`,
+		// Negative zero and extreme magnitudes.
+		`{"tenant":-0,"op":"r","offset":-9223372036854775808,"size":1}`,
+		`{"op":"r","offset":9223372036854775807,"size":1}`,
+		`{"op":"r","offset":0,"size":1,"key":18446744073709551615}`,
+		// Trailing bytes after the object are ignored by Decode.
+		`{"op":"read","tenant":1,"offset":0,"size":2} trailing garbage`,
+		`{"op":"read","tenant":1,"offset":0,"size":2}{"op":"write"}`,
+		// Rejections: grammar.
+		``,
+		`{`,
+		`}`,
+		`{]`,
+		`null`,
+		`[]`,
+		`42`,
+		`"op"`,
+		`{"op"}`,
+		`{"op":}`,
+		`{"op":"read"`,
+		`{"op":"read",}`,
+		`{"op":"read",,}`,
+		`{"op":"read" "tenant":1}`,
+		`{op:"read"}`,
+		`{"op":'read'}`,
+		// Rejections: field semantics.
+		`{"tenant":0,"op":"transmogrify","offset":0,"size":1}`,
+		`{"tenant":0,"op":"read","offset":0,"size":1,"color":"red"}`,
+		`{"tenant":"zero","op":"read","offset":0,"size":1}`,
+		`{"tenant":true,"op":"read","offset":0,"size":1}`,
+		`{"tenant":{},"op":"read","offset":0,"size":1}`,
+		`{"tenant":[1],"op":"read","offset":0,"size":1}`,
+		`{"op":123}`,
+		`{"op":null,"tenant":0,"offset":0,"size":1}`, // op stays unset → unknown op ""
+		`{}`,
+		// Rejections: number grammar.
+		`{"tenant":01,"op":"r","offset":0,"size":1}`,
+		`{"tenant":-01,"op":"r","offset":0,"size":1}`,
+		`{"tenant":+1,"op":"r","offset":0,"size":1}`,
+		`{"tenant":1.5,"op":"r","offset":0,"size":1}`,
+		`{"tenant":1e2,"op":"r","offset":0,"size":1}`,
+		`{"tenant":1E+2,"op":"r","offset":0,"size":1}`,
+		`{"tenant":-,"op":"r","offset":0,"size":1}`,
+		`{"offset":9223372036854775808,"op":"r","size":1}`,
+		`{"offset":-9223372036854775809,"op":"r","size":1}`,
+		`{"key":-1,"op":"r","offset":0,"size":1}`,
+		`{"key":18446744073709551616,"op":"r","offset":0,"size":1}`,
+		`{"tenant":12x,"op":"r","offset":0,"size":1}`,
+		// Rejections: string grammar.
+		`{"op":"re` + "\x01" + `ad"}`,
+		`{"op":"read\q"}`,
+		`{"op":"read\u00"}`,
+		`{"op":"read\u00zz"}`,
+		`{"op":"an op string far too long to ever spell read or write"}`,
+	}
+	for _, in := range inputs {
+		fast, fastErr := DecodeJSONRequest([]byte(in))
+		std, stdErr := decodeJSONRequestStd([]byte(in))
+		if fastErr == nil && stdErr != nil {
+			t.Errorf("fast accepted %q as %+v but stdlib rejects: %v", in, fast, stdErr)
+			continue
+		}
+		if fastErr != nil && stdErr == nil && asciiNoBackslash(in) {
+			t.Errorf("stdlib accepted %q as %+v but fast rejects: %v", in, std, fastErr)
+			continue
+		}
+		if fastErr == nil && fast != std {
+			t.Errorf("decoders disagree on %q: fast %+v, stdlib %+v", in, fast, std)
+		}
+	}
+}
+
+// asciiNoBackslash reports whether the input is inside the set where the
+// fast decoder promises to accept everything the stdlib accepts (see the
+// contract in jsonfast.go).
+func asciiNoBackslash(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' || s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDecodeJSONRequestZeroAlloc pins the hot-path property the hand-rolled
+// scanner exists for: decoding an accepted request allocates nothing.
+// (Rejections construct an error, which necessarily allocates.)
+func TestDecodeJSONRequestZeroAlloc(t *testing.T) {
+	inputs := [][]byte{
+		[]byte(`{"tenant":2,"op":"write","offset":8192,"size":4096,"key":7}`),
+		[]byte(`{"op":"read","tenant":0,"offset":0,"size":1}`),
+		[]byte(` { "Tenant" : 1 , "OP" : "W" , "offset" : 0 , "size" : 8 , "key" : null } `),
+	}
+	for _, in := range inputs {
+		in := in
+		if n := testing.AllocsPerRun(200, func() {
+			_, _ = DecodeJSONRequest(in)
+		}); n != 0 {
+			t.Errorf("DecodeJSONRequest(%s) allocates %.1f objects per call, want 0", in, n)
+		}
+	}
+}
+
+// TestAppendIOResponse checks the manual renderer byte-for-byte against what
+// json.Encoder produced before, and that rendering allocates nothing when
+// the destination has capacity.
+func TestAppendIOResponse(t *testing.T) {
+	got := string(appendIOResponse(nil, 123456, -7))
+	want := "{\"latency_ns\":123456,\"sim_ns\":-7}\n"
+	if got != want {
+		t.Errorf("appendIOResponse = %q, want %q", got, want)
+	}
+	buf := make([]byte, 0, 64)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = appendIOResponse(buf[:0], 987654321, 123456789)
+	}); n != 0 {
+		t.Errorf("appendIOResponse allocates %.1f objects per call, want 0", n)
+	}
+}
+
+func TestKeyFold(t *testing.T) {
+	yes := [][2]string{{"tenant", "tenant"}, {"Tenant", "tenant"}, {"TENANT", "tenant"}, {"oP", "op"}}
+	for _, c := range yes {
+		if !keyFold([]byte(c[0]), c[1]) {
+			t.Errorf("keyFold(%q, %q) = false", c[0], c[1])
+		}
+	}
+	no := [][2]string{{"tenants", "tenant"}, {"tenan", "tenant"}, {"teñant", "tenant"}, {"", "op"}}
+	for _, c := range no {
+		if keyFold([]byte(c[0]), c[1]) {
+			t.Errorf("keyFold(%q, %q) = true", c[0], c[1])
+		}
+	}
+}
+
+func TestOpFromBytes(t *testing.T) {
+	for _, s := range []string{"R", "r", "read", "Read", "READ"} {
+		if op, ok := opFromBytes([]byte(s)); !ok || op != trace.Read {
+			t.Errorf("opFromBytes(%q) = %v, %v", s, op, ok)
+		}
+	}
+	for _, s := range []string{"W", "w", "write", "Write", "WRITE"} {
+		if op, ok := opFromBytes([]byte(s)); !ok || op != trace.Write {
+			t.Errorf("opFromBytes(%q) = %v, %v", s, op, ok)
+		}
+	}
+	for _, s := range []string{"", "x", "rr", "trim", strings.Repeat("w", 20)} {
+		if _, ok := opFromBytes([]byte(s)); ok {
+			t.Errorf("opFromBytes(%q) accepted", s)
+		}
+	}
+}

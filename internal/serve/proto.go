@@ -80,9 +80,11 @@ type jsonResponse struct {
 	SimNS     int64 `json:"sim_ns"`
 }
 
-// DecodeJSONRequest parses one JSON-encoded request. Unknown fields are
-// rejected so client typos fail loudly instead of silently defaulting.
-func DecodeJSONRequest(data []byte) (Request, error) {
+// decodeJSONRequestStd is the encoding/json reference decoder. The serving
+// path uses the allocation-free scanner in jsonfast.go; this implementation
+// remains as the semantic oracle the differential tests and fuzz target
+// compare against.
+func decodeJSONRequestStd(data []byte) (Request, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var jr jsonRequest

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"testing"
 )
 
@@ -18,6 +20,50 @@ func benchBatch(lines int) []byte {
 		}
 	}
 	return buf.Bytes()
+}
+
+// BenchmarkServeIO measures the two pieces of the /io single-request hot
+// path this package owns — JSON request decode and response render — in
+// isolation from net/http transport costs. The fast variants are the serving
+// path and run allocation-free (pinned by TestDecodeJSONRequestZeroAlloc and
+// TestAppendIOResponse); the std variants are the encoding/json code they
+// replaced, kept as the comparison baseline.
+func BenchmarkServeIO(b *testing.B) {
+	body := []byte(`{"tenant":2,"op":"write","offset":8192,"size":4096,"key":7}`)
+
+	b.Run("decode/fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeJSONRequest(body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode/std", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeJSONRequestStd(body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("render/fast", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, 64)
+		for i := 0; i < b.N; i++ {
+			buf = appendIOResponse(buf[:0], int64(i)*1000, int64(i))
+		}
+	})
+	b.Run("render/std", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			enc := json.NewEncoder(io.Discard)
+			if err := enc.Encode(jsonResponse{LatencyNS: int64(i) * 1000, SimNS: int64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkDecodeBatch compares the byte-slice decode path the batch handler

@@ -21,11 +21,22 @@
 # capacity the way added devices do and the sweep measures how well the shard
 # goroutines keep their devices busy. Skip with SERVER=0.
 #
+# Part 3 reruns the sweep CPU-bound and merges a "cpu_bound" block into
+# BENCH_server.json: CPU_ACCEL is high enough that the simulated devices
+# complete in almost no wall time, so the host CPU — request decode, keeper
+# inference, simulation bookkeeping, response encode — is the bottleneck and
+# req/s measures the serve path itself. Each shard count runs twice, once
+# with the float64 kernel and once with -quantize (int8), so the block
+# records what int8 batched inference buys end to end. Skip with CPU_BOUND=0.
+# The merge is additive (jq '. + {cpu_bound: ...}'), so the Part 2 portion of
+# BENCH_server.json is byte-identical whether or not Part 3 runs.
+#
 # Usage:
 #   scripts/bench.sh            # benchtime=2s, writes both BENCH files
 #   BENCHTIME=5s scripts/bench.sh
 #   OUT=/tmp/b.json SERVER=0 scripts/bench.sh
 #   SHARD_SWEEP="1 8" SWEEP_N=2000 scripts/bench.sh
+#   CPU_BOUND=0 scripts/bench.sh      # device-bound sweep only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -122,9 +133,11 @@ echo "training quick model for the sweep..." >&2
 "$BIN/keeper-train" -workloads 8 -requests 600 -iterations 40 -batch 16 \
   -hidden 16 -out "$BIN/model.json" -q
 
-start_daemon() { # start_daemon <shards>
+start_daemon() { # start_daemon <accel> <shards> [extra daemon flags...]
+  local accel="$1" shards="$2"
+  shift 2
   "$BIN/ssdkeeperd" -addr "$ADDR" -model "$BIN/model.json" \
-    -accel "$SWEEP_ACCEL" -shards "$1" -window 50ms -adapt-every 50ms \
+    -accel "$accel" -shards "$shards" -window 50ms -adapt-every 50ms "$@" \
     2>"$BIN/daemon.log" &
   DPID=$!
   for _ in $(seq 1 200); do
@@ -152,7 +165,7 @@ first_thr=""
 last_thr=""
 for shards in $SHARD_SWEEP; do
   echo "sweep: $shards shard(s), $SWEEP_N requests, $SWEEP_WORKERS workers, accel $SWEEP_ACCEL..." >&2
-  start_daemon "$shards"
+  start_daemon "$SWEEP_ACCEL" "$shards"
   "$BIN/keeperload" -addr "$URL" -n "$SWEEP_N" -concurrency "$SWEEP_WORKERS" \
     -conns "$SWEEP_WORKERS" -spread -write-ratios 0.9,0.1,0.8,0.2 -json \
     > "$BIN/load-$shards.json"
@@ -194,3 +207,58 @@ jq -n \
     scaling_last_over_first: $scaling,
     load_detail_last_point: $detail[0]}' > "$SERVER_OUT"
 echo "wrote $SERVER_OUT (scaling ${SHARD_SWEEP##* }x over ${SHARD_SWEEP%% *}x: $scaling)" >&2
+
+[ "${CPU_BOUND:-1}" = "0" ] && exit 0
+
+# ---- Part 3: CPU-bound precision sweep -> cpu_bound block ------------------
+CPU_ACCEL="${CPU_ACCEL:-2.0}"
+CPU_SHARD_SWEEP="${CPU_SHARD_SWEEP:-$SHARD_SWEEP}"
+
+cpu_points=""
+f64_best=""
+int8_best=""
+for prec in float64 int8; do
+  qflag=""
+  [ "$prec" = "int8" ] && qflag="-quantize"
+  for shards in $CPU_SHARD_SWEEP; do
+    echo "cpu-bound sweep: $prec, $shards shard(s), accel $CPU_ACCEL..." >&2
+    # shellcheck disable=SC2086 # qflag is intentionally empty for float64
+    start_daemon "$CPU_ACCEL" "$shards" $qflag
+    "$BIN/keeperload" -addr "$URL" -n "$SWEEP_N" -concurrency "$SWEEP_WORKERS" \
+      -conns "$SWEEP_WORKERS" -spread -write-ratios 0.9,0.1,0.8,0.2 -json \
+      > "$BIN/cpu-$prec-$shards.json"
+    stop_daemon
+    thr=$(jq -r '.throughput_rps' "$BIN/cpu-$prec-$shards.json")
+    point=$(jq --arg prec "$prec" --argjson shards "$shards" \
+      '{precision: $prec, shards: $shards, throughput_rps: .throughput_rps,
+        ok: .ok, rejected: .rejected, failed: .failed,
+        wall_seconds: .wall_seconds}' "$BIN/cpu-$prec-$shards.json")
+    cpu_points="$cpu_points${cpu_points:+,}$point"
+    # Track each precision's best point for the headline ratio.
+    case "$prec" in
+      float64) f64_best=$(jq -n --argjson a "${f64_best:-0}" --argjson b "$thr" \
+        'if $b > $a then $b else $a end') ;;
+      int8) int8_best=$(jq -n --argjson a "${int8_best:-0}" --argjson b "$thr" \
+        'if $b > $a then $b else $a end') ;;
+    esac
+    echo "cpu-bound sweep: $prec, $shards shard(s): $thr req/s" >&2
+  done
+done
+
+prec_ratio=$(jq -n --argjson a "$f64_best" --argjson b "$int8_best" \
+  'if $a > 0 then ($b / $a * 1000 | round) / 1000 else 0 end')
+
+jq \
+  --argjson points "[$cpu_points]" \
+  --argjson accel "$CPU_ACCEL" \
+  --argjson n "$SWEEP_N" \
+  --argjson workers "$SWEEP_WORKERS" \
+  --argjson ratio "$prec_ratio" \
+  '. + {cpu_bound: {
+     note: "CPU-bound sweep: accel is high enough that simulated devices finish in almost no wall time, so the host CPU (decode, keeper inference, simulate, encode) bounds throughput; each shard count runs with the float64 kernel and with -quantize (int8 batched inference)",
+     accel: $accel, requests_per_point: $n, workers: $workers,
+     sweep: $points,
+     int8_over_float64_best_rps: $ratio}}' \
+  "$SERVER_OUT" > "$SERVER_OUT.tmp"
+mv "$SERVER_OUT.tmp" "$SERVER_OUT"
+echo "merged cpu_bound block into $SERVER_OUT (int8/float64 best-rps ratio: $prec_ratio)" >&2

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# bench_gate.sh — blocking benchmark-regression gate for CI.
+#
+# Shared CI runners are noisy, so the gate is built from assertions that
+# survive slow hardware:
+#
+#   1. Same-run ratio: BenchmarkPredict/int8/batch64 must be at least
+#      GATE_RATIO (default 2.0) times faster than BenchmarkPredict/
+#      float64/call. Both numbers come from the same process on the same
+#      machine, so runner speed cancels out. This pins the headline property
+#      of the int8 serving path: quantized batched predict beats the
+#      per-call float64 baseline.
+#   2. Exact allocation counts: the zero-allocation serve path
+#      (BenchmarkServeIO decode/fast and render/fast) must report
+#      0 allocs/op. Allocation counts are deterministic, not timing.
+#   3. Absolute ns/op vs scripts/bench_baseline.json, scaled by
+#      BENCH_GATE_FACTOR (default 1.5). This catches large regressions in
+#      either kernel while leaving headroom for runner variance; the
+#      baseline records the machine it was measured on.
+#
+# BENCH_GATE_INJECT=<mult> multiplies the measured int8/batch64 ns/op (demo
+# knob: BENCH_GATE_INJECT=2 shows the gate failing on a 2x slowdown without
+# editing the kernel).
+#
+# Usage: scripts/bench_gate.sh   (exit 0 = pass, 1 = regression)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-500ms}"
+GATE_RATIO="${GATE_RATIO:-2.0}"
+BENCH_GATE_FACTOR="${BENCH_GATE_FACTOR:-1.5}"
+BENCH_GATE_INJECT="${BENCH_GATE_INJECT:-1}"
+BASELINE="scripts/bench_baseline.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "bench_gate: running gated benchmarks (benchtime=$BENCHTIME, -cpu 1)..." >&2
+go test -run '^$' -bench 'BenchmarkPredict$' -benchmem -benchtime "$BENCHTIME" -cpu 1 . | tee "$RAW" >&2
+go test -run '^$' -bench 'BenchmarkServeIO$' -benchmem -benchtime "$BENCHTIME" -cpu 1 \
+  ./internal/serve/ | tee -a "$RAW" >&2
+
+# ns <benchmark-substring>: ns/op of the first matching result line.
+ns() {
+  awk -v b="$1" 'index($1, b) && $4 == "ns/op" {printf "%d", $3; exit}' "$RAW"
+}
+# allocs <benchmark-substring>: allocs/op of the first matching result line.
+allocs() {
+  awk -v b="$1" 'index($1, b) && $NF == "allocs/op" {printf "%d", $(NF-1); exit}' "$RAW"
+}
+
+f64_call=$(ns "BenchmarkPredict/float64/call")
+int8_batch=$(ns "BenchmarkPredict/int8/batch64")
+decode_ns=$(ns "BenchmarkServeIO/decode/fast")
+render_ns=$(ns "BenchmarkServeIO/render/fast")
+decode_allocs=$(allocs "BenchmarkServeIO/decode/fast")
+render_allocs=$(allocs "BenchmarkServeIO/render/fast")
+for v in "$f64_call" "$int8_batch" "$decode_ns" "$render_ns"; do
+  if [ -z "$v" ]; then
+    echo "bench_gate: FAIL - missing benchmark result" >&2
+    exit 1
+  fi
+done
+
+int8_batch=$(jq -n --argjson n "$int8_batch" --argjson m "$BENCH_GATE_INJECT" '($n * $m) | round')
+[ "$BENCH_GATE_INJECT" != "1" ] && \
+  echo "bench_gate: INJECT x$BENCH_GATE_INJECT -> int8/batch64 treated as ${int8_batch}ns" >&2
+
+fail=0
+
+# Gate 1: same-run precision ratio.
+ratio=$(jq -n --argjson a "$f64_call" --argjson b "$int8_batch" \
+  'if $b > 0 then (($a / $b) * 100 | round) / 100 else 0 end')
+if jq -en --argjson r "$ratio" --argjson want "$GATE_RATIO" '$r < $want' >/dev/null; then
+  echo "bench_gate: FAIL - int8/batch64 (${int8_batch}ns) is only ${ratio}x faster than float64/call (${f64_call}ns), want >= ${GATE_RATIO}x" >&2
+  fail=1
+else
+  echo "bench_gate: ok - int8/batch64 ${int8_batch}ns vs float64/call ${f64_call}ns (${ratio}x >= ${GATE_RATIO}x)" >&2
+fi
+
+# Gate 2: zero-allocation serve path.
+for pair in "decode/fast:$decode_allocs" "render/fast:$render_allocs"; do
+  name="${pair%%:*}"; got="${pair##*:}"
+  if [ "${got:-1}" != "0" ]; then
+    echo "bench_gate: FAIL - BenchmarkServeIO/$name reports ${got:-?} allocs/op, want 0" >&2
+    fail=1
+  else
+    echo "bench_gate: ok - BenchmarkServeIO/$name 0 allocs/op" >&2
+  fi
+done
+
+# Gate 3: absolute ns/op vs the committed baseline, scaled by the factor.
+for pair in \
+  "BenchmarkPredict/float64/call:$f64_call" \
+  "BenchmarkPredict/int8/batch64:$int8_batch" \
+  "BenchmarkServeIO/decode/fast:$decode_ns" \
+  "BenchmarkServeIO/render/fast:$render_ns"; do
+  name="${pair%:*}"; got="${pair##*:}"
+  base=$(jq -r --arg k "$name" '.ns_op[$k] // empty' "$BASELINE")
+  if [ -z "$base" ]; then
+    echo "bench_gate: FAIL - $name missing from $BASELINE" >&2
+    fail=1
+    continue
+  fi
+  limit=$(jq -n --argjson b "$base" --argjson f "$BENCH_GATE_FACTOR" '($b * $f) | round')
+  if [ "$got" -gt "$limit" ]; then
+    echo "bench_gate: FAIL - $name ${got}ns exceeds baseline ${base}ns x ${BENCH_GATE_FACTOR} = ${limit}ns" >&2
+    fail=1
+  else
+    echo "bench_gate: ok - $name ${got}ns <= ${limit}ns (baseline ${base}ns x ${BENCH_GATE_FACTOR})" >&2
+  fi
+done
+
+if [ "$fail" != "0" ]; then
+  echo "bench_gate: REGRESSION DETECTED" >&2
+  exit 1
+fi
+echo "bench_gate: all gates passed" >&2
