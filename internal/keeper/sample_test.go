@@ -1,0 +1,181 @@
+package keeper
+
+import (
+	"testing"
+
+	"ssdkeeper/internal/alloc"
+	"ssdkeeper/internal/learn"
+	"ssdkeeper/internal/policy"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/simrun"
+	"ssdkeeper/internal/trace"
+)
+
+// collectSink buffers every offered sample in order.
+type collectSink struct{ samples []learn.Sample }
+
+func (s *collectSink) Offer(smp learn.Sample) { s.samples = append(s.samples, smp) }
+
+// driveSampledEpochs runs epochs deterministic boundaries through a sinked
+// controller: two arrivals per window, then the boundary tick, then two
+// completions attributed to the freshly decided epoch.
+func driveSampledEpochs(t *testing.T, k *Keeper, c *Controller, epochs int) {
+	t.Helper()
+	for e := 1; e <= epochs; e++ {
+		base := sim.Time(e-1) * 10 * sim.Millisecond
+		c.Observe(base+2*sim.Millisecond, trace.Record{Tenant: e % 4, Op: trace.Write, Size: 4096})
+		c.Observe(base+5*sim.Millisecond, trace.Record{Tenant: (e + 1) % 4, Op: trace.Read, Offset: 8192, Size: 4096})
+		c.Tick(sim.Time(e) * 10 * sim.Millisecond)
+		c.Complete(100 * sim.Microsecond)
+		c.Complete(300 * sim.Microsecond)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampledController(t *testing.T, k *Keeper) (*Controller, *collectSink) {
+	t.Helper()
+	sess, err := simrun.NewRunner().NewSession(simrun.Config{
+		Device: k.cfg.Device, Options: k.cfg.Options,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := k.Controller(sess.Device())
+	sink := &collectSink{}
+	c.Sink = sink
+	return c, sink
+}
+
+// TestControllerEmitsSamples pins the outcome feed: one sample per adaptation
+// epoch, flushed at the next boundary with the completions realized in
+// between, carrying the applied strategy and the policy version.
+func TestControllerEmitsSamples(t *testing.T) {
+	cfg := testConfig()
+	cfg.Window = 10 * sim.Millisecond
+	cfg.AdaptEvery = 10 * sim.Millisecond
+	k, err := New(cfg, forcedModel(t, len(cfg.Strategies), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, sink := sampledController(t, k)
+
+	const epochs = 6
+	driveSampledEpochs(t, k, c, epochs)
+
+	// The sample decided at epoch e flushes when epoch e+1 fires, so the
+	// last epoch's sample is still open.
+	if len(sink.samples) != epochs-1 {
+		t.Fatalf("got %d samples from %d epochs, want %d", len(sink.samples), epochs, epochs-1)
+	}
+	for i, s := range sink.samples {
+		at := sim.Time(i+1) * 10 * sim.Millisecond
+		if s.At != at || s.Epoch != 10*sim.Millisecond {
+			t.Errorf("sample %d spans [%v, +%v), want [%v, +10ms)", i, s.At, s.Epoch, at)
+		}
+		if s.StrategyIndex != 1 || !alloc.Equal(s.Strategy, cfg.Strategies[1]) {
+			t.Errorf("sample %d applied class %d, want the forced class 1", i, s.StrategyIndex)
+		}
+		if s.PolicyVersion != c.PolicyVersion() {
+			t.Errorf("sample %d policy %q, controller %q", i, s.PolicyVersion, c.PolicyVersion())
+		}
+		if s.Explore || s.ShadowIndex != -1 || s.ShadowVersion != "" {
+			t.Errorf("sample %d carries explore/shadow state with neither enabled: %+v", i, s)
+		}
+		if s.Completed != 2 || s.LatencySum != 400*sim.Microsecond {
+			t.Errorf("sample %d outcome = %d completions, %v total, want 2 and 400µs",
+				i, s.Completed, s.LatencySum)
+		}
+		if got := s.MeanLatency(); got != 200*sim.Microsecond {
+			t.Errorf("sample %d mean latency %v, want 200µs", i, got)
+		}
+	}
+
+	// Without a sink, Complete is a free no-op.
+	c2 := k.Controller(nil)
+	c2.Complete(sim.Millisecond) // must not panic or accumulate
+}
+
+// TestControllerSamplesCarryShadowDecision: with a shadow installed, each
+// sample records the candidate's counterfactual decision and agreement.
+func TestControllerSamplesCarryShadowDecision(t *testing.T) {
+	cfg := testConfig()
+	cfg.Window = 10 * sim.Millisecond
+	cfg.AdaptEvery = 10 * sim.Millisecond
+	k, err := New(cfg, forcedModel(t, len(cfg.Strategies), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Source().SetShadow(policy.StaticProvider{Ver: "cand", Strategy: cfg.Strategies[2]})
+	c, sink := sampledController(t, k)
+	driveSampledEpochs(t, k, c, 4)
+
+	if len(sink.samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(sink.samples))
+	}
+	for i, s := range sink.samples {
+		if s.ShadowVersion != "cand" || s.ShadowIndex != 2 || s.ShadowAgreed || s.ShadowErred {
+			t.Errorf("sample %d shadow = {%q idx=%d agreed=%v erred=%v}, want cand/2/diverged",
+				i, s.ShadowVersion, s.ShadowIndex, s.ShadowAgreed, s.ShadowErred)
+		}
+	}
+}
+
+// TestControllerExploration: with ε = 1 every epoch applies a random
+// strategy; the sample records the applied strategy and flags divergence from
+// the policy's own choice as exploration, while shadow agreement keeps
+// comparing against the policy's intent.
+func TestControllerExploration(t *testing.T) {
+	cfg := testConfig()
+	cfg.Window = 10 * sim.Millisecond
+	cfg.AdaptEvery = 10 * sim.Millisecond
+	k, err := New(cfg, forcedModel(t, len(cfg.Strategies), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An agreeing twin shadow: same forced class as the active policy.
+	twin, err := policy.NewModel("twin", forcedModel(t, len(cfg.Strategies), 1), cfg.Strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Source().SetShadow(twin)
+	c, sink := sampledController(t, k)
+	c.EnableExploration(1, 11)
+
+	const epochs = 24
+	driveSampledEpochs(t, k, c, epochs)
+
+	explored := 0
+	for i, s := range sink.samples {
+		if s.Explore {
+			explored++
+			if s.StrategyIndex == 1 {
+				t.Errorf("sample %d flagged Explore but applied the policy's own class", i)
+			}
+		} else if s.StrategyIndex != 1 {
+			t.Errorf("sample %d applied class %d unflagged", i, s.StrategyIndex)
+		}
+		// Shadow agreement is judged against the policy's intended decision,
+		// so the agreeing twin stays in agreement even on exploring epochs.
+		if !s.ShadowAgreed {
+			t.Errorf("sample %d: exploration leaked into shadow comparison", i)
+		}
+		// The device followed the applied (possibly explored) strategy.
+		if sw := c.Switches()[i]; !alloc.Equal(sw.Strategy, s.Strategy) {
+			t.Errorf("sample %d strategy %v, switch applied %v", i, s.Strategy, sw.Strategy)
+		}
+	}
+	if explored == 0 {
+		t.Error("ε = 1 over 24 epochs explored nothing")
+	}
+	if agree, diverge, errs := c.ShadowStats(); diverge != 0 || errs != 0 || agree != epochs {
+		t.Errorf("shadow stats %d/%d/%d, want %d/0/0", agree, diverge, errs, epochs)
+	}
+
+	// rate <= 0 disables exploration again.
+	c.EnableExploration(0, 1)
+	if c.exploreRng != nil {
+		t.Error("EnableExploration(0) left the explorer armed")
+	}
+}

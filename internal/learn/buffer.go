@@ -1,0 +1,53 @@
+package learn
+
+import "math/rand"
+
+// Reservoir is a bounded replay buffer with classic reservoir sampling: after
+// the first capacity samples fill it, each later sample replaces a uniformly
+// random slot with probability capacity/seen. Every sample ever offered has
+// equal probability of being retained, so the trainer sees an unbiased
+// snapshot of the whole stream, not just the most recent burst — and because
+// the PRNG is seeded, the same stream always yields the same buffer, which is
+// what makes retraining reproducible (same stream + same seed ⇒ bit-identical
+// checkpoint).
+type Reservoir struct {
+	rng  *rand.Rand
+	buf  []Sample
+	cap  int
+	seen uint64
+}
+
+// NewReservoir returns an empty reservoir with the given capacity and seed.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &Reservoir{
+		rng: rand.New(rand.NewSource(seed)),
+		buf: make([]Sample, 0, capacity),
+		cap: capacity,
+	}
+}
+
+// Add offers one sample to the reservoir. Not safe for concurrent use: the
+// learner ingests from its inbox on a single goroutine.
+func (r *Reservoir) Add(s Sample) {
+	r.seen++
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, s)
+		return
+	}
+	if j := r.rng.Int63n(int64(r.seen)); j < int64(r.cap) {
+		r.buf[j] = s
+	}
+}
+
+// Len returns the number of buffered samples.
+func (r *Reservoir) Len() int { return len(r.buf) }
+
+// Seen returns the total number of samples offered.
+func (r *Reservoir) Seen() uint64 { return r.seen }
+
+// Samples returns the buffered samples in slot order. The returned slice
+// aliases the reservoir; callers must not retain it across Add.
+func (r *Reservoir) Samples() []Sample { return r.buf }

@@ -1,0 +1,80 @@
+package learn
+
+// OutcomeIndex aggregates realized epoch latency by (operating point,
+// strategy): the online substitute for the offline pipeline's exhaustive
+// strategy sweep. Offline, every workload is replayed under every strategy
+// and labelled with the argmin; online, each epoch measures exactly one
+// strategy, so the index accumulates those single measurements across epochs
+// (policy drift, exploration, and candidate promotions naturally sample
+// different strategies at the same operating point) until an argmin emerges
+// from data the device actually served.
+//
+// The index is unbounded in theory but tiny in practice: keys quantize onto
+// a few hundred operating points per workload regime, and each holds one
+// small slice per observed strategy.
+type OutcomeIndex struct {
+	classes int
+	cells   map[Key][]outcomeCell
+}
+
+type outcomeCell struct {
+	count uint64
+	sum   float64 // sum of epoch mean per-request latencies, in ns
+}
+
+// NewOutcomeIndex returns an empty index over a strategy space of the given
+// size.
+func NewOutcomeIndex(classes int) *OutcomeIndex {
+	return &OutcomeIndex{classes: classes, cells: make(map[Key][]outcomeCell)}
+}
+
+// Add folds one epoch's outcome in. Epochs with no completions or with a
+// strategy outside the space carry no measurable outcome and are ignored.
+func (x *OutcomeIndex) Add(s Sample) {
+	if !s.HasOutcome() || s.StrategyIndex < 0 || s.StrategyIndex >= x.classes {
+		return
+	}
+	k := VectorKey(s.Vector)
+	row := x.cells[k]
+	if row == nil {
+		row = make([]outcomeCell, x.classes)
+		x.cells[k] = row
+	}
+	row[s.StrategyIndex].count++
+	row[s.StrategyIndex].sum += float64(s.MeanLatency())
+}
+
+// Est returns the estimated mean per-request latency (ns) of running
+// strategy idx at the operating point, and how many epochs back it.
+func (x *OutcomeIndex) Est(k Key, idx int) (est float64, count uint64) {
+	row := x.cells[k]
+	if row == nil || idx < 0 || idx >= len(row) || row[idx].count == 0 {
+		return 0, 0
+	}
+	c := row[idx]
+	return c.sum / float64(c.count), c.count
+}
+
+// Best returns the strategy with the lowest estimated latency at the
+// operating point, its estimate, and whether any strategy has been measured
+// there. Ties break toward the lower index, deterministically.
+func (x *OutcomeIndex) Best(k Key) (idx int, est float64, ok bool) {
+	row := x.cells[k]
+	if row == nil {
+		return 0, 0, false
+	}
+	idx = -1
+	for i := range row {
+		if row[i].count == 0 {
+			continue
+		}
+		e := row[i].sum / float64(row[i].count)
+		if idx < 0 || e < est {
+			idx, est = i, e
+		}
+	}
+	return idx, est, idx >= 0
+}
+
+// Points returns the number of operating points observed so far.
+func (x *OutcomeIndex) Points() int { return len(x.cells) }

@@ -1,0 +1,325 @@
+package learn
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/policy"
+	"ssdkeeper/internal/sim"
+)
+
+// memActuator implements Actuator in memory: versions are handed out
+// sequentially from v002 (v001 plays the pre-existing active policy), and
+// every verb can be made to fail once.
+type memActuator struct {
+	next      int
+	saved     []string
+	protected [][]string
+	shadow    string // installed shadow ("" when clear)
+	active    string
+	promoted  []string
+	cleared   int
+	failWith  error // when set, the next verb fails once
+}
+
+func newMemActuator() *memActuator { return &memActuator{next: 2, active: "v001"} }
+
+func (a *memActuator) fail() error {
+	err := a.failWith
+	a.failWith = nil
+	return err
+}
+
+func (a *memActuator) SaveCandidate(net *nn.Network, meta policy.Meta, protect []string) (string, error) {
+	if err := a.fail(); err != nil {
+		return "", err
+	}
+	v := fmt.Sprintf("v%03d", a.next)
+	a.next++
+	a.saved = append(a.saved, v)
+	a.protected = append(a.protected, protect)
+	return v, nil
+}
+
+func (a *memActuator) InstallShadow(version string) error {
+	if err := a.fail(); err != nil {
+		return err
+	}
+	a.shadow = version
+	return nil
+}
+
+func (a *memActuator) ClearShadow() error {
+	if err := a.fail(); err != nil {
+		return err
+	}
+	a.shadow = ""
+	a.cleared++
+	return nil
+}
+
+func (a *memActuator) Promote(version string) (string, error) {
+	if err := a.fail(); err != nil {
+		return "", err
+	}
+	prev := a.active
+	a.active = version
+	a.promoted = append(a.promoted, version)
+	return prev, nil
+}
+
+func testLearnerConfig() Config {
+	return Config{
+		Classes:      3,
+		Seed:         3,
+		MinSamples:   24,
+		RetrainEvery: 24,
+		Iterations:   10,
+		MinEpochs:    4,
+		DemoteWindow: 4,
+	}
+}
+
+func step(t *testing.T, l *Learner) {
+	t.Helper()
+	if err := l.Step(time.Unix(0, 0).UTC()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// feedOutcomes offers n outcome samples across a few operating points so a
+// retrain has labellable data.
+func feedOutcomes(l *Learner, n int) {
+	for i := 0; i < n; i++ {
+		l.Offer(outcomeSample(i%4, i%3, sim.Time(100+10*(i%3))*sim.Microsecond))
+	}
+}
+
+// driveToShadow feeds enough outcomes to trigger the first retrain and
+// returns the candidate version now in shadow.
+func driveToShadow(t *testing.T, l *Learner, act *memActuator) string {
+	t.Helper()
+	feedOutcomes(l, 24)
+	step(t, l)
+	st := l.Status()
+	if st.State != StateShadowing || st.Retrains != 1 {
+		t.Fatalf("after first retrain: state %q, retrains %d, want shadowing/1", st.State, st.Retrains)
+	}
+	if st.Candidate == "" || act.shadow != st.Candidate {
+		t.Fatalf("candidate %q, installed shadow %q", st.Candidate, act.shadow)
+	}
+	return st.Candidate
+}
+
+// shadowEpoch is one outcome-free epoch carrying the candidate's shadow
+// decision — what the promotion gate tallies.
+func shadowEpoch(candidate string, agreed, erred bool) Sample {
+	s := Sample{
+		PolicyVersion: "v001",
+		StrategyIndex: 0,
+		ShadowVersion: candidate,
+		ShadowIndex:   0,
+		ShadowAgreed:  agreed,
+		ShadowErred:   erred,
+	}
+	if !agreed && !erred {
+		s.ShadowIndex = 1
+	}
+	return s
+}
+
+// servedEpoch is one outcome epoch decided by version at operating point
+// point, realizing mean latency lat — what the demotion watch scores.
+func servedEpoch(version string, point int, lat sim.Time) Sample {
+	s := outcomeSample(point, 1, lat)
+	s.PolicyVersion = version
+	return s
+}
+
+// TestLearnerPromotesAndConfirms drives the full happy path: retrain →
+// shadow agreement → promotion → clean watch window → candidate becomes
+// last-good.
+func TestLearnerPromotesAndConfirms(t *testing.T) {
+	act := newMemActuator()
+	l, err := New(testLearnerConfig(), act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := driveToShadow(t, l, act)
+
+	// Fewer shadow decisions than MinEpochs: the gate holds.
+	for i := 0; i < 3; i++ {
+		l.Offer(shadowEpoch(cand, true, false))
+	}
+	step(t, l)
+	if st := l.Status(); st.State != StateShadowing || st.CandidateAgree != 3 {
+		t.Fatalf("gate ruled early: state %q, agree %d", st.State, st.CandidateAgree)
+	}
+
+	// One more agreement clears MinEpochs; the gate promotes.
+	l.Offer(shadowEpoch(cand, true, false))
+	step(t, l)
+	st := l.Status()
+	if st.State != StateWatching || st.Promotions != 1 {
+		t.Fatalf("after gate: state %q, promotions %d, want watching/1", st.State, st.Promotions)
+	}
+	if act.active != cand || act.shadow != "" {
+		t.Fatalf("active %q shadow %q, want %q and clear", act.active, act.shadow, cand)
+	}
+	if st.LastGood != "v001" {
+		t.Errorf("last-good = %q, want the displaced v001", st.LastGood)
+	}
+
+	// The candidate serves a healthy watch window: confirmed, back to idle.
+	for i := 0; i < 4; i++ {
+		l.Offer(servedEpoch(cand, i%4, 110*sim.Microsecond))
+	}
+	step(t, l)
+	st = l.Status()
+	if st.State != StateIdle || st.Demotions != 0 || st.LastGood != cand {
+		t.Fatalf("after watch: state %q, demotions %d, last-good %q, want idle/0/%s",
+			st.State, st.Demotions, st.LastGood, cand)
+	}
+	if act.active != cand {
+		t.Errorf("confirmation rolled the active policy to %q", act.active)
+	}
+}
+
+// TestLearnerDemotesOnRegression: a promoted candidate whose realized regret
+// blows past the promotion baseline is rolled back to last-good — the
+// acceptance criterion's demotion-on-regression path.
+func TestLearnerDemotesOnRegression(t *testing.T) {
+	act := newMemActuator()
+	cfg := testLearnerConfig()
+	cfg.DemoteMargin = 0.5
+	l, err := New(cfg, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := driveToShadow(t, l, act)
+	for i := 0; i < 4; i++ {
+		l.Offer(shadowEpoch(cand, true, false))
+	}
+	step(t, l)
+	if act.active != cand {
+		t.Fatalf("promotion did not land; active %q", act.active)
+	}
+
+	// The promoted candidate serves far above the best-measured latency at
+	// its operating points (feedOutcomes measured ~100-120µs).
+	for i := 0; i < 4; i++ {
+		l.Offer(servedEpoch(cand, i%4, sim.Millisecond))
+	}
+	step(t, l)
+	st := l.Status()
+	if st.Demotions != 1 || st.State != StateIdle {
+		t.Fatalf("after regression: demotions %d, state %q, want 1/idle", st.Demotions, st.State)
+	}
+	if act.active != "v001" {
+		t.Errorf("active = %q after demotion, want last-good v001", act.active)
+	}
+	if st.LastGood != "v001" {
+		t.Errorf("last-good = %q after demotion, want v001", st.LastGood)
+	}
+}
+
+// TestLearnerDiscardsOnShadowErrors: one shadow error kills the candidate
+// immediately and clears the shadow.
+func TestLearnerDiscardsOnShadowErrors(t *testing.T) {
+	act := newMemActuator()
+	l, err := New(testLearnerConfig(), act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := driveToShadow(t, l, act)
+	l.Offer(shadowEpoch(cand, false, true))
+	step(t, l)
+	st := l.Status()
+	if st.Discards != 1 || st.State != StateIdle || st.Candidate != "" {
+		t.Fatalf("after shadow error: discards %d, state %q, candidate %q", st.Discards, st.State, st.Candidate)
+	}
+	if act.shadow != "" {
+		t.Errorf("shadow %q still installed after discard", act.shadow)
+	}
+	if len(act.promoted) != 0 {
+		t.Errorf("discarded candidate was promoted: %v", act.promoted)
+	}
+}
+
+// TestLearnerDiscardsOnLowAgreement: a diverging candidate fails the
+// agreement threshold and is discarded, never promoted.
+func TestLearnerDiscardsOnLowAgreement(t *testing.T) {
+	act := newMemActuator()
+	cfg := testLearnerConfig()
+	cfg.AgreeMin = 0.75
+	l, err := New(cfg, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := driveToShadow(t, l, act)
+	for i := 0; i < 4; i++ {
+		l.Offer(shadowEpoch(cand, i == 0, false)) // 1/4 agreement
+	}
+	step(t, l)
+	st := l.Status()
+	if st.Discards != 1 || st.State != StateIdle || len(act.promoted) != 0 {
+		t.Fatalf("low agreement: discards %d, state %q, promoted %v", st.Discards, st.State, act.promoted)
+	}
+}
+
+// TestLearnerRetrainsAgainAfterDiscard: a discard returns to idle with the
+// sample counter rolling, so the next retrain fires once RetrainEvery fresh
+// outcomes arrive and versions keep advancing.
+func TestLearnerRetrainsAgainAfterDiscard(t *testing.T) {
+	act := newMemActuator()
+	l, err := New(testLearnerConfig(), act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := driveToShadow(t, l, act)
+	l.Offer(shadowEpoch(cand, false, true))
+	step(t, l)
+
+	feedOutcomes(l, 24)
+	step(t, l)
+	st := l.Status()
+	if st.Retrains != 2 || st.State != StateShadowing {
+		t.Fatalf("second retrain: retrains %d, state %q", st.Retrains, st.State)
+	}
+	if st.Candidate == cand || st.Candidate == "" {
+		t.Errorf("second candidate %q did not advance past %q", st.Candidate, cand)
+	}
+}
+
+// TestLearnerSurvivesActuatorFailure: a failing promotion parks the machine
+// back in idle with an error instead of wedging, and the shadow is cleared.
+func TestLearnerSurvivesActuatorFailure(t *testing.T) {
+	act := newMemActuator()
+	l, err := New(testLearnerConfig(), act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := driveToShadow(t, l, act)
+	for i := 0; i < 4; i++ {
+		l.Offer(shadowEpoch(cand, true, false))
+	}
+	act.failWith = errTest
+	if err := l.Step(time.Unix(0, 0).UTC()); err == nil {
+		t.Fatal("failed promotion reported no error")
+	}
+	st := l.Status()
+	if st.State != StateIdle || st.Candidate != "" {
+		t.Fatalf("after failed promotion: state %q, candidate %q, want idle and none", st.State, st.Candidate)
+	}
+	if act.shadow != "" {
+		t.Errorf("shadow %q left installed after failed promotion", act.shadow)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "induced actuator failure" }

@@ -1,0 +1,68 @@
+package learn
+
+import "sync"
+
+// Log is a bounded in-memory sample journal with absolute sequence numbers —
+// the backing store of the daemon's /learn/samples export. Shard goroutines
+// Offer into it; the sidecar trainer polls Since with the next sequence it
+// wants, so a slow or restarted follower resumes from wherever the ring still
+// reaches. Old samples fall off the back; a follower that lagged past the
+// ring's capacity simply misses them (Since reports the gap via the first
+// returned sequence).
+type Log struct {
+	mu    sync.Mutex
+	ring  []Sample
+	cap   int
+	first uint64 // sequence of ring[0]
+	next  uint64 // sequence the next Offer receives
+}
+
+// NewLog returns a journal retaining the most recent capacity samples.
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Log{ring: make([]Sample, 0, capacity), cap: capacity}
+}
+
+// Offer appends one sample, evicting the oldest when full.
+func (l *Log) Offer(s Sample) {
+	l.mu.Lock()
+	if len(l.ring) == l.cap {
+		copy(l.ring, l.ring[1:])
+		l.ring[len(l.ring)-1] = s
+		l.first++
+	} else {
+		l.ring = append(l.ring, s)
+	}
+	l.next++
+	l.mu.Unlock()
+}
+
+// Since returns up to max samples with sequence >= seq, the sequence of the
+// first returned sample (callers detect eviction gaps by comparing it with
+// seq), and the sequence to poll from next time. max <= 0 means no bound.
+func (l *Log) Since(seq uint64, max int) (samples []Sample, first, next uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < l.first {
+		seq = l.first
+	}
+	if seq > l.next {
+		seq = l.next
+	}
+	at := int(seq - l.first)
+	end := len(l.ring)
+	if max > 0 && at+max < end {
+		end = at + max
+	}
+	samples = append([]Sample(nil), l.ring[at:end]...)
+	return samples, seq, seq + uint64(len(samples))
+}
+
+// Len returns the number of samples currently retained.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}

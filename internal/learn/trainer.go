@@ -1,0 +1,100 @@
+package learn
+
+import (
+	"fmt"
+	"time"
+
+	"ssdkeeper/internal/features"
+	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/policy"
+)
+
+// TrainerConfig parameterizes one retrain over the replay buffer. The
+// defaults are deliberately smaller than the offline pipeline's (the buffer
+// holds hundreds of samples, not tens of thousands) but flow through the
+// same nn training path, so an online checkpoint is structurally identical
+// to an offline one.
+type TrainerConfig struct {
+	Classes    int // strategy-space size (required)
+	Hidden     int // hidden-layer width (default 32)
+	Iterations int // training epochs (default 80)
+	Batch      int // minibatch size (default 16)
+	Seed       int64
+}
+
+func (c TrainerConfig) withDefaults() TrainerConfig {
+	if c.Hidden <= 0 {
+		c.Hidden = 32
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 80
+	}
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+	return c
+}
+
+// Retrain fits a fresh classifier on the buffered samples, labelling each
+// with the best-measured strategy at its operating point — the online
+// analogue of Algorithm 1's offline argmin sweep, with the outcome index
+// standing in for exhaustive re-simulation. Every source of randomness
+// (weight init, shuffle, minibatch order) is seeded from cfg.Seed, so the
+// same buffer and index always produce the same network, bit for bit.
+//
+// now stamps the checkpoint's TrainedAt; parent records the policy version
+// whose traffic the samples were harvested under.
+func Retrain(samples []Sample, idx *OutcomeIndex, cfg TrainerConfig, now time.Time, parent string) (*nn.Network, policy.Meta, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Classes <= 0 {
+		return nil, policy.Meta{}, fmt.Errorf("learn: trainer needs the strategy-space size")
+	}
+	if len(samples) == 0 {
+		return nil, policy.Meta{}, fmt.Errorf("learn: empty replay buffer")
+	}
+
+	ds := nn.Dataset{X: make([][]float64, 0, len(samples)), Y: make([]int, 0, len(samples))}
+	for _, s := range samples {
+		label, _, ok := idx.Best(VectorKey(s.Vector))
+		if !ok {
+			// Buffered samples carry outcomes, so their own measurement is
+			// always indexed; this can only mean index and buffer were built
+			// from different streams.
+			continue
+		}
+		ds.X = append(ds.X, s.Vector.Input())
+		ds.Y = append(ds.Y, label)
+	}
+	if ds.Len() == 0 {
+		return nil, policy.Meta{}, fmt.Errorf("learn: no labellable samples in the buffer")
+	}
+	ds.Shuffle(cfg.Seed)
+
+	net, err := nn.NewMLP([]int{features.Dim, cfg.Hidden, cfg.Classes}, nn.Logistic{}, cfg.Seed)
+	if err != nil {
+		return nil, policy.Meta{}, err
+	}
+	hist, err := nn.Train(net, ds, ds, nn.TrainConfig{
+		Iterations: cfg.Iterations,
+		BatchSize:  cfg.Batch,
+		Optimizer:  nn.NewAdam(0),
+		Seed:       cfg.Seed + 1,
+		EvalEvery:  cfg.Iterations, // final point only; the buffer is small
+	})
+	if err != nil {
+		return nil, policy.Meta{}, err
+	}
+	meta := policy.Meta{
+		Name:       "online",
+		TrainedAt:  now.UTC().Format(time.RFC3339),
+		Samples:    ds.Len(),
+		Iterations: cfg.Iterations,
+		Optimizer:  "adam",
+		Activation: "logistic",
+		Loss:       hist.FinalLoss,
+		Accuracy:   hist.FinalAcc,
+		Source:     policy.SourceOnline,
+		Parent:     parent,
+	}
+	return net, meta, nil
+}

@@ -37,6 +37,14 @@ import (
 // bare nn model file, retroactively.
 const FormatVersion = 2
 
+// Training provenance sources: offline is the keeper-train pipeline over
+// synthetic labelled workloads; online is the continuous learner retraining
+// on live traffic samples.
+const (
+	SourceOffline = "offline"
+	SourceOnline  = "online"
+)
+
 // Meta is the training provenance recorded in a checkpoint.
 type Meta struct {
 	Name       string  `json:"name,omitempty"`
@@ -47,6 +55,14 @@ type Meta struct {
 	Activation string  `json:"activation,omitempty"`
 	Loss       float64 `json:"loss,omitempty"`
 	Accuracy   float64 `json:"accuracy,omitempty"`
+	// Source records how the model was trained: SourceOffline (synthetic
+	// labelled workloads) or SourceOnline (live-traffic samples). Absent in
+	// files written before continuous learning existed.
+	Source string `json:"source,omitempty"`
+	// Parent is the version whose live traffic the training samples were
+	// harvested under — the checkpoint's ancestor in the online-learning
+	// lineage. Only online checkpoints carry one.
+	Parent string `json:"parent,omitempty"`
 }
 
 // envelope is the on-disk checkpoint schema.

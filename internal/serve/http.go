@@ -13,6 +13,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"ssdkeeper/internal/learn"
 )
 
 // Wire endpoints:
@@ -91,6 +93,7 @@ func (s *Server) Handler(reqTimeout time.Duration) http.Handler {
 			fmt.Fprintln(w, "ok")
 		}
 	})
+	mux.HandleFunc("/learn/samples", s.handleLearnSamples)
 	mux.HandleFunc("/tenant/drain", s.handleTenantDrain)
 	mux.HandleFunc("/tenant/handoff", s.handleTenantHandoff)
 	mux.HandleFunc("/tenant/release", s.handleTenantRelease)
@@ -302,6 +305,46 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, reqTimeout 
 		bw.Write(strconv.AppendInt(num[:0], int64(resp.Latency), 10))
 		bw.WriteByte('\n')
 	}
+}
+
+// maxSamplePage bounds one /learn/samples response so a follower that
+// lagged far behind pages rather than receiving one huge body.
+const maxSamplePage = 2048
+
+// samplePage is the /learn/samples response: the samples from ?since=N on,
+// the sequence of the first one (greater than N when the journal evicted
+// past the follower), and the sequence to poll from next.
+type samplePage struct {
+	First   uint64         `json:"first"`
+	Next    uint64         `json:"next"`
+	Samples []learn.Sample `json:"samples"`
+}
+
+// handleLearnSamples serves the sample-export feed a sidecar trainer polls:
+// GET /learn/samples?since=N returns the journal from sequence N on.
+func (s *Server) handleLearnSamples(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.sampleLog == nil {
+		http.Error(w, "sample export not enabled (start with a keeper)", http.StatusNotImplemented)
+		return
+	}
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "since: unsigned integer required", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	samples, first, next := s.sampleLog.Since(since, maxSamplePage)
+	if samples == nil {
+		samples = []learn.Sample{} // render [] rather than null
+	}
+	writeJSON(w, samplePage{First: first, Next: next, Samples: samples})
 }
 
 // tenantParam parses the required ?tenant=N query parameter.

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"ssdkeeper/internal/keeper"
+	"ssdkeeper/internal/learn"
 	"ssdkeeper/internal/nand"
 	"ssdkeeper/internal/sim"
 	"ssdkeeper/internal/simrun"
@@ -106,6 +107,24 @@ type Config struct {
 	// a standalone node that will never migrate tenants can disable it to
 	// cap memory at the cost of tenant-granular drain.
 	DisableTenantLog bool
+
+	// Sink, when set (and a keeper is serving), receives one learn.Sample
+	// per shard adaptation epoch — the outcome feed of the continuous
+	// learner. Offer is called from shard goroutines; implementations must
+	// be concurrency-safe and fast. Nil keeps epochs sample-free at zero
+	// cost.
+	Sink learn.Sink
+	// Learner, when set, is surfaced in /metrics (the node does not drive
+	// it — the daemon's ticker or the sidecar's follow loop calls Step).
+	Learner *learn.Learner
+	// ExploreRate enables ε-greedy strategy exploration on every shard
+	// controller: each adaptation epoch applies a uniformly random strategy
+	// with this probability, feeding the learner outcomes the greedy policy
+	// would never measure. Zero disables exploration.
+	ExploreRate float64
+	// ExploreSeed seeds exploration; each shard derives its own stream from
+	// it, so multi-shard runs stay deterministic under a fake clock.
+	ExploreSeed int64
 }
 
 func (c *Config) fillDefaults() {
@@ -153,6 +172,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: negative bounds in %+v", c)
 	case c.Accel < 0:
 		return fmt.Errorf("serve: negative accel %v", c.Accel)
+	case c.ExploreRate < 0 || c.ExploreRate > 1:
+		return fmt.Errorf("serve: explore rate %v outside [0,1]", c.ExploreRate)
 	}
 	return nil
 }
@@ -237,7 +258,15 @@ type Server struct {
 
 	reloadMu sync.Mutex
 	reloader Reloader
+
+	sampleLog *learn.Log
 }
+
+// SetSampleLog installs the sample journal behind GET /learn/samples, the
+// export a sidecar trainer (keeper-train -follow) polls. The daemon wires
+// the same log into Config.Sink so every shard's epochs land in it. Call
+// before Handler is serving traffic.
+func (s *Server) SetSampleLog(l *learn.Log) { s.sampleLog = l }
 
 // New builds a server: a fresh node core wrapped in the HTTP front end.
 // See NewNode for the core's semantics.
