@@ -22,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -30,12 +31,16 @@ import (
 	"time"
 
 	"ssdkeeper/internal/fleet"
+	"ssdkeeper/internal/wire"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":8090", "router listen address")
 		nodes      = flag.String("nodes", "", "comma-separated node base URLs (required)")
+		wireNodes  = flag.String("wire-nodes", "", "comma-separated wire (host:port) addresses, parallel to -nodes; empty entries keep that node on HTTP. Enables the persistent framed data plane")
+		wireConns  = flag.Int("wire-conns", 4, "persistent wire connections per node")
+		wireListen = flag.String("wire-listen", "", "also serve the wire protocol to clients on this address (full wire path: client → router → node)")
 		vnodes     = flag.Int("vnodes", 64, "virtual nodes per node on the ring")
 		tenants    = flag.Int("tenants", 4, "tenant ID space routed")
 		gatePolicy = flag.String("gate-policy", fleet.GateQueue, "migrating-tenant policy: queue or reject")
@@ -54,6 +59,13 @@ func main() {
 	if len(list) == 0 {
 		fatal(fmt.Errorf("need -nodes (comma-separated base URLs)"))
 	}
+	var wireList []string
+	if *wireNodes != "" {
+		wireList = splitWireNodes(*wireNodes)
+		if len(wireList) != len(list) {
+			fatal(fmt.Errorf("-wire-nodes has %d entries for %d nodes", len(wireList), len(list)))
+		}
+	}
 
 	router, err := fleet.NewRouter(fleet.Config{
 		Nodes:      list,
@@ -62,10 +74,13 @@ func main() {
 		GatePolicy: *gatePolicy,
 		GateWait:   *gateWait,
 		ReqTimeout: *timeout,
+		WireNodes:  wireList,
+		WireConns:  *wireConns,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	defer router.Close()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -91,9 +106,25 @@ func main() {
 			errc <- err
 		}
 	}()
+	var ws *wire.Server
+	if *wireListen != "" {
+		ln, err := net.Listen("tcp", *wireListen)
+		if err != nil {
+			fatal(err)
+		}
+		ws = wire.NewServer(router.WireBackend())
+		go func() {
+			if err := ws.Serve(ln); err != nil {
+				errc <- err
+			}
+		}()
+	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "keeperfleet: routing %d tenants over %d nodes on %s (gate %s, rebalance %v)\n",
-			*tenants, len(list), *addr, *gatePolicy, *rebalance)
+		fmt.Fprintf(os.Stderr, "keeperfleet: routing %d tenants over %d nodes on %s (gate %s, rebalance %v, wire nodes %d)\n",
+			*tenants, len(list), *addr, *gatePolicy, *rebalance, len(wireList))
+		if *wireListen != "" {
+			fmt.Fprintf(os.Stderr, "keeperfleet: wire listener on %s\n", *wireListen)
+		}
 		for t := 0; t < *tenants; t++ {
 			fmt.Fprintf(os.Stderr, "keeperfleet:   tenant %d → %s\n", t, router.Owner(t))
 		}
@@ -103,6 +134,9 @@ func main() {
 	case err := <-errc:
 		fatal(err)
 	case <-ctx.Done():
+	}
+	if ws != nil {
+		ws.Close()
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -123,6 +157,16 @@ func splitNodes(s string) []string {
 		}
 	}
 	return out
+}
+
+// splitWireNodes keeps empty entries: position i pairs with -nodes entry i,
+// and an empty slot means that node stays on the HTTP data plane.
+func splitWireNodes(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 func fatal(err error) {

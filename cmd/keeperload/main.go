@@ -1,23 +1,42 @@
-// Command keeperload drives an ssdkeeperd daemon with a multi-tenant
-// workload and reports per-tenant latency percentiles. It supports closed-
-// loop generation (a fixed worker pool, each worker submitting its next
-// request as soon as the previous one answers — throughput finds its own
-// level) and open-loop generation (requests fired at a fixed aggregate
-// rate regardless of completions — the mode that exposes backpressure).
+// Command keeperload drives an ssdkeeperd daemon (or a keeperfleet router)
+// with a multi-tenant workload and reports per-tenant latency percentiles.
+// It supports closed-loop generation (a fixed worker pool, each worker
+// submitting its next request as soon as the previous one answers —
+// throughput finds its own level) and open-loop generation (requests fired
+// at a fixed aggregate rate regardless of completions — the mode that
+// exposes backpressure).
 //
 // -addr accepts one target or a comma-separated list: with several, requests
 // round-robin across them (each a node, or several fleet routers) and the
 // report breaks out per-node as well as aggregate percentiles.
+//
+// Two transports: the default is HTTP (POST /io, or /io/batch with -batch);
+// -wire speaks the persistent framed wire protocol instead, in which case
+// the -addr targets are wire listener host:port addresses (a node's
+// -wire-listen, or a router's). With -batch N over wire, each chunk of N
+// requests is pipelined onto one connection and the replies collected out
+// of band.
+//
+// -via labels what -addr points at (router or direct); when -direct gives
+// the nodes' own addresses, the identical workload is replayed against them
+// after the main pass and the report includes the router's overhead — the
+// wall-clock round-trip p99 through the router minus the direct p99. (The
+// simulated device latency is transport-independent, so router overhead is
+// only visible in round-trip time.)
 //
 // Usage:
 //
 //	keeperload -addr http://localhost:8080 -n 1000 -concurrency 32
 //	keeperload -addr http://localhost:8081,http://localhost:8082 -n 5000
 //	keeperload -mode open -iops 2000 -n 5000 -write-ratios 0.9,0.1,0.8,0.2
+//	keeperload -wire -addr localhost:9090 -n 10000            # router wire listener
+//	keeperload -wire -addr localhost:9090 -direct localhost:9081,localhost:9082
 //	keeperload -n 1000 -json > result.json
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,6 +53,7 @@ import (
 	"ssdkeeper/internal/sim"
 	"ssdkeeper/internal/stats"
 	"ssdkeeper/internal/trace"
+	"ssdkeeper/internal/wire"
 )
 
 type tenantReport struct {
@@ -58,14 +78,23 @@ type nodeReport struct {
 
 type report struct {
 	Mode        string         `json:"mode"`
+	Transport   string         `json:"transport"`
+	Via         string         `json:"via,omitempty"`
+	Batch       int            `json:"batch,omitempty"`
 	Requests    int            `json:"requests"`
 	OK          uint64         `json:"ok"`
 	Rejected    uint64         `json:"rejected"`
 	Failed      uint64         `json:"failed"`
 	WallSeconds float64        `json:"wall_seconds"`
 	Throughput  float64        `json:"throughput_rps"`
+	RTTP50Ms    float64        `json:"rtt_p50_ms"`
+	RTTP99Ms    float64        `json:"rtt_p99_ms"`
 	Tenants     []tenantReport `json:"tenants"`
 	Nodes       []nodeReport   `json:"nodes,omitempty"`
+	// Direct is the replay of the same workload against -direct targets;
+	// RouterOverheadP99Ms is this run's RTT p99 minus the direct pass's.
+	Direct              *report `json:"direct,omitempty"`
+	RouterOverheadP99Ms float64 `json:"router_overhead_p99_ms,omitempty"`
 }
 
 // tenantStats accumulates one tenant's outcomes; counters are guarded by mu
@@ -82,20 +111,25 @@ type tenantStats struct {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://localhost:8080", "daemon base URL, or a comma-separated list to round-robin across")
-		mode     = flag.String("mode", "closed", "closed (worker pool) or open (fixed rate)")
-		n        = flag.Int("n", 1000, "total requests")
-		workers  = flag.Int("concurrency", 32, "closed-loop worker count (also bounds open-loop in-flight)")
-		conns    = flag.Int("conns", 0, "idle connections kept to the daemon (0: match -concurrency)")
-		spread   = flag.Bool("spread", false, "set a distinct shard key per request, spreading tenants across daemon shards")
-		iops     = flag.Float64("iops", 2000, "open-loop aggregate arrival rate (req/s, wall)")
-		tenants  = flag.Int("tenants", 4, "tenant count")
-		ratios   = flag.String("write-ratios", "", "per-tenant write ratios, comma-separated (default 0.5 each)")
-		size     = flag.Int("size", 16*1024, "request size in bytes")
-		maxBytes = flag.Int64("max-bytes", 64<<20, "per-tenant address space to spread offsets over")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
-		asJSON   = flag.Bool("json", false, "write the report as JSON to stdout")
+		addr      = flag.String("addr", "http://localhost:8080", "target base URL (or wire host:port with -wire), comma-separated to round-robin")
+		mode      = flag.String("mode", "closed", "closed (worker pool) or open (fixed rate)")
+		n         = flag.Int("n", 1000, "total requests")
+		workers   = flag.Int("concurrency", 32, "closed-loop worker count (also bounds open-loop in-flight)")
+		conns     = flag.Int("conns", 0, "idle HTTP connections kept to the daemon (0: match -concurrency)")
+		useWire   = flag.Bool("wire", false, "drive the persistent framed wire protocol instead of HTTP (-addr entries are host:port)")
+		wireConns = flag.Int("wire-conns", 4, "persistent wire connections per target")
+		via       = flag.String("via", "router", "what -addr points at, router or direct (report label)")
+		direct    = flag.String("direct", "", "node addresses for a second direct pass; reports router overhead (router RTT p99 - direct RTT p99)")
+		batch     = flag.Int("batch", 1, "requests per batch: >1 drives /io/batch (HTTP) or pipelined chunks (wire)")
+		spread    = flag.Bool("spread", false, "set a distinct shard key per request, spreading tenants across daemon shards")
+		iops      = flag.Float64("iops", 2000, "open-loop aggregate arrival rate (req/s, wall)")
+		tenants   = flag.Int("tenants", 4, "tenant count")
+		ratios    = flag.String("write-ratios", "", "per-tenant write ratios, comma-separated (default 0.5 each)")
+		size      = flag.Int("size", 16*1024, "request size in bytes")
+		maxBytes  = flag.Int64("max-bytes", 64<<20, "per-tenant address space to spread offsets over")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		asJSON    = flag.Bool("json", false, "write the report as JSON to stdout")
 	)
 	flag.Parse()
 
@@ -103,16 +137,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *tenants < 1 || *n < 1 || *workers < 1 {
-		fatal(fmt.Errorf("need positive -tenants, -n, -concurrency"))
+	if *tenants < 1 || *n < 1 || *workers < 1 || *batch < 1 {
+		fatal(fmt.Errorf("need positive -tenants, -n, -concurrency, -batch"))
+	}
+	if *via != "router" && *via != "direct" {
+		fatal(fmt.Errorf("-via must be router or direct"))
 	}
 	addrs := parseAddrs(*addr)
 	if len(addrs) == 0 {
 		fatal(fmt.Errorf("need at least one -addr target"))
 	}
 
-	// Pre-generate the request stream so both modes replay the identical
-	// sequence for a given seed.
+	// Pre-generate the request stream so both modes (and the optional direct
+	// pass) replay the identical sequence for a given seed.
 	rng := rand.New(rand.NewSource(*seed))
 	pages := *maxBytes / int64(*size)
 	if pages < 1 {
@@ -143,95 +180,221 @@ func main() {
 	if nc <= 0 {
 		nc = *workers
 	}
-	client := &http.Client{
-		Timeout: *timeout,
-		Transport: &http.Transport{
-			MaxIdleConns:        nc,
-			MaxIdleConnsPerHost: nc,
-			MaxConnsPerHost:     nc,
-			IdleConnTimeout:     90 * time.Second,
+	r := &runner{
+		reqs:    reqs,
+		mode:    *mode,
+		workers: *workers,
+		iops:    *iops,
+		batch:   *batch,
+		timeout: *timeout,
+		useWire: *useWire,
+		wconns:  *wireConns,
+		tenants: *tenants,
+		client: &http.Client{
+			Timeout: *timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        nc,
+				MaxIdleConnsPerHost: nc,
+				MaxConnsPerHost:     nc,
+				IdleConnTimeout:     90 * time.Second,
+			},
 		},
 	}
-	perTenant := make([]*tenantStats, *tenants)
+
+	rep := r.run(addrs)
+	rep.Via = *via
+	for t := range rep.Tenants {
+		rep.Tenants[t].WriteFrac = writeRatio[t]
+	}
+	if *direct != "" {
+		dr := r.run(parseAddrs(*direct))
+		dr.Via = "direct"
+		for t := range dr.Tenants {
+			dr.Tenants[t].WriteFrac = writeRatio[t]
+		}
+		rep.Direct = &dr
+		rep.RouterOverheadP99Ms = rep.RTTP99Ms - dr.RTTP99Ms
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		printReport(&rep)
+		if rep.Direct != nil {
+			fmt.Printf("direct pass:\n")
+			printReport(rep.Direct)
+			fmt.Printf("router overhead: rtt p99 %+.3fms (router %.3fms - direct %.3fms)\n",
+				rep.RouterOverheadP99Ms, rep.RTTP99Ms, rep.Direct.RTTP99Ms)
+		}
+	}
+	if rep.OK == 0 {
+		fatal(fmt.Errorf("no request succeeded"))
+	}
+}
+
+func printReport(rep *report) {
+	batch := ""
+	if rep.Batch > 1 {
+		batch = fmt.Sprintf(", batch %d", rep.Batch)
+	}
+	fmt.Printf("%s loop over %s via %s%s: %d ok, %d rejected, %d failed in %.2fs (%.0f req/s)\n",
+		rep.Mode, rep.Transport, rep.Via, batch, rep.OK, rep.Rejected, rep.Failed, rep.WallSeconds, rep.Throughput)
+	fmt.Printf("  round trip: p50 %.3fms p99 %.3fms\n", rep.RTTP50Ms, rep.RTTP99Ms)
+	for _, tr := range rep.Tenants {
+		fmt.Printf("  tenant %d (w=%.2f): ok %d rej %d, p50 %.3fms p99 %.3fms max %.3fms\n",
+			tr.Tenant, tr.WriteFrac, tr.OK, tr.Rejected, tr.P50Ms, tr.P99Ms, tr.MaxMs)
+	}
+	for _, nr := range rep.Nodes {
+		fmt.Printf("  node %s: ok %d rej %d fail %d, p50 %.3fms p99 %.3fms\n",
+			nr.Addr, nr.OK, nr.Rejected, nr.Failed, nr.P50Ms, nr.P99Ms)
+	}
+}
+
+// runner executes the pre-generated request stream against one target set.
+// The same runner runs the main pass and the optional -direct pass so the
+// two are comparable request for request.
+type runner struct {
+	reqs    []serve.Request
+	mode    string
+	workers int
+	iops    float64
+	batch   int
+	timeout time.Duration
+	useWire bool
+	wconns  int
+	tenants int
+	client  *http.Client
+}
+
+func (r *runner) run(addrs []string) report {
+	if len(addrs) == 0 {
+		fatal(fmt.Errorf("need at least one target address"))
+	}
+	perTenant := make([]*tenantStats, r.tenants)
 	for i := range perTenant {
 		perTenant[i] = &tenantStats{}
 	}
-	// Per-target stats: request i round-robins to addrs[i % len(addrs)], so
+	// Per-target stats: chunk c round-robins to addrs[c % len(addrs)], so
 	// with several targets each sees the same tenant mix.
 	perNode := make([]*tenantStats, len(addrs))
 	for i := range perNode {
 		perNode[i] = &tenantStats{}
 	}
-	target := func(i int) (string, *tenantStats) {
-		return addrs[i%len(addrs)], perNode[i%len(addrs)]
+	// rtt accumulates the wall-clock round trip of every chunk that got at
+	// least one reply through — the transport- and router-sensitive number,
+	// unlike the simulated device latency in the per-tenant percentiles.
+	rtt := &tenantStats{}
+
+	var wcs []*wire.Client
+	if r.useWire {
+		wcs = make([]*wire.Client, len(addrs))
+		for i, a := range addrs {
+			wcs[i] = wire.NewClient(wireAddr(a), r.wconns)
+		}
+		defer func() {
+			for _, wc := range wcs {
+				wc.Close()
+			}
+		}()
 	}
+
+	submitChunk := func(lo, hi, k int) {
+		t0 := time.Now()
+		var anyOK bool
+		switch {
+		case r.useWire && hi-lo == 1:
+			anyOK = r.wireOne(wcs[k], r.reqs[lo], perTenant, perNode[k])
+		case r.useWire:
+			anyOK = r.wireBatch(wcs[k], lo, hi, perTenant, perNode[k])
+		case hi-lo == 1:
+			anyOK = r.httpOne(addrs[k], r.reqs[lo], perTenant, perNode[k])
+		default:
+			anyOK = r.httpBatch(addrs[k], lo, hi, perTenant, perNode[k])
+		}
+		if anyOK {
+			recordRTT(rtt, time.Since(t0))
+		}
+	}
+	nchunks := (len(r.reqs) + r.batch - 1) / r.batch
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	switch *mode {
+	switch r.mode {
 	case "closed":
-		// Workers pull the next unsent request; each submits synchronously.
-		next := make(chan int, *workers)
-		for w := 0; w < *workers; w++ {
+		// Workers pull the next unsent chunk; each submits synchronously.
+		next := make(chan int, r.workers)
+		for w := 0; w < r.workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for i := range next {
-					req := reqs[i]
-					base, ns := target(i)
-					submit(client, base, req, perTenant[req.Tenant], ns)
+				for c := range next {
+					lo := c * r.batch
+					hi := min(lo+r.batch, len(r.reqs))
+					submitChunk(lo, hi, c%len(addrs))
 				}
 			}()
 		}
-		for i := range reqs {
-			next <- i
+		for c := 0; c < nchunks; c++ {
+			next <- c
 		}
 		close(next)
 	case "open":
-		if *iops <= 0 {
+		if r.iops <= 0 {
 			fatal(fmt.Errorf("open loop needs positive -iops"))
 		}
-		gap := time.Duration(float64(time.Second) / *iops)
-		sem := make(chan struct{}, *workers)
+		// One tick per chunk keeps the aggregate request rate at -iops.
+		gap := time.Duration(float64(time.Second) * float64(r.batch) / r.iops)
+		sem := make(chan struct{}, r.workers)
 		tick := time.NewTicker(gap)
 		defer tick.Stop()
-		for i := range reqs {
+		for c := 0; c < nchunks; c++ {
 			<-tick.C
 			sem <- struct{}{}
 			wg.Add(1)
-			go func(i int) {
+			go func(c int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				req := reqs[i]
-				base, ns := target(i)
-				submit(client, base, req, perTenant[req.Tenant], ns)
-			}(i)
+				lo := c * r.batch
+				hi := min(lo+r.batch, len(r.reqs))
+				submitChunk(lo, hi, c%len(addrs))
+			}(c)
 		}
 	default:
-		fatal(fmt.Errorf("unknown -mode %q", *mode))
+		fatal(fmt.Errorf("unknown -mode %q", r.mode))
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	rep := report{Mode: *mode, Requests: *n, WallSeconds: wall.Seconds()}
+	rep := report{Mode: r.mode, Transport: "http", Requests: len(r.reqs), WallSeconds: wall.Seconds()}
+	if r.useWire {
+		rep.Transport = "wire"
+	}
+	if r.batch > 1 {
+		rep.Batch = r.batch
+	}
 	for t, ts := range perTenant {
 		rep.OK += ts.ok
 		rep.Rejected += ts.rejected
 		rep.Failed += ts.failed
 		rep.Tenants = append(rep.Tenants, tenantReport{
-			Tenant:    t,
-			OK:        ts.ok,
-			Rejected:  ts.rejected,
-			Failed:    ts.failed,
-			P50Ms:     ms(ts.hist.P50()),
-			P99Ms:     ms(ts.hist.P99()),
-			MaxMs:     ms(ts.maxLat),
-			WriteFrac: writeRatio[t],
+			Tenant:   t,
+			OK:       ts.ok,
+			Rejected: ts.rejected,
+			Failed:   ts.failed,
+			P50Ms:    ms(ts.hist.P50()),
+			P99Ms:    ms(ts.hist.P99()),
+			MaxMs:    ms(ts.maxLat),
 		})
 	}
 	if wall > 0 {
 		rep.Throughput = float64(rep.OK) / wall.Seconds()
 	}
+	rep.RTTP50Ms = ms(rtt.hist.P50())
+	rep.RTTP99Ms = ms(rtt.hist.P99())
 	if len(addrs) > 1 {
 		for i, a := range addrs {
 			ns := perNode[i]
@@ -245,36 +408,17 @@ func main() {
 			})
 		}
 	}
-
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			fatal(err)
-		}
-	} else {
-		fmt.Printf("%s loop: %d ok, %d rejected, %d failed in %.2fs (%.0f req/s)\n",
-			rep.Mode, rep.OK, rep.Rejected, rep.Failed, rep.WallSeconds, rep.Throughput)
-		for _, tr := range rep.Tenants {
-			fmt.Printf("  tenant %d (w=%.2f): ok %d rej %d, p50 %.3fms p99 %.3fms max %.3fms\n",
-				tr.Tenant, tr.WriteFrac, tr.OK, tr.Rejected, tr.P50Ms, tr.P99Ms, tr.MaxMs)
-		}
-		for _, nr := range rep.Nodes {
-			fmt.Printf("  node %s: ok %d rej %d fail %d, p50 %.3fms p99 %.3fms\n",
-				nr.Addr, nr.OK, nr.Rejected, nr.Failed, nr.P50Ms, nr.P99Ms)
-		}
-	}
-	if rep.OK == 0 {
-		fatal(fmt.Errorf("no request succeeded"))
-	}
+	return rep
 }
 
-// submit POSTs one request and records its outcome under both the tenant's
+// httpOne POSTs one request and records its outcome under both the tenant's
 // and the target node's accumulators. Reported latency is the daemon's
 // simulated response latency (queue wait included), not the HTTP round
 // trip, so percentiles describe the device under the configured
-// acceleration rather than loopback networking.
-func submit(client *http.Client, base string, req serve.Request, ts, ns *tenantStats) {
+// acceleration rather than loopback networking; the round trip lands in the
+// separate rtt histogram.
+func (r *runner) httpOne(base string, req serve.Request, perTenant []*tenantStats, ns *tenantStats) bool {
+	ts := perTenant[req.Tenant]
 	var body string
 	if req.Key != 0 {
 		body = fmt.Sprintf(`{"tenant":%d,"op":"%s","offset":%d,"size":%d,"key":%d}`,
@@ -283,11 +427,11 @@ func submit(client *http.Client, base string, req serve.Request, ts, ns *tenantS
 		body = fmt.Sprintf(`{"tenant":%d,"op":"%s","offset":%d,"size":%d}`,
 			req.Tenant, opName(req.Op), req.Offset, req.Size)
 	}
-	resp, err := client.Post(base+"/io", "application/json", strings.NewReader(body))
+	resp, err := r.client.Post(base+"/io", "application/json", strings.NewReader(body))
 	if err != nil {
 		recordFail(ts)
 		recordFail(ns)
-		return
+		return false
 	}
 	defer resp.Body.Close()
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
@@ -300,11 +444,12 @@ func submit(client *http.Client, base string, req serve.Request, ts, ns *tenantS
 		if err := json.Unmarshal(data, &jr); err != nil {
 			recordFail(ts)
 			recordFail(ns)
-			return
+			return false
 		}
 		lat := sim.Time(jr.LatencyNS)
 		recordOK(ts, lat, req.Op == trace.Write)
 		recordOK(ns, lat, req.Op == trace.Write)
+		return true
 	case resp.StatusCode == http.StatusTooManyRequests,
 		resp.StatusCode == http.StatusServiceUnavailable:
 		recordRej(ts)
@@ -313,6 +458,169 @@ func submit(client *http.Client, base string, req serve.Request, ts, ns *tenantS
 		recordFail(ts)
 		recordFail(ns)
 	}
+	return false
+}
+
+// httpBatch POSTs reqs[lo:hi] as one /io/batch body and records each reply
+// line against its request. Missing trailer lines (an upstream that died
+// mid-batch) count as failures.
+func (r *runner) httpBatch(base string, lo, hi int, perTenant []*tenantStats, ns *tenantStats) bool {
+	var sb strings.Builder
+	for i := lo; i < hi; i++ {
+		sb.WriteString(serve.EncodeLine(r.reqs[i]))
+		sb.WriteByte('\n')
+	}
+	resp, err := r.client.Post(base+"/io/batch", "text/plain", strings.NewReader(sb.String()))
+	if err != nil {
+		for i := lo; i < hi; i++ {
+			recordFail(perTenant[r.reqs[i].Tenant])
+			recordFail(ns)
+		}
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		for i := lo; i < hi; i++ {
+			recordFail(perTenant[r.reqs[i].Tenant])
+			recordFail(ns)
+		}
+		return false
+	}
+	anyOK := false
+	sc := bufio.NewScanner(resp.Body)
+	i := lo
+	for i < hi && sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		req := r.reqs[i]
+		ts := perTenant[req.Tenant]
+		if lat, ok := parseOKLine(line); ok {
+			recordOK(ts, lat, req.Op == trace.Write)
+			recordOK(ns, lat, req.Op == trace.Write)
+			anyOK = true
+		} else if reason, ok := parseRejLine(line); ok && rejection(reason) {
+			recordRej(ts)
+			recordRej(ns)
+		} else {
+			recordFail(ts)
+			recordFail(ns)
+		}
+		i++
+	}
+	for ; i < hi; i++ {
+		recordFail(perTenant[r.reqs[i].Tenant])
+		recordFail(ns)
+	}
+	return anyOK
+}
+
+// wireOne issues one blocking wire call.
+func (r *runner) wireOne(wc *wire.Client, req serve.Request, perTenant []*tenantStats, ns *tenantStats) bool {
+	ts := perTenant[req.Tenant]
+	latNS, _, reason, err := wc.Do(req, r.timeout)
+	switch {
+	case err != nil:
+		recordFail(ts)
+		recordFail(ns)
+	case reason == "":
+		recordOK(ts, sim.Time(latNS), req.Op == trace.Write)
+		recordOK(ns, sim.Time(latNS), req.Op == trace.Write)
+		return true
+	case rejection(reason):
+		recordRej(ts)
+		recordRej(ns)
+	default:
+		recordFail(ts)
+		recordFail(ns)
+	}
+	return false
+}
+
+// chunkOutcome is one pipelined call's result, written by the connection's
+// read goroutine at its own index (the WaitGroup is the publication
+// barrier).
+type chunkOutcome struct {
+	latNS  int64
+	reason string
+	err    error
+}
+
+type chunkObs struct {
+	wg  sync.WaitGroup
+	res []chunkOutcome
+}
+
+func (o *chunkObs) Done(tag uint64, latencyNS, _ int64, reason string, err error) {
+	o.res[tag] = chunkOutcome{latNS: latencyNS, reason: reason, err: err}
+	o.wg.Done()
+}
+
+// wireBatch pipelines reqs[lo:hi] onto the client and waits for every
+// reply. A dead connection fails the remainder promptly through the
+// client's sweep, so the wait cannot outlive the transport.
+func (r *runner) wireBatch(wc *wire.Client, lo, hi int, perTenant []*tenantStats, ns *tenantStats) bool {
+	n := hi - lo
+	obs := &chunkObs{res: make([]chunkOutcome, n)}
+	obs.wg.Add(n)
+	for i := 0; i < n; i++ {
+		if err := wc.Start(r.reqs[lo+i], uint64(i), obs); err != nil {
+			obs.res[i] = chunkOutcome{err: err}
+			obs.wg.Done()
+		}
+	}
+	obs.wg.Wait()
+	anyOK := false
+	for i, o := range obs.res {
+		req := r.reqs[lo+i]
+		ts := perTenant[req.Tenant]
+		switch {
+		case o.err != nil:
+			recordFail(ts)
+			recordFail(ns)
+		case o.reason == "":
+			recordOK(ts, sim.Time(o.latNS), req.Op == trace.Write)
+			recordOK(ns, sim.Time(o.latNS), req.Op == trace.Write)
+			anyOK = true
+		case rejection(o.reason):
+			recordRej(ts)
+			recordRej(ns)
+		default:
+			recordFail(ts)
+			recordFail(ns)
+		}
+	}
+	return anyOK
+}
+
+// rejection reports whether a reply reason counts as a rejection (the
+// request reached a healthy admission path and was refused) rather than a
+// failure — mirroring the HTTP mapping of 429/503 to rejected and
+// everything else non-OK to failed.
+func rejection(reason string) bool {
+	return reason == "queue_full" || reason == "migrating" || reason == "draining"
+}
+
+// parseOKLine parses a batch reply "ok <latency_ns>".
+func parseOKLine(line []byte) (sim.Time, bool) {
+	if !bytes.HasPrefix(line, []byte("ok ")) {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(string(bytes.TrimSpace(line[3:])), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return sim.Time(v), true
+}
+
+// parseRejLine parses a batch reply "rej <reason>".
+func parseRejLine(line []byte) (string, bool) {
+	if !bytes.HasPrefix(line, []byte("rej ")) {
+		return "", false
+	}
+	return string(bytes.TrimSpace(line[4:])), true
 }
 
 func recordOK(s *tenantStats, lat sim.Time, isWrite bool) {
@@ -337,6 +645,12 @@ func recordRej(s *tenantStats) {
 func recordFail(s *tenantStats) {
 	s.mu.Lock()
 	s.failed++
+	s.mu.Unlock()
+}
+
+func recordRTT(s *tenantStats, d time.Duration) {
+	s.mu.Lock()
+	s.hist.Add(sim.Time(d.Nanoseconds()))
 	s.mu.Unlock()
 }
 
@@ -376,7 +690,7 @@ func parseRatios(s string, tenants int) ([]float64, error) {
 	return out, nil
 }
 
-// parseAddrs splits "-addr a,b,c" into trimmed base URLs.
+// parseAddrs splits "-addr a,b,c" into trimmed targets.
 func parseAddrs(s string) []string {
 	var out []string
 	for _, p := range strings.Split(s, ",") {
@@ -386,6 +700,15 @@ func parseAddrs(s string) []string {
 		}
 	}
 	return out
+}
+
+// wireAddr strips a URL scheme if the caller passed one, leaving the
+// host:port a wire client dials.
+func wireAddr(a string) string {
+	for _, scheme := range []string{"http://", "https://", "tcp://"} {
+		a = strings.TrimPrefix(a, scheme)
+	}
+	return a
 }
 
 func fatal(err error) {

@@ -38,6 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,12 +54,14 @@ import (
 	"ssdkeeper/internal/policy"
 	"ssdkeeper/internal/serve"
 	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/wire"
 	"ssdkeeper/internal/workload"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
+		wireListen = flag.String("wire-listen", "", "also serve the framed wire data plane on this address (persistent multiplexed connections; the fleet router's fast path)")
 		modelPath  = flag.String("model", "", "trained model checkpoint (empty: self-train a quick model at startup)")
 		modelDir   = flag.String("model-dir", "", "versioned checkpoint registry; serves the latest version and enables POST /model/reload and SIGHUP hot reload")
 		noKeeper   = flag.Bool("no-keeper", false, "serve without the online keeper (static shared allocation)")
@@ -231,9 +234,26 @@ func main() {
 			errc <- err
 		}
 	}()
+	var ws *wire.Server
+	if *wireListen != "" {
+		ln, err := net.Listen("tcp", *wireListen)
+		if err != nil {
+			s.Drain()
+			fatal(err)
+		}
+		ws = wire.NewServer(s.Node)
+		go func() {
+			if err := ws.Serve(ln); err != nil {
+				errc <- err
+			}
+		}()
+	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "ssdkeeperd: serving on %s (accel %g, shards %d, keeper %v",
 			*addr, *accel, s.ShardCount(), k != nil)
+		if *wireListen != "" {
+			fmt.Fprintf(os.Stderr, ", wire %s", *wireListen)
+		}
 		if modelVersion != "" {
 			fmt.Fprintf(os.Stderr, ", model %s, precision %s", modelVersion, modelPrecision)
 		}
@@ -253,6 +273,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ssdkeeperd: draining...")
 	}
 	res := s.Drain()
+	if ws != nil {
+		// After the drain every admitted request has resolved, so closing
+		// the wire listener cannot orphan a completion.
+		ws.Close()
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ssdkeeper/internal/serve"
+	"ssdkeeper/internal/wire"
+)
+
+// benchBackend completes every wire request inline: the benchmark measures
+// transport and proxy cost, not device simulation.
+type benchBackend struct{}
+
+func (benchBackend) SubmitTo(req serve.Request, c serve.Completion) error {
+	c.Complete(serve.Response{Latency: 1000, At: 77}, nil)
+	return nil
+}
+
+// BenchmarkProxyTransport compares the router's two data planes over stub
+// upstreams that answer instantly, so the difference is pure transport:
+// per-request HTTP round trips versus pipelined frames on persistent
+// connections. The front end (recorder + request construction) is identical
+// in both variants. bench_gate.sh asserts wire ≥ HTTP on ns/op from the
+// same run.
+func BenchmarkProxyTransport(b *testing.B) {
+	body := []byte(`{"tenant":1,"op":"read","offset":4096,"size":4096}`)
+
+	run := func(b *testing.B, r *Router) {
+		h := r.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				req := httptest.NewRequest(http.MethodPost, "/io", bytes.NewReader(body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Errorf("status %d: %s", w.Code, w.Body.String())
+					return
+				}
+			}
+		})
+	}
+
+	b.Run("http", func(b *testing.B) {
+		up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"latency_ns":1000,"sim_ns":77}`)
+		}))
+		defer up.Close()
+		r, err := NewRouter(Config{Nodes: []string{up.URL}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		run(b, r)
+	})
+
+	b.Run("wire", func(b *testing.B) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws := wire.NewServer(benchBackend{})
+		go ws.Serve(ln)
+		defer ws.Close()
+		// The HTTP base URL must exist for the ring and control plane, but
+		// no data-plane request touches it.
+		up := httptest.NewServer(http.NewServeMux())
+		defer up.Close()
+		r, err := NewRouter(Config{Nodes: []string{up.URL}, WireNodes: []string{ln.Addr().String()}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		run(b, r)
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"ssdkeeper/internal/serve"
+	"ssdkeeper/internal/wire"
 )
 
 // Migration gate policies: what the router does with a migrating tenant's
@@ -48,6 +50,16 @@ type Config struct {
 	ReqTimeout time.Duration
 	// Conns sizes the per-node connection pool (default 64).
 	Conns int
+	// WireNodes, when set, enables the wire data plane: entry i is the
+	// wire (host:port) address of Nodes[i], or "" to keep that node on
+	// HTTP. Proxied I/O rides persistent multiplexed wire connections;
+	// HTTP remains the control plane (drain/handoff/release, status) and
+	// the compatibility data plane for clients that speak it.
+	WireNodes []string
+	// WireConns sizes the per-node wire connection pool (default 4; each
+	// connection pipelines any number of in-flight requests, so this is
+	// about spreading demux work, not about concurrency limits).
+	WireConns int
 }
 
 func (c *Config) fillDefaults() {
@@ -68,6 +80,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Conns == 0 {
 		c.Conns = 64
+	}
+	if c.WireConns == 0 {
+		c.WireConns = 4
 	}
 }
 
@@ -101,6 +116,11 @@ type Router struct {
 	met     metrics
 	members *Membership // optional; enriches /fleet/status and /metrics
 
+	// wires maps a node's base URL to its persistent wire client (absent
+	// for HTTP-only nodes). Built once at construction; connections dial
+	// lazily and redial after failures.
+	wires map[string]*wire.Client
+
 	// migMu serializes migrations: one tenant moves at a time, so the
 	// drain/handoff/flip sequence never interleaves with another move of
 	// the same (or any) tenant.
@@ -118,6 +138,9 @@ func NewRouter(cfg Config) (*Router, error) {
 	if cfg.GatePolicy != GateQueue && cfg.GatePolicy != GateReject {
 		return nil, fmt.Errorf("fleet: unknown gate policy %q", cfg.GatePolicy)
 	}
+	if len(cfg.WireNodes) != 0 && len(cfg.WireNodes) != len(cfg.Nodes) {
+		return nil, fmt.Errorf("fleet: %d wire addresses for %d nodes", len(cfg.WireNodes), len(cfg.Nodes))
+	}
 	r := &Router{
 		cfg: cfg,
 		client: &http.Client{
@@ -129,6 +152,12 @@ func NewRouter(cfg Config) (*Router, error) {
 			},
 		},
 	}
+	r.wires = make(map[string]*wire.Client)
+	for i, wa := range cfg.WireNodes {
+		if wa != "" {
+			r.wires[cfg.Nodes[i]] = wire.NewClient(wa, cfg.WireConns)
+		}
+	}
 	r.table.Store(&routeTable{
 		version:   1,
 		ring:      ring,
@@ -136,6 +165,14 @@ func NewRouter(cfg Config) (*Router, error) {
 		migrating: map[int]chan struct{}{},
 	})
 	return r, nil
+}
+
+// Close tears down the router's persistent wire connections. In-flight
+// calls fail with a transport error; HTTP proxying is unaffected.
+func (r *Router) Close() {
+	for _, wc := range r.wires {
+		wc.Close()
+	}
 }
 
 // SetMembership attaches a prober whose snapshots enrich /fleet/status and
@@ -226,21 +263,37 @@ func writeGateReject(w http.ResponseWriter) {
 	http.Error(w, "tenant migrating", http.StatusServiceUnavailable)
 }
 
-// handleIO proxies one JSON request to its tenant's owner. The body is
-// decoded only to learn the tenant, then forwarded verbatim. A 503
-// "migrating" answer from a node that gated the tenant under our feet is
-// retried through resolve (the request never reached a device, so the
-// retry cannot duplicate work).
+// ioBodyPool recycles /io request bodies and ioRespPool the rendered
+// responses, so the proxy fast path reads, decodes, forwards, and renders
+// without per-request allocations of its own.
+var (
+	ioBodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	ioRespPool = sync.Pool{New: func() any {
+		b := make([]byte, 0, 64)
+		return &b
+	}}
+)
+
+// handleIO proxies one JSON request to its tenant's owner — over the
+// persistent wire transport when the owner has one, over HTTP otherwise
+// (the body is decoded only to learn the tenant, then forwarded verbatim).
+// A "migrating" rejection from a node that gated the tenant under our feet
+// is retried through resolve (the request never reached a device, so the
+// retry cannot duplicate work). One client request counts as one proxied
+// request no matter how many retry attempts it takes.
 func (r *Router) handleIO(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
-	if err != nil {
+	bodyBuf := ioBodyPool.Get().(*bytes.Buffer)
+	bodyBuf.Reset()
+	defer ioBodyPool.Put(bodyBuf)
+	if _, err := bodyBuf.ReadFrom(http.MaxBytesReader(w, req.Body, 1<<20)); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	body := bodyBuf.Bytes()
 	sreq, err := serve.DecodeJSONRequest(body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -256,6 +309,32 @@ func (r *Router) handleIO(w http.ResponseWriter, req *http.Request) {
 			writeGateReject(w)
 			return
 		}
+		if wc := r.wires[owner]; wc != nil {
+			lat, at, reason, err := wc.Do(sreq, r.cfg.ReqTimeout)
+			if err != nil {
+				r.met.proxyErrs.Add(1)
+				http.Error(w, fmt.Sprintf("upstream %s: %v", owner, err), http.StatusBadGateway)
+				return
+			}
+			if attempt == 0 { // one client request counts once, whatever the retries do
+				r.met.proxied.Add(1)
+				r.met.wireProxied.Add(1)
+			}
+			if reason == "migrating" && r.cfg.GatePolicy == GateQueue && attempt < 4 {
+				continue
+			}
+			if reason != "" {
+				writeReasonReject(w, reason)
+				return
+			}
+			bp := ioRespPool.Get().(*[]byte)
+			out := serve.AppendIOResponse((*bp)[:0], lat, at)
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(out)
+			*bp = out[:0]
+			ioRespPool.Put(bp)
+			return
+		}
 		resp, err := r.client.Post(owner+"/io", "application/json", bytes.NewReader(body))
 		if err != nil {
 			r.met.proxyErrs.Add(1)
@@ -264,7 +343,9 @@ func (r *Router) handleIO(w http.ResponseWriter, req *http.Request) {
 		}
 		respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
-		r.met.proxied.Add(1)
+		if attempt == 0 {
+			r.met.proxied.Add(1)
+		}
 		if resp.StatusCode == http.StatusServiceUnavailable &&
 			strings.Contains(string(respBody), "migrating") &&
 			r.cfg.GatePolicy == GateQueue && attempt < 4 {
@@ -283,107 +364,327 @@ func (r *Router) handleIO(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
+// writeReasonReject maps a wire rejection token onto the HTTP status the
+// node's own front end would have used, so clients cannot tell which data
+// plane carried their request.
+func writeReasonReject(w http.ResponseWriter, reason string) {
+	var status int
+	switch reason {
+	case "queue_full":
+		status = http.StatusTooManyRequests
+	case "migrating", "draining":
+		status = http.StatusServiceUnavailable
+	case "timeout":
+		status = http.StatusGatewayTimeout
+	default:
+		status = http.StatusBadRequest
+	}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, wire.ReasonError(reason).Error(), status)
+}
+
+// Batch bounds, aligned with the node-side decoder (serve/http.go): the
+// body cap matches, the line cap matches, and an oversized line answers a
+// clear 400 instead of silently truncating the batch.
+const (
+	maxBatchBody  = 4 << 20
+	maxBatchLines = 65536
+)
+
+// batchLine is one scanned line's routing and outcome. Wire outcomes land
+// from connection read goroutines: the observer fills lat/ok/reason, then
+// publishes with an atomic store to state; the renderer reads fields only
+// after observing the store (lines never resolved by the deadline render
+// as upstream failures without touching the racy fields).
+type batchLine struct {
+	req    serve.Request
+	owner  int16  // index into batchState.owners; -1 for local rejections
+	pos    int32  // position within the owner's sub-batch
+	state  uint32 // wire lines: 0 in flight, 1 resolved (atomic)
+	ok     bool
+	lat    int64
+	reason string // interned rejection token for local/wire rejections
+}
+
+// ownerBatch is one node's slice of a batch: for HTTP owners the
+// accumulated sub-batch body and the reply arena; for wire owners just the
+// line count (requests pipeline individually, no body is built).
+type ownerBatch struct {
+	addr  string
+	wc    *wire.Client
+	n     int32
+	body  []byte  // HTTP: sub-batch request body
+	arena []byte  // HTTP: reply bytes, gathered without per-line strings
+	offs  []int32 // HTTP: arena offsets; reply i is arena[offs[i]:offs[i+1]]
+	fail  bool    // HTTP: whole sub-batch failed
+}
+
+// batchState is a batch's whole scratch space, pooled so the steady-state
+// scatter/gather path allocates nothing. A state whose wire outcomes all
+// arrived goes back to the pool; one abandoned at the deadline is left to
+// the garbage collector, because late observers still hold it.
+type batchState struct {
+	lines       []batchLine
+	owners      []ownerBatch
+	tenantOwner []int16 // per tenant: -2 unresolved, -1 gate-rejected, else owner index
+	remaining   atomic.Int64
+	wireDone    chan struct{}
+}
+
+func (st *batchState) Done(tag uint64, latencyNS, _ int64, reason string, err error) {
+	l := &st.lines[tag]
+	switch {
+	case err != nil:
+		l.reason = wire.ReasonUpstream
+	case reason != "":
+		l.reason = reason
+	default:
+		l.ok = true
+		l.lat = latencyNS
+	}
+	atomic.StoreUint32(&l.state, 1)
+	if st.remaining.Add(-1) == 0 {
+		close(st.wireDone)
+	}
+}
+
+var batchStatePool = sync.Pool{New: func() any { return new(batchState) }}
+
+func (r *Router) getBatchState() *batchState {
+	st := batchStatePool.Get().(*batchState)
+	st.lines = st.lines[:0]
+	for i := range st.owners {
+		ob := &st.owners[i]
+		ob.body, ob.arena, ob.offs = ob.body[:0], ob.arena[:0], ob.offs[:0]
+		ob.n, ob.fail = 0, false
+	}
+	st.owners = st.owners[:0]
+	if cap(st.tenantOwner) < r.cfg.Tenants {
+		st.tenantOwner = make([]int16, r.cfg.Tenants)
+	}
+	st.tenantOwner = st.tenantOwner[:r.cfg.Tenants]
+	for i := range st.tenantOwner {
+		st.tenantOwner[i] = -2
+	}
+	st.remaining.Store(0)
+	st.wireDone = make(chan struct{})
+	return st
+}
+
+// ownerIndex interns an owner address into the batch's owner list.
+func (st *batchState) ownerIndex(r *Router, addr string) int16 {
+	for i := range st.owners {
+		if st.owners[i].addr == addr {
+			return int16(i)
+		}
+	}
+	st.owners = append(st.owners, ownerBatch{addr: addr, wc: r.wires[addr]})
+	return int16(len(st.owners) - 1)
+}
+
+var (
+	batchScanPool = sync.Pool{New: func() any {
+		b := make([]byte, 64<<10)
+		return &b
+	}}
+	batchWriterPool = sync.Pool{New: func() any {
+		return bufio.NewWriterSize(nil, 32<<10)
+	}}
+)
+
 // handleBatch proxies a line-protocol batch, splitting it by owner node.
-// Lines keep their positions: the batch is scattered into per-owner
-// sub-batches (preserving relative order, which fixes each sub-batch's
-// reply order), forwarded concurrently, and the replies are gathered back
-// into one response in the original line order.
+// Lines keep their positions: owners are resolved once per (batch, tenant),
+// wire owners have each line pipelined individually onto their persistent
+// connections (tagged with the line index, so replies demux straight into
+// place), HTTP owners receive sub-batches preserving relative order, and
+// the replies are gathered back into one response in the original line
+// order. Steady state allocates nothing: the scan buffer, line table,
+// per-owner bodies, and reply arenas are all pooled, and lines are decoded
+// with DecodeLineBytes straight off the scanner's buffer.
 func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	type lineRoute struct {
-		line  string
-		owner string // "" for locally rejected lines
-		reply string
-	}
-	var lines []lineRoute
-	owners := map[string][]int{} // owner → indexes of its lines
-	sc := bufio.NewScanner(http.MaxBytesReader(w, req.Body, 4<<20))
-	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	st := r.getBatchState()
+	abandoned := false
+	defer func() {
+		if !abandoned {
+			batchStatePool.Put(st)
+		}
+	}()
+
+	bufp := batchScanPool.Get().(*[]byte)
+	defer batchScanPool.Put(bufp)
+	sc := bufio.NewScanner(http.MaxBytesReader(w, req.Body, maxBatchBody))
+	sc.Buffer(*bufp, maxBatchBody)
 	for sc.Scan() {
-		raw := sc.Text()
+		raw := sc.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
-		sreq, err := serve.DecodeLine(raw)
-		if err != nil {
-			lines = append(lines, lineRoute{line: raw, reply: "rej invalid"})
+		if len(st.lines) >= maxBatchLines {
+			http.Error(w, fmt.Sprintf("batch exceeds %d lines", maxBatchLines), http.StatusBadRequest)
+			return
+		}
+		sreq, err := serve.DecodeLineBytes(raw)
+		if err != nil || sreq.Tenant < 0 || sreq.Tenant >= r.cfg.Tenants {
+			st.lines = append(st.lines, batchLine{owner: -1, reason: "invalid"})
 			continue
 		}
-		if sreq.Tenant < 0 || sreq.Tenant >= r.cfg.Tenants {
-			lines = append(lines, lineRoute{line: raw, reply: "rej invalid"})
+		own := st.tenantOwner[sreq.Tenant]
+		if own == -2 { // first line of this tenant: resolve once per batch
+			addr, err := r.resolve(sreq.Tenant)
+			if err != nil {
+				own = -1
+			} else {
+				own = st.ownerIndex(r, addr)
+			}
+			st.tenantOwner[sreq.Tenant] = own
+		}
+		if own == -1 {
+			st.lines = append(st.lines, batchLine{owner: -1, reason: "migrating"})
 			continue
 		}
-		owner, err := r.resolve(sreq.Tenant)
-		if err != nil {
-			r.met.gateRejects.Add(1)
-			lines = append(lines, lineRoute{line: raw, reply: "rej migrating"})
-			continue
+		ob := &st.owners[own]
+		if ob.wc == nil {
+			ob.body = append(ob.body, raw...)
+			ob.body = append(ob.body, '\n')
 		}
-		idx := len(lines)
-		lines = append(lines, lineRoute{line: raw, owner: owner})
-		owners[owner] = append(owners[owner], idx)
+		st.lines = append(st.lines, batchLine{req: sreq, owner: own, pos: ob.n})
+		ob.n++
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			err = fmt.Errorf("batch line exceeds %d bytes", maxBatchBody)
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 
+	// Scatter. Wire lines pipeline one by one (the outbox coalesces their
+	// frames into few writes); HTTP owners get one goroutine each.
+	wireLines := int64(0)
+	for i := range st.owners {
+		if st.owners[i].wc != nil {
+			wireLines += int64(st.owners[i].n)
+		}
+	}
+	st.remaining.Store(wireLines)
 	var wg sync.WaitGroup
-	for owner, idxs := range owners {
+	for i := range st.owners {
+		ob := &st.owners[i]
+		if ob.wc != nil {
+			continue
+		}
 		wg.Add(1)
-		go func(owner string, idxs []int) {
+		go func(ob *ownerBatch) {
 			defer wg.Done()
-			var sb strings.Builder
-			for _, i := range idxs {
-				sb.WriteString(lines[i].line)
-				sb.WriteByte('\n')
+			r.gatherHTTP(ob)
+		}(ob)
+	}
+	if wireLines > 0 {
+		r.met.proxied.Add(uint64(wireLines))
+		r.met.wireProxied.Add(uint64(wireLines))
+		for i := range st.lines {
+			l := &st.lines[i]
+			if l.owner < 0 {
+				continue
 			}
-			resp, err := r.client.Post(owner+"/io/batch", "text/plain", strings.NewReader(sb.String()))
-			if err != nil {
-				r.met.proxyErrs.Add(1)
-				for _, i := range idxs {
-					lines[i].reply = "rej upstream"
-				}
-				return
+			wc := st.owners[l.owner].wc
+			if wc == nil {
+				continue
 			}
-			defer resp.Body.Close()
-			r.met.proxied.Add(uint64(len(idxs)))
-			if resp.StatusCode != http.StatusOK {
-				io.Copy(io.Discard, resp.Body)
-				for _, i := range idxs {
-					lines[i].reply = "rej upstream"
-				}
-				return
+			if err := wc.Start(l.req, uint64(i), st); err != nil {
+				st.Done(uint64(i), 0, 0, "", err)
 			}
-			rs := bufio.NewScanner(resp.Body)
-			rs.Buffer(make([]byte, 64<<10), 64<<10)
-			at := 0
-			for rs.Scan() && at < len(idxs) {
-				lines[idxs[at]].reply = rs.Text()
-				at++
-			}
-			for ; at < len(idxs); at++ {
-				lines[idxs[at]].reply = "rej upstream"
-			}
-		}(owner, idxs)
+		}
 	}
 	wg.Wait()
+	if wireLines > 0 {
+		t := time.NewTimer(r.cfg.ReqTimeout)
+		select {
+		case <-st.wireDone:
+			t.Stop()
+		case <-t.C:
+			abandoned = true // late observers still hold st; leave it to GC
+		}
+	}
 
+	// Gather: render replies in original line order.
 	w.Header().Set("Content-Type", "text/plain")
-	bw := bufio.NewWriter(w)
-	defer bw.Flush()
-	for i := range lines {
-		bw.WriteString(lines[i].reply)
+	bw := batchWriterPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	defer func() {
+		bw.Flush()
+		bw.Reset(nil)
+		batchWriterPool.Put(bw)
+	}()
+	var num [20]byte
+	for i := range st.lines {
+		l := &st.lines[i]
+		switch {
+		case l.owner < 0:
+			bw.WriteString("rej ")
+			bw.WriteString(l.reason)
+		case st.owners[l.owner].wc != nil:
+			if atomic.LoadUint32(&l.state) != 1 {
+				bw.WriteString("rej upstream")
+			} else if l.ok {
+				bw.WriteString("ok ")
+				bw.Write(strconv.AppendInt(num[:0], l.lat, 10))
+			} else {
+				bw.WriteString("rej ")
+				bw.WriteString(l.reason)
+			}
+		default:
+			ob := &st.owners[l.owner]
+			if ob.fail || int(l.pos) >= len(ob.offs)-1 {
+				bw.WriteString("rej upstream")
+			} else {
+				bw.Write(ob.arena[ob.offs[l.pos]:ob.offs[l.pos+1]])
+			}
+		}
 		bw.WriteByte('\n')
+	}
+}
+
+// gatherHTTP forwards one HTTP owner's sub-batch and collects its reply
+// lines into the owner's arena. Missing trailer lines (node died mid-reply)
+// leave offs short; the renderer answers "rej upstream" for those.
+func (r *Router) gatherHTTP(ob *ownerBatch) {
+	resp, err := r.client.Post(ob.addr+"/io/batch", "text/plain", bytes.NewReader(ob.body))
+	if err != nil {
+		r.met.proxyErrs.Add(1)
+		ob.fail = true
+		return
+	}
+	defer resp.Body.Close()
+	r.met.proxied.Add(uint64(ob.n))
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		ob.fail = true
+		return
+	}
+	bufp := batchScanPool.Get().(*[]byte)
+	defer batchScanPool.Put(bufp)
+	rs := bufio.NewScanner(resp.Body)
+	rs.Buffer(*bufp, maxBatchBody)
+	ob.offs = append(ob.offs, int32(len(ob.arena)))
+	got := int32(0)
+	for rs.Scan() && got < ob.n {
+		ob.arena = append(ob.arena, rs.Bytes()...)
+		ob.offs = append(ob.offs, int32(len(ob.arena)))
+		got++
 	}
 }
 
 // statusReply is /fleet/status's JSON document.
 type statusReply struct {
 	Nodes       []string          `json:"nodes"`
+	WireNodes   map[string]string `json:"wire_nodes,omitempty"` // node URL → wire addr
 	RingVersion uint64            `json:"ring_version"`
 	Tenants     map[string]string `json:"tenants"` // tenant → owner
 	Migrating   []int             `json:"migrating,omitempty"`
@@ -405,6 +706,12 @@ func (r *Router) handleStatus(w http.ResponseWriter, req *http.Request) {
 	}
 	for t := 0; t < r.cfg.Tenants; t++ {
 		st.Tenants[strconv.Itoa(t)] = tab.owner(t)
+	}
+	if len(r.wires) > 0 {
+		st.WireNodes = map[string]string{}
+		for node, wc := range r.wires {
+			st.WireNodes[node] = wc.Addr()
+		}
 	}
 	for t := range tab.migrating {
 		st.Migrating = append(st.Migrating, t)

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"ssdkeeper/internal/serve"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/trace"
+	"ssdkeeper/internal/wire"
+)
+
+// wireFront is the router's wire.Backend: it lets the router itself listen
+// on the wire protocol, so a client speaking wire to the router is proxied
+// over wire to the owner node with no HTTP anywhere on the data path. The
+// fast path spawns no goroutines: the listener's read goroutine resolves
+// the owner from one atomic table load and pipelines the request onto the
+// owner's wire client; the completion flows back through a pooled
+// forwarder. Only the rare gated paths (tenant mid-migration, retry after
+// a "migrating" rejection, HTTP-only owner) detach onto a goroutine,
+// because they may block on the gate or on an HTTP round trip.
+type wireFront struct{ r *Router }
+
+// WireBackend returns the backend to hand wire.NewServer for a router-side
+// wire listener.
+func (r *Router) WireBackend() wire.Backend { return wireFront{r} }
+
+// SubmitTo implements wire.Backend. The migrating-retry contract matches
+// the HTTP proxy: under the queue gate policy a "migrating" rejection from
+// a node that gated the tenant under our feet waits the migration out and
+// retries at the new owner, up to the same attempt bound.
+func (f wireFront) SubmitTo(req serve.Request, c serve.Completion) error {
+	r := f.r
+	if req.Tenant < 0 || req.Tenant >= r.cfg.Tenants {
+		return fmt.Errorf("fleet: tenant %d outside [0,%d)", req.Tenant, r.cfg.Tenants)
+	}
+	tab := r.table.Load()
+	if _, mig := tab.migrating[req.Tenant]; mig {
+		go r.forwardGated(req, c, 0)
+		return nil
+	}
+	r.met.proxied.Add(1)
+	r.forward(tab.owner(req.Tenant), req, c, 0)
+	return nil
+}
+
+// forwardGated resolves through the migration gate (blocking per policy)
+// and then forwards; it runs on its own goroutine.
+func (r *Router) forwardGated(req serve.Request, c serve.Completion, attempt int) {
+	owner, err := r.resolve(req.Tenant)
+	if err != nil {
+		c.Complete(serve.Response{}, serve.ErrTenantMigrating)
+		return
+	}
+	if attempt == 0 {
+		r.met.proxied.Add(1)
+	}
+	r.forward(owner, req, c, attempt)
+}
+
+// forward sends one request to its owner: pipelined on the owner's wire
+// client when it has one, over HTTP otherwise (detached, as it blocks).
+func (r *Router) forward(owner string, req serve.Request, c serve.Completion, attempt int) {
+	wc := r.wires[owner]
+	if wc == nil {
+		go r.forwardHTTP(owner, req, c)
+		return
+	}
+	r.met.wireProxied.Add(1)
+	fw := fwdPool.Get().(*fwd)
+	fw.r, fw.req, fw.c, fw.attempt = r, req, c, attempt
+	if err := wc.Start(req, 0, fw); err != nil {
+		fwdPool.Put(fw)
+		r.met.proxyErrs.Add(1)
+		c.Complete(serve.Response{}, wire.ErrUpstream)
+	}
+}
+
+// fwd relays one wire completion from an upstream node back into the
+// router-side listener's completion. Pooled; Done runs on the upstream
+// connection's read goroutine and must not block, so the migrating retry
+// detaches.
+type fwd struct {
+	r       *Router
+	req     serve.Request
+	c       serve.Completion
+	attempt int
+}
+
+var fwdPool = sync.Pool{New: func() any { return new(fwd) }}
+
+func (f *fwd) Done(_ uint64, latencyNS, simNS int64, reason string, err error) {
+	r, req, c, attempt := f.r, f.req, f.c, f.attempt
+	f.r, f.req, f.c = nil, serve.Request{}, nil
+	fwdPool.Put(f)
+	switch {
+	case err != nil:
+		r.met.proxyErrs.Add(1)
+		c.Complete(serve.Response{}, wire.ErrUpstream)
+	case reason == "migrating" && r.cfg.GatePolicy == GateQueue && attempt < 4:
+		go r.forwardGated(req, c, attempt+1)
+	case reason != "":
+		c.Complete(serve.Response{}, wire.ReasonError(reason))
+	default:
+		c.Complete(serve.Response{Latency: sim.Time(latencyNS), At: sim.Time(simNS)}, nil)
+	}
+}
+
+// forwardHTTP carries one wire-front request to an HTTP-only owner — the
+// compatibility bridge for mixed fleets where some nodes have no wire
+// listener. One JSON round trip per request; runs detached.
+func (r *Router) forwardHTTP(owner string, req serve.Request, c serve.Completion) {
+	op := "read"
+	if req.Op == trace.Write {
+		op = "write"
+	}
+	body := fmt.Sprintf(`{"tenant":%d,"op":%q,"offset":%d,"size":%d,"key":%d}`,
+		req.Tenant, op, req.Offset, req.Size, req.Key)
+	resp, err := r.client.Post(owner+"/io", "application/json", strings.NewReader(body))
+	if err != nil {
+		r.met.proxyErrs.Add(1)
+		c.Complete(serve.Response{}, wire.ErrUpstream)
+		return
+	}
+	respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var jr struct {
+			LatencyNS int64 `json:"latency_ns"`
+			SimNS     int64 `json:"sim_ns"`
+		}
+		if err := json.Unmarshal(respBody, &jr); err != nil {
+			c.Complete(serve.Response{}, wire.ErrUpstream)
+			return
+		}
+		c.Complete(serve.Response{Latency: sim.Time(jr.LatencyNS), At: sim.Time(jr.SimNS)}, nil)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		c.Complete(serve.Response{}, serve.ErrQueueFull)
+	case resp.StatusCode == http.StatusServiceUnavailable && strings.Contains(string(respBody), "migrating"):
+		c.Complete(serve.Response{}, serve.ErrTenantMigrating)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		c.Complete(serve.Response{}, serve.ErrDraining)
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		c.Complete(serve.Response{}, serve.ErrCanceled)
+	default:
+		c.Complete(serve.Response{}, wire.ErrUpstream)
+	}
+}

@@ -139,10 +139,12 @@ var (
 	}}
 )
 
-// appendIOResponse renders the /io completion without reflection. The byte
+// AppendIOResponse renders the /io completion without reflection. The byte
 // form (including the trailing newline) is identical to what
 // json.Encoder.Encode produced for jsonResponse, so clients see no change.
-func appendIOResponse(dst []byte, latencyNS, simNS int64) []byte {
+// Exported because the fleet router renders the same body on its wire proxy
+// fast path.
+func AppendIOResponse(dst []byte, latencyNS, simNS int64) []byte {
 	dst = append(dst, `{"latency_ns":`...)
 	dst = strconv.AppendInt(dst, latencyNS, 10)
 	dst = append(dst, `,"sim_ns":`...)
@@ -175,7 +177,7 @@ func (s *Server) handleIO(w http.ResponseWriter, r *http.Request, reqTimeout tim
 		return
 	}
 	bp := ioRespPool.Get().(*[]byte)
-	out := appendIOResponse((*bp)[:0], int64(resp.Latency), int64(resp.At))
+	out := AppendIOResponse((*bp)[:0], int64(resp.Latency), int64(resp.At))
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(out)
 	*bp = out[:0]
@@ -254,7 +256,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, reqTimeout 
 	bufp := scanBufPool.Get().(*[]byte)
 	defer scanBufPool.Put(bufp)
 	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	sc.Buffer(*bufp, len(*bufp))
+	// The pooled buffer is the common-case size; the max is the body bound,
+	// so any line that fits in a legal body parses — a longer line answers a
+	// clear 400 instead of silently truncating the batch.
+	sc.Buffer(*bufp, maxBodyBytes)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -273,6 +278,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, reqTimeout 
 		results = append(results, batchResult{p: p, err: err})
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			err = fmt.Errorf("batch line exceeds %d bytes", maxBodyBytes)
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -290,14 +298,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, reqTimeout 
 	for _, res := range results {
 		if res.err != nil {
 			bw.WriteString("rej ")
-			bw.WriteString(rejectReason(res.err))
+			bw.WriteString(RejectReason(res.err))
 			bw.WriteByte('\n')
 			continue
 		}
 		resp, err := s.Wait(ctx, res.p)
 		if err != nil {
 			bw.WriteString("rej ")
-			bw.WriteString(rejectReason(err))
+			bw.WriteString(RejectReason(err))
 			bw.WriteByte('\n')
 			continue
 		}
@@ -432,8 +440,9 @@ func (s *Server) handleTenantRelease(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// rejectReason renders the compact reason token of the line protocol.
-func rejectReason(err error) string {
+// RejectReason renders the compact reason token of the line protocol.
+// Exported so the wire listener and the fleet router speak the same tokens.
+func RejectReason(err error) string {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return "queue_full"

@@ -146,6 +146,22 @@ func (n *Node) ShardFor(req Request) int {
 // errors: the bounded slot is reserved with one atomic before the mailbox,
 // so ErrQueueFull never needs a shard round trip.
 func (n *Node) SubmitAsync(req Request) (*Pending, error) {
+	return n.submit(req, nil)
+}
+
+// SubmitTo admits a request for callback delivery: instead of a handle to
+// wait on, c.Complete receives the outcome exactly once, from the shard
+// goroutine. A synchronous error means the request was rejected and c will
+// never be called. This is the wire listener's path — completions fan into
+// a connection's reply writer with no per-request goroutine and no waiter
+// channel. Callback requests cannot be canceled; they resolve at completion
+// or at drain.
+func (n *Node) SubmitTo(req Request, c Completion) error {
+	_, err := n.submit(req, c)
+	return err
+}
+
+func (n *Node) submit(req Request, c Completion) (*Pending, error) {
 	if err := req.Validate(n.cfg.Tenants, n.cfg.MaxBytes); err != nil {
 		n.rejBad.Add(1)
 		return nil, fmt.Errorf("serve: invalid request: %w", err)
@@ -178,10 +194,13 @@ func (n *Node) SubmitAsync(req Request) (*Pending, error) {
 		}
 	}
 	p := &Pending{
-		req:   req,
-		shard: sd,
-		stamp: n.wallTarget(),
-		done:  make(chan outcome, 1),
+		req:    req,
+		shard:  sd,
+		stamp:  n.wallTarget(),
+		notify: c,
+	}
+	if c == nil {
+		p.done = make(chan outcome, 1)
 	}
 	ts.admitted[req.Op].Add(1)
 	if !sd.enter() {

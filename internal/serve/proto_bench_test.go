@@ -52,7 +52,7 @@ func BenchmarkServeIO(b *testing.B) {
 		b.ReportAllocs()
 		buf := make([]byte, 0, 64)
 		for i := 0; i < b.N; i++ {
-			buf = appendIOResponse(buf[:0], int64(i)*1000, int64(i))
+			buf = AppendIOResponse(buf[:0], int64(i)*1000, int64(i))
 		}
 	})
 	b.Run("render/std", func(b *testing.B) {

@@ -201,7 +201,27 @@ type Pending struct {
 	arrival sim.Time // sim time the shard admitted it; latency measures from here
 	state   atomic.Int32
 	reaped  bool         // queue slot released (shard-goroutine-only)
-	done    chan outcome // buffered 1; filled exactly once
+	done    chan outcome // buffered 1; filled exactly once (nil with notify)
+	notify  Completion   // callback delivery; nil for channel waiters
+}
+
+// resolve delivers the outcome exactly once (the caller holds the CAS win
+// into stateResolved): to the notify callback for SubmitTo requests, to the
+// buffered channel for Submit/SubmitAsync waiters.
+func (p *Pending) resolve(out outcome) {
+	if p.notify != nil {
+		p.notify.Complete(out.resp, out.err)
+		return
+	}
+	p.done <- out
+}
+
+// Completion receives an admitted request's outcome exactly once. Complete
+// is invoked from the owning shard's goroutine, so implementations must not
+// block (enqueue and return); err is non-nil when the request was rejected
+// after admission (drain).
+type Completion interface {
+	Complete(resp Response, err error)
 }
 
 // Wait blocks until the request completes, the node drains, or ctx ends.

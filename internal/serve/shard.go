@@ -371,7 +371,7 @@ func (sd *shard) admit(p *Pending) {
 			sd.node.rejDrain.Add(1)
 		}
 		if p.state.CompareAndSwap(stateQueued, stateResolved) {
-			p.done <- outcome{err: rejErr}
+			p.resolve(outcome{err: rejErr})
 		}
 		sd.freeSlot(p, ts)
 		return
@@ -418,7 +418,7 @@ func (sd *shard) dispatch(p *Pending, ts *tenantState) {
 			sd.ctrl.Complete(lat)
 		}
 		if p.state.CompareAndSwap(stateDispatched, stateResolved) {
-			p.done <- outcome{resp: Response{Latency: lat, At: sd.eng.Now()}}
+			p.resolve(outcome{resp: Response{Latency: lat, At: sd.eng.Now()}})
 		}
 		sd.dispatchQueued(ts)
 	})
@@ -429,7 +429,7 @@ func (sd *shard) dispatch(p *Pending, ts *tenantState) {
 		ts.occupancy.Add(-1)
 		sd.node.poison(err)
 		if p.state.CompareAndSwap(stateDispatched, stateResolved) {
-			p.done <- outcome{err: err}
+			p.resolve(outcome{err: err})
 		}
 		return
 	}
@@ -584,7 +584,7 @@ func (sd *shard) drainNow() ssd.Result {
 		for _, p := range ts.queued {
 			if p.state.CompareAndSwap(stateQueued, stateResolved) {
 				sd.node.rejDrain.Add(1)
-				p.done <- outcome{err: ErrDraining}
+				p.resolve(outcome{err: ErrDraining})
 			}
 			sd.freeSlot(p, ts)
 		}

@@ -1,0 +1,324 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssdkeeper/internal/serve"
+)
+
+// ErrClientClosed reports a call issued after Close.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// errTimeout reports a blocking call that outlived its budget; the request
+// may still complete on the node (the reply is discarded), exactly like an
+// abandoned HTTP request.
+var errTimeout = errors.New("wire: call timed out")
+
+// Observer receives an asynchronous call's outcome, exactly once, from the
+// connection's read goroutine — implementations must not block. reason is ""
+// for success and an interned rejection token otherwise; err is non-nil only
+// for transport failure (connection died before a reply), in which case the
+// outcome is unknown. tag is the caller's correlation value, untouched.
+type Observer interface {
+	Done(tag uint64, latencyNS, simNS int64, reason string, err error)
+}
+
+// Client multiplexes calls onto a small pool of persistent connections to
+// one wire listener. Connections dial lazily and redial on the next call
+// after a failure; every in-flight call on a dead connection fails with the
+// transport error. Calls pipeline: any number may be in flight per
+// connection, each tagged with a connection-local seq and matched to its
+// reply by the read goroutine.
+type Client struct {
+	addr  string
+	conns []*clientConn
+	next  atomic.Uint64
+}
+
+// NewClient builds a client for the listener at addr with the given
+// connection-pool size (minimum 1). No connection is made until the first
+// call.
+func NewClient(addr string, conns int) *Client {
+	if conns < 1 {
+		conns = 1
+	}
+	c := &Client{addr: addr}
+	for i := 0; i < conns; i++ {
+		c.conns = append(c.conns, &clientConn{addr: addr})
+	}
+	return c
+}
+
+// Addr returns the listener address the client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Do issues one call and blocks for its outcome. reason is "" on success;
+// a non-empty reason is an in-protocol rejection (the request reached the
+// node and was refused). A non-nil error is a transport failure or timeout.
+func (c *Client) Do(req serve.Request, timeout time.Duration) (latencyNS, simNS int64, reason string, err error) {
+	cc := c.pick()
+	cl := getCall()
+	if err := cc.send(req, cl); err != nil {
+		putCall(cl)
+		return 0, 0, "", err
+	}
+	t := getTimer(timeout)
+	select {
+	case <-cl.done:
+	case <-t.C:
+		if cc.forget(cl.seq) {
+			// The reader never saw this call; it is ours to retire.
+			putTimer(t)
+			putCall(cl)
+			return 0, 0, "", errTimeout
+		}
+		// Lost the race: the reader owns the call and delivery is imminent.
+		<-cl.done
+	}
+	putTimer(t)
+	latencyNS, simNS, reason, err = cl.latNS, cl.simNS, cl.reason, cl.err
+	putCall(cl)
+	return latencyNS, simNS, reason, err
+}
+
+// Start issues one call asynchronously: obs.Done fires from the connection's
+// read goroutine when the reply (or the connection's death) arrives. A
+// synchronous error means the call was never sent and obs will not fire.
+func (c *Client) Start(req serve.Request, tag uint64, obs Observer) error {
+	cl := getCall()
+	cl.tag, cl.obs = tag, obs
+	if err := c.pick().send(req, cl); err != nil {
+		putCall(cl)
+		return err
+	}
+	return nil
+}
+
+// Close tears down every connection; in-flight calls fail with
+// ErrClientClosed and later calls are rejected synchronously.
+func (c *Client) Close() {
+	for _, cc := range c.conns {
+		cc.shutdown()
+	}
+}
+
+func (c *Client) pick() *clientConn {
+	return c.conns[c.next.Add(1)%uint64(len(c.conns))]
+}
+
+// clientConn is one persistent connection: a lazily-dialed net.Conn, the
+// coalescing outbox its requests leave through, and the pending map its
+// read goroutine resolves replies against. The mutex guards conn identity,
+// seq, and the map; it is never held across I/O.
+type clientConn struct {
+	addr string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	out     *outbox
+	pending map[uint64]*call
+	seq     uint64
+	closed  bool
+}
+
+func (cc *clientConn) send(req serve.Request, cl *call) error {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return ErrClientClosed
+	}
+	if cc.conn == nil {
+		if err := cc.dialLocked(); err != nil {
+			cc.mu.Unlock()
+			return fmt.Errorf("wire: dial %s: %w", cc.addr, err)
+		}
+	}
+	cc.seq++
+	cl.seq = cc.seq
+	cc.pending[cl.seq] = cl
+	out := cc.out
+	cc.mu.Unlock()
+	cl.scratch = AppendRequest(cl.scratch[:0], cl.seq, req)
+	// A false return means the connection died after registration; the
+	// fail sweep that closed the outbox delivers this call's error.
+	out.append(cl.scratch)
+	return nil
+}
+
+// dialLocked connects and starts the connection's writer and reader
+// goroutines. Called with cc.mu held; the dial itself briefly serializes
+// other senders on this connection, which only happens on first use or
+// after a failure.
+func (cc *clientConn) dialLocked() error {
+	conn, err := net.DialTimeout("tcp", cc.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // coalescing happens in the outbox, not the kernel
+	}
+	cc.conn = conn
+	cc.out = newOutbox()
+	cc.pending = make(map[uint64]*call)
+	cc.seq = 0
+	go cc.out.run(conn)
+	go cc.read(conn)
+	return nil
+}
+
+// read is the demux loop: one goroutine per live connection matches reply
+// frames to pending calls by seq and delivers outcomes.
+func (cc *clientConn) read(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), MaxFrameBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rep, err := ParseReply(line)
+		if err != nil {
+			cc.fail(conn, err)
+			return
+		}
+		cc.mu.Lock()
+		cl := cc.pending[rep.Seq]
+		delete(cc.pending, rep.Seq)
+		cc.mu.Unlock()
+		if cl == nil {
+			continue // abandoned by a timed-out caller
+		}
+		cl.latNS, cl.simNS = rep.LatencyNS, rep.SimNS
+		if !rep.OK {
+			cl.reason = ReasonString(rep.Reason)
+		}
+		cl.deliver()
+	}
+	err := sc.Err()
+	if err == nil {
+		err = io.EOF
+	}
+	cc.fail(conn, err)
+}
+
+// fail tears down one dead connection (if it is still the live one) and
+// fails everything pending on it. The next send redials.
+func (cc *clientConn) fail(conn net.Conn, err error) {
+	cc.mu.Lock()
+	if cc.conn != conn {
+		cc.mu.Unlock()
+		return
+	}
+	cc.conn = nil
+	cc.out.close()
+	cc.out = nil
+	p := cc.pending
+	cc.pending = nil
+	cc.mu.Unlock()
+	conn.Close()
+	for _, cl := range p {
+		cl.err = fmt.Errorf("wire: %s: %w", cc.addr, err)
+		cl.deliver()
+	}
+}
+
+// forget removes a pending call, reporting whether the caller now owns it
+// (true) or the reader already took it and will deliver (false).
+func (cc *clientConn) forget(seq uint64) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if _, ok := cc.pending[seq]; ok {
+		delete(cc.pending, seq)
+		return true
+	}
+	return false
+}
+
+func (cc *clientConn) shutdown() {
+	cc.mu.Lock()
+	cc.closed = true
+	conn := cc.conn
+	cc.mu.Unlock()
+	if conn != nil {
+		cc.fail(conn, ErrClientClosed)
+	}
+}
+
+// call is one in-flight request. Pooled: the blocking path recycles it
+// after the caller copies the outcome; the observer path recycles it right
+// after delivery. done has capacity 1 and is drained before reuse.
+type call struct {
+	seq     uint64
+	tag     uint64
+	obs     Observer
+	done    chan struct{}
+	scratch []byte
+	latNS   int64
+	simNS   int64
+	reason  string
+	err     error
+}
+
+// deliver hands the outcome over: to the observer for async calls (and the
+// call returns to the pool), to the done channel for blocking callers (who
+// recycle it after reading the fields).
+func (cl *call) deliver() {
+	if cl.obs != nil {
+		obs := cl.obs
+		obs.Done(cl.tag, cl.latNS, cl.simNS, cl.reason, cl.err)
+		putCall(cl)
+		return
+	}
+	cl.done <- struct{}{}
+}
+
+var callPool = sync.Pool{New: func() any {
+	return &call{done: make(chan struct{}, 1)}
+}}
+
+func getCall() *call {
+	cl := callPool.Get().(*call)
+	cl.tag, cl.obs = 0, nil
+	cl.latNS, cl.simNS = 0, 0
+	cl.reason, cl.err = "", nil
+	return cl
+}
+
+func putCall(cl *call) {
+	select { // drop a stale completion signal before reuse
+	case <-cl.done:
+	default:
+	}
+	callPool.Put(cl)
+}
+
+// timerPool recycles timers for the blocking-call timeout so Do stays
+// allocation-free in steady state.
+var timerPool = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	t.Stop()
+	return t
+}}
+
+func getTimer(d time.Duration) *time.Timer {
+	t := timerPool.Get().(*time.Timer)
+	t.Reset(d)
+	return t
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}

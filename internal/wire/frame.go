@@ -1,0 +1,189 @@
+// Package wire is the fleet's fast data plane: a persistent, multiplexed,
+// newline-framed transport between the router and its nodes. Each frame is
+// one text line tagged with a connection-local sequence number, so many
+// in-flight requests share one TCP connection and replies return in
+// completion order (pipelining) rather than request order:
+//
+//	request:  <seq> <tenant> <R|W> <offset> <size> [key]\n
+//	reply:    <seq> ok <latency_ns> <sim_ns>\n
+//	        | <seq> rej <reason>\n
+//
+// The request tail is exactly the serve line protocol (serve.DecodeLineBytes
+// parses it), so the wire format is the batch format plus a tag. Sequence
+// numbers start at 1 and are unique per connection for the connection's
+// lifetime; seq 0 is invalid, which lets a listener distinguish "unparseable
+// frame" (close the connection) from "bad request" (reply rej invalid).
+// Reason tokens are the serve.RejectReason vocabulary plus "upstream", the
+// router's token for a node that died with requests in flight.
+//
+// Both endpoints coalesce writes: frames rendered by concurrent completions
+// (or concurrent client calls) land in a double-buffered outbox whose writer
+// goroutine flushes everything accumulated in one Write call — group commit
+// for syscalls. See outbox.go for the model and server.go/client.go for the
+// two endpoints.
+package wire
+
+import (
+	"fmt"
+	"strconv"
+
+	"ssdkeeper/internal/serve"
+	"ssdkeeper/internal/trace"
+)
+
+// MaxFrameBytes bounds one frame (line) on both endpoints, aligned with the
+// serve layer's request-body bound so any line a node would accept over HTTP
+// batch also fits a wire frame.
+const MaxFrameBytes = 4 << 20
+
+// AppendRequest renders a request frame. Append-style so callers reuse one
+// scratch buffer across frames; it never allocates beyond dst's growth.
+func AppendRequest(dst []byte, seq uint64, req serve.Request) []byte {
+	dst = strconv.AppendUint(dst, seq, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(req.Tenant), 10)
+	if req.Op == trace.Write {
+		dst = append(dst, ' ', 'W', ' ')
+	} else {
+		dst = append(dst, ' ', 'R', ' ')
+	}
+	dst = strconv.AppendInt(dst, req.Offset, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(req.Size), 10)
+	if req.Key != 0 {
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, req.Key, 10)
+	}
+	return append(dst, '\n')
+}
+
+// AppendOK renders a completion reply frame.
+func AppendOK(dst []byte, seq uint64, latencyNS, simNS int64) []byte {
+	dst = strconv.AppendUint(dst, seq, 10)
+	dst = append(dst, " ok "...)
+	dst = strconv.AppendInt(dst, latencyNS, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, simNS, 10)
+	return append(dst, '\n')
+}
+
+// AppendRej renders a rejection reply frame.
+func AppendRej(dst []byte, seq uint64, reason string) []byte {
+	dst = strconv.AppendUint(dst, seq, 10)
+	dst = append(dst, " rej "...)
+	dst = append(dst, reason...)
+	return append(dst, '\n')
+}
+
+// ParseRequest parses a request frame (line, no trailing newline). On a bad
+// sequence tag it returns seq 0 — the connection is unrecoverable because
+// replies could not be matched; on a bad request tail it returns the parsed
+// seq with the error, so the listener can answer "rej invalid" in band.
+func ParseRequest(line []byte) (uint64, serve.Request, error) {
+	i := 0
+	for i < len(line) && !wireSep(line[i]) {
+		i++
+	}
+	seq, err := parseUintWire(line[:i])
+	if err != nil || seq == 0 {
+		return 0, serve.Request{}, fmt.Errorf("wire: bad request seq %q", line[:i])
+	}
+	req, err := serve.DecodeLineBytes(line[i:])
+	if err != nil {
+		return seq, serve.Request{}, err
+	}
+	return seq, req, nil
+}
+
+// Reply is one parsed reply frame. Reason aliases the input line — it is
+// valid only until the caller's read buffer is reused; retain it through
+// ReasonString, which interns the fixed token set without allocating.
+type Reply struct {
+	Seq       uint64
+	OK        bool
+	LatencyNS int64
+	SimNS     int64
+	Reason    []byte
+}
+
+// ParseReply parses a reply frame (line, no trailing newline).
+func ParseReply(line []byte) (Reply, error) {
+	var f [4][]byte
+	n := 0
+	i := 0
+	for i < len(line) && n < len(f) {
+		for i < len(line) && wireSep(line[i]) {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		for i < len(line) && !wireSep(line[i]) {
+			i++
+		}
+		f[n] = line[start:i]
+		n++
+	}
+	if n < 3 {
+		return Reply{}, fmt.Errorf("wire: reply has %d fields, want 3 or 4", n)
+	}
+	seq, err := parseUintWire(f[0])
+	if err != nil || seq == 0 {
+		return Reply{}, fmt.Errorf("wire: bad reply seq %q", f[0])
+	}
+	switch string(f[1]) {
+	case "ok":
+		if n != 4 {
+			return Reply{}, fmt.Errorf("wire: ok reply has %d fields, want 4", n)
+		}
+		lat, err := parseIntWire(f[2])
+		if err != nil {
+			return Reply{}, fmt.Errorf("wire: bad latency %q: %w", f[2], err)
+		}
+		at, err := parseIntWire(f[3])
+		if err != nil {
+			return Reply{}, fmt.Errorf("wire: bad sim time %q: %w", f[3], err)
+		}
+		return Reply{Seq: seq, OK: true, LatencyNS: lat, SimNS: at}, nil
+	case "rej":
+		return Reply{Seq: seq, Reason: f[2]}, nil
+	}
+	return Reply{}, fmt.Errorf("wire: bad reply verb %q", f[1])
+}
+
+// wireSep matches the separators frames use (space or tab; the request tail
+// additionally accepts the full serve line-protocol separator set).
+func wireSep(b byte) bool { return b == ' ' || b == '\t' || b == '\r' }
+
+// parseUintWire parses an unsigned decimal without allocating.
+func parseUintWire(b []byte) (uint64, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("empty number")
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad digit %q", c)
+		}
+		d := uint64(c - '0')
+		if n > (^uint64(0)-d)/10 {
+			return 0, fmt.Errorf("overflows uint64")
+		}
+		n = n*10 + d
+	}
+	return n, nil
+}
+
+// parseIntWire parses a non-negative decimal int64 without allocating
+// (replies never carry negative numbers).
+func parseIntWire(b []byte) (int64, error) {
+	n, err := parseUintWire(b)
+	if err != nil {
+		return 0, err
+	}
+	if n > 1<<63-1 {
+		return 0, fmt.Errorf("overflows int64")
+	}
+	return int64(n), nil
+}

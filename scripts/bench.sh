@@ -31,6 +31,13 @@
 # The merge is additive (jq '. + {cpu_bound: ...}'), so the Part 2 portion of
 # BENCH_server.json is byte-identical whether or not Part 3 runs.
 #
+# Part 4 benchmarks the fleet data plane and writes BENCH_fleet.json: for
+# each node count in FLEET_SWEEP it boots that many wire-enabled nodes plus
+# one keeperfleet router and measures router-vs-direct throughput and
+# round-trip p99 over both transports (HTTP JSON proxy vs the persistent
+# framed wire protocol), on the single-request and batch paths. Skip with
+# FLEET=0; runs even under SERVER=0.
+#
 # Usage:
 #   scripts/bench.sh            # benchtime=2s, writes both BENCH files
 #   BENCHTIME=5s scripts/bench.sh
@@ -101,13 +108,14 @@ cat > "$OUT" <<EOF
 EOF
 echo "wrote $OUT" >&2
 
-[ "$SERVER" = "0" ] && exit 0
+BIN="$(mktemp -d)"
+trap 'jobs -p | xargs -r kill 2>/dev/null; rm -rf "$RAW" "$BIN"' EXIT
+
+if [ "$SERVER" != "0" ]; then
 
 # ---- Part 2: serving-daemon shard sweep -> BENCH_server.json --------------
 ADDR="127.0.0.1:$PORT"
 URL="http://$ADDR"
-BIN="$(mktemp -d)"
-trap 'jobs -p | xargs -r kill 2>/dev/null; rm -rf "$RAW" "$BIN"' EXIT
 
 # Concurrent-inference microbenchmark: Keeper.Predict under RunParallel at 1
 # and $(nproc) workers. With pooled per-caller inference scratch (no shared
@@ -208,7 +216,7 @@ jq -n \
     load_detail_last_point: $detail[0]}' > "$SERVER_OUT"
 echo "wrote $SERVER_OUT (scaling ${SHARD_SWEEP##* }x over ${SHARD_SWEEP%% *}x: $scaling)" >&2
 
-[ "${CPU_BOUND:-1}" = "0" ] && exit 0
+if [ "${CPU_BOUND:-1}" != "0" ]; then
 
 # ---- Part 3: CPU-bound precision sweep -> cpu_bound block ------------------
 CPU_ACCEL="${CPU_ACCEL:-2.0}"
@@ -262,3 +270,135 @@ jq \
   "$SERVER_OUT" > "$SERVER_OUT.tmp"
 mv "$SERVER_OUT.tmp" "$SERVER_OUT"
 echo "merged cpu_bound block into $SERVER_OUT (int8/float64 best-rps ratio: $prec_ratio)" >&2
+
+fi # CPU_BOUND
+fi # SERVER
+
+[ "${FLEET:-1}" = "0" ] && exit 0
+
+# ---- Part 4: fleet data-plane sweep -> BENCH_fleet.json --------------------
+# Router-vs-direct throughput and round-trip p99 on both data planes (HTTP
+# proxy vs persistent framed wire), for the single-request and batch paths,
+# across 1/2/4-node fleets. Nodes run at a high accel so the simulated
+# devices finish in almost no wall time and the transport — not the device —
+# bounds throughput; every keeperload run replays the identical request
+# stream against the router and then directly against the nodes, so each
+# point carries its own router-overhead measurement. Skip with FLEET=0.
+FLEET_OUT="${FLEET_OUT:-BENCH_fleet.json}"
+FLEET_SWEEP="${FLEET_SWEEP:-1 2 4}"
+FLEET_N="${FLEET_N:-$SWEEP_N}"
+FLEET_ACCEL="${FLEET_ACCEL:-2.0}"
+FLEET_WORKERS="${FLEET_WORKERS:-64}"
+FLEET_BATCH="${FLEET_BATCH:-64}"
+FLEET_TENANTS="${FLEET_TENANTS:-8}"
+FPORT="${FPORT:-18100}" # router; node i at FPORT+i, wire ports at +1000
+
+echo "building fleet binaries..." >&2
+go build -o "$BIN/ssdkeeperd" ./cmd/ssdkeeperd
+go build -o "$BIN/keeperload" ./cmd/keeperload
+go build -o "$BIN/keeperfleet" ./cmd/keeperfleet
+
+wait_http() { # wait_http <url> <log>
+  for _ in $(seq 1 200); do
+    curl -sf "$1/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.3
+  done
+  echo "bench.sh: $1 never became ready" >&2
+  cat "$2" >&2
+  exit 1
+}
+
+fleet_load() { # fleet_load <out.json> [keeperload flags...]
+  local out="$1"
+  shift
+  "$BIN/keeperload" -n "$FLEET_N" -concurrency "$FLEET_WORKERS" \
+    -tenants "$FLEET_TENANTS" -write-ratios 0.9,0.1,0.8,0.2 -json "$@" > "$out"
+}
+
+fleet_extract() { # fleet_extract <load.json> — the per-point summary object
+  jq '{throughput_rps, rtt_p50_ms, rtt_p99_ms, ok, rejected, failed,
+       router_overhead_p99_ms,
+       direct: {throughput_rps: .direct.throughput_rps,
+                rtt_p99_ms: .direct.rtt_p99_ms}}' "$1"
+}
+
+fleet_points=""
+for k in $FLEET_SWEEP; do
+  echo "fleet sweep: $k node(s), $FLEET_N requests, accel $FLEET_ACCEL..." >&2
+  NPIDS=()
+  NODE_URLS=""
+  WIRE_ADDRS=""
+  DIRECT_HTTP=""
+  DIRECT_WIRE=""
+  for i in $(seq 1 "$k"); do
+    np=$((FPORT + i)); wp=$((FPORT + 1000 + i))
+    "$BIN/ssdkeeperd" -addr "127.0.0.1:$np" -wire-listen "127.0.0.1:$wp" \
+      -accel "$FLEET_ACCEL" -tenants "$FLEET_TENANTS" -no-keeper -q \
+      2>"$BIN/fleet-node-$np.log" &
+    NPIDS+=($!)
+    NODE_URLS="$NODE_URLS,http://127.0.0.1:$np"
+    WIRE_ADDRS="$WIRE_ADDRS,127.0.0.1:$wp"
+    DIRECT_HTTP="$DIRECT_HTTP,http://127.0.0.1:$np"
+    DIRECT_WIRE="$DIRECT_WIRE,127.0.0.1:$wp"
+  done
+  NODE_URLS="${NODE_URLS#,}"; WIRE_ADDRS="${WIRE_ADDRS#,}"
+  DIRECT_HTTP="${DIRECT_HTTP#,}"; DIRECT_WIRE="${DIRECT_WIRE#,}"
+  for i in $(seq 1 "$k"); do
+    wait_http "http://127.0.0.1:$((FPORT + i))" "$BIN/fleet-node-$((FPORT + i)).log"
+  done
+  "$BIN/keeperfleet" -addr "127.0.0.1:$FPORT" -nodes "$NODE_URLS" \
+    -wire-nodes "$WIRE_ADDRS" -wire-listen "127.0.0.1:$((FPORT + 1000))" \
+    -tenants "$FLEET_TENANTS" -q 2>"$BIN/fleet-router.log" &
+  RPID=$!
+  wait_http "http://127.0.0.1:$FPORT" "$BIN/fleet-router.log"
+
+  fleet_load "$BIN/fleet-$k-http-io.json" -addr "http://127.0.0.1:$FPORT" \
+    -direct "$DIRECT_HTTP"
+  fleet_load "$BIN/fleet-$k-wire-io.json" -wire -addr "127.0.0.1:$((FPORT + 1000))" \
+    -direct "$DIRECT_WIRE"
+  fleet_load "$BIN/fleet-$k-http-batch.json" -addr "http://127.0.0.1:$FPORT" \
+    -direct "$DIRECT_HTTP" -batch "$FLEET_BATCH"
+  fleet_load "$BIN/fleet-$k-wire-batch.json" -wire -addr "127.0.0.1:$((FPORT + 1000))" \
+    -direct "$DIRECT_WIRE" -batch "$FLEET_BATCH"
+
+  kill -TERM "$RPID" && wait "$RPID" || {
+    echo "bench.sh: router exited non-zero" >&2
+    cat "$BIN/fleet-router.log" >&2
+    exit 1
+  }
+  for pid in "${NPIDS[@]}"; do
+    kill -TERM "$pid" && wait "$pid" || {
+      echo "bench.sh: fleet node exited non-zero" >&2
+      exit 1
+    }
+  done
+
+  point=$(jq -n --argjson nodes "$k" \
+    --argjson hio "$(fleet_extract "$BIN/fleet-$k-http-io.json")" \
+    --argjson wio "$(fleet_extract "$BIN/fleet-$k-wire-io.json")" \
+    --argjson hb "$(fleet_extract "$BIN/fleet-$k-http-batch.json")" \
+    --argjson wb "$(fleet_extract "$BIN/fleet-$k-wire-batch.json")" \
+    '{nodes: $nodes,
+      io: {http: $hio, wire: $wio,
+           wire_over_http_rps: (if $hio.throughput_rps > 0
+             then ($wio.throughput_rps / $hio.throughput_rps * 100 | round) / 100 else 0 end)},
+      batch: {http: $hb, wire: $wb,
+           wire_over_http_rps: (if $hb.throughput_rps > 0
+             then ($wb.throughput_rps / $hb.throughput_rps * 100 | round) / 100 else 0 end)}}')
+  fleet_points="$fleet_points${fleet_points:+,}$point"
+  echo "fleet sweep: $k node(s): io wire/http rps ratio $(echo "$point" | jq -r '.io.wire_over_http_rps'), batch ratio $(echo "$point" | jq -r '.batch.wire_over_http_rps')" >&2
+done
+
+jq -n \
+  --argjson points "[$fleet_points]" \
+  --argjson n "$FLEET_N" \
+  --argjson accel "$FLEET_ACCEL" \
+  --argjson workers "$FLEET_WORKERS" \
+  --argjson batch "$FLEET_BATCH" \
+  --argjson tenants "$FLEET_TENANTS" \
+  --arg cpu "${cpu:-unknown}" \
+  '{requests_per_point: $n, accel: $accel, workers: $workers,
+    batch_size: $batch, tenants: $tenants, cpu: $cpu,
+    note: "fleet data-plane sweep: closed loop through one keeperfleet router; http = per-request JSON proxy, wire = persistent framed transport with pipelining and write coalescing; each point also replays the identical stream directly against the nodes, so router_overhead_p99_ms = router rtt p99 - direct rtt p99; accel is high enough that transport, not the simulated device, bounds throughput",
+    sweep: $points}' > "$FLEET_OUT"
+echo "wrote $FLEET_OUT" >&2

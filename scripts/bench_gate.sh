@@ -17,6 +17,13 @@
 #      BENCH_GATE_FACTOR (default 1.5). This catches large regressions in
 #      either kernel while leaving headroom for runner variance; the
 #      baseline records the machine it was measured on.
+#   4. Wire data plane: the four wire codec benchmarks (encode/parse for
+#      request and reply frames) must report 0 allocs/op — the router's
+#      proxy fast path is built on them — and BenchmarkProxyTransport/wire
+#      must be at least WIRE_RATIO (default 1.0) times faster than
+#      BenchmarkProxyTransport/http from the same run, pinning that the
+#      persistent framed transport never falls behind the per-request HTTP
+#      proxy it replaced.
 #
 # BENCH_GATE_INJECT=<mult> multiplies the measured int8/batch64 ns/op (demo
 # knob: BENCH_GATE_INJECT=2 shows the gate failing on a 2x slowdown without
@@ -28,6 +35,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-500ms}"
 GATE_RATIO="${GATE_RATIO:-2.0}"
+WIRE_RATIO="${WIRE_RATIO:-1.0}"
 BENCH_GATE_FACTOR="${BENCH_GATE_FACTOR:-1.5}"
 BENCH_GATE_INJECT="${BENCH_GATE_INJECT:-1}"
 BASELINE="scripts/bench_baseline.json"
@@ -38,6 +46,10 @@ echo "bench_gate: running gated benchmarks (benchtime=$BENCHTIME, -cpu 1)..." >&
 go test -run '^$' -bench 'BenchmarkPredict$' -benchmem -benchtime "$BENCHTIME" -cpu 1 . | tee "$RAW" >&2
 go test -run '^$' -bench 'BenchmarkServeIO$' -benchmem -benchtime "$BENCHTIME" -cpu 1 \
   ./internal/serve/ | tee -a "$RAW" >&2
+go test -run '^$' -bench 'BenchmarkWire(Encode|Parse)(Request|Reply)$' -benchmem \
+  -benchtime "$BENCHTIME" -cpu 1 ./internal/wire/ | tee -a "$RAW" >&2
+go test -run '^$' -bench 'BenchmarkProxyTransport$' -benchmem -benchtime "$BENCHTIME" \
+  ./internal/fleet/ | tee -a "$RAW" >&2
 
 # ns <benchmark-substring>: ns/op of the first matching result line.
 ns() {
@@ -54,7 +66,12 @@ decode_ns=$(ns "BenchmarkServeIO/decode/fast")
 render_ns=$(ns "BenchmarkServeIO/render/fast")
 decode_allocs=$(allocs "BenchmarkServeIO/decode/fast")
 render_allocs=$(allocs "BenchmarkServeIO/render/fast")
-for v in "$f64_call" "$int8_batch" "$decode_ns" "$render_ns"; do
+wire_enc_req=$(ns "BenchmarkWireEncodeRequest")
+wire_par_req=$(ns "BenchmarkWireParseRequest")
+wire_enc_rep=$(ns "BenchmarkWireEncodeReply")
+wire_par_rep=$(ns "BenchmarkWireParseReply")
+for v in "$f64_call" "$int8_batch" "$decode_ns" "$render_ns" \
+  "$wire_enc_req" "$wire_par_req" "$wire_enc_rep" "$wire_par_rep"; do
   if [ -z "$v" ]; then
     echo "bench_gate: FAIL - missing benchmark result" >&2
     exit 1
@@ -88,12 +105,45 @@ for pair in "decode/fast:$decode_allocs" "render/fast:$render_allocs"; do
   fi
 done
 
+# Gate 4a: zero-allocation wire codec (the router proxy fast path).
+for b in WireEncodeRequest WireParseRequest WireEncodeReply WireParseReply; do
+  got=$(allocs "Benchmark$b")
+  if [ "${got:-1}" != "0" ]; then
+    echo "bench_gate: FAIL - Benchmark$b reports ${got:-?} allocs/op, want 0" >&2
+    fail=1
+  else
+    echo "bench_gate: ok - Benchmark$b 0 allocs/op" >&2
+  fi
+done
+
+# Gate 4b: same-run transport ratio — the wire proxy path must not fall
+# behind the HTTP proxy path it replaced.
+http_ns=$(ns "BenchmarkProxyTransport/http")
+wire_ns=$(ns "BenchmarkProxyTransport/wire")
+if [ -z "$http_ns" ] || [ -z "$wire_ns" ]; then
+  echo "bench_gate: FAIL - missing BenchmarkProxyTransport result" >&2
+  fail=1
+else
+  wratio=$(jq -n --argjson a "$http_ns" --argjson b "$wire_ns" \
+    'if $b > 0 then (($a / $b) * 100 | round) / 100 else 0 end')
+  if jq -en --argjson r "$wratio" --argjson want "$WIRE_RATIO" '$r < $want' >/dev/null; then
+    echo "bench_gate: FAIL - proxy wire (${wire_ns}ns) is only ${wratio}x the http path (${http_ns}ns), want >= ${WIRE_RATIO}x" >&2
+    fail=1
+  else
+    echo "bench_gate: ok - proxy wire ${wire_ns}ns vs http ${http_ns}ns (${wratio}x >= ${WIRE_RATIO}x)" >&2
+  fi
+fi
+
 # Gate 3: absolute ns/op vs the committed baseline, scaled by the factor.
 for pair in \
   "BenchmarkPredict/float64/call:$f64_call" \
   "BenchmarkPredict/int8/batch64:$int8_batch" \
   "BenchmarkServeIO/decode/fast:$decode_ns" \
-  "BenchmarkServeIO/render/fast:$render_ns"; do
+  "BenchmarkServeIO/render/fast:$render_ns" \
+  "BenchmarkWireEncodeRequest:$wire_enc_req" \
+  "BenchmarkWireParseRequest:$wire_par_req" \
+  "BenchmarkWireEncodeReply:$wire_enc_rep" \
+  "BenchmarkWireParseReply:$wire_par_rep"; do
   name="${pair%:*}"; got="${pair##*:}"
   base=$(jq -r --arg k "$name" '.ns_op[$k] // empty' "$BASELINE")
   if [ -z "$base" ]; then

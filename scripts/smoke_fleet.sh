@@ -16,12 +16,20 @@
 #   - the source node is ready again after the release,
 #   - router and nodes all shut down cleanly on SIGTERM.
 #
+# WIRE=1 runs the same scenario over the persistent framed wire data plane:
+# every node gets a -wire-listen (its HTTP port + 1000), the router proxies
+# over -wire-nodes and serves wire itself, and keeperload drives -wire
+# against the router's wire listener. The migration, loss/duplication, and
+# shutdown assertions are identical — the contract holds on both planes.
+#
 # Usage: scripts/smoke_fleet.sh [router-port]
+#        WIRE=1 scripts/smoke_fleet.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 NODES=(127.0.0.1:8081 127.0.0.1:8082 127.0.0.1:8083)
 RPORT="${1:-8090}"
+WIRE="${WIRE:-0}"
 ROUTER="http://127.0.0.1:$RPORT"
 SRC="http://127.0.0.1:8082"    # owns tenants 0, 1, 3 per the ring golden
 DST="http://127.0.0.1:8083"    # starts empty
@@ -61,20 +69,36 @@ fail() {
   exit 1
 }
 
-echo "booting 3 nodes + router..." >&2
+plane="http"
+[ "$WIRE" = "1" ] && plane="wire"
+echo "booting 3 nodes + router (data plane: $plane)..." >&2
 NPIDS=()
 NODE_URLS=""
+WIRE_NODES=""
 for addr in "${NODES[@]}"; do
-  "$BIN/ssdkeeperd" -addr "$addr" -accel 20 -no-keeper 2>"$BIN/node-${addr##*:}.log" &
+  port="${addr##*:}"
+  wflag=()
+  if [ "$WIRE" = "1" ]; then
+    wflag=(-wire-listen "127.0.0.1:$((port + 1000))")
+    WIRE_NODES="$WIRE_NODES,127.0.0.1:$((port + 1000))"
+  fi
+  "$BIN/ssdkeeperd" -addr "$addr" -accel 20 -no-keeper \
+    ${wflag[@]+"${wflag[@]}"} 2>"$BIN/node-$port.log" &
   NPIDS+=($!)
   NODE_URLS="$NODE_URLS,http://$addr"
 done
 NODE_URLS="${NODE_URLS#,}"
+WIRE_NODES="${WIRE_NODES#,}"
 for addr in "${NODES[@]}"; do
   wait_ready "http://$addr" "$BIN/node-${addr##*:}.log"
 done
 
-"$BIN/keeperfleet" -addr "127.0.0.1:$RPORT" -nodes "$NODE_URLS" 2>"$BIN/router.log" &
+rflag=()
+if [ "$WIRE" = "1" ]; then
+  rflag=(-wire-nodes "$WIRE_NODES" -wire-listen "127.0.0.1:$((RPORT + 1000))")
+fi
+"$BIN/keeperfleet" -addr "127.0.0.1:$RPORT" -nodes "$NODE_URLS" \
+  ${rflag[@]+"${rflag[@]}"} 2>"$BIN/router.log" &
 RPID=$!
 wait_ready "$ROUTER" "$BIN/router.log"
 
@@ -84,9 +108,14 @@ grep -q "\"0\":\"$SRC\"" "$BIN/status0.json" \
   || fail "tenant 0 not on $SRC at boot: $(cat "$BIN/status0.json")"
 grep -q "$DST" "$BIN/status0.json" || fail "$DST missing from status"
 
-echo "driving load through the router, migrating tenant 0 mid-flight..." >&2
-"$BIN/keeperload" -addr "$ROUTER" -n 3000 -concurrency 32 \
-  -write-ratios 0.9,0.1,0.8,0.2 -json > "$BIN/load.json" &
+echo "driving load through the router ($plane), migrating tenant 0 mid-flight..." >&2
+if [ "$WIRE" = "1" ]; then
+  "$BIN/keeperload" -wire -addr "127.0.0.1:$((RPORT + 1000))" -n 3000 -concurrency 32 \
+    -write-ratios 0.9,0.1,0.8,0.2 -json > "$BIN/load.json" &
+else
+  "$BIN/keeperload" -addr "$ROUTER" -n 3000 -concurrency 32 \
+    -write-ratios 0.9,0.1,0.8,0.2 -json > "$BIN/load.json" &
+fi
 LPID=$!
 sleep 1
 
@@ -138,4 +167,4 @@ for i in "${!NPIDS[@]}"; do
     || fail "node ${NODES[$i]}: no clean-drain report in log"
 done
 
-echo "smoke_fleet.sh: all checks passed ($ok ok, $rejected rejected in the handoff window, $done_migs migration)" >&2
+echo "smoke_fleet.sh: all checks passed over $plane ($ok ok, $rejected rejected in the handoff window, $done_migs migration)" >&2
