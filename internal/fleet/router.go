@@ -455,12 +455,7 @@ var batchStatePool = sync.Pool{New: func() any { return new(batchState) }}
 func (r *Router) getBatchState() *batchState {
 	st := batchStatePool.Get().(*batchState)
 	st.lines = st.lines[:0]
-	for i := range st.owners {
-		ob := &st.owners[i]
-		ob.body, ob.arena, ob.offs = ob.body[:0], ob.arena[:0], ob.offs[:0]
-		ob.n, ob.fail = 0, false
-	}
-	st.owners = st.owners[:0]
+	st.owners = st.owners[:0] // slots are reset as ownerIndex reuses them
 	if cap(st.tenantOwner) < r.cfg.Tenants {
 		st.tenantOwner = make([]int16, r.cfg.Tenants)
 	}
@@ -473,15 +468,27 @@ func (r *Router) getBatchState() *batchState {
 	return st
 }
 
-// ownerIndex interns an owner address into the batch's owner list.
+// ownerIndex interns an owner address into the batch's owner list. A slot
+// within the pooled slice's capacity is reused in place — its body, arena,
+// and offs keep the capacity they grew in earlier batches, which is what
+// keeps the steady-state HTTP scatter/gather path allocation-free.
 func (st *batchState) ownerIndex(r *Router, addr string) int16 {
 	for i := range st.owners {
 		if st.owners[i].addr == addr {
 			return int16(i)
 		}
 	}
-	st.owners = append(st.owners, ownerBatch{addr: addr, wc: r.wires[addr]})
-	return int16(len(st.owners) - 1)
+	n := len(st.owners)
+	if n < cap(st.owners) {
+		st.owners = st.owners[:n+1]
+		ob := &st.owners[n]
+		ob.addr, ob.wc = addr, r.wires[addr]
+		ob.n, ob.fail = 0, false
+		ob.body, ob.arena, ob.offs = ob.body[:0], ob.arena[:0], ob.offs[:0]
+	} else {
+		st.owners = append(st.owners, ownerBatch{addr: addr, wc: r.wires[addr]})
+	}
+	return int16(n)
 }
 
 var (

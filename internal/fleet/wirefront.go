@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -147,7 +148,17 @@ func (r *Router) forwardHTTP(owner string, req serve.Request, c serve.Completion
 		c.Complete(serve.Response{}, serve.ErrDraining)
 	case resp.StatusCode == http.StatusGatewayTimeout:
 		c.Complete(serve.Response{}, serve.ErrCanceled)
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		// The node judged the request itself bad (e.g. per-node size
+		// bounds); surface the in-protocol rejection both planes use,
+		// not a transport failure implying an unknown outcome.
+		c.Complete(serve.Response{}, errNodeRejected)
 	default:
 		c.Complete(serve.Response{}, wire.ErrUpstream)
 	}
 }
+
+// errNodeRejected maps a node's HTTP 4xx onto serve.RejectReason's default
+// "invalid" token, so a wire-front client sees the same rejection the HTTP
+// plane would have surfaced.
+var errNodeRejected = errors.New("fleet: node rejected request")

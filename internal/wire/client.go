@@ -116,7 +116,8 @@ func (c *Client) pick() *clientConn {
 // clientConn is one persistent connection: a lazily-dialed net.Conn, the
 // coalescing outbox its requests leave through, and the pending map its
 // read goroutine resolves replies against. The mutex guards conn identity,
-// seq, and the map; it is never held across I/O.
+// seq, and the map; it is never held across network I/O (send holds it
+// across the outbox append, which is a bounded memcpy).
 type clientConn struct {
 	addr string
 
@@ -143,12 +144,18 @@ func (cc *clientConn) send(req serve.Request, cl *call) error {
 	cc.seq++
 	cl.seq = cc.seq
 	cc.pending[cl.seq] = cl
-	out := cc.out
-	cc.mu.Unlock()
+	// Render and enqueue while still holding cc.mu: the moment the call is
+	// registered in pending, a connection failure may sweep it — delivering
+	// its outcome and, on the observer path, returning it to the pool — so
+	// touching cl after an unlock would race with that sweep. The append is
+	// a bounded memcpy into the outbox, not I/O; fail() takes cc.mu before
+	// it closes the outbox, so the sweep cannot run until we are done with
+	// the call. A false return (the outbox writer saw the connection die
+	// and self-closed) drops the frame; the read goroutine's fail sweep
+	// then delivers this call's transport error.
 	cl.scratch = AppendRequest(cl.scratch[:0], cl.seq, req)
-	// A false return means the connection died after registration; the
-	// fail sweep that closed the outbox delivers this call's error.
-	out.append(cl.scratch)
+	cc.out.append(cl.scratch)
+	cc.mu.Unlock()
 	return nil
 }
 
@@ -167,7 +174,10 @@ func (cc *clientConn) dialLocked() error {
 	cc.conn = conn
 	cc.out = newOutbox()
 	cc.pending = make(map[uint64]*call)
-	cc.seq = 0
+	// cc.seq is deliberately NOT reset: seqs stay monotonic across redials
+	// so a timed-out caller's forget(seq) from a previous connection
+	// generation can never collide with (and silently abandon) a live call
+	// that redrew the same number on the fresh pending map.
 	go cc.out.run(conn)
 	go cc.read(conn)
 	return nil
