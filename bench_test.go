@@ -11,7 +11,11 @@ package ssdkeeper
 
 import (
 	"context"
+	"runtime"
+	"runtime/debug"
+	"sort"
 	"testing"
+	"time"
 
 	"ssdkeeper/internal/alloc"
 	"ssdkeeper/internal/dataset"
@@ -23,6 +27,7 @@ import (
 	"ssdkeeper/internal/nand"
 	"ssdkeeper/internal/nn"
 	"ssdkeeper/internal/policy"
+	"ssdkeeper/internal/sim"
 	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
 	"ssdkeeper/internal/trace"
@@ -199,6 +204,132 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(tr)*b.N)/b.Elapsed().Seconds(), "requests/s")
+}
+
+// BenchmarkSimulatorHealth measures what the device-health tier costs and
+// what a failure does to service: the BenchmarkSimulatorThroughput workload
+// runs with no fault plan, with a plan armed whose events never fire (the
+// pure bookkeeping overhead of health tracking — bench_gate.sh holds
+// armed/nofault within 2%), and through a mid-run die failure plus retry
+// tail (the degraded-device throughput and read p99 recorded by bench.sh
+// Part 5).
+func BenchmarkSimulatorHealth(b *testing.B) {
+	env, _ := quickEnvScale()
+	spec := workload.MixSpec{
+		Tenants: []workload.TenantSpec{
+			{WriteRatio: 0.9, Share: 0.5}, {WriteRatio: 0.1, Share: 0.5},
+		},
+		Requests: 5000, IOPS: 8000, Seed: 3,
+	}
+	tr, err := spec.Build(env.Device.PageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	span := sim.Time(float64(spec.Requests) / spec.IOPS * float64(sim.Second))
+	cases := []struct {
+		name string
+		plan *nand.FaultPlan
+	}{
+		{"nofault", nil},
+		// A non-nil plan with no events arms every health hook (place
+		// redirects, retry draws, wear checks) without a single fault —
+		// the pure cost of the machinery. An event beyond the run's span
+		// would not do: the engine drains its queue at end of run, so a
+		// far-future die failure still executes and pollutes the timing.
+		{"armed", &nand.FaultPlan{Seed: 1}},
+		{"degraded", &nand.FaultPlan{Seed: 1, Events: []nand.FaultEvent{
+			{Kind: nand.FaultDieFail, At: span * 2 / 5, Channel: 1, Die: 0},
+			{Kind: nand.FaultRetryTail, At: span * 2 / 5, Prob: 0.25},
+		}}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			opts := env.Options
+			opts.FaultPlan = c.plan
+			var readP99 float64
+			for i := 0; i < b.N; i++ {
+				res, err := workload.Run(workload.RunConfig{
+					Device: env.Device, Options: opts,
+					Strategy: alloc.Strategy{Kind: alloc.Shared},
+					Traits:   spec.Traits(), Season: env.Season,
+				}, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				readP99 = float64(res.Device.Read.P99()) / 1e3
+			}
+			b.ReportMetric(float64(len(tr)*b.N)/b.Elapsed().Seconds(), "requests/s")
+			b.ReportMetric(readP99, "read-p99-us")
+		})
+	}
+}
+
+// BenchmarkSimulatorHealthOverhead reports the no-fault cost of the health
+// machinery as a single same-run ratio: each iteration runs the workload
+// twice back to back — once with FaultPlan nil, once with an armed empty
+// plan — and the armed-over-nofault metric is the ratio of the accumulated
+// times. Interleaving the pairs cancels machine drift that would swamp a
+// sequential A-then-B comparison; bench_gate.sh holds the ratio at ≤ 1.02.
+func BenchmarkSimulatorHealthOverhead(b *testing.B) {
+	env, _ := quickEnvScale()
+	spec := workload.MixSpec{
+		Tenants: []workload.TenantSpec{
+			{WriteRatio: 0.9, Share: 0.5}, {WriteRatio: 0.1, Share: 0.5},
+		},
+		Requests: 5000, IOPS: 8000, Seed: 3,
+	}
+	tr, err := spec.Build(env.Device.PageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(plan *nand.FaultPlan) time.Duration {
+		opts := env.Options
+		opts.FaultPlan = plan
+		start := time.Now()
+		if _, err := workload.Run(workload.RunConfig{
+			Device: env.Device, Options: opts,
+			Strategy: alloc.Strategy{Kind: alloc.Shared},
+			Traits:   spec.Traits(), Season: env.Season,
+		}, tr); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	armed := &nand.FaultPlan{Seed: 1}
+	plain := make([]time.Duration, 0, b.N)
+	withHP := make([]time.Duration, 0, b.N)
+	// Collections during a run land on whichever side happens to cross the
+	// heap-growth threshold, which swamps a 2% comparison: keep the
+	// collector out of the timed regions and sweep each pair's garbage
+	// explicitly between pairs instead.
+	prevGC := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(prevGC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		// Alternate pair order so residual cache/heap warm-up lands on
+		// both sides equally.
+		if i%2 == 0 {
+			plain = append(plain, run(nil))
+			withHP = append(withHP, run(armed))
+		} else {
+			withHP = append(withHP, run(armed))
+			plain = append(plain, run(nil))
+		}
+	}
+	b.StopTimer()
+	if len(plain) > 0 {
+		b.ReportMetric(float64(median(withHP))/float64(median(plain)), "armed-over-nofault")
+	}
+}
+
+// median of a duration sample; GC pauses and scheduler hiccups land on
+// single runs, so the median is the drift-robust centre the overhead gate
+// needs.
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
 }
 
 // BenchmarkNNInference measures one forward propagation of the deployed

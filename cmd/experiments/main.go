@@ -36,7 +36,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	var (
-		run       = flag.String("run", "all", "experiment: all, fig2, adaptive, fig4, table3, table5, fig5, fig6")
+		run       = flag.String("run", "all", "experiment: all, fig2, adaptive, fig4, table3, table5, fig5, fig6, healthtraj")
 		scaleName = flag.String("scale", "default", "scale preset: quick, default, paper")
 		outDir    = flag.String("out", "", "directory for result files (default: stdout only)")
 		oracle    = flag.Bool("oracle", false, "fig5: also sweep all 42 strategies per mix for the exhaustive optimum")
@@ -75,7 +75,7 @@ func main() {
 
 	which := strings.ToLower(*run)
 	valid := map[string]bool{"all": true, "fig2": true, "adaptive": true, "fig4": true,
-		"table3": true, "table5": true, "fig5": true, "fig6": true}
+		"table3": true, "table5": true, "fig5": true, "fig6": true, "healthtraj": true}
 	if !valid[which] {
 		fatal(fmt.Errorf("unknown experiment %q", which))
 	}
@@ -138,7 +138,7 @@ func main() {
 	}
 
 	needModel := which == "all" || which == "fig4" || which == "table3" ||
-		which == "table5" || which == "fig5" || which == "fig6"
+		which == "table5" || which == "fig5" || which == "fig6" || which == "healthtraj"
 	if !needModel {
 		return
 	}
@@ -238,6 +238,16 @@ func main() {
 			fatal(err)
 		}
 		emit("fig6", experiments.RenderFig6(cells), cells)
+	}
+	if which == "all" || which == "healthtraj" {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "running the die-failure trajectory (static vs keeper)...")
+		}
+		traj, err := experiments.HealthTrajectory(ctx, env, scale, net)
+		if err != nil {
+			fatal(err)
+		}
+		emit("healthtraj", traj.Render(), traj)
 	}
 }
 

@@ -50,6 +50,7 @@ func main() {
 	defer stop()
 	var (
 		workloads  = flag.Int("workloads", 250, "mixed workloads to label")
+		faultFrac  = flag.Float64("fault-fraction", 0, "share of workloads labelled under a synthesized device fault plan [0,1]")
 		requests   = flag.Int("requests", 5000, "requests per workload")
 		iterations = flag.Int("iterations", 200, "training iterations (epochs)")
 		batch      = flag.Int("batch", 32, "minibatch size")
@@ -102,6 +103,7 @@ func main() {
 	scale.DatasetRequests = *requests
 	scale.TrainIterations = *iterations
 	scale.TrainBatch = *batch
+	scale.FaultFraction = *faultFrac
 	scale.Seed = *seed
 
 	var samples []dataset.Sample
@@ -179,7 +181,8 @@ func main() {
 		Dataset: dataset.Config{
 			Device: env.Device, Options: env.Options, Strategies: env.Strategies,
 			Workloads: scale.DatasetWorkloads, Requests: scale.DatasetRequests,
-			MaxIOPS: env.SaturationIOPS, Season: env.Season, Seed: scale.Seed,
+			MaxIOPS: env.SaturationIOPS, Season: env.Season,
+			FaultFraction: scale.FaultFraction, Seed: scale.Seed,
 		},
 		Hidden:     *hidden,
 		Activation: act,

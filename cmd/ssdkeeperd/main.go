@@ -50,12 +50,15 @@ import (
 	"ssdkeeper/internal/experiments"
 	"ssdkeeper/internal/keeper"
 	"ssdkeeper/internal/learn"
+	"ssdkeeper/internal/nand"
 	"ssdkeeper/internal/nn"
 	"ssdkeeper/internal/policy"
 	"ssdkeeper/internal/serve"
 	"ssdkeeper/internal/sim"
 	"ssdkeeper/internal/wire"
+
 	"ssdkeeper/internal/workload"
+	"strings"
 )
 
 func main() {
@@ -76,6 +79,10 @@ func main() {
 		maxBytes   = flag.Int64("max-bytes", 64<<20, "per-tenant logical address space")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request completion deadline (wall)")
 		fresh      = flag.Bool("fresh", false, "skip device seasoning (no GC pressure)")
+		faultPlan  = flag.String("fault-plan", "", `file holding a device fault-plan DSL (e.g. "die:ch2:die1@30s,retire:ch0:blk12@45s"; # comments and newlines allowed), injected into every serving shard`)
+		faultSeed  = flag.Int64("fault-seed", 1, "seed of the fault plan's read-retry hash")
+		auditEvery = flag.Duration("audit-every", time.Second, "device-health audit sweep interval (wall; 0 disables the auditor)")
+		degraded   = flag.Float64("degraded-score", 0.5, "health score in [0,1] below which the auditor flips the node degraded (/readyz 503)")
 		trainWork  = flag.Int("train-workloads", 12, "workloads to label when self-training")
 		quantize   = flag.Bool("quantize", false, "serve ANN decisions through the int8 fixed-point kernel (batched, allocation-free); float weights are quantized at load and on every reload")
 		quiet      = flag.Bool("q", false, "suppress startup progress output")
@@ -100,6 +107,21 @@ func main() {
 	env := experiments.NewEnv()
 	if *fresh {
 		env.Season = workload.Seasoning{} // factory-fresh device, GC idle
+	}
+
+	// The fault plan applies to the serving shards only — self-training and
+	// the keeper's offline runner keep the immortal environment, so a sick
+	// daemon still trains on healthy labels.
+	servOpts := env.Options
+	if *faultPlan != "" {
+		plan, err := loadFaultPlan(*faultPlan, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		servOpts.FaultPlan = plan
+		if !*quiet && plan != nil {
+			fmt.Fprintf(os.Stderr, "ssdkeeperd: fault plan: %s (seed %d)\n", plan, plan.Seed)
+		}
 	}
 
 	var k *keeper.Keeper
@@ -169,20 +191,29 @@ func main() {
 		}
 	}
 
+	var auditLog func(string, ...any)
+	if !*quiet {
+		auditLog = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ssdkeeperd: "+format+"\n", args...)
+		}
+	}
 	s, err := serve.New(serve.Config{
-		Device:      env.Device,
-		Options:     env.Options,
-		Season:      env.Season,
-		Tenants:     *tenants,
-		QueueLen:    *queueLen,
-		QueueDepth:  *queueDepth,
-		MaxBytes:    *maxBytes,
-		Accel:       *accel,
-		ShardCount:  *shards,
-		Sink:        sink,
-		Learner:     learner,
-		ExploreRate: *learnExplore,
-		ExploreSeed: *learnSeed,
+		Device:        env.Device,
+		Options:       servOpts,
+		Season:        env.Season,
+		Tenants:       *tenants,
+		QueueLen:      *queueLen,
+		QueueDepth:    *queueDepth,
+		MaxBytes:      *maxBytes,
+		Accel:         *accel,
+		ShardCount:    *shards,
+		Sink:          sink,
+		Learner:       learner,
+		ExploreRate:   *learnExplore,
+		ExploreSeed:   *learnSeed,
+		AuditEvery:    *auditEvery,
+		DegradedScore: *degraded,
+		AuditLog:      auditLog,
 	}, k)
 	if err != nil {
 		fatal(err)
@@ -420,6 +451,34 @@ func registryReloader(reg *policy.Registry, src *policy.Source, quantize bool) s
 		st.Previous = prev.Version()
 		return st, nil
 	}
+}
+
+// loadFaultPlan reads a fault-plan DSL file: events separated by commas or
+// newlines, blank lines and #-comments ignored. Returns nil for an
+// effectively empty file (an immortal device).
+func loadFaultPlan(path string, seed int64) (*nand.FaultPlan, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var events []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.Trim(line, " \t,")
+		if line != "" {
+			events = append(events, line)
+		}
+	}
+	plan, err := nand.ParseFaultPlan(strings.Join(events, ","))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if plan != nil {
+		plan.Seed = seed
+	}
+	return plan, nil
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@
 //	ssdsim -trace mix.csv -strategy Shared
 //	ssdsim -trace mix.csv -strategy 5:1:1:1 -hybrid
 //	ssdsim -trace mix.csv -strategy 6:2 -seasoned=false -v
+//	ssdsim -trace mix.csv -fault "die:ch2:die1@30s,retire:ch0:blk12@45s"
 //
 // The trace is MSR-Cambridge CSV (Timestamp,Hostname,DiskNumber,Type,
 // Offset,Size,ResponseTime); hostnames become tenants in order of first
@@ -39,6 +40,8 @@ func main() {
 		seasoned  = flag.Bool("seasoned", true, "age the device before the run")
 		full      = flag.Bool("fullsize", false, "use the full 512GB Table I geometry instead of the scaled eval geometry")
 		readPrio  = flag.Bool("readpriority", false, "serve queued reads before queued writes")
+		faultSpec = flag.String("fault", "", `device fault plan, e.g. "die:ch2:die1@30s,retire:ch0:blk12@45s,retry:0.1@60s,slow:2@90s"`)
+		faultSeed = flag.Int64("fault-seed", 1, "seed of the fault plan's read-retry hash")
 		counters  = flag.Bool("counters", false, "print the probe counter table after the run")
 		verbose   = flag.Bool("v", false, "print per-channel utilization")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -84,9 +87,18 @@ func main() {
 	}
 	traits := workload.TraitsFromTrace(tr, sum.Tenants)
 
+	plan, err := nand.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if plan != nil {
+		plan.Seed = *faultSeed
+		fmt.Printf("fault plan: %s (seed %d)\n", plan, plan.Seed)
+	}
+
 	rc := simrun.Config{
 		Device:   cfg,
-		Options:  ssd.Options{ReadPriority: *readPrio},
+		Options:  ssd.Options{ReadPriority: *readPrio, FaultPlan: plan},
 		Strategy: strategy,
 		Traits:   traits,
 		Hybrid:   *hybrid,

@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -26,6 +27,7 @@ import (
 	"ssdkeeper/internal/features"
 	"ssdkeeper/internal/nand"
 	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/sim"
 	"ssdkeeper/internal/simrun"
 	"ssdkeeper/internal/ssd"
 	"ssdkeeper/internal/workload"
@@ -48,8 +50,16 @@ type Config struct {
 	// arbitrarily between them and the classifier learns that noise.
 	// Negative disables; zero applies the 2% default.
 	TieTolerance float64
-	Seed         int64
-	Workers      int // 0 = GOMAXPROCS
+	// FaultFraction is the share of workloads labelled under a randomly
+	// synthesized nand.FaultPlan (die failure, retry tail, program
+	// slowdown), so the trained model sees the health features populated
+	// and learns strategy choice on degraded devices too. The plan is held
+	// constant across the per-strategy loop — every strategy is measured
+	// under the same injuries — and the sample's vector carries the plan's
+	// ground-truth health features. Zero keeps the immortal pipeline.
+	FaultFraction float64
+	Seed          int64
+	Workers       int // 0 = GOMAXPROCS
 }
 
 // Validate reports the first invalid field.
@@ -78,6 +88,9 @@ type Sample struct {
 	Vector    features.Vector  `json:"vector"`
 	Label     int              `json:"label"`
 	Latencies []float64        `json:"latencies_us"` // total latency per strategy
+	// Fault is the plan the workload was labelled under, nil for immortal
+	// samples. Kept for provenance and so datasets regenerate faithfully.
+	Fault *nand.FaultPlan `json:"fault,omitempty"`
 }
 
 // Generate runs the full label-generation pipeline. progress (may be nil) is
@@ -111,12 +124,16 @@ func Generate(ctx context.Context, cfg Config, progress func(done, total int)) (
 		inner = 1
 	}
 
-	// Draw every spec up front from one PRNG so results do not depend on
-	// worker interleaving.
+	// Draw every spec (and fault plan) up front from one PRNG so results do
+	// not depend on worker interleaving.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	specs := make([]workload.MixSpec, cfg.Workloads)
+	plans := make([]*nand.FaultPlan, cfg.Workloads)
 	for i := range specs {
 		specs[i] = workload.RandomMixSpec(rng, cfg.Requests, cfg.MaxIOPS)
+		if cfg.FaultFraction > 0 && rng.Float64() < cfg.FaultFraction {
+			plans[i] = RandomFaultPlan(rng, cfg.Device, specs[i])
+		}
 	}
 
 	samples := make([]Sample, cfg.Workloads)
@@ -140,7 +157,7 @@ func Generate(ctx context.Context, cfg Config, progress func(done, total int)) (
 				if ctx.Err() != nil {
 					return
 				}
-				samples[i], errs[i] = lab.Label(ctx, specs[i])
+				samples[i], errs[i] = lab.LabelFaulted(ctx, specs[i], plans[i])
 				if progress != nil {
 					progress(int(done.Add(1)), cfg.Workloads)
 				}
@@ -211,9 +228,20 @@ func Label(ctx context.Context, cfg Config, spec workload.MixSpec) (Sample, erro
 	return NewLabeler(cfg).Label(ctx, spec)
 }
 
-// Label labels one workload. See the package-level Label.
+// Label labels one workload on an immortal device. See the package-level
+// Label.
 func (l *Labeler) Label(ctx context.Context, spec workload.MixSpec) (Sample, error) {
+	return l.LabelFaulted(ctx, spec, nil)
+}
+
+// LabelFaulted labels one workload, optionally under a fault plan applied
+// identically to every strategy's replay. A nil plan is the immortal path.
+func (l *Labeler) LabelFaulted(ctx context.Context, spec workload.MixSpec, plan *nand.FaultPlan) (Sample, error) {
 	cfg := l.cfg
+	opts := cfg.Options
+	if plan != nil {
+		opts.FaultPlan = plan
+	}
 	tr, err := spec.Build(cfg.Device.PageSize)
 	if err != nil {
 		return Sample{}, err
@@ -227,7 +255,7 @@ func (l *Labeler) Label(ctx context.Context, spec workload.MixSpec) (Sample, err
 	runOne := func(r *simrun.Runner, si int) {
 		res, err := r.Run(ctx, simrun.Config{
 			Device:   cfg.Device,
-			Options:  cfg.Options,
+			Options:  opts,
 			Strategy: cfg.Strategies[si],
 			Traits:   traits,
 			Hybrid:   cfg.Hybrid,
@@ -322,7 +350,67 @@ func (l *Labeler) Label(ctx context.Context, spec workload.MixSpec) (Sample, err
 	if err != nil {
 		return Sample{}, err
 	}
-	return Sample{Spec: spec, Vector: vec, Label: best, Latencies: lat}, nil
+	if plan != nil {
+		vec.DeadDieFrac, vec.RetryRate, vec.WearSpread = planHealthFeatures(cfg.Device, plan, spec)
+	}
+	return Sample{Spec: spec, Vector: vec, Label: best, Latencies: lat, Fault: plan}, nil
+}
+
+// RandomFaultPlan synthesizes a training fault plan for one workload: a die
+// failure partway through the replay, usually a read-retry tail, sometimes a
+// wear program slowdown. Event times land inside the spec's nominal duration
+// (Requests/IOPS) so the injuries actually bite during the labelled window.
+// All randomness comes from rng, so generation stays deterministic per seed.
+func RandomFaultPlan(rng *rand.Rand, dev nand.Config, spec workload.MixSpec) *nand.FaultPlan {
+	dur := sim.Time(float64(spec.Requests) / spec.IOPS * float64(sim.Second))
+	at := func(lo, hi float64) sim.Time {
+		return sim.Time(float64(dur) * (lo + (hi-lo)*rng.Float64()))
+	}
+	die := rng.Intn(dev.TotalDies())
+	plan := &nand.FaultPlan{Seed: rng.Int63() + 1}
+	if rng.Float64() < 0.8 {
+		plan.Events = append(plan.Events, nand.FaultEvent{
+			Kind: nand.FaultRetryTail, Prob: 0.02 + 0.18*rng.Float64(), At: at(0.05, 0.3),
+		})
+	}
+	plan.Events = append(plan.Events, nand.FaultEvent{
+		Kind: nand.FaultDieFail, At: at(0.3, 0.7),
+		Channel: dev.ChannelOfDie(die), Die: die % dev.DiesPerChannel(),
+	})
+	if rng.Float64() < 0.3 {
+		plan.Events = append(plan.Events, nand.FaultEvent{
+			Kind: nand.FaultProgramSlowdown, Factor: 1.2 + 0.8*rng.Float64(), At: at(0.3, 0.8),
+		})
+	}
+	sort.Slice(plan.Events, func(i, j int) bool { return plan.Events[i].At < plan.Events[j].At })
+	return plan
+}
+
+// planHealthFeatures derives the ground-truth health features the plan
+// implies — the analog of FromSpecShares for the health dimensions. Dead-die
+// fraction counts distinct failed dies; retry rate is the tail probability
+// weighted by the mix's read share (only reads retry); wear spread stays 0
+// (plans don't prescribe an erase-count distribution).
+func planHealthFeatures(dev nand.Config, plan *nand.FaultPlan, spec workload.MixSpec) (deadFrac, retryRate, wearSpread float64) {
+	dead := map[int]struct{}{}
+	prob := 0.0
+	for _, e := range plan.Events {
+		switch e.Kind {
+		case nand.FaultDieFail:
+			dead[e.Channel*dev.DiesPerChannel()+e.Die] = struct{}{}
+		case nand.FaultRetryTail:
+			if e.Prob > prob {
+				prob = e.Prob
+			}
+		}
+	}
+	deadFrac = float64(len(dead)) / float64(dev.TotalDies())
+	readShare := 0.0
+	for _, t := range spec.Tenants {
+		readShare += t.Share * (1 - t.WriteRatio)
+	}
+	retryRate = prob * readShare
+	return deadFrac, retryRate, 0
 }
 
 // ToNN converts samples into an nn.Dataset of 9-D inputs and class labels.

@@ -47,6 +47,10 @@ type Scale struct {
 	// Fig6PerLevel is the number of random mixes probed per intensity
 	// level in the Figure 6 strategy map.
 	Fig6PerLevel int
+	// FaultFraction is the share of dataset workloads labelled under a
+	// synthesized fault plan (dataset.Config.FaultFraction); zero keeps
+	// the immortal training pipeline.
+	FaultFraction float64
 	// Workers bounds label-generation parallelism (0 = GOMAXPROCS).
 	Workers int
 	Seed    int64

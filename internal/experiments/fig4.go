@@ -17,15 +17,16 @@ func BuildDataset(ctx context.Context, env Env, scale Scale, progress func(done,
 		return nil, err
 	}
 	return dataset.Generate(ctx, dataset.Config{
-		Device:     env.Device,
-		Options:    env.Options,
-		Strategies: env.Strategies,
-		Workloads:  scale.DatasetWorkloads,
-		Requests:   scale.DatasetRequests,
-		MaxIOPS:    env.SaturationIOPS,
-		Season:     env.Season,
-		Seed:       scale.Seed,
-		Workers:    scale.Workers,
+		Device:        env.Device,
+		Options:       env.Options,
+		Strategies:    env.Strategies,
+		Workloads:     scale.DatasetWorkloads,
+		Requests:      scale.DatasetRequests,
+		MaxIOPS:       env.SaturationIOPS,
+		Season:        env.Season,
+		FaultFraction: scale.FaultFraction,
+		Seed:          scale.Seed,
+		Workers:       scale.Workers,
 	}, progress)
 }
 

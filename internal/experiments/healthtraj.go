@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"ssdkeeper/internal/alloc"
+	"ssdkeeper/internal/keeper"
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/nn"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/simrun"
+	"ssdkeeper/internal/trace"
+	"ssdkeeper/internal/workload"
+)
+
+// The die-failure trajectory experiment extends the paper's evaluation to a
+// sick device: the same four-tenant mix replays twice through an injected
+// die failure (plus the read-retry tail that accompanies failing flash), once
+// under a static Shared allocation and once under the keeper's online loop.
+// The windowed latency series shows the failure hit both configurations; the
+// keeper's curve recovers as its health-aware features push it to re-bind
+// channels around the dead die.
+
+// trajWindows is the number of latency windows across the run — enough to
+// resolve the pre-fault plateau, the hit, and the recovery without turning
+// the result file into a scatter plot.
+const trajWindows = 24
+
+// TrajPoint is one latency window of a trajectory run.
+type TrajPoint struct {
+	EndS        float64 // window end, simulated seconds
+	MeanUs      float64 // mean completed-request latency inside the window
+	Completed   int64   // requests completed inside the window
+	DeadDieFrac float64 // device health at the window boundary
+}
+
+// HealthTrajResult carries both trajectories and their summary.
+type HealthTrajResult struct {
+	FaultSpec string // the injected plan in DSL form
+	FaultAtS  float64
+	Keeper    []TrajPoint
+	Static    []TrajPoint
+	// KeeperUs / StaticUs are the overall mean request latencies (µs).
+	KeeperUs float64
+	StaticUs float64
+	Switches int // keeper re-allocations across the run
+}
+
+// trajSpec is the fixed four-tenant mix the trajectory replays: two
+// write-dominated and two read-dominated tenants with skewed shares, the
+// shape the 42-strategy space was built for.
+func trajSpec(scale Scale) workload.MixSpec {
+	return workload.MixSpec{
+		Tenants: []workload.TenantSpec{
+			{WriteRatio: 0.9, Share: 0.4},
+			{WriteRatio: 0.7, Share: 0.3},
+			{WriteRatio: 0.2, Share: 0.2},
+			{WriteRatio: 0.05, Share: 0.1},
+		},
+		Requests: scale.Fig2Requests,
+		IOPS:     scale.Fig2IOPS,
+		Seed:     scale.Seed,
+	}
+}
+
+// HealthTrajectory runs the die-failure trajectory at the given scale. The
+// model must be trained on env.Strategies (the four-tenant space); pass the
+// TrainBest result. Deterministic for a fixed scale.Seed.
+func HealthTrajectory(ctx context.Context, env Env, scale Scale, model *nn.Network) (HealthTrajResult, error) {
+	if err := validateScale(scale); err != nil {
+		return HealthTrajResult{}, err
+	}
+	spec := trajSpec(scale)
+	duration := sim.Time(float64(spec.Requests) / spec.IOPS * float64(sim.Second))
+	faultAt := duration * 2 / 5
+	plan := &nand.FaultPlan{
+		Seed: scale.Seed,
+		Events: []nand.FaultEvent{
+			// The die dies at 40% of the run; the retry tail models the
+			// marginal flash that failing hardware exposes alongside it.
+			{Kind: nand.FaultDieFail, At: faultAt, Channel: 1, Die: 0},
+			{Kind: nand.FaultRetryTail, At: faultAt, Prob: 0.25},
+		},
+	}
+	opts := env.Options
+	opts.FaultPlan = plan
+
+	out := HealthTrajResult{
+		FaultSpec: plan.String(),
+		FaultAtS:  float64(faultAt) / float64(sim.Second),
+	}
+	window := duration / trajWindows
+
+	tr, err := spec.Build(env.Device.PageSize)
+	if err != nil {
+		return HealthTrajResult{}, err
+	}
+
+	// Static baseline: Shared allocation, no keeper.
+	runner := simrun.NewRunner()
+	sess, err := runner.NewSession(simrun.Config{
+		Device:   env.Device,
+		Options:  opts,
+		Strategy: alloc.Strategy{Kind: alloc.Shared},
+		Traits:   spec.Traits(),
+		Season:   env.Season,
+	})
+	if err != nil {
+		return HealthTrajResult{}, err
+	}
+	static, staticUs, err := runTrajectory(ctx, sess, tr, window, nil)
+	if err != nil {
+		return HealthTrajResult{}, fmt.Errorf("healthtraj static: %w", err)
+	}
+	out.Static, out.StaticUs = static, staticUs
+
+	// Keeper run: unbound start, online adaptation throughout so the
+	// controller can re-bind after the failure. The adaptation window scales
+	// with the run (not the fixed keeperWindow) so quick-scale runs still
+	// adapt several times on each side of the fault.
+	adaptEvery := duration / 12
+	k, err := keeper.New(keeper.Config{
+		Device:         env.Device,
+		Options:        opts,
+		Strategies:     env.Strategies,
+		SaturationIOPS: env.SaturationIOPS,
+		Window:         adaptEvery,
+		AdaptEvery:     adaptEvery,
+		Hybrid:         true,
+		Season:         env.Season,
+	}, model)
+	if err != nil {
+		return HealthTrajResult{}, err
+	}
+	ksess, err := runner.NewSession(simrun.Config{
+		Device:  env.Device,
+		Options: opts,
+		Season:  env.Season,
+	})
+	if err != nil {
+		return HealthTrajResult{}, err
+	}
+	ctrl := k.Controller(ksess.Device())
+	kept, keeperUs, err := runTrajectory(ctx, ksess, tr, window, ctrl)
+	if err != nil {
+		return HealthTrajResult{}, fmt.Errorf("healthtraj keeper: %w", err)
+	}
+	if err := ctrl.Err(); err != nil {
+		return HealthTrajResult{}, fmt.Errorf("healthtraj keeper: %w", err)
+	}
+	out.Keeper, out.KeeperUs = kept, keeperUs
+	out.Switches = ctrl.SwitchCount()
+	return out, nil
+}
+
+// runTrajectory replays the trace on the session, sampling the device's
+// cumulative latency at every window boundary (observed from the arrival
+// hook, so no extra engine events perturb the schedule). ctrl, when non-nil,
+// receives every arrival — the keeper's online loop.
+func runTrajectory(ctx context.Context, sess *simrun.Session, tr trace.Trace, window sim.Time, ctrl *keeper.Controller) ([]TrajPoint, float64, error) {
+	dev := sess.Device()
+	var points []TrajPoint
+	var lastSum sim.Time
+	var lastCount uint64
+	next := window
+	sample := func(at sim.Time) {
+		l := dev.Stats().Device()
+		sum := l.Read.Sum + l.Write.Sum
+		count := l.Read.Count + l.Write.Count
+		p := TrajPoint{
+			EndS:        float64(at) / float64(sim.Second),
+			Completed:   int64(count - lastCount),
+			DeadDieFrac: dev.HealthSnapshot().DeadDieFrac,
+		}
+		if d := count - lastCount; d > 0 {
+			p.MeanUs = float64(sum-lastSum) / float64(d) / 1e3
+		}
+		lastSum, lastCount = sum, count
+		points = append(points, p)
+	}
+	res, err := sess.RunObserved(ctx, tr, func(_ int, r trace.Record) {
+		now := dev.Engine().Now()
+		for now >= next {
+			sample(next)
+			next += window
+		}
+		if ctrl != nil {
+			ctrl.Observe(now, r)
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	// Completions trailing the last arrival land in one final window.
+	if end := res.Result.Makespan; end >= next-window {
+		sample(end)
+	}
+	return points, res.Result.Device.Total(), nil
+}
+
+// Render formats the trajectory side by side.
+func (r HealthTrajResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Die-failure trajectory: windowed mean latency, static Shared vs keeper\n")
+	fmt.Fprintf(&b, "fault plan: %s (at %.2fs)\n\n", r.FaultSpec, r.FaultAtS)
+	fmt.Fprintf(&b, "%8s %12s %12s %10s\n", "end(s)", "static(us)", "keeper(us)", "dead-die")
+	n := len(r.Static)
+	if len(r.Keeper) > n {
+		n = len(r.Keeper)
+	}
+	for i := 0; i < n; i++ {
+		var end, st, kp, dead float64
+		if i < len(r.Static) {
+			end, st, dead = r.Static[i].EndS, r.Static[i].MeanUs, r.Static[i].DeadDieFrac
+		}
+		if i < len(r.Keeper) {
+			kp = r.Keeper[i].MeanUs
+			if i >= len(r.Static) {
+				end, dead = r.Keeper[i].EndS, r.Keeper[i].DeadDieFrac
+			}
+		}
+		fmt.Fprintf(&b, "%8.2f %12.1f %12.1f %10.3f\n", end, st, kp, dead)
+	}
+	fmt.Fprintf(&b, "\noverall mean latency: static %.1fus, keeper %.1fus (%d keeper switches)\n",
+		r.StaticUs, r.KeeperUs, r.Switches)
+	return b.String()
+}

@@ -21,16 +21,35 @@ const MaxTenants = 4
 // levels").
 const Levels = 20
 
-// Dim is the feature-vector dimensionality: 1 intensity + MaxTenants
-// characteristics + MaxTenants proportions.
-const Dim = 1 + 2*MaxTenants
+// LegacyDim is the paper's original feature-vector dimensionality: 1
+// intensity + MaxTenants characteristics + MaxTenants proportions. Models
+// checkpointed before the health tier use this input width and still load
+// (see internal/policy's legacy schema acceptance).
+const LegacyDim = 1 + 2*MaxTenants
+
+// HealthDim is the number of device-health features appended to the vector:
+// dead-die fraction, read-retry rate, and wear spread. All three are zero on
+// a healthy device, so a faulted-trained model sees the legacy distribution
+// when nothing is wrong.
+const HealthDim = 3
+
+// Dim is the feature-vector dimensionality (schema v2): the paper's
+// workload features plus the device-health features.
+const Dim = LegacyDim + HealthDim
 
 // Vector is the collected feature vector in the paper's notation, e.g.
-// [5][1,0,1,0][0.1,0.2,0.3,0.4].
+// [5][1,0,1,0][0.1,0.2,0.3,0.4], extended with device-health features
+// (schema v2). The health fields' zero values mean a perfectly healthy
+// device, so workload-only call sites need no changes.
 type Vector struct {
 	Intensity int                 // 0..Levels-1
 	ReadChar  [MaxTenants]bool    // true = read-dominated (paper: 1 read, 0 write)
 	Prop      [MaxTenants]float64 // request proportions; sums to 1
+
+	// Device-health features (zero = healthy).
+	DeadDieFrac float64 // fraction of dies dead, [0,1]
+	RetryRate   float64 // reads needing retry per observed request, clamped to [0,1]
+	WearSpread  float64 // erase-count spread / wear threshold, clamped to [0,1]
 }
 
 // String renders the paper's bracketed form.
@@ -45,8 +64,9 @@ func (v Vector) String() string {
 		v.Intensity, c[0], c[1], c[2], c[3], v.Prop[0], v.Prop[1], v.Prop[2], v.Prop[3])
 }
 
-// Input converts the vector to the network's 9 inputs. Intensity is
-// normalized to [0,1]; characteristics are 0/1; proportions pass through.
+// Input converts the vector to the network's Dim inputs. Intensity is
+// normalized to [0,1]; characteristics are 0/1; proportions pass through;
+// health features are already in [0,1].
 func (v Vector) Input() []float64 {
 	return v.AppendInput(make([]float64, 0, Dim))
 }
@@ -55,6 +75,14 @@ func (v Vector) Input() []float64 {
 // extended slice — the allocation-free form of Input for serving hot paths
 // that reuse an encoding buffer across decisions.
 func (v Vector) AppendInput(dst []float64) []float64 {
+	dst = v.AppendLegacyInput(dst)
+	return append(dst, v.DeadDieFrac, v.RetryRate, v.WearSpread)
+}
+
+// AppendLegacyInput appends only the original LegacyDim workload inputs —
+// the encoding for checkpoints trained before the feature schema grew the
+// health dimensions.
+func (v Vector) AppendLegacyInput(dst []float64) []float64 {
 	dst = append(dst, float64(v.Intensity)/float64(Levels-1))
 	for _, r := range v.ReadChar {
 		if r {

@@ -11,13 +11,14 @@ import (
 
 func TestVectorInputDimAndEncoding(t *testing.T) {
 	v := Vector{
-		Intensity: 5,
-		ReadChar:  [MaxTenants]bool{true, false, true, false},
-		Prop:      [MaxTenants]float64{0.1, 0.2, 0.3, 0.4},
+		Intensity:   5,
+		ReadChar:    [MaxTenants]bool{true, false, true, false},
+		Prop:        [MaxTenants]float64{0.1, 0.2, 0.3, 0.4},
+		DeadDieFrac: 0.25, RetryRate: 0.5, WearSpread: 0.75,
 	}
 	in := v.Input()
-	if len(in) != Dim || Dim != 9 {
-		t.Fatalf("input dim %d, want 9", len(in))
+	if len(in) != Dim || Dim != 12 || LegacyDim != 9 {
+		t.Fatalf("input dim %d, want Dim=12 over LegacyDim=9", len(in))
 	}
 	if math.Abs(in[0]-5.0/19.0) > 1e-12 {
 		t.Errorf("intensity normalized to %v", in[0])
@@ -31,6 +32,18 @@ func TestVectorInputDimAndEncoding(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		if in[5+i] != v.Prop[i] {
 			t.Errorf("proportion %d = %v", i, in[5+i])
+		}
+	}
+	if in[9] != 0.25 || in[10] != 0.5 || in[11] != 0.75 {
+		t.Errorf("health features = %v, want [0.25 0.5 0.75]", in[9:])
+	}
+	legacy := v.AppendLegacyInput(nil)
+	if len(legacy) != LegacyDim {
+		t.Fatalf("legacy input dim %d, want %d", len(legacy), LegacyDim)
+	}
+	for i := range legacy {
+		if legacy[i] != in[i] {
+			t.Errorf("legacy input diverges at %d: %v vs %v", i, legacy[i], in[i])
 		}
 	}
 }
@@ -104,6 +117,67 @@ func TestCollectorReset(t *testing.T) {
 	v := c.Vector(20 * sim.Millisecond)
 	if v.Prop[0] != 0 {
 		t.Error("reset did not clear proportions")
+	}
+}
+
+// TestClearTenantRemovesContribution pins the migration contract: clearing a
+// tenant mid-window removes exactly its reads, writes, and intensity
+// contribution, leaving the other tenants' features untouched — as if the
+// departed workload had never arrived this window.
+func TestClearTenantRemovesContribution(t *testing.T) {
+	c := NewCollector(10000, 0)
+	at := sim.Time(0)
+	add := func(tenant int, op trace.Op) {
+		at += sim.Millisecond
+		c.Observe(trace.Record{Time: at, Tenant: tenant, Op: op, Size: 1})
+	}
+	// Tenant 0: 2 writes. Tenant 1: 4 reads, 1 write. Tenant 2: 3 reads.
+	add(0, trace.Write)
+	add(0, trace.Write)
+	for i := 0; i < 4; i++ {
+		add(1, trace.Read)
+	}
+	add(1, trace.Write)
+	add(2, trace.Read)
+	add(2, trace.Read)
+	add(2, trace.Read)
+
+	c.ClearTenant(1)
+	if c.Count() != 5 {
+		t.Errorf("count after clear = %d, want 5", c.Count())
+	}
+	v := c.Vector(at)
+	if v.Prop[1] != 0 {
+		t.Errorf("cleared tenant kept proportion %v", v.Prop[1])
+	}
+	if math.Abs(v.Prop[0]-0.4) > 1e-12 || math.Abs(v.Prop[2]-0.6) > 1e-12 {
+		t.Errorf("survivor proportions %v, want 0.4/0.6 of the remaining 5", v.Prop)
+	}
+	if v.ReadChar[0] || !v.ReadChar[2] {
+		t.Errorf("survivor characteristics changed: %v", v.ReadChar)
+	}
+	// A cleared (empty) tenant reads as read-dominated: reads >= writes at 0.
+	if !v.ReadChar[1] {
+		t.Errorf("cleared tenant characteristic = write-dominated, want empty default")
+	}
+
+	// Re-attached traffic restarts from zero: one write makes it
+	// write-dominated with only the new arrivals counted.
+	add(1, trace.Write)
+	v = c.Vector(at)
+	if v.ReadChar[1] {
+		t.Error("tenant 1 still read-dominated after restart; old reads leaked")
+	}
+	if math.Abs(v.Prop[1]-1.0/6.0) > 1e-12 {
+		t.Errorf("restarted tenant proportion %v, want 1/6", v.Prop[1])
+	}
+
+	// Out-of-range tenants are a no-op (their arrivals cannot be attributed).
+	before := c.Count()
+	c.ClearTenant(-1)
+	c.ClearTenant(MaxTenants)
+	if c.Count() != before {
+		t.Error("out-of-range ClearTenant changed the window")
 	}
 }
 

@@ -21,7 +21,14 @@ type NodeStatus struct {
 	Err               error
 	CompletedByTenant map[int]uint64
 	P99ByTenant       map[int]float64 // seconds, reads and writes max'd
-	ProbedAt          time.Time
+	// HealthScore is the node's worst shard device-health score from
+	// ssdkeeper_health_score (1 healthy, 0 dead; 1 when the series is
+	// absent, e.g. an older node). Degraded mirrors ssdkeeper_degraded: the
+	// node's auditor has quarantined it, so the rebalancer should evacuate
+	// its tenants rather than merely avoid placing new ones.
+	HealthScore float64
+	Degraded    bool
+	ProbedAt    time.Time
 }
 
 // Membership probes fleet nodes for readiness and load. Snapshots are
@@ -98,6 +105,7 @@ func (m *Membership) probe(addr string) NodeStatus {
 		Addr:              addr,
 		CompletedByTenant: map[int]uint64{},
 		P99ByTenant:       map[int]float64{},
+		HealthScore:       1,
 		ProbedAt:          time.Now(),
 	}
 	resp, err := m.client.Get(addr + "/readyz")
@@ -132,6 +140,12 @@ func (m *Membership) probe(addr string) NodeStatus {
 		if t, ok := s.tenant(); ok && s.value > st.P99ByTenant[t] {
 			st.P99ByTenant[t] = s.value
 		}
+	}
+	if ss := promSamples(string(body), "ssdkeeper_health_score"); len(ss) > 0 {
+		st.HealthScore = ss[0].value
+	}
+	if ss := promSamples(string(body), "ssdkeeper_degraded"); len(ss) > 0 {
+		st.Degraded = ss[0].value != 0
 	}
 	return st
 }
@@ -226,6 +240,9 @@ func (s NodeStatus) String() string {
 	ready := "ready"
 	if !s.Ready {
 		ready = "not-ready"
+	}
+	if s.Degraded {
+		ready += " degraded"
 	}
 	if s.Err != nil {
 		return fmt.Sprintf("%s %s (%v)", s.Addr, ready, s.Err)

@@ -62,14 +62,22 @@ func (rb *Rebalancer) Step() (tenant int, target string, err error) {
 	// Per-node load this interval = sum of per-tenant completion deltas
 	// since the previous sweep, attributed by current ownership.
 	type nodeLoad struct {
-		addr    string
-		ready   bool
-		total   uint64
-		tenants map[int]uint64
+		addr     string
+		ready    bool
+		degraded bool
+		health   float64
+		total    uint64
+		tenants  map[int]uint64
 	}
 	loads := make([]nodeLoad, 0, len(statuses))
 	for _, st := range statuses {
-		nl := nodeLoad{addr: st.Addr, ready: st.Ready, tenants: map[int]uint64{}}
+		nl := nodeLoad{
+			addr:     st.Addr,
+			ready:    st.Ready,
+			degraded: st.Degraded,
+			health:   st.HealthScore,
+			tenants:  map[int]uint64{},
+		}
 		prev := rb.last[st.Addr]
 		cur := map[int]uint64{}
 		for t, c := range st.CompletedByTenant {
@@ -89,6 +97,52 @@ func (rb *Rebalancer) Step() (tenant int, target string, err error) {
 	}
 	if time.Since(rb.lastMigrate) < rb.Cooldown {
 		return -1, "", nil
+	}
+
+	// Quarantine pre-pass: device health trumps hotspot math. A node whose
+	// auditor flipped it degraded gets its tenants evacuated before any load
+	// balancing — one tenant per step (most-loaded first, lowest id breaking
+	// ties), to the least-loaded healthy ready node, through the same
+	// gate→drain→handoff→flip→release machinery as a load migration.
+	for _, sick := range loads {
+		if !sick.degraded {
+			continue
+		}
+		evac, evacLoad := -1, uint64(0)
+		for t, d := range sick.tenants {
+			if rb.router.Owner(t) != sick.addr {
+				continue
+			}
+			if evac < 0 || d > evacLoad || (d == evacLoad && t < evac) {
+				evac, evacLoad = t, d
+			}
+		}
+		if evac < 0 {
+			continue // already evacuated
+		}
+		var dest *nodeLoad
+		for i := range loads {
+			nl := &loads[i]
+			if !nl.ready || nl.degraded || nl.addr == sick.addr {
+				continue
+			}
+			if dest == nil || nl.total < dest.total ||
+				(nl.total == dest.total && nl.addr < dest.addr) {
+				dest = nl
+			}
+		}
+		if dest == nil {
+			rb.logf("fleet: node %s degraded (health %.2f) but no healthy ready target; tenant %d stays",
+				sick.addr, sick.health, evac)
+			continue
+		}
+		rb.logf("fleet: node %s degraded (health %.2f): evacuating tenant %d (load %d) → %s",
+			sick.addr, sick.health, evac, evacLoad, dest.addr)
+		if err := rb.router.Migrate(evac, dest.addr); err != nil {
+			return -1, "", fmt.Errorf("fleet: quarantine migrate: %w", err)
+		}
+		rb.lastMigrate = time.Now()
+		return evac, dest.addr, nil
 	}
 
 	var mean float64

@@ -116,9 +116,10 @@ type Key struct {
 
 // FTL is the translation layer state for one device.
 type FTL struct {
-	cfg   nand.Config
-	load  Load
-	probe sim.Probe
+	cfg    nand.Config
+	load   Load
+	probe  sim.Probe
+	health *nand.Health // nil = immortal device, zero-cost fast path
 
 	planes  []plane
 	mapping map[Key]int64 // logical page -> PPN
@@ -238,6 +239,12 @@ func (f *FTL) SetProbe(p sim.Probe) {
 	f.probe = p
 }
 
+// SetHealth attaches the device health state the FTL routes around: page
+// placement skips dead dies and popFree skips retired blocks. nil (the
+// default) keeps the immortal fast path — every health check is a single
+// nil comparison. The caller owns resetting h; FTL.Reset does not touch it.
+func (f *FTL) SetHealth(h *nand.Health) { f.health = h }
+
 // SetTenantChannels assigns the channel set a tenant's future writes may
 // use. Existing mappings are untouched: data already written stays where it
 // is and reads follow the mapping, exactly as a real re-allocation would
@@ -300,12 +307,18 @@ func (f *FTL) PredictDie(k Key, isWrite bool) (die int, ok bool) {
 	if isWrite && f.TenantMode(k.Tenant) == DynamicAlloc {
 		return 0, false
 	}
-	// Static placement is a pure function of the LPN and channel set.
+	// Static placement is a pure function of the LPN and channel set
+	// (and, on a degraded device, of which dies are live).
 	set := f.TenantChannels(k.Tenant)
 	l := k.LPN
 	ch := set[int(l%int64(len(set)))]
 	l /= int64(len(set))
 	dieInCh := int(l % int64(f.cfg.DiesPerChannel()))
+	if f.health != nil {
+		if c2, d2, live := f.redirect(set, ch, dieInCh); live {
+			ch, dieInCh = c2, d2
+		}
+	}
 	chip := dieInCh / f.cfg.DiesPerChip
 	d := dieInCh % f.cfg.DiesPerChip
 	return f.cfg.DieID(nand.Addr{Channel: ch, Chip: chip, Die: d}), true
@@ -361,19 +374,47 @@ func (f *FTL) place(k Key, mode PageMode) (nand.Addr, *GCPlan, error) {
 		dieInCh = int(l % int64(f.cfg.DiesPerChannel()))
 		l /= int64(f.cfg.DiesPerChannel())
 		pl = int(l % int64(f.cfg.PlanesPerDie))
+		if f.health != nil {
+			c2, d2, live := f.redirect(set, ch, dieInCh)
+			if !live {
+				return nand.Addr{}, nil, fmt.Errorf("ftl: no live dies: %w", ErrDeviceFull)
+			}
+			ch, dieInCh = c2, d2
+		}
 	case DynamicAlloc:
-		ch = set[0]
-		best := f.load.ChannelLoad(ch)
-		for _, c := range set[1:] {
-			if l := f.load.ChannelLoad(c); l < best {
+		ch = -1
+		var best sim.Time
+		for _, c := range set {
+			if f.health != nil && f.health.LiveInChannel(c) == 0 {
+				continue
+			}
+			if l := f.load.ChannelLoad(c); ch == -1 || l < best {
 				ch, best = c, l
 			}
 		}
-		dieInCh = 0
+		if ch == -1 {
+			// The tenant's whole channel set is dead; spill to any
+			// live channel, like the static redirect's last resort.
+			for c := 0; c < f.cfg.Channels; c++ {
+				if f.health.LiveInChannel(c) == 0 {
+					continue
+				}
+				if l := f.load.ChannelLoad(c); ch == -1 || l < best {
+					ch, best = c, l
+				}
+			}
+			if ch == -1 {
+				return nand.Addr{}, nil, fmt.Errorf("ftl: no live dies: %w", ErrDeviceFull)
+			}
+		}
+		dieInCh = -1
 		firstDie := ch * f.cfg.DiesPerChannel()
-		bestDie := f.load.DieLoad(firstDie)
-		for d := 1; d < f.cfg.DiesPerChannel(); d++ {
-			if l := f.load.DieLoad(firstDie + d); l < bestDie {
+		var bestDie sim.Time
+		for d := 0; d < f.cfg.DiesPerChannel(); d++ {
+			if f.health != nil && f.health.DieDead(firstDie+d) {
+				continue
+			}
+			if l := f.load.DieLoad(firstDie + d); dieInCh == -1 || l < bestDie {
 				dieInCh, bestDie = d, l
 			}
 		}
@@ -413,7 +454,7 @@ func (f *FTL) appendPage(planeID int, k Key) (blockID, page int, err error) {
 		// plane is out of free blocks the active block must stay active
 		// (and out of the GC candidate list) so state remains
 		// consistent across the error.
-		id, ok := f.popFree(p)
+		id, ok := f.popFree(p, planeID)
 		if !ok {
 			return 0, 0, fmt.Errorf("plane %d: %w", planeID, ErrDeviceFull)
 		}
@@ -462,8 +503,15 @@ func (f *FTL) blockAt(p *plane, id int) *block {
 
 // popFree takes a free block. Never-used blocks go first; among recycled
 // blocks the least-erased is chosen — dynamic wear leveling, which spreads
-// erases evenly across the blocks in circulation.
-func (f *FTL) popFree(p *plane) (int, bool) {
+// erases evenly across the blocks in circulation. Retired fresh blocks are
+// skipped (retired recycled blocks were removed from the list when they
+// retired).
+func (f *FTL) popFree(p *plane, planeID int) (int, bool) {
+	if f.health != nil {
+		for p.nextFresh < f.cfg.BlocksPerPlane && f.health.BlockRetired(planeID, p.nextFresh) {
+			p.nextFresh++
+		}
+	}
 	if p.nextFresh < f.cfg.BlocksPerPlane {
 		id := p.nextFresh
 		p.nextFresh++

@@ -44,7 +44,7 @@ func (f *FTL) Season(validFrac float64, freeBlocks int, seed int64) error {
 	for planeID := range f.planes {
 		p := &f.planes[planeID]
 		for i := 0; i < fill; i++ {
-			id, ok := f.popFree(p)
+			id, ok := f.popFree(p, planeID)
 			if !ok {
 				return fmt.Errorf("ftl: plane %d ran out of blocks while seasoning", planeID)
 			}
@@ -143,7 +143,7 @@ func (f *FTL) applySeasonLayout(l *seasonLayout, fill int) error {
 	for planeID := range f.planes {
 		p := &f.planes[planeID]
 		for i := 0; i < fill; i++ {
-			id, ok := f.popFree(p)
+			id, ok := f.popFree(p, planeID)
 			if !ok {
 				return fmt.Errorf("ftl: plane %d ran out of blocks while seasoning", planeID)
 			}

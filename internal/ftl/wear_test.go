@@ -117,7 +117,7 @@ func TestPopFreePrefersLeastErased(t *testing.T) {
 	f.blockAt(p, 1).erases = 1
 	f.blockAt(p, 2).erases = 9
 	p.recycled = []int{0, 1, 2}
-	id, ok := f.popFree(p)
+	id, ok := f.popFree(p, 0)
 	if !ok || id != 1 {
 		t.Errorf("popFree = %d,%v; want least-erased block 1", id, ok)
 	}

@@ -86,6 +86,12 @@ type Controller struct {
 	// outcome index measurements the greedy policy would never take.
 	exploreRate float64
 	exploreRng  *rand.Rand
+
+	// Health-feature state: retries seen up to the previous epoch boundary,
+	// so each window's retry rate is a per-window delta, and the arrival
+	// count of the window being adapted on (advance resets c.observed before
+	// later boundaries fire).
+	lastRetries int64
 }
 
 // Controller returns an online controller bound to dev, with the first
@@ -128,6 +134,7 @@ func (c *Controller) refresh() {
 func (c *Controller) adapt(now sim.Time) error {
 	c.refresh()
 	vec := c.col.Vector(now)
+	c.mergeHealth(&vec)
 	strat, err := c.pol.Decide(vec)
 	if err != nil {
 		return err
@@ -177,6 +184,33 @@ func (c *Controller) adapt(now sim.Time) error {
 		c.hasPending = true
 	}
 	return nil
+}
+
+// mergeHealth folds the device's health summary into the feature vector for
+// this epoch. On an immortal device the snapshot is the zero value, so the
+// vector (and therefore every decision) is bit-identical to the pre-health
+// controller. RetryRate is a per-window delta — retries since the previous
+// boundary over arrivals in the window — so a long-healed burst ages out
+// instead of haunting every later epoch.
+func (c *Controller) mergeHealth(vec *features.Vector) {
+	hs := c.dev.HealthSnapshot()
+	if hs == (ssd.HealthSnapshot{}) && c.lastRetries == 0 {
+		return
+	}
+	vec.DeadDieFrac = hs.DeadDieFrac
+	delta := hs.ReadRetries - c.lastRetries
+	c.lastRetries = hs.ReadRetries
+	if c.observed > 0 && delta > 0 {
+		rate := float64(delta) / float64(c.observed)
+		if rate > 1 {
+			rate = 1
+		}
+		vec.RetryRate = rate
+	}
+	if hs.WearSpread > 1 {
+		hs.WearSpread = 1
+	}
+	vec.WearSpread = hs.WearSpread
 }
 
 // flushSample closes the open epoch's sample with the completions realized

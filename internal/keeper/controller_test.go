@@ -256,6 +256,66 @@ func TestControllerSkipIdleWindows(t *testing.T) {
 	}
 }
 
+// TestControllerDetachAttachTenant pins the migration contract: detaching a
+// tenant erases its in-window feature contribution, and a reattached tenant's
+// features restart from zero — the handoff destination never inherits arrival
+// history from before the move.
+func TestControllerDetachAttachTenant(t *testing.T) {
+	cfg := testConfig()
+	cfg.Window = 10 * sim.Millisecond
+	cfg.AdaptEvery = 10 * sim.Millisecond
+	k, err := New(cfg, forcedModel(t, len(cfg.Strategies), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := simrun.NewRunner().NewSession(simrun.Config{Device: cfg.Device, Options: cfg.Options})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := k.Controller(sess.Device())
+
+	wr := trace.Record{Tenant: 0, Op: trace.Write, Offset: 0, Size: 4096}
+	rd := trace.Record{Tenant: 1, Op: trace.Read, Offset: 0, Size: 4096}
+	c.Observe(1*sim.Millisecond, wr)
+	c.Observe(2*sim.Millisecond, rd)
+	c.Observe(3*sim.Millisecond, rd)
+	c.Observe(4*sim.Millisecond, rd)
+	// Tenant 1 departs mid-window: its three reads must vanish from the
+	// window that is still being collected.
+	c.DetachTenant(1)
+	c.Tick(15 * sim.Millisecond)
+	if got := c.SwitchCount(); got != 1 {
+		t.Fatalf("switches after first boundary = %d, want 1", got)
+	}
+	v := c.Switches()[0].Vector
+	if v.Prop[1] != 0 {
+		t.Errorf("detached tenant kept proportion %v", v.Prop[1])
+	}
+	if v.Prop[0] != 1 {
+		t.Errorf("surviving tenant proportion %v, want 1 (sole remaining traffic)", v.Prop[0])
+	}
+
+	// The tenant re-attaches (handoff landed): only post-attach arrivals
+	// count, so one read makes it read-dominated with a fresh proportion.
+	c.AttachTenant(1)
+	c.Observe(16*sim.Millisecond, rd)
+	c.Observe(17*sim.Millisecond, wr)
+	c.Tick(25 * sim.Millisecond)
+	if got := c.SwitchCount(); got != 2 {
+		t.Fatalf("switches after second boundary = %d, want 2", got)
+	}
+	v = c.Switches()[1].Vector
+	if v.Prop[1] != 0.5 || v.Prop[0] != 0.5 {
+		t.Errorf("reattached window proportions %v, want 0.5/0.5 from fresh arrivals only", v.Prop)
+	}
+	if !v.ReadChar[1] {
+		t.Errorf("reattached tenant not read-dominated from its single fresh read: %v", v.ReadChar)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestControllerSkipIdleSingleShot: an idle single-shot controller keeps
 // sliding its window until traffic appears, then adapts exactly once.
 func TestControllerSkipIdleSingleShot(t *testing.T) {

@@ -1,0 +1,395 @@
+package nand
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ssdkeeper/internal/sim"
+)
+
+// FaultKind classifies an injected device-health event.
+type FaultKind uint8
+
+// Fault kinds understood by the FaultPlan DSL and the device health model.
+const (
+	// FaultDieFail kills one die: every valid page on it is rebuilt onto
+	// live dies and the die stops accepting placements.
+	FaultDieFail FaultKind = iota
+	// FaultRetireBlock retires one block index on every plane of a
+	// channel: valid pages are relocated and the blocks leave circulation.
+	FaultRetireBlock
+	// FaultRetryTail enables a read-retry latency tail: from the event
+	// time on, a Prob fraction of physical pages need extra sensing
+	// passes on every read.
+	FaultRetryTail
+	// FaultProgramSlowdown enables wear-dependent program slowdown: from
+	// the event time on, programming a block whose erase count has
+	// reached the wear threshold takes Factor times the normal latency.
+	FaultProgramSlowdown
+)
+
+// String returns the DSL keyword for the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDieFail:
+		return "die"
+	case FaultRetireBlock:
+		return "retire"
+	case FaultRetryTail:
+		return "retry"
+	case FaultProgramSlowdown:
+		return "slow"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(k))
+	}
+}
+
+// FaultEvent is one scheduled health event. Which fields are meaningful
+// depends on Kind: die failure uses Channel and Die (die index within the
+// channel); block retirement uses Channel and Block (block index within each
+// plane of the channel); retry tails use Prob; program slowdown uses Factor.
+type FaultEvent struct {
+	Kind    FaultKind
+	At      sim.Time
+	Channel int
+	Die     int // die index within the channel (FaultDieFail)
+	Block   int // block index within each plane of the channel (FaultRetireBlock)
+	Prob    float64
+	Factor  float64
+}
+
+// String renders the event in DSL form.
+func (e FaultEvent) String() string {
+	at := time.Duration(e.At).String()
+	switch e.Kind {
+	case FaultDieFail:
+		return fmt.Sprintf("die:ch%d:die%d@%s", e.Channel, e.Die, at)
+	case FaultRetireBlock:
+		return fmt.Sprintf("retire:ch%d:blk%d@%s", e.Channel, e.Block, at)
+	case FaultRetryTail:
+		return fmt.Sprintf("retry:%s@%s", strconv.FormatFloat(e.Prob, 'g', -1, 64), at)
+	case FaultProgramSlowdown:
+		return fmt.Sprintf("slow:%s@%s", strconv.FormatFloat(e.Factor, 'g', -1, 64), at)
+	default:
+		return e.Kind.String()
+	}
+}
+
+// FaultPlan is a deterministic, seedable schedule of health events. The same
+// plan replays bit-identically across simrun device reuse and Reset: event
+// times are fixed simulated instants, and the read-retry tail is a pure hash
+// of (Seed, physical page), never a mutable random stream.
+//
+// A nil *FaultPlan means an immortal device; every health hook in the device
+// stack is a nil check away from the fault-free fast path.
+type FaultPlan struct {
+	Seed   int64
+	Events []FaultEvent
+}
+
+// String renders the plan in the comma-separated DSL accepted by
+// ParseFaultPlan. Parse(plan.String()) reproduces the events.
+func (p *FaultPlan) String() string {
+	if p == nil || len(p.Events) == 0 {
+		return ""
+	}
+	parts := make([]string, len(p.Events))
+	for i, e := range p.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Validate checks every event against the device geometry.
+func (p *FaultPlan) Validate(cfg Config) error {
+	if p == nil {
+		return nil
+	}
+	for i, e := range p.Events {
+		if e.At < 0 {
+			return fmt.Errorf("nand: fault %d (%s): negative time", i, e)
+		}
+		switch e.Kind {
+		case FaultDieFail:
+			if e.Channel < 0 || e.Channel >= cfg.Channels {
+				return fmt.Errorf("nand: fault %d (%s): channel out of range [0,%d)", i, e, cfg.Channels)
+			}
+			if e.Die < 0 || e.Die >= cfg.DiesPerChannel() {
+				return fmt.Errorf("nand: fault %d (%s): die out of range [0,%d)", i, e, cfg.DiesPerChannel())
+			}
+		case FaultRetireBlock:
+			if e.Channel < 0 || e.Channel >= cfg.Channels {
+				return fmt.Errorf("nand: fault %d (%s): channel out of range [0,%d)", i, e, cfg.Channels)
+			}
+			if e.Block < 0 || e.Block >= cfg.BlocksPerPlane {
+				return fmt.Errorf("nand: fault %d (%s): block out of range [0,%d)", i, e, cfg.BlocksPerPlane)
+			}
+		case FaultRetryTail:
+			if e.Prob < 0 || e.Prob > 1 {
+				return fmt.Errorf("nand: fault %d (%s): probability out of [0,1]", i, e)
+			}
+		case FaultProgramSlowdown:
+			if e.Factor < 1 {
+				return fmt.Errorf("nand: fault %d (%s): factor must be >= 1", i, e)
+			}
+		default:
+			return fmt.Errorf("nand: fault %d: unknown kind %d", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// ParseFaultPlan parses the comma-separated fault DSL:
+//
+//	die:ch<C>:die<D>@<dur>     kill die D of channel C at time dur
+//	retire:ch<C>:blk<B>@<dur>  retire block B on every plane of channel C
+//	retry:<prob>@<dur>         read-retry tail: prob of pages grow retries
+//	slow:<factor>@<dur>        program slowdown factor on worn blocks
+//
+// Durations use Go syntax ("30s", "1.5ms"). An empty string returns nil.
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	plan := &FaultPlan{Seed: 1}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		ev, err := parseFaultEvent(tok)
+		if err != nil {
+			return nil, err
+		}
+		plan.Events = append(plan.Events, ev)
+	}
+	if len(plan.Events) == 0 {
+		return nil, nil
+	}
+	// Deterministic arming order regardless of how the user listed them.
+	sort.SliceStable(plan.Events, func(i, j int) bool {
+		return plan.Events[i].At < plan.Events[j].At
+	})
+	return plan, nil
+}
+
+func parseFaultEvent(tok string) (FaultEvent, error) {
+	var ev FaultEvent
+	body, atStr, ok := strings.Cut(tok, "@")
+	if !ok {
+		return ev, fmt.Errorf("nand: fault %q: missing @time", tok)
+	}
+	d, err := time.ParseDuration(atStr)
+	if err != nil {
+		return ev, fmt.Errorf("nand: fault %q: bad time: %v", tok, err)
+	}
+	if d < 0 {
+		return ev, fmt.Errorf("nand: fault %q: negative time", tok)
+	}
+	ev.At = sim.Time(d)
+	kind, rest, _ := strings.Cut(body, ":")
+	switch kind {
+	case "die":
+		chs, dies, ok := strings.Cut(rest, ":")
+		if !ok {
+			return ev, fmt.Errorf("nand: fault %q: want die:ch<C>:die<D>@time", tok)
+		}
+		ev.Kind = FaultDieFail
+		if ev.Channel, err = parsePrefixed(chs, "ch"); err != nil {
+			return ev, fmt.Errorf("nand: fault %q: %v", tok, err)
+		}
+		if ev.Die, err = parsePrefixed(dies, "die"); err != nil {
+			return ev, fmt.Errorf("nand: fault %q: %v", tok, err)
+		}
+	case "retire":
+		chs, blks, ok := strings.Cut(rest, ":")
+		if !ok {
+			return ev, fmt.Errorf("nand: fault %q: want retire:ch<C>:blk<B>@time", tok)
+		}
+		ev.Kind = FaultRetireBlock
+		if ev.Channel, err = parsePrefixed(chs, "ch"); err != nil {
+			return ev, fmt.Errorf("nand: fault %q: %v", tok, err)
+		}
+		if ev.Block, err = parsePrefixed(blks, "blk"); err != nil {
+			return ev, fmt.Errorf("nand: fault %q: %v", tok, err)
+		}
+	case "retry":
+		ev.Kind = FaultRetryTail
+		ev.Prob, err = strconv.ParseFloat(rest, 64)
+		if err != nil || ev.Prob < 0 || ev.Prob > 1 {
+			return ev, fmt.Errorf("nand: fault %q: want retry:<prob in [0,1]>@time", tok)
+		}
+	case "slow":
+		ev.Kind = FaultProgramSlowdown
+		ev.Factor, err = strconv.ParseFloat(rest, 64)
+		if err != nil || ev.Factor < 1 {
+			return ev, fmt.Errorf("nand: fault %q: want slow:<factor >= 1>@time", tok)
+		}
+	default:
+		return ev, fmt.Errorf("nand: fault %q: unknown kind %q", tok, kind)
+	}
+	return ev, nil
+}
+
+func parsePrefixed(s, prefix string) (int, error) {
+	num, ok := strings.CutPrefix(s, prefix)
+	if !ok {
+		return 0, fmt.Errorf("want %s<N>, got %q", prefix, s)
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("want %s<N>, got %q", prefix, s)
+	}
+	return n, nil
+}
+
+// Health is the mutable health state of one device instance: which dies are
+// dead, which blocks are retired, and the active latency-tail parameters.
+// The FTL consults it when placing pages and recycling blocks; the device
+// consults it when timing flash operations. It is not safe for concurrent
+// use — like the FTL, it lives inside one engine's single-threaded run.
+type Health struct {
+	cfg  Config
+	plan *FaultPlan
+
+	deadDies    []bool
+	liveInCh    []int // live dies per channel
+	liveTotal   int
+	retired     map[int64]struct{} // plane*BlocksPerPlane + block
+	retryProb   float64
+	retryScaled uint64 // retryProb as a 2^63-scaled threshold for hash draws
+	slowFactor  float64
+
+	// Monotone event counters, reset with the device. The probe layer
+	// mirrors these into run counters; they also feed the keeper's
+	// health features and the serve tier's health score.
+	DieFailures   int64
+	BlocksRetired int64
+	ReadRetries   int64
+	SlowPrograms  int64
+}
+
+// NewHealth returns the health state for a fresh device under plan.
+// plan may be nil (immortal device — but then callers skip Health entirely).
+func NewHealth(cfg Config, plan *FaultPlan) *Health {
+	h := &Health{
+		cfg:      cfg,
+		plan:     plan,
+		deadDies: make([]bool, cfg.TotalDies()),
+		liveInCh: make([]int, cfg.Channels),
+		retired:  make(map[int64]struct{}),
+	}
+	h.Reset()
+	return h
+}
+
+// Reset restores factory health: all dies live, no retired blocks, no
+// latency tails, counters zeroed. Scheduled fault events are re-armed by the
+// device, not here.
+func (h *Health) Reset() {
+	for i := range h.deadDies {
+		h.deadDies[i] = false
+	}
+	for c := range h.liveInCh {
+		h.liveInCh[c] = h.cfg.DiesPerChannel()
+	}
+	h.liveTotal = h.cfg.TotalDies()
+	clear(h.retired)
+	h.retryProb, h.retryScaled = 0, 0
+	h.slowFactor = 0
+	h.DieFailures, h.BlocksRetired, h.ReadRetries, h.SlowPrograms = 0, 0, 0, 0
+}
+
+// FailDie marks device-wide die index dead. Idempotent.
+func (h *Health) FailDie(die int) {
+	if die < 0 || die >= len(h.deadDies) || h.deadDies[die] {
+		return
+	}
+	h.deadDies[die] = true
+	h.liveInCh[h.cfg.ChannelOfDie(die)]--
+	h.liveTotal--
+	h.DieFailures++
+}
+
+// DieDead reports whether device-wide die index is dead.
+func (h *Health) DieDead(die int) bool { return h.deadDies[die] }
+
+// LiveDies returns the number of live dies in the device.
+func (h *Health) LiveDies() int { return h.liveTotal }
+
+// LiveDieFrac returns the fraction of the device's dies still live.
+func (h *Health) LiveDieFrac() float64 {
+	if len(h.deadDies) == 0 {
+		return 1
+	}
+	return float64(h.liveTotal) / float64(len(h.deadDies))
+}
+
+// LiveInChannel returns the number of live dies on a channel.
+func (h *Health) LiveInChannel(ch int) int { return h.liveInCh[ch] }
+
+// RetireBlock marks (plane, block) retired. Idempotent.
+func (h *Health) RetireBlock(plane, block int) {
+	key := int64(plane)*int64(h.cfg.BlocksPerPlane) + int64(block)
+	if _, ok := h.retired[key]; ok {
+		return
+	}
+	h.retired[key] = struct{}{}
+	h.BlocksRetired++
+}
+
+// BlockRetired reports whether (plane, block) has been retired.
+func (h *Health) BlockRetired(plane, block int) bool {
+	if len(h.retired) == 0 {
+		return false
+	}
+	_, ok := h.retired[int64(plane)*int64(h.cfg.BlocksPerPlane)+int64(block)]
+	return ok
+}
+
+// SetRetryProb arms the read-retry tail: from now on, roughly prob of
+// physical pages need extra sensing passes on every read.
+func (h *Health) SetRetryProb(prob float64) {
+	h.retryProb = prob
+	h.retryScaled = uint64(prob * (1 << 63))
+}
+
+// RetryProb returns the active read-retry probability.
+func (h *Health) RetryProb() float64 { return h.retryProb }
+
+// SetSlowFactor arms wear-dependent program slowdown.
+func (h *Health) SetSlowFactor(f float64) { h.slowFactor = f }
+
+// SlowFactor returns the active program-slowdown factor (0 = off).
+func (h *Health) SlowFactor() float64 { return h.slowFactor }
+
+// RetriesFor returns the number of extra sensing passes a read of the
+// physical page at (plane, block, page) needs, in [0, 3]. The decision is a
+// pure hash of (Seed, page address): a weak page is consistently weak until
+// the device resets, so replays — drain→batch replay, simrun reuse — see
+// identical latencies no matter how often or in what order pages are read.
+func (h *Health) RetriesFor(plane, block, page int) int {
+	if h.retryScaled == 0 {
+		return 0
+	}
+	ppn := (int64(plane)*int64(h.cfg.BlocksPerPlane)+int64(block))*int64(h.cfg.PagesPerBlock) + int64(page)
+	x := splitmix64(uint64(h.plan.Seed)*0x9e3779b97f4a7c15 + uint64(ppn) + 1)
+	if x>>1 >= h.retryScaled { // top 63 bits vs scaled threshold
+		return 0
+	}
+	h.ReadRetries++
+	return 1 + int(x&3)%3 // 1..3 extra passes, hash-determined
+}
+
+// splitmix64 is the SplitMix64 finalizer: a fixed, cross-platform mixing
+// function (math/rand is not stable across Go releases).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,230 @@
+package nand
+
+import (
+	"strings"
+	"testing"
+
+	"ssdkeeper/internal/sim"
+)
+
+func TestParseFaultPlan(t *testing.T) {
+	plan, err := ParseFaultPlan("die:ch2:die1@30s, retire:ch0:blk12@45s, retry:0.01@10s, slow:1.5@20s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plan.Events); got != 4 {
+		t.Fatalf("parsed %d events, want 4", got)
+	}
+	// Events are sorted by time.
+	want := []FaultEvent{
+		{Kind: FaultRetryTail, Prob: 0.01, At: 10 * sim.Second},
+		{Kind: FaultProgramSlowdown, Factor: 1.5, At: 20 * sim.Second},
+		{Kind: FaultDieFail, Channel: 2, Die: 1, At: 30 * sim.Second},
+		{Kind: FaultRetireBlock, Channel: 0, Block: 12, At: 45 * sim.Second},
+	}
+	for i, w := range want {
+		if plan.Events[i] != w {
+			t.Errorf("event %d = %+v, want %+v", i, plan.Events[i], w)
+		}
+	}
+	if err := plan.Validate(TinyConfig()); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestParseFaultPlanEmpty(t *testing.T) {
+	for _, s := range []string{"", "   ", ",", " , "} {
+		plan, err := ParseFaultPlan(s)
+		if err != nil || plan != nil {
+			t.Errorf("ParseFaultPlan(%q) = %v, %v; want nil, nil", s, plan, err)
+		}
+	}
+}
+
+func TestParseFaultPlanErrors(t *testing.T) {
+	bad := []string{
+		"die:ch2:die1",         // no time
+		"die:ch2@30s",          // missing die part
+		"die:chX:die1@30s",     // bad channel
+		"die:ch-1:die1@30s",    // negative
+		"retire:ch0:12@45s",    // missing blk prefix
+		"retry:1.5@10s",        // prob > 1
+		"retry:x@10s",          // not a number
+		"slow:0.5@10s",         // factor < 1
+		"die:ch2:die1@-30s",    // negative time
+		"explode:ch0:die0@10s", // unknown kind
+	}
+	for _, s := range bad {
+		if _, err := ParseFaultPlan(s); err == nil {
+			t.Errorf("ParseFaultPlan(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestFaultPlanStringRoundTrip(t *testing.T) {
+	const src = "retry:0.01@10s,slow:1.5@20s,die:ch2:die1@30s,retire:ch0:blk12@45s"
+	plan, err := ParseFaultPlan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := ParseFaultPlan(plan.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", plan.String(), err)
+	}
+	if len(re.Events) != len(plan.Events) {
+		t.Fatalf("round trip lost events: %q -> %q", src, plan.String())
+	}
+	for i := range plan.Events {
+		if re.Events[i] != plan.Events[i] {
+			t.Errorf("event %d: %+v != %+v", i, re.Events[i], plan.Events[i])
+		}
+	}
+}
+
+func TestFaultPlanValidateGeometry(t *testing.T) {
+	cfg := TinyConfig()
+	bad := []FaultEvent{
+		{Kind: FaultDieFail, Channel: cfg.Channels, Die: 0},
+		{Kind: FaultDieFail, Channel: 0, Die: cfg.DiesPerChannel()},
+		{Kind: FaultRetireBlock, Channel: 0, Block: cfg.BlocksPerPlane},
+	}
+	for _, ev := range bad {
+		plan := &FaultPlan{Seed: 1, Events: []FaultEvent{ev}}
+		if err := plan.Validate(cfg); err == nil {
+			t.Errorf("Validate accepted out-of-range event %+v", ev)
+		}
+	}
+}
+
+func TestHealthDieAccounting(t *testing.T) {
+	cfg := TinyConfig()
+	h := NewHealth(cfg, &FaultPlan{Seed: 1})
+	if h.LiveDieFrac() != 1 || h.LiveDies() != cfg.TotalDies() {
+		t.Fatalf("fresh health not fully live: frac %v dies %d", h.LiveDieFrac(), h.LiveDies())
+	}
+	h.FailDie(3)
+	h.FailDie(3) // idempotent
+	if h.DieFailures != 1 {
+		t.Errorf("DieFailures = %d, want 1", h.DieFailures)
+	}
+	if !h.DieDead(3) || h.DieDead(2) {
+		t.Errorf("dead-die flags wrong: die3=%v die2=%v", h.DieDead(3), h.DieDead(2))
+	}
+	ch := cfg.ChannelOfDie(3)
+	if h.LiveInChannel(ch) != cfg.DiesPerChannel()-1 {
+		t.Errorf("LiveInChannel(%d) = %d, want %d", ch, h.LiveInChannel(ch), cfg.DiesPerChannel()-1)
+	}
+	h.Reset()
+	if h.DieDead(3) || h.LiveDies() != cfg.TotalDies() || h.DieFailures != 0 {
+		t.Errorf("Reset did not revive: dead=%v live=%d failures=%d", h.DieDead(3), h.LiveDies(), h.DieFailures)
+	}
+}
+
+func TestHealthRetiredBlocks(t *testing.T) {
+	h := NewHealth(TinyConfig(), &FaultPlan{Seed: 1})
+	h.RetireBlock(5, 12)
+	h.RetireBlock(5, 12)
+	if h.BlocksRetired != 1 {
+		t.Errorf("BlocksRetired = %d, want 1", h.BlocksRetired)
+	}
+	if !h.BlockRetired(5, 12) || h.BlockRetired(5, 13) || h.BlockRetired(4, 12) {
+		t.Error("retired-block lookup wrong")
+	}
+	h.Reset()
+	if h.BlockRetired(5, 12) {
+		t.Error("Reset kept a retired block")
+	}
+}
+
+// TestHealthRetriesDeterministic pins the replay contract: retry decisions
+// are a pure function of (seed, page), so the same page always draws the
+// same tail regardless of read order or repetition, and a different seed
+// draws a different pattern.
+func TestHealthRetriesDeterministic(t *testing.T) {
+	cfg := TinyConfig()
+	h := NewHealth(cfg, &FaultPlan{Seed: 42})
+	h.SetRetryProb(0.2)
+	first := make([]int, 256)
+	for p := range first {
+		first[p] = h.RetriesFor(0, p/cfg.PagesPerBlock, p%cfg.PagesPerBlock)
+	}
+	slow := 0
+	for p := len(first) - 1; p >= 0; p-- { // reverse order, second pass
+		got := h.RetriesFor(0, p/cfg.PagesPerBlock, p%cfg.PagesPerBlock)
+		if got != first[p] {
+			t.Fatalf("page %d retries changed across reads: %d then %d", p, first[p], got)
+		}
+		if got > 0 {
+			slow++
+			if got > 3 {
+				t.Fatalf("page %d draws %d retries, cap is 3", p, got)
+			}
+		}
+	}
+	if slow == 0 || slow == len(first) {
+		t.Errorf("retry tail hit %d/%d pages at prob 0.2; want a strict subset", slow, len(first))
+	}
+	other := NewHealth(cfg, &FaultPlan{Seed: 43})
+	other.SetRetryProb(0.2)
+	diff := 0
+	for p := range first {
+		if other.RetriesFor(0, p/cfg.PagesPerBlock, p%cfg.PagesPerBlock) != first[p] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("seed change did not move the retry pattern")
+	}
+}
+
+func TestHealthZeroProbDrawsNothing(t *testing.T) {
+	h := NewHealth(TinyConfig(), &FaultPlan{Seed: 1})
+	for p := 0; p < 64; p++ {
+		if h.RetriesFor(0, 0, p) != 0 {
+			t.Fatal("retries drawn with tail disarmed")
+		}
+	}
+	if h.ReadRetries != 0 {
+		t.Errorf("ReadRetries = %d, want 0", h.ReadRetries)
+	}
+}
+
+// FuzzParseFaultPlan asserts the parser never panics, and that every plan it
+// accepts round-trips through String unchanged — the CLI contract.
+func FuzzParseFaultPlan(f *testing.F) {
+	f.Add("die:ch2:die1@30s,retire:ch0:blk12@45s")
+	f.Add("retry:0.01@10s")
+	f.Add("slow:1.5@1h")
+	f.Add("die:ch0:die0@0s")
+	f.Add(",,die:ch1:die1@5ms,")
+	f.Add("die:ch2:die1@")
+	f.Add("retry:@1s")
+	f.Add("retire:ch999999999999999999:blk0@1s")
+	f.Fuzz(func(t *testing.T, s string) {
+		plan, err := ParseFaultPlan(s)
+		if err != nil {
+			if plan != nil {
+				t.Fatal("non-nil plan alongside error")
+			}
+			return
+		}
+		if plan == nil {
+			return
+		}
+		if strings.TrimSpace(plan.String()) == "" {
+			t.Fatalf("accepted plan renders empty: %q", s)
+		}
+		re, err := ParseFaultPlan(plan.String())
+		if err != nil {
+			t.Fatalf("String() output %q does not reparse: %v", plan.String(), err)
+		}
+		if len(re.Events) != len(plan.Events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(plan.Events), len(re.Events))
+		}
+		for i := range plan.Events {
+			if re.Events[i] != plan.Events[i] {
+				t.Fatalf("round trip changed event %d: %+v -> %+v", i, plan.Events[i], re.Events[i])
+			}
+		}
+	})
+}

@@ -19,6 +19,7 @@ type ANNPolicy struct {
 	inf        *nn.Inference          // float64 path (nil when quantized)
 	qinf       *nn.QuantizedInference // int8 path (nil when float)
 	strategies []alloc.Strategy
+	dim        int // the model's input width: features.Dim or features.LegacyDim
 
 	// Batch scratch, reused across DecideBatch calls: a flat input plane
 	// (rows sliced per vector) and the per-vector class indices.
@@ -28,13 +29,14 @@ type ANNPolicy struct {
 }
 
 // NewANN builds a float64 inference policy over a trained network and its
-// strategy space. The network's geometry must match: features.Dim inputs,
-// one output class per strategy.
+// strategy space. The network's geometry must match: features.Dim inputs
+// (or features.LegacyDim for pre-health checkpoints, which are served
+// through the legacy encoding), one output class per strategy.
 func NewANN(model *nn.Network, strategies []alloc.Strategy) (*ANNPolicy, error) {
 	if err := checkGeometry(model, strategies); err != nil {
 		return nil, err
 	}
-	return &ANNPolicy{inf: model.CloneForInference(), strategies: strategies}, nil
+	return &ANNPolicy{inf: model.CloneForInference(), strategies: strategies, dim: model.InputDim()}, nil
 }
 
 // NewQuantizedANN builds an int8 inference policy over a shared quantized
@@ -45,20 +47,29 @@ func NewQuantizedANN(q *nn.QuantizedNet, strategies []alloc.Strategy) (*ANNPolic
 		return nil, fmt.Errorf("policy: nil quantized network")
 	case len(strategies) == 0:
 		return nil, fmt.Errorf("policy: empty strategy space")
-	case q.InputDim() != features.Dim:
-		return nil, fmt.Errorf("policy: network input dim %d, want features.Dim %d",
-			q.InputDim(), features.Dim)
+	case q.InputDim() != features.Dim && q.InputDim() != features.LegacyDim:
+		return nil, fmt.Errorf("policy: network input dim %d, want features.Dim %d (or legacy %d)",
+			q.InputDim(), features.Dim, features.LegacyDim)
 	case q.OutputDim() != len(strategies):
 		return nil, fmt.Errorf("policy: network has %d classes for %d strategies",
 			q.OutputDim(), len(strategies))
 	}
-	return &ANNPolicy{qinf: q.CloneForInference(), strategies: strategies}, nil
+	return &ANNPolicy{qinf: q.CloneForInference(), strategies: strategies, dim: q.InputDim()}, nil
+}
+
+// appendInput encodes v at the model's input width: legacy-dim models get the
+// pre-health encoding (health features dropped), current models the full one.
+func (p *ANNPolicy) appendInput(dst []float64, v features.Vector) []float64 {
+	if p.dim == features.LegacyDim {
+		return v.AppendLegacyInput(dst)
+	}
+	return v.AppendInput(dst)
 }
 
 // Decide runs one forward pass and returns the argmax strategy.
 func (p *ANNPolicy) Decide(v features.Vector) (alloc.Strategy, error) {
 	p.growBatch(1)
-	x := v.AppendInput(p.inputs[:0])
+	x := p.appendInput(p.inputs[:0], v)
 	var idx int
 	var err error
 	if p.qinf != nil {
@@ -74,7 +85,7 @@ func (p *ANNPolicy) Decide(v features.Vector) (alloc.Strategy, error) {
 
 // growBatch sizes the reusable input plane and class scratch for n vectors.
 func (p *ANNPolicy) growBatch(n int) {
-	if need := n * features.Dim; cap(p.inputs) < need {
+	if need := n * p.dim; cap(p.inputs) < need {
 		p.inputs = make([]float64, 0, need)
 	}
 	if cap(p.rows) < n {
@@ -101,7 +112,7 @@ func (p *ANNPolicy) DecideBatch(vs []features.Vector, out []alloc.Strategy) erro
 	rows := p.rows[:len(vs)]
 	for i, v := range vs {
 		start := len(flat)
-		flat = v.AppendInput(flat)
+		flat = p.appendInput(flat, v)
 		rows[i] = flat[start:len(flat):len(flat)]
 	}
 	p.inputs = flat
@@ -122,16 +133,17 @@ func (p *ANNPolicy) DecideBatch(vs []features.Vector, out []alloc.Strategy) erro
 }
 
 // checkGeometry validates a network against the feature schema and strategy
-// space the binary was built with.
+// space the binary was built with. Legacy-width (pre-health) networks pass:
+// they serve through the legacy input encoding.
 func checkGeometry(model *nn.Network, strategies []alloc.Strategy) error {
 	switch {
 	case model == nil:
 		return fmt.Errorf("policy: nil network")
 	case len(strategies) == 0:
 		return fmt.Errorf("policy: empty strategy space")
-	case model.InputDim() != features.Dim:
-		return fmt.Errorf("policy: network input dim %d, want features.Dim %d",
-			model.InputDim(), features.Dim)
+	case model.InputDim() != features.Dim && model.InputDim() != features.LegacyDim:
+		return fmt.Errorf("policy: network input dim %d, want features.Dim %d (or legacy %d)",
+			model.InputDim(), features.Dim, features.LegacyDim)
 	case model.OutputDim() != len(strategies):
 		return fmt.Errorf("policy: network has %d classes for %d strategies",
 			model.OutputDim(), len(strategies))

@@ -84,11 +84,27 @@ type envelope struct {
 // SchemaHash fingerprints the feature encoding and strategy space the
 // binary was built with. Any change to features.Dim/Levels/MaxTenants, the
 // channel count, or the strategy space's composition or order changes the
-// hash and invalidates old checkpoints.
+// hash and invalidates old checkpoints. v2 is the health-extended schema
+// (features.Dim inputs); checkpoints carrying the v1 hash still load as
+// legacy-dim models (see LegacySchemaHash).
 func SchemaHash(channels int, strategies []alloc.Strategy) string {
+	return schemaHash("features/v2", features.Dim, channels, strategies)
+}
+
+// LegacySchemaHash reproduces the pre-health schema fingerprint: the v1
+// format string over features.LegacyDim inputs, byte-for-byte what older
+// binaries wrote into their envelopes. A checkpoint carrying this hash is
+// accepted and served through the legacy input encoding
+// (features.Vector.AppendLegacyInput), so models trained before the health
+// features existed keep working on devices that never fault.
+func LegacySchemaHash(channels int, strategies []alloc.Strategy) string {
+	return schemaHash("features/v1", features.LegacyDim, channels, strategies)
+}
+
+func schemaHash(version string, dim, channels int, strategies []alloc.Strategy) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "features/v1 dim=%d levels=%d tenants=%d channels=%d strategies=",
-		features.Dim, features.Levels, features.MaxTenants, channels)
+	fmt.Fprintf(&b, "%s dim=%d levels=%d tenants=%d channels=%d strategies=",
+		version, dim, features.Levels, features.MaxTenants, channels)
 	for i, s := range strategies {
 		if i > 0 {
 			b.WriteByte(',')
@@ -125,10 +141,16 @@ func SaveCheckpointPrecision(w io.Writer, net *nn.Network, meta Meta, channels i
 	if p != nn.Float64 {
 		precision = p.String()
 	}
+	// A legacy-width model re-saved by this binary keeps the legacy hash, so
+	// the envelope stays truthful about the encoding the weights expect.
+	hash := SchemaHash(channels, strategies)
+	if net.InputDim() == features.LegacyDim {
+		hash = LegacySchemaHash(channels, strategies)
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(envelope{
 		FormatVersion: FormatVersion,
-		SchemaHash:    SchemaHash(channels, strategies),
+		SchemaHash:    hash,
 		Checksum:      hex.EncodeToString(sum[:]),
 		Precision:     precision,
 		Meta:          meta,
@@ -194,10 +216,16 @@ func LoadCheckpointPrecision(r io.Reader, channels int, strategies []alloc.Strat
 		return nil, Meta{}, nn.Float64, fmt.Errorf("policy: checkpoint %w (written by a newer binary?)", err)
 	}
 	if want := SchemaHash(channels, strategies); env.SchemaHash != want {
-		return nil, Meta{}, nn.Float64, fmt.Errorf(
-			"policy: checkpoint feature-schema hash %s does not match this binary's schema %s "+
-				"(dim=%d, %d strategies over %d channels): retrain the model against the current schema",
-			env.SchemaHash, want, features.Dim, len(strategies), channels)
+		if env.SchemaHash != LegacySchemaHash(channels, strategies) {
+			return nil, Meta{}, nn.Float64, fmt.Errorf(
+				"policy: checkpoint feature-schema hash %s matches neither this binary's schema %s "+
+					"(dim=%d, %d strategies over %d channels) nor the legacy pre-health schema: "+
+					"retrain the model against the current schema",
+				env.SchemaHash, want, features.Dim, len(strategies), channels)
+		}
+		// Legacy pre-health checkpoint: accepted; checkGeometry below
+		// enforces the LegacyDim input width and the serving layer
+		// encodes with AppendLegacyInput.
 	}
 	model := bytes.TrimSpace(env.Model)
 	sum := sha256.Sum256(model)

@@ -1,0 +1,130 @@
+package policy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ssdkeeper/internal/alloc"
+	"ssdkeeper/internal/features"
+	"ssdkeeper/internal/nn"
+)
+
+// legacyNet builds a network with the pre-health input width, standing in for
+// a checkpoint trained before the feature schema grew the health dimensions.
+func legacyNet(t *testing.T, classes int) *nn.Network {
+	t.Helper()
+	net, err := nn.NewMLP([]int{features.LegacyDim, 8, classes}, nn.Logistic{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestLegacyDimCheckpointRoundTrip pins the schema-bump compat contract: a
+// legacy-width model saves under the v1 hash, loads back without error, and
+// serves through the legacy input encoding — health features are dropped, so
+// its decisions are independent of device health.
+func TestLegacyDimCheckpointRoundTrip(t *testing.T) {
+	strategies := testStrategies()
+	net := legacyNet(t, len(strategies))
+
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, net, Meta{Name: "old"}, testChannels, strategies); err != nil {
+		t.Fatal(err)
+	}
+	if want := LegacySchemaHash(testChannels, strategies); !strings.Contains(buf.String(), want) {
+		t.Fatalf("legacy-width model did not save under the legacy hash %s", want)
+	}
+	loaded, meta, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), testChannels, strategies)
+	if err != nil {
+		t.Fatalf("legacy-hash checkpoint refused: %v", err)
+	}
+	if meta.Name != "old" {
+		t.Errorf("meta lost: %+v", meta)
+	}
+	if loaded.InputDim() != features.LegacyDim {
+		t.Fatalf("loaded input dim %d", loaded.InputDim())
+	}
+
+	p, err := NewANN(loaded, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range pinnedVectors(16) {
+		healthy := v
+		sick := v
+		sick.DeadDieFrac, sick.RetryRate, sick.WearSpread = 0.5, 0.3, 0.9
+		a, err := p.Decide(healthy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.Decide(sick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name(testChannels) != b.Name(testChannels) {
+			t.Fatalf("legacy model saw health features: %s vs %s",
+				a.Name(testChannels), b.Name(testChannels))
+		}
+		want, err := loaded.Predict(v.AppendLegacyInput(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name(testChannels) != strategies[want].Name(testChannels) {
+			t.Fatalf("legacy encoding diverges from direct Predict")
+		}
+	}
+}
+
+// TestLegacyDimModelQuantizes: the int8 serving path accepts legacy-width
+// models and batch decisions agree with the scalar path.
+func TestLegacyDimModelQuantizes(t *testing.T) {
+	strategies := testStrategies()
+	net := legacyNet(t, len(strategies))
+	m, err := NewModelPrecision("v1-legacy", net, strategies, nn.Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPolicy().(*ANNPolicy)
+	vs := pinnedVectors(32)
+	single := make([]string, len(vs))
+	for i, v := range vs {
+		s, err := p.Decide(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single[i] = s.Name(testChannels)
+	}
+	batchP := m.NewPolicy().(*ANNPolicy)
+	out := make([]alloc.Strategy, len(vs))
+	if err := batchP.DecideBatch(vs, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		if out[i].Name(testChannels) != single[i] {
+			t.Fatalf("vector %d: batch %s vs scalar %s", i,
+				out[i].Name(testChannels), single[i])
+		}
+	}
+}
+
+// TestWrongHashStillRefused: the legacy escape hatch only accepts the exact
+// legacy hash; any other mismatch stays a loud error naming both hashes.
+func TestWrongHashStillRefused(t *testing.T) {
+	strategies := testStrategies()
+	net := testNet(t, len(strategies), 7)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, net, Meta{}, testChannels, strategies); err != nil {
+		t.Fatal(err)
+	}
+	doctored := strings.Replace(buf.String(),
+		SchemaHash(testChannels, strategies), "deadbeefdeadbeef", 1)
+	_, _, err := LoadCheckpoint(strings.NewReader(doctored), testChannels, strategies)
+	if err == nil {
+		t.Fatal("doctored hash accepted")
+	}
+	if !strings.Contains(err.Error(), "legacy") {
+		t.Errorf("error %q does not mention the legacy schema", err)
+	}
+}

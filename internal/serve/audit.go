@@ -1,0 +1,104 @@
+package serve
+
+import "time"
+
+// The node auditor is the serving tier's health watchdog. Each sweep pulls
+// every shard's device health snapshot (through the shard mailbox, so the
+// counters are read in the owning goroutine) and folds it into a score in
+// [0,1], where 1.0 is a fully healthy device. Once any shard's score falls
+// below Config.DegradedScore the node flips to degraded: Ready() goes false,
+// /readyz answers 503 "degraded", and the fleet prober sees it on the next
+// probe so the rebalancer can migrate tenants away. Degraded is sticky —
+// dead dies do not resurrect, so a sick unit stays quarantined until it is
+// drained and replaced.
+
+// shardHealthScore folds one shard's health snapshot into a score in [0,1].
+// Dead dies dominate (full weight), read-retry pressure is normalized by the
+// shard's completed client requests (weight 0.2), and wear imbalance
+// contributes a small tail (weight 0.1). An immortal device scores 1.0.
+func shardHealthScore(snap *shardSnapshot) float64 {
+	hs := snap.health
+	score := 1.0 - hs.DeadDieFrac
+	var completed uint64
+	for i := range snap.tenants {
+		completed += snap.tenants[i].completed[0] + snap.tenants[i].completed[1]
+	}
+	if hs.ReadRetries > 0 && completed > 0 {
+		rate := float64(hs.ReadRetries) / float64(completed)
+		if rate > 1 {
+			rate = 1
+		}
+		score -= 0.2 * rate
+	}
+	spread := hs.WearSpread
+	if spread > 1 {
+		spread = 1
+	}
+	score -= 0.1 * spread
+	if score < 0 {
+		score = 0
+	}
+	return score
+}
+
+// Audit runs one auditor sweep: it snapshots every shard, scores each, and
+// flips the node to degraded if the worst score is below the configured
+// threshold. It returns the worst (minimum) shard score. Safe to call at any
+// time — tests and external schedulers can drive it without the loop.
+func (n *Node) Audit() float64 {
+	worst := 1.0
+	for _, sd := range n.shards {
+		snap := sd.final
+		if r, ok := sd.send(msgSnapshot); ok {
+			snap = r.snap
+		}
+		if snap == nil {
+			continue
+		}
+		if s := shardHealthScore(snap); s < worst {
+			worst = s
+		}
+	}
+	if worst < n.cfg.DegradedScore && n.degraded.CompareAndSwap(false, true) {
+		if n.cfg.AuditLog != nil {
+			n.cfg.AuditLog("serve: node degraded: worst shard health score %.3f below threshold %.3f",
+				worst, n.cfg.DegradedScore)
+		}
+	}
+	return worst
+}
+
+// HealthScore runs one sweep and returns the worst shard health score. Like
+// Audit (which it is), the sweep flips the node to degraded when the score
+// crosses the threshold.
+func (n *Node) HealthScore() float64 { return n.Audit() }
+
+// Degraded reports whether the auditor has quarantined this node.
+func (n *Node) Degraded() bool { return n.degraded.Load() }
+
+// auditLoop sweeps shard health every AuditEvery until stopAuditor fires.
+func (n *Node) auditLoop() {
+	defer close(n.auditDone)
+	t := time.NewTicker(n.cfg.AuditEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.auditStop:
+			return
+		case <-t.C:
+			n.Audit()
+		}
+	}
+}
+
+// stopAuditor stops the audit loop and waits for it to exit, so Drain never
+// races a concurrent sweep against shard shutdown. Idempotent; a no-op when
+// the loop was never started.
+func (n *Node) stopAuditor() {
+	n.auditOnce.Do(func() {
+		close(n.auditStop)
+		if n.auditRunning.Load() {
+			<-n.auditDone
+		}
+	})
+}

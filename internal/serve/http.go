@@ -87,6 +87,8 @@ func (s *Server) Handler(reqTimeout time.Duration) http.Handler {
 			http.Error(w, fmt.Sprintf("device error: %v", s.Err()), http.StatusServiceUnavailable)
 		case s.Draining():
 			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case s.Degraded():
+			http.Error(w, "degraded: device health below threshold", http.StatusServiceUnavailable)
 		case !s.Ready():
 			http.Error(w, "tenant handoff in flight", http.StatusServiceUnavailable)
 		default:

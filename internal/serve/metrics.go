@@ -261,6 +261,49 @@ func (n *Node) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "ssdkeeper_learn_regret %g\n", st.Regret)
 	}
 
+	// Device health: raw counters summed across shards, per-shard scores, and
+	// the auditor's verdict. All of it comes from the snapshots, so a sick
+	// device is visible here even when the audit loop is disabled.
+	var dieFail, retries, retired, slow int64
+	worst := 1.0
+	for _, snap := range snaps {
+		hs := snap.health
+		dieFail += hs.DieFailures
+		retries += hs.ReadRetries
+		retired += hs.BlocksRetired
+		slow += hs.SlowPrograms
+		if s := shardHealthScore(snap); s < worst {
+			worst = s
+		}
+	}
+	fmt.Fprintf(w, "# HELP ssdkeeper_die_failures_total NAND dies failed across all shards.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_die_failures_total counter\n")
+	fmt.Fprintf(w, "ssdkeeper_die_failures_total %d\n", dieFail)
+	fmt.Fprintf(w, "# HELP ssdkeeper_read_retries_total Reads that needed extra sense passes across all shards.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_read_retries_total counter\n")
+	fmt.Fprintf(w, "ssdkeeper_read_retries_total %d\n", retries)
+	fmt.Fprintf(w, "# HELP ssdkeeper_blocks_retired_total Flash blocks retired across all shards.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_blocks_retired_total counter\n")
+	fmt.Fprintf(w, "ssdkeeper_blocks_retired_total %d\n", retired)
+	fmt.Fprintf(w, "# HELP ssdkeeper_slow_programs_total Wear-slowed program operations across all shards.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_slow_programs_total counter\n")
+	fmt.Fprintf(w, "ssdkeeper_slow_programs_total %d\n", slow)
+	fmt.Fprintf(w, "# HELP ssdkeeper_shard_health_score Device health score per shard (1 healthy, 0 dead).\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_shard_health_score gauge\n")
+	for i, snap := range snaps {
+		fmt.Fprintf(w, "ssdkeeper_shard_health_score{shard=\"%d\"} %g\n", i, shardHealthScore(snap))
+	}
+	fmt.Fprintf(w, "# HELP ssdkeeper_health_score Worst shard health score (the auditor's input).\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_health_score gauge\n")
+	fmt.Fprintf(w, "ssdkeeper_health_score %g\n", worst)
+	fmt.Fprintf(w, "# HELP ssdkeeper_degraded Whether the auditor has quarantined this node.\n")
+	fmt.Fprintf(w, "# TYPE ssdkeeper_degraded gauge\n")
+	degraded := 0
+	if n.degraded.Load() {
+		degraded = 1
+	}
+	fmt.Fprintf(w, "ssdkeeper_degraded %d\n", degraded)
+
 	if len(snaps[0].counterNames) > 0 {
 		fmt.Fprintf(w, "# HELP ssdkeeper_sim_counter Simulation probe counters, summed across shards (see internal/simrun).\n")
 		fmt.Fprintf(w, "# TYPE ssdkeeper_sim_counter counter\n")

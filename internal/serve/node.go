@@ -34,6 +34,15 @@ type Node struct {
 	rejDrain atomic.Uint64
 	rejMigr  atomic.Uint64
 
+	// Auditor state: degraded flips once a shard's health score crosses the
+	// configured threshold and holds the node out of readiness; the loop
+	// goroutine (armed by Start when AuditEvery > 0) stops at Drain.
+	degraded     atomic.Bool
+	auditRunning atomic.Bool
+	auditStop    chan struct{}
+	auditDone    chan struct{}
+	auditOnce    sync.Once
+
 	// gates is the per-tenant admission lifecycle (tenantActive /
 	// tenantDraining / tenantParked); parked counts the non-active gates so
 	// readiness is one atomic load.
@@ -68,10 +77,12 @@ func NewNode(cfg Config, k *keeper.Keeper) (*Node, error) {
 			k.Config().Device, cfg.Device)
 	}
 	n := &Node{
-		cfg:    cfg,
-		epoch:  cfg.Now(), // sim time zero is the construction instant
-		startc: make(chan struct{}),
-		gates:  make([]atomic.Int32, cfg.Tenants),
+		cfg:       cfg,
+		epoch:     cfg.Now(), // sim time zero is the construction instant
+		startc:    make(chan struct{}),
+		gates:     make([]atomic.Int32, cfg.Tenants),
+		auditStop: make(chan struct{}),
+		auditDone: make(chan struct{}),
 	}
 	if k != nil {
 		n.ksrc = k.Source()
@@ -99,6 +110,10 @@ func NewNode(cfg Config, k *keeper.Keeper) (*Node, error) {
 func (n *Node) Start() {
 	if n.started.CompareAndSwap(false, true) {
 		close(n.startc)
+		if n.cfg.AuditEvery > 0 {
+			n.auditRunning.Store(true)
+			go n.auditLoop()
+		}
 	}
 }
 
@@ -228,6 +243,7 @@ func (n *Node) Drain() ssd.Result {
 	defer n.drainMu.Unlock()
 	if !n.drained {
 		n.draining.Store(true)
+		n.stopAuditor()
 		n.perShard = make([]ssd.Result, len(n.shards))
 		// The drain message queues FIFO behind in-flight submissions, so
 		// every admitted request is either dispatched or drain-rejected —
@@ -328,12 +344,13 @@ func jainFairness(per map[int]stats.Latency) float64 {
 func (n *Node) Draining() bool { return n.draining.Load() }
 
 // Ready reports whether the node should receive new traffic: started or
-// startable, not draining, not poisoned, and with no tenant handoff in
-// flight. Fleet membership keys off this (via /readyz), which is why it is
-// stricter than liveness: a node mid-handoff is alive but not a placement
-// target.
+// startable, not draining, not poisoned, not health-degraded, and with no
+// tenant handoff in flight. Fleet membership keys off this (via /readyz),
+// which is why it is stricter than liveness: a node mid-handoff or with a
+// sick device is alive but not a placement target.
 func (n *Node) Ready() bool {
-	return !n.draining.Load() && n.Err() == nil && n.parked.Load() == 0
+	return !n.draining.Load() && n.Err() == nil && n.parked.Load() == 0 &&
+		!n.degraded.Load()
 }
 
 // Err returns the first device submit failure, if any (surfaced by

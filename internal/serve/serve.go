@@ -125,6 +125,20 @@ type Config struct {
 	// ExploreSeed seeds exploration; each shard derives its own stream from
 	// it, so multi-shard runs stay deterministic under a fake clock.
 	ExploreSeed int64
+
+	// AuditEvery enables the node auditor: a loop that sweeps every shard's
+	// device health each interval and flips the node to degraded (Ready()
+	// false, /readyz 503 "degraded") once any shard's health score falls
+	// below DegradedScore. Zero disables the loop; Audit can still be
+	// called manually (tests, external schedulers).
+	AuditEvery time.Duration
+	// DegradedScore is the auditor's readiness threshold in [0,1]; a shard
+	// scoring below it degrades the node (default 0.5). A healthy device
+	// scores 1.0; dead dies, read-retry storms, and wear spread pull the
+	// score down (see HealthScore).
+	DegradedScore float64
+	// AuditLog, when set, receives one line per degradation flip.
+	AuditLog func(format string, args ...any)
 }
 
 func (c *Config) fillDefaults() {
@@ -158,6 +172,9 @@ func (c *Config) fillDefaults() {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.DegradedScore == 0 {
+		c.DegradedScore = 0.5
+	}
 }
 
 // Validate reports the first invalid field.
@@ -174,6 +191,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: negative accel %v", c.Accel)
 	case c.ExploreRate < 0 || c.ExploreRate > 1:
 		return fmt.Errorf("serve: explore rate %v outside [0,1]", c.ExploreRate)
+	case c.AuditEvery < 0:
+		return fmt.Errorf("serve: negative audit interval %v", c.AuditEvery)
+	case c.DegradedScore < 0 || c.DegradedScore > 1:
+		return fmt.Errorf("serve: degraded score %v outside [0,1]", c.DegradedScore)
 	}
 	return nil
 }

@@ -621,12 +621,14 @@ type shardSnapshot struct {
 	shadowErrs   uint64
 	counterNames []string
 	counterVals  []int64
+	health       ssd.HealthSnapshot // zero value on an immortal device
 }
 
 func (sd *shard) snapshot() *shardSnapshot {
 	snap := &shardSnapshot{
 		simNow:  sd.eng.Now(),
 		tenants: make([]tenantSnapshot, len(sd.tenants)),
+		health:  sd.dev.HealthSnapshot(),
 	}
 	for i := range sd.tenants {
 		ts := &sd.tenants[i]

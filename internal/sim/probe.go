@@ -40,6 +40,19 @@ type Probe interface {
 	// CMT is called for each mapping lookup against a configured cached
 	// mapping table, with the hit/miss outcome.
 	CMT(hit bool)
+	// DieFailed is called once when an injected fault kills a die, with
+	// the device-wide die index and the valid pages rebuilt onto live
+	// dies.
+	DieFailed(die, rebuilt int)
+	// BlockRetired is called once per block an injected fault retires,
+	// with the flat plane index and the valid pages relocated.
+	BlockRetired(plane, moved int)
+	// ReadRetry is called when a read needs extra sensing passes, with
+	// the number of extra passes charged to the die.
+	ReadRetry(die, passes int)
+	// ProgramSlowdown is called when wear-dependent slowdown stretches a
+	// program, with the extra die time beyond the nominal latency.
+	ProgramSlowdown(die int, extra Time)
 }
 
 // NopProbe is a Probe that discards everything. It is the default probe on
@@ -60,6 +73,18 @@ func (NopProbe) GC(int, int, int, int, Time) {}
 
 // CMT implements Probe.
 func (NopProbe) CMT(bool) {}
+
+// DieFailed implements Probe.
+func (NopProbe) DieFailed(int, int) {}
+
+// BlockRetired implements Probe.
+func (NopProbe) BlockRetired(int, int) {}
+
+// ReadRetry implements Probe.
+func (NopProbe) ReadRetry(int, int) {}
+
+// ProgramSlowdown implements Probe.
+func (NopProbe) ProgramSlowdown(int, Time) {}
 
 // orNop maps nil to NopProbe so stored probes are always callable.
 func orNop(p Probe) Probe {

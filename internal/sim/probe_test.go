@@ -30,6 +30,10 @@ func (p *recordingProbe) ResourceGranted(kind ResourceKind, index int, hold, wai
 }
 func (p *recordingProbe) GC(plane int, moved, wearMoved, erases int, dieTime Time) { p.gcCalls++ }
 func (p *recordingProbe) CMT(hit bool)                                             { p.cmtCalls++ }
+func (p *recordingProbe) DieFailed(die, rebuilt int)                               {}
+func (p *recordingProbe) BlockRetired(plane, moved int)                            {}
+func (p *recordingProbe) ReadRetry(die, passes int)                                {}
+func (p *recordingProbe) ProgramSlowdown(die int, extra Time)                      {}
 
 func TestEngineProbeSeesEveryEvent(t *testing.T) {
 	e := NewEngine()

@@ -1,0 +1,149 @@
+package simrun
+
+import (
+	"context"
+	"testing"
+
+	"ssdkeeper/internal/nand"
+	"ssdkeeper/internal/sim"
+	"ssdkeeper/internal/ssd"
+	"ssdkeeper/internal/trace"
+)
+
+// faultTrace synthesizes a deterministic two-tenant mix long enough to
+// straddle the fault plan's events.
+func faultTrace(n int) trace.Trace {
+	tr := make(trace.Trace, 0, n)
+	const pageSize = 16 * 1024
+	for i := 0; i < n; i++ {
+		op := trace.Write
+		if i%3 == 0 {
+			op = trace.Read
+		}
+		tr = append(tr, trace.Record{
+			Time:   sim.Time(i) * 100 * sim.Microsecond,
+			Tenant: i % 2,
+			Op:     op,
+			Offset: int64((i * 7) % 512 * pageSize),
+			Size:   pageSize,
+		})
+	}
+	return tr
+}
+
+func testFaultPlan() *nand.FaultPlan {
+	return &nand.FaultPlan{Seed: 7, Events: []nand.FaultEvent{
+		{Kind: nand.FaultRetryTail, Prob: 0.1, At: 20 * sim.Millisecond},
+		{Kind: nand.FaultDieFail, Channel: 0, Die: 0, At: 50 * sim.Millisecond},
+		{Kind: nand.FaultProgramSlowdown, Factor: 1.5, At: 80 * sim.Millisecond},
+		{Kind: nand.FaultRetireBlock, Channel: 1, Block: 3, At: 110 * sim.Millisecond},
+	}}
+}
+
+// TestFaultPlanReplaysIdentically pins the tentpole determinism contract: a
+// session with an active FaultPlan replays bit-identically whether the
+// device is freshly built or reused-and-Reset by the runner, and the faults
+// actually fire.
+func TestFaultPlanReplaysIdentically(t *testing.T) {
+	cfg := nand.TinyConfig()
+	plan := testFaultPlan()
+	rc := Config{
+		Device:  cfg,
+		Options: ssd.Options{FaultPlan: plan},
+		Season:  DefaultSeasoning(),
+	}
+	tr := faultTrace(1500)
+
+	run := func(r *Runner) (Result, ssd.HealthSnapshot) {
+		sess, err := r.NewSession(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Run(context.Background(), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, sess.Device().HealthSnapshot()
+	}
+
+	reused := NewInstrumentedRunner(cfg)
+	res1, hs1 := run(reused)
+	c1 := counterMap(t, res1)
+	res2, hs2 := run(reused) // device cache hit: Reset + fault re-arm path
+	c2 := counterMap(t, res2)
+	fresh, hs3 := run(NewInstrumentedRunner(cfg)) // brand-new device
+	c3 := counterMap(t, fresh)
+
+	if hs1.DieFailures != 1 {
+		t.Fatalf("die failure did not fire: %+v", hs1)
+	}
+	if hs1.ReadRetries == 0 {
+		t.Error("retry tail drew no retries; plan too weak for the trace")
+	}
+	if hs1.BlocksRetired == 0 {
+		t.Error("no blocks retired")
+	}
+	if hs1 != hs2 || hs1 != hs3 {
+		t.Errorf("health snapshots diverge:\nreused1 %+v\nreused2 %+v\nfresh   %+v", hs1, hs2, hs3)
+	}
+	for _, pair := range []struct {
+		name string
+		a, b Result
+	}{{"reused-vs-reset", res1, res2}, {"reused-vs-fresh", res1, fresh}} {
+		if pair.a.Makespan != pair.b.Makespan {
+			t.Errorf("%s: makespan %v vs %v", pair.name, pair.a.Makespan, pair.b.Makespan)
+		}
+		if pair.a.Conflicts != pair.b.Conflicts || pair.a.ConflictWait != pair.b.ConflictWait {
+			t.Errorf("%s: conflicts %d/%v vs %d/%v", pair.name,
+				pair.a.Conflicts, pair.a.ConflictWait, pair.b.Conflicts, pair.b.ConflictWait)
+		}
+		if pair.a.FTL != pair.b.FTL {
+			t.Errorf("%s: FTL counters %+v vs %+v", pair.name, pair.a.FTL, pair.b.FTL)
+		}
+	}
+	for name, v := range c1 {
+		if c2[name] != v || c3[name] != v {
+			t.Errorf("counter %s diverges: %d / %d / %d", name, v, c2[name], c3[name])
+		}
+	}
+}
+
+// TestZeroFaultPathUnchanged pins the fast-path contract: a nil FaultPlan
+// produces exactly the same run as before the health tier existed — here
+// approximated as "identical with and without a plan containing no events
+// vs no plan at all" and "health counters all zero without a plan".
+func TestZeroFaultPathUnchanged(t *testing.T) {
+	cfg := nand.TinyConfig()
+	tr := faultTrace(800)
+	rc := Config{Device: cfg, Season: DefaultSeasoning()}
+
+	r := NewInstrumentedRunner(cfg)
+	sess, err := r.NewSession(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs := sess.Device().HealthSnapshot(); hs != (ssd.HealthSnapshot{}) {
+		t.Errorf("immortal device reports health activity: %+v", hs)
+	}
+	for name, v := range counterMap(t, res) {
+		if len(name) >= 7 && name[:7] == "health." && v != 0 {
+			t.Errorf("immortal run moved health counter %s = %d", name, v)
+		}
+	}
+}
+
+func counterMap(t *testing.T, res Result) map[string]int64 {
+	t.Helper()
+	if res.Counters == nil {
+		t.Fatal("no counters on instrumented result")
+	}
+	m := make(map[string]int64)
+	for _, name := range res.Counters.Names() {
+		m[name] = res.Counters.Get(name)
+	}
+	return m
+}

@@ -24,6 +24,14 @@ import (
 //	ftl.wl.moved_pages       pages migrated by static wear leveling
 //	ftl.cmt.hits             cached-mapping-table hits
 //	ftl.cmt.misses           cached-mapping-table misses
+//	health.die_failures      dies killed by injected faults
+//	health.rebuilt_pages     valid pages rebuilt off dead dies
+//	health.blocks_retired    blocks retired by injected faults
+//	health.retired_moved     valid pages relocated off retired blocks
+//	health.read_retries      reads that needed extra sensing passes
+//	health.retry_passes      extra sensing passes charged to dies
+//	health.slow_programs     programs stretched by wear-dependent slowdown
+//	health.slow_extra_ns     extra die time from program slowdown
 //
 // All counter handles are resolved at construction, so the per-event cost
 // is an index and an add — no map lookups, no allocation.
@@ -42,6 +50,11 @@ type CounterProbe struct {
 	gcRuns, gcMoved, gcErases, gcStall *stats.Counter
 	wlMoved                            *stats.Counter
 	cmtHits, cmtMisses                 *stats.Counter
+
+	dieFailures, rebuiltPages   *stats.Counter
+	blocksRetired, retiredMoved *stats.Counter
+	readRetries, retryPasses    *stats.Counter
+	slowPrograms, slowExtra     *stats.Counter
 }
 
 var _ sim.Probe = (*CounterProbe)(nil)
@@ -71,6 +84,14 @@ func NewCounterProbe(cfg nand.Config) *CounterProbe {
 	p.wlMoved = cs.Counter("ftl.wl.moved_pages")
 	p.cmtHits = cs.Counter("ftl.cmt.hits")
 	p.cmtMisses = cs.Counter("ftl.cmt.misses")
+	p.dieFailures = cs.Counter("health.die_failures")
+	p.rebuiltPages = cs.Counter("health.rebuilt_pages")
+	p.blocksRetired = cs.Counter("health.blocks_retired")
+	p.retiredMoved = cs.Counter("health.retired_moved")
+	p.readRetries = cs.Counter("health.read_retries")
+	p.retryPasses = cs.Counter("health.retry_passes")
+	p.slowPrograms = cs.Counter("health.slow_programs")
+	p.slowExtra = cs.Counter("health.slow_extra_ns")
 	return p
 }
 
@@ -117,4 +138,28 @@ func (p *CounterProbe) CMT(hit bool) {
 	} else {
 		p.cmtMisses.Add(1)
 	}
+}
+
+// DieFailed implements sim.Probe.
+func (p *CounterProbe) DieFailed(die, rebuilt int) {
+	p.dieFailures.Add(1)
+	p.rebuiltPages.Add(int64(rebuilt))
+}
+
+// BlockRetired implements sim.Probe.
+func (p *CounterProbe) BlockRetired(plane, moved int) {
+	p.blocksRetired.Add(1)
+	p.retiredMoved.Add(int64(moved))
+}
+
+// ReadRetry implements sim.Probe.
+func (p *CounterProbe) ReadRetry(die, passes int) {
+	p.readRetries.Add(1)
+	p.retryPasses.Add(int64(passes))
+}
+
+// ProgramSlowdown implements sim.Probe.
+func (p *CounterProbe) ProgramSlowdown(die int, extra sim.Time) {
+	p.slowPrograms.Add(1)
+	p.slowExtra.Add(int64(extra))
 }

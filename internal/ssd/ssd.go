@@ -64,6 +64,14 @@ type Options struct {
 	// translation-page read on the die before the operation. Zero
 	// models unlimited mapping SRAM (the SSDSim default).
 	CMTEntries int
+	// FaultPlan schedules deterministic health events — die failures,
+	// block retirements, read-retry tails, wear-dependent program
+	// slowdown — onto the device's engine. nil (the default) keeps the
+	// device immortal and the data path byte-identical to a build without
+	// fault support. A pointer keeps Options comparable, which the run
+	// loops' device cache relies on: the same plan pointer means the same
+	// session behaviour, and Reset re-arms the plan from scratch.
+	FaultPlan *nand.FaultPlan
 }
 
 // DefaultOptions returns the paper's configuration: FIFO arbitration.
@@ -71,13 +79,16 @@ func DefaultOptions() Options { return Options{ReadPriority: false} }
 
 // Device is one simulated SSD.
 type Device struct {
-	cfg  nand.Config
-	opts Options
-	eng  *sim.Engine
-	ftl  *ftl.FTL
+	cfg   nand.Config
+	opts  Options
+	eng   *sim.Engine
+	ftl   *ftl.FTL
+	probe sim.Probe
 
 	buses []*sim.Resource // one per channel
 	dies  []*sim.Resource // flat die index
+
+	health *nand.Health // nil unless Options.FaultPlan is set
 
 	col      *stats.Collector
 	inFlight int
@@ -127,6 +138,10 @@ func NewOnCollector(eng *sim.Engine, probe sim.Probe, col *stats.Collector, cfg 
 		eng:  eng,
 		col:  col,
 	}
+	d.probe = probe
+	if d.probe == nil {
+		d.probe = sim.NopProbe{}
+	}
 	f, err := ftl.New(cfg, d)
 	if err != nil {
 		return nil, err
@@ -146,7 +161,60 @@ func NewOnCollector(eng *sim.Engine, probe sim.Probe, col *stats.Collector, cfg 
 	if opts.CMTEntries > 0 {
 		d.ftl.EnableCMT(opts.CMTEntries)
 	}
+	if opts.FaultPlan != nil {
+		if err := opts.FaultPlan.Validate(cfg); err != nil {
+			return nil, err
+		}
+		d.health = nand.NewHealth(cfg, opts.FaultPlan)
+		d.ftl.SetHealth(d.health)
+		d.armFaults()
+	}
 	return d, nil
+}
+
+// armFaults schedules every fault-plan event onto the engine. Called at
+// construction and again from Reset — both run against an engine at time
+// zero with the plan not yet fired, so a reused device replays its faults
+// bit-identically.
+func (d *Device) armFaults() {
+	for _, ev := range d.opts.FaultPlan.Events {
+		ev := ev
+		d.eng.Schedule(ev.At, func() { d.applyFault(ev) })
+	}
+}
+
+// applyFault executes one health event at its scheduled instant.
+func (d *Device) applyFault(ev nand.FaultEvent) {
+	switch ev.Kind {
+	case nand.FaultDieFail:
+		die := ev.Channel*d.cfg.DiesPerChannel() + ev.Die
+		_, perDie := d.ftl.FailDie(die)
+		// The rebuild storm occupies the destination dies at background
+		// priority, so foreground traffic queues behind it — the latency
+		// spike the trajectory experiment measures.
+		for i, t := range perDie {
+			if t > 0 {
+				d.dies[i].Use(prioGC, t, nil)
+			}
+		}
+	case nand.FaultRetireBlock:
+		dpc, ppd := d.cfg.DiesPerChannel(), d.cfg.PlanesPerDie
+		for dd := 0; dd < dpc; dd++ {
+			die := ev.Channel*dpc + dd
+			if d.health.DieDead(die) {
+				continue
+			}
+			for pl := 0; pl < ppd; pl++ {
+				if _, t := d.ftl.RetireBlock(die*ppd+pl, ev.Block); t > 0 {
+					d.dies[die].Use(prioGC, t, nil)
+				}
+			}
+		}
+	case nand.FaultRetryTail:
+		d.health.SetRetryProb(ev.Prob)
+	case nand.FaultProgramSlowdown:
+		d.health.SetSlowFactor(ev.Factor)
+	}
 }
 
 // Reset returns the device to its just-constructed state so a run loop can
@@ -164,6 +232,12 @@ func (d *Device) Reset() {
 		dr.Reset()
 	}
 	d.inFlight = 0
+	if d.health != nil {
+		// Factory health, and the fault plan re-armed on the (caller-
+		// reset) engine so the next session replays it identically.
+		d.health.Reset()
+		d.armFaults()
+	}
 }
 
 // Config returns the device geometry.
@@ -179,6 +253,43 @@ func (d *Device) Engine() *sim.Engine { return d.eng }
 
 // Stats returns the latency collector.
 func (d *Device) Stats() *stats.Collector { return d.col }
+
+// Health returns the device's health state, nil on an immortal device
+// (no Options.FaultPlan).
+func (d *Device) Health() *nand.Health { return d.health }
+
+// HealthSnapshot summarizes device health for feature extraction and the
+// serve tier's health score. The zero value means a perfectly healthy
+// device.
+type HealthSnapshot struct {
+	DeadDieFrac   float64 // fraction of dies dead (0 = all live)
+	ReadRetries   int64   // reads that needed extra sensing passes
+	SlowPrograms  int64   // programs stretched by wear slowdown
+	DieFailures   int64
+	BlocksRetired int64
+	WearSpread    float64 // (max-min erase count) / max(1, WearThreshold)
+}
+
+// HealthSnapshot assembles the current health summary. On an immortal
+// device it returns the zero value without touching the FTL.
+func (d *Device) HealthSnapshot() HealthSnapshot {
+	if d.health == nil {
+		return HealthSnapshot{}
+	}
+	w := d.ftl.Wear()
+	worn := d.cfg.WearThreshold
+	if worn <= 0 {
+		worn = 1
+	}
+	return HealthSnapshot{
+		DeadDieFrac:   1 - d.health.LiveDieFrac(),
+		ReadRetries:   d.health.ReadRetries,
+		SlowPrograms:  d.health.SlowPrograms,
+		DieFailures:   d.health.DieFailures,
+		BlocksRetired: d.health.BlocksRetired,
+		WearSpread:    float64(w.MaxErases-w.MinErases) / float64(worn),
+	}
+}
 
 // ChannelLoad implements ftl.Load.
 func (d *Device) ChannelLoad(ch int) sim.Time {
@@ -363,6 +474,12 @@ func (d *Device) readPage(a nand.Addr, mapPenalty sim.Time, rq *request) {
 	op.prio = d.prio(trace.Read)
 	op.second = d.cfg.XferLatency
 	dieHold := d.cfg.ReadLatency + mapPenalty
+	if d.health != nil {
+		if passes := d.health.RetriesFor(d.cfg.PlaneID(a), a.Block, a.Page); passes > 0 {
+			dieHold += sim.Time(passes) * d.cfg.ReadLatency
+			d.probe.ReadRetry(d.cfg.DieID(a), passes)
+		}
+	}
 	if d.opts.NoCacheRegister {
 		dieHold += d.cfg.XferLatency
 	}
@@ -380,6 +497,20 @@ func (d *Device) writePage(a nand.Addr, mapPenalty sim.Time, rq *request) {
 	op.prio = d.prio(trace.Write)
 	op.write = true
 	op.second = d.cfg.WriteLatency + mapPenalty
+	if d.health != nil {
+		if f := d.health.SlowFactor(); f > 1 {
+			worn := d.cfg.WearThreshold
+			if worn <= 0 {
+				worn = 1
+			}
+			if d.ftl.BlockErases(d.cfg.PlaneID(a), a.Block) >= worn {
+				extra := sim.Time(float64(d.cfg.WriteLatency) * (f - 1))
+				op.second += extra
+				d.health.SlowPrograms++
+				d.probe.ProgramSlowdown(d.cfg.DieID(a), extra)
+			}
+		}
+	}
 	if d.opts.NoCacheRegister {
 		op.second += d.cfg.XferLatency
 	}

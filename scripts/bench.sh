@@ -38,6 +38,12 @@
 # framed wire protocol), on the single-request and batch paths. Skip with
 # FLEET=0; runs even under SERVER=0.
 #
+# Part 5 (directly after Part 1 in the file, since it needs no daemons)
+# merges a "health" block into BENCH_simcore.json: degraded-device
+# throughput and read p99 under a mid-run die failure + retry tail, and the
+# interleaved armed-over-nofault ratio that bench_gate.sh bounds at <= 2%.
+# Skip with HEALTH=0.
+#
 # Usage:
 #   scripts/bench.sh            # benchtime=2s, writes both BENCH files
 #   BENCHTIME=5s scripts/bench.sh
@@ -107,6 +113,51 @@ cat > "$OUT" <<EOF
 }
 EOF
 echo "wrote $OUT" >&2
+
+# ---- Part 5: device-health cost -> health block in BENCH_simcore.json -----
+# BenchmarkSimulatorHealth runs the Part 1 throughput workload immortal,
+# with the health machinery armed but no faults, and through a mid-run die
+# failure + retry tail; BenchmarkSimulatorHealthOverhead reports the armed/
+# nofault ratio from interleaved GC-isolated pairs (the number bench_gate.sh
+# holds at <= 2%). Skip with HEALTH=0.
+if [ "${HEALTH:-1}" != "0" ]; then
+echo "running device-health benchmarks (benchtime=$BENCHTIME)..." >&2
+go test -run '^$' -bench 'BenchmarkSimulatorHealth(Overhead)?$' \
+  -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+
+health_metric() { # health_metric <benchmark-suffix> <unit>
+  awk -v bench="BenchmarkSimulatorHealth/$1" -v unit="$2" '
+    index($1, bench) == 1 {
+      for (i = 2; i < NF; i++) if ($(i + 1) == unit) { printf "%s", $i; exit }
+    }' "$RAW"
+}
+nofault_rps=$(health_metric nofault "requests/s")
+degraded_rps=$(health_metric degraded "requests/s")
+nofault_p99=$(health_metric nofault "read-p99-us")
+degraded_p99=$(health_metric degraded "read-p99-us")
+overhead=$(awk 'index($1, "BenchmarkSimulatorHealthOverhead") == 1 {
+  for (i = 2; i < NF; i++) if ($(i + 1) == "armed-over-nofault") { printf "%s", $i; exit }
+}' "$RAW")
+for v in "$nofault_rps" "$degraded_rps" "$nofault_p99" "$degraded_p99" "$overhead"; do
+  if [ -z "$v" ]; then
+    echo "bench.sh: no result parsed for the health benchmarks" >&2
+    exit 1
+  fi
+done
+
+jq \
+  --argjson nr "$nofault_rps" --argjson dr "$degraded_rps" \
+  --argjson np "$nofault_p99" --argjson dp "$degraded_p99" \
+  --argjson ov "$overhead" \
+  '. + {health: {
+     note: "device-health tier: nofault = FaultPlan nil; degraded = one die of 16 dead at 40% of the run plus a 25% read-retry tail; armed_over_nofault_ns = interleaved same-run ratio of an armed-but-empty plan over nil (the <= 1.02 bench_gate.sh bound)",
+     nofault: {requests_per_s: $nr, read_p99_us: $np},
+     degraded: {requests_per_s: $dr, read_p99_us: $dp},
+     armed_over_nofault_ns: $ov}}' \
+  "$OUT" > "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
+echo "merged health block into $OUT (degraded/nofault rps: $(jq -n --argjson a "$nofault_rps" --argjson b "$degraded_rps" 'if $a > 0 then ($b / $a * 100 | round) / 100 else 0 end'), armed overhead ratio $overhead)" >&2
+fi # HEALTH
 
 BIN="$(mktemp -d)"
 trap 'jobs -p | xargs -r kill 2>/dev/null; rm -rf "$RAW" "$BIN"' EXIT

@@ -24,6 +24,13 @@
 #      BenchmarkProxyTransport/http from the same run, pinning that the
 #      persistent framed transport never falls behind the per-request HTTP
 #      proxy it replaced.
+#   5. Device-health overhead: BenchmarkSimulatorHealthOverhead interleaves
+#      no-fault and armed-but-empty-plan simulator runs in GC-isolated
+#      pairs and reports their time ratio; the median over HEALTH_COUNT
+#      (default 3) repetitions must stay at or below HEALTH_OVERHEAD
+#      (default 1.02). This pins the tentpole property that a device with
+#      fault support compiled in and armed, but no faults injected, costs
+#      at most 2% over the pre-health simulator path.
 #
 # BENCH_GATE_INJECT=<mult> multiplies the measured int8/batch64 ns/op (demo
 # knob: BENCH_GATE_INJECT=2 shows the gate failing on a 2x slowdown without
@@ -40,7 +47,7 @@ BENCH_GATE_FACTOR="${BENCH_GATE_FACTOR:-1.5}"
 BENCH_GATE_INJECT="${BENCH_GATE_INJECT:-1}"
 BASELINE="scripts/bench_baseline.json"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+trap 'rm -f "$RAW" "$RAW.health"' EXIT
 
 echo "bench_gate: running gated benchmarks (benchtime=$BENCHTIME, -cpu 1)..." >&2
 go test -run '^$' -bench 'BenchmarkPredict$' -benchmem -benchtime "$BENCHTIME" -cpu 1 . | tee "$RAW" >&2
@@ -132,6 +139,37 @@ else
   else
     echo "bench_gate: ok - proxy wire ${wire_ns}ns vs http ${http_ns}ns (${wratio}x >= ${WIRE_RATIO}x)" >&2
   fi
+fi
+
+# Gate 5: no-fault health overhead. The benchmark reports a same-run
+# interleaved ratio, so runner speed cancels; the median over HEALTH_COUNT
+# repetitions shrugs off the occasional noisy repetition.
+HEALTH_OVERHEAD="${HEALTH_OVERHEAD:-1.02}"
+HEALTH_COUNT="${HEALTH_COUNT:-3}"
+HEALTH_PAIRS="${HEALTH_PAIRS:-30}"
+echo "bench_gate: running health-overhead benchmark (${HEALTH_PAIRS} pairs x ${HEALTH_COUNT})..." >&2
+go test -run '^$' -bench 'BenchmarkSimulatorHealthOverhead$' \
+  -benchtime "${HEALTH_PAIRS}x" -count "$HEALTH_COUNT" -cpu 1 . | tee "$RAW.health" >&2
+hratio=$(awk '
+  index($1, "BenchmarkSimulatorHealthOverhead") == 1 {
+    for (i = 2; i < NF; i++) if ($(i + 1) == "armed-over-nofault") rs[n++] = $i
+  }
+  END {
+    if (n == 0) exit 1
+    asort_n = n
+    for (i = 0; i < asort_n; i++) for (j = i + 1; j < asort_n; j++)
+      if (rs[j] + 0 < rs[i] + 0) { t = rs[i]; rs[i] = rs[j]; rs[j] = t }
+    print rs[int(n / 2)]
+  }' "$RAW.health")
+rm -f "$RAW.health"
+if [ -z "$hratio" ]; then
+  echo "bench_gate: FAIL - missing BenchmarkSimulatorHealthOverhead result" >&2
+  fail=1
+elif jq -en --argjson r "$hratio" --argjson want "$HEALTH_OVERHEAD" '$r > $want' >/dev/null; then
+  echo "bench_gate: FAIL - armed health machinery costs ${hratio}x the no-fault path, want <= ${HEALTH_OVERHEAD}x" >&2
+  fail=1
+else
+  echo "bench_gate: ok - armed-over-nofault median ${hratio}x <= ${HEALTH_OVERHEAD}x" >&2
 fi
 
 # Gate 3: absolute ns/op vs the committed baseline, scaled by the factor.

@@ -22,6 +22,12 @@
 # against the router's wire listener. The migration, loss/duplication, and
 # shutdown assertions are identical — the contract holds on both planes.
 #
+# A second topology then exercises the device-health tier: the node owning
+# tenants 0, 1, 3 boots with a fault plan that kills a die mid-load. The
+# script asserts the auditor flips that node's /readyz to degraded, the
+# router's rebalancer quarantines a tenant off it onto a healthy node, and
+# the load generator still loses zero requests.
+#
 # Usage: scripts/smoke_fleet.sh [router-port]
 #        WIRE=1 scripts/smoke_fleet.sh
 set -euo pipefail
@@ -167,4 +173,95 @@ for i in "${!NPIDS[@]}"; do
     || fail "node ${NODES[$i]}: no clean-drain report in log"
 done
 
-echo "smoke_fleet.sh: all checks passed over $plane ($ok ok, $rejected rejected in the handoff window, $done_migs migration)" >&2
+echo "smoke_fleet.sh: migration checks passed over $plane ($ok ok, $rejected rejected in the handoff window, $done_migs migration)" >&2
+
+############################################################################
+# Health phase: the same golden topology, but the tenant-0 owner (:8082)
+# boots with a fault plan. 40 simulated seconds in (2s wall at -accel 20,
+# landing mid-load), a die dies and reads start paying retry tails; the
+# node's auditor must flip it degraded, the router's rebalancer must
+# quarantine a tenant off it, and no request may be lost.
+echo "health phase: rebooting the fleet with a failing die on $SRC..." >&2
+cat > "$BIN/faults.plan" <<'EOF'
+# One die of sixteen dies 40 simulated seconds in; the marginal flash that
+# accompanies failing hardware raises the read-retry rate alongside it.
+die:ch1:die0@40s
+retry:0.2@40s
+EOF
+
+NPIDS=()
+for addr in "${NODES[@]}"; do
+  port="${addr##*:}"
+  hflag=()
+  if [ "http://$addr" = "$SRC" ]; then
+    hflag=(-fault-plan "$BIN/faults.plan" -audit-every 250ms -degraded-score 0.95)
+  fi
+  "$BIN/ssdkeeperd" -addr "$addr" -accel 20 -no-keeper \
+    ${hflag[@]+"${hflag[@]}"} 2>"$BIN/health-node-$port.log" &
+  NPIDS+=($!)
+done
+for addr in "${NODES[@]}"; do
+  wait_ready "http://$addr" "$BIN/health-node-${addr##*:}.log"
+done
+
+# -hot-factor 100 mutes the hotspot path (the :8082 node owns 3 of 4
+# tenants and would always read as hot): the only migration the health
+# phase can produce is the quarantine evacuation.
+"$BIN/keeperfleet" -addr "127.0.0.1:$RPORT" -nodes "$NODE_URLS" \
+  -rebalance -probe-every 300ms -rebalance-every 300ms -hot-factor 100 \
+  2>"$BIN/health-router.log" &
+RPID=$!
+wait_ready "$ROUTER" "$BIN/health-router.log"
+
+echo "driving load through the die failure..." >&2
+"$BIN/keeperload" -addr "$ROUTER" -n 30000 -concurrency 32 \
+  -write-ratios 0.9,0.1,0.8,0.2 -json > "$BIN/health-load.json" &
+LPID=$!
+
+# The auditor notices the dead die and holds the node out of readiness.
+degraded=""
+for _ in $(seq 1 100); do
+  degraded=$(metric "$SRC" 'ssdkeeper_degraded' || true)
+  [ "$degraded" = "1" ] && break
+  sleep 0.3
+done
+[ "$degraded" = "1" ] || fail "auditor never flipped $SRC degraded"
+if curl -sf "$SRC/readyz" >/dev/null 2>&1; then
+  fail "$SRC still ready while degraded"
+fi
+curl -s "$SRC/readyz" | grep -q "degraded" \
+  || fail "$SRC /readyz does not name the degraded state"
+die_fails=$(metric "$SRC" 'ssdkeeper_die_failures_total')
+[ -n "$die_fails" ] && [ "$die_fails" -ge 1 ] \
+  || fail "die failures counter on $SRC is '$die_fails'"
+
+# The rebalancer's quarantine pass evacuates a tenant to a healthy node.
+qmigs=""
+for _ in $(seq 1 100); do
+  qmigs=$(metric "$ROUTER" 'ssdkeeper_migrations_total{outcome="completed"}' || true)
+  [ -n "$qmigs" ] && [ "$qmigs" -ge 1 ] && break
+  sleep 0.3
+done
+[ -n "$qmigs" ] && [ "$qmigs" -ge 1 ] || fail "quarantine migration never completed"
+grep -q "degraded" "$BIN/health-router.log" \
+  || fail "router log has no quarantine (degraded evacuation) line"
+
+wait "$LPID" || fail "load generator failed across the die failure"
+ok=$(json_count ok "$BIN/health-load.json")
+rejected=$(json_count rejected "$BIN/health-load.json")
+failed=$(json_count failed "$BIN/health-load.json")
+[ "$failed" = "0" ] || fail "$failed requests failed during the die failure"
+[ $((ok + rejected)) -eq 30000 ] \
+  || fail "answered $ok ok + $rejected rejected of 30000 sent through the failure"
+
+echo "shutting down the health fleet..." >&2
+kill -TERM "$RPID"
+wait "$RPID" || fail "router exited non-zero on SIGTERM"
+for i in "${!NPIDS[@]}"; do
+  kill -TERM "${NPIDS[$i]}"
+  wait "${NPIDS[$i]}" || fail "node ${NODES[$i]} exited non-zero on SIGTERM"
+  grep -q "drained clean" "$BIN/health-node-${NODES[$i]##*:}.log" \
+    || fail "node ${NODES[$i]}: no clean-drain report in log"
+done
+
+echo "smoke_fleet.sh: all checks passed over $plane ($ok ok through the die failure, $qmigs quarantine migration)" >&2
